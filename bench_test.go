@@ -1,0 +1,104 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one BenchmarkExp* per artifact; see DESIGN.md §4) plus
+// micro-benchmarks of the hot kernels. The experiment benchmarks run
+// the harness at reduced scale so the full suite finishes on a laptop;
+// cmd/gph-bench runs the same experiments at full scale.
+package gph_test
+
+import (
+	"io"
+	"testing"
+
+	"gph"
+	"gph/datagen"
+	"gph/internal/bench"
+)
+
+// runExp benchmarks one harness experiment end to end.
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(bench.Config{Scale: 0.05, Queries: 5, Out: io.Discard})
+		if err := r.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpFig1Skewness(b *testing.B)       { runExp(b, "fig1") }
+func BenchmarkExpFig2aDecomposition(b *testing.B) { runExp(b, "fig2a") }
+func BenchmarkExpFig2bCandVsSum(b *testing.B)     { runExp(b, "fig2b") }
+func BenchmarkExpFig3Allocation(b *testing.B)     { runExp(b, "fig3") }
+func BenchmarkExpTable3Estimators(b *testing.B)   { runExp(b, "table3") }
+func BenchmarkExpFig4Partitioning(b *testing.B)   { runExp(b, "fig4") }
+func BenchmarkExpFig5PartitionCount(b *testing.B) { runExp(b, "fig5") }
+func BenchmarkExpFig6IndexSize(b *testing.B)      { runExp(b, "fig6") }
+func BenchmarkExpTable4BuildTime(b *testing.B)    { runExp(b, "table4") }
+func BenchmarkExpFig7Comparison(b *testing.B)     { runExp(b, "fig7") }
+func BenchmarkExpFig8Dimensions(b *testing.B)     { runExp(b, "fig8ac") }
+func BenchmarkExpFig8dSkewness(b *testing.B)      { runExp(b, "fig8d") }
+func BenchmarkExpFig8efRobustness(b *testing.B)   { runExp(b, "fig8ef") }
+
+// --- micro-benchmarks ---
+
+func BenchmarkHamming(b *testing.B) {
+	ds := datagen.GISTLike(2, 1)
+	x, y := ds.Vectors[0], ds.Vectors[1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = gph.Hamming(x, y)
+	}
+}
+
+func benchSearch(b *testing.B, name string, n, tau int) {
+	b.Helper()
+	ds, err := datagen.ByName(name, n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	index, err := gph.Build(ds.Vectors, gph.Options{Seed: 1, MaxTau: tau * 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := ds.Vectors[n/2].Clone()
+	q.Flip(0)
+	q.Flip(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := index.Search(q, tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchSIFT(b *testing.B)    { benchSearch(b, "sift", 10000, 6) }
+func BenchmarkSearchGIST(b *testing.B)    { benchSearch(b, "gist", 10000, 12) }
+func BenchmarkSearchPubChem(b *testing.B) { benchSearch(b, "pubchem", 5000, 16) }
+func BenchmarkSearchUQVideo(b *testing.B) { benchSearch(b, "uqvideo", 10000, 16) }
+
+func BenchmarkBuildGIST(b *testing.B) {
+	ds := datagen.GISTLike(5000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gph.Build(ds.Vectors, gph.Options{Seed: 1, MaxTau: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchSearch(b *testing.B) {
+	ds := datagen.UQVideoLike(10000, 1)
+	index, err := gph.Build(ds.Vectors, gph.Options{Seed: 1, MaxTau: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ds.Vectors[:32]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := index.SearchBatch(queries, 12, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command gph-search builds a GPH index over a dataset and answers
+// Hamming distance queries from the command line.
+//
+// Usage:
+//
+//	gph-search -data corpus.ds -tau 8 -q 0110...           # one query
+//	gph-search -data corpus.ds -tau 8 -sample 5            # sampled queries
+//	gph-search -data corpus.ds -save index.gph             # persist the index
+//	gph-search -index index.gph -tau 8 -q 0110...          # load and query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gph"
+	"gph/datagen"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file (from gph-datagen)")
+		indexPath = flag.String("index", "", "load a previously saved index instead of building")
+		savePath  = flag.String("save", "", "write the built index to this file")
+		tau       = flag.Int("tau", 8, "Hamming distance threshold")
+		queryStr  = flag.String("q", "", "query as a 0/1 string (dimension 0 first)")
+		sample    = flag.Int("sample", 0, "answer this many sampled data vectors as queries")
+		m         = flag.Int("m", 0, "partition count (0 = auto, ≈ dims/24)")
+		seed      = flag.Int64("seed", 42, "build seed")
+	)
+	flag.Parse()
+
+	index, data, err := openIndex(*dataPath, *indexPath, *m, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
+			os.Exit(1)
+		}
+		if err := index.Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gph-search: saving index: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("saved index (%d vectors, %.2f MB) to %s\n",
+			index.Len(), float64(index.SizeBytes())/(1<<20), *savePath)
+	}
+
+	run := func(q gph.Vector, label string) {
+		start := time.Now()
+		ids, stats, err := index.SearchStats(q, *tau)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d results in %v (candidates=%d, thresholds=%v)\n",
+			label, len(ids), time.Since(start).Round(time.Microsecond),
+			stats.Candidates, stats.Thresholds)
+		for i, id := range ids {
+			if i == 10 {
+				fmt.Printf("  … %d more\n", len(ids)-10)
+				break
+			}
+			fmt.Printf("  id=%d distance=%d\n", id, gph.Hamming(q, index.Vector(id)))
+		}
+	}
+
+	switch {
+	case *queryStr != "":
+		q, err := gph.VectorFromString(*queryStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
+			os.Exit(1)
+		}
+		run(q, "query")
+	case *sample > 0:
+		if data == nil {
+			fmt.Fprintln(os.Stderr, "gph-search: -sample needs -data")
+			os.Exit(2)
+		}
+		stride := data.Len() / *sample
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < *sample; i++ {
+			run(data.Vectors[(i*stride)%data.Len()], fmt.Sprintf("sample %d", i))
+		}
+	case *savePath == "":
+		fmt.Fprintln(os.Stderr, "gph-search: nothing to do (need -q, -sample, or -save)")
+		os.Exit(2)
+	}
+}
+
+func openIndex(dataPath, indexPath string, m int, seed int64) (*gph.Index, *datagen.Dataset, error) {
+	if indexPath != "" {
+		f, err := os.Open(indexPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		ix, err := gph.Load(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading index: %w", err)
+		}
+		return ix, nil, nil
+	}
+	if dataPath == "" {
+		return nil, nil, fmt.Errorf("need -data or -index")
+	}
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	ds, err := datagen.Load(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading dataset: %w", err)
+	}
+	start := time.Now()
+	ix, err := gph.Build(ds.Vectors, gph.Options{NumPartitions: m, Seed: seed})
+	if err != nil {
+		return nil, nil, fmt.Errorf("building index: %w", err)
+	}
+	fmt.Printf("built index over %d vectors × %d dims in %v\n",
+		ds.Len(), ds.Dims, time.Since(start).Round(time.Millisecond))
+	return ix, ds, nil
+}

@@ -1,0 +1,176 @@
+// Command gph-server exposes a GPH index over HTTP with a minimal
+// JSON API (net/http only):
+//
+//	GET /healthz                          → {"status":"ok", ...}
+//	GET /search?q=0101...&tau=3           → results for one query
+//	POST /search {"queries":[...],"tau":3} → batch results
+//
+// Usage:
+//
+//	gph-server -data corpus.ds -addr :8080
+//	gph-server -gen uqvideo -n 20000 -addr :8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"gph"
+	"gph/datagen"
+)
+
+type server struct {
+	index *gph.Index
+}
+
+type searchResponse struct {
+	Results    []int32 `json:"results"`
+	Distances  []int   `json:"distances"`
+	Candidates int     `json:"candidates"`
+	Micros     int64   `json:"micros"`
+}
+
+type batchRequest struct {
+	Queries []string `json:"queries"`
+	Tau     int      `json:"tau"`
+}
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file (from gph-datagen)")
+		gen      = flag.String("gen", "", "generate a dataset instead: sift|gist|pubchem|fasttext|uqvideo")
+		n        = flag.Int("n", 10000, "vectors to generate with -gen")
+		seed     = flag.Int64("seed", 42, "seed")
+		m        = flag.Int("m", 0, "partition count (0 = auto)")
+		addr     = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	ds, err := loadOrGenerate(*dataPath, *gen, *n, *seed)
+	if err != nil {
+		log.Fatalf("gph-server: %v", err)
+	}
+	start := time.Now()
+	index, err := gph.Build(ds.Vectors, gph.Options{NumPartitions: *m, Seed: *seed})
+	if err != nil {
+		log.Fatalf("gph-server: building index: %v", err)
+	}
+	log.Printf("index ready: %d vectors × %d dims in %v (%.2f MB)",
+		index.Len(), index.Dims(), time.Since(start).Round(time.Millisecond),
+		float64(index.SizeBytes())/(1<<20))
+
+	s := &server{index: index}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/search", s.handleSearch)
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func loadOrGenerate(dataPath, gen string, n int, seed int64) (*datagen.Dataset, error) {
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return datagen.Load(f)
+	}
+	if gen == "" {
+		return nil, fmt.Errorf("need -data or -gen")
+	}
+	return datagen.ByName(gen, n, seed)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  "ok",
+		"vectors": s.index.Len(),
+		"dims":    s.index.Dims(),
+	})
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.searchOne(w, r)
+	case http.MethodPost:
+		s.searchBatch(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
+	q, err := gph.VectorFromString(r.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad q: %v", err)
+		return
+	}
+	tau, err := strconv.Atoi(r.URL.Query().Get("tau"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad tau: %v", err)
+		return
+	}
+	start := time.Now()
+	ids, stats, err := s.index.SearchStats(q, tau)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := searchResponse{
+		Results:    ids,
+		Distances:  make([]int, len(ids)),
+		Candidates: stats.Candidates,
+		Micros:     time.Since(start).Microseconds(),
+	}
+	for i, id := range ids {
+		resp.Distances[i] = gph.Hamming(q, s.index.Vector(id))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) searchBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	queries := make([]gph.Vector, len(req.Queries))
+	for i, qs := range req.Queries {
+		q, err := gph.VectorFromString(qs)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		queries[i] = q
+	}
+	start := time.Now()
+	results, err := s.index.SearchBatch(queries, req.Tau, 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"results": results,
+		"micros":  time.Since(start).Microseconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("gph-server: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

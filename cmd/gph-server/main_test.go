@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gph"
+	"gph/datagen"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	ds := datagen.UQVideoLike(800, 1)
+	index, err := gph.Build(ds.Vectors, gph.Options{
+		NumPartitions: 6, MaxTau: 16, Seed: 1, SampleSize: 200, WorkloadSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{index: index}
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleHealth(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["dims"].(float64) != 256 {
+		t.Fatalf("body %v", body)
+	}
+}
+
+func TestSearchGet(t *testing.T) {
+	s := testServer(t)
+	q := s.index.Vector(0)
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodGet, "/search?q="+q.String()+"&tau=8", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) < 1 {
+		t.Fatal("indexed vector not found")
+	}
+	for _, d := range resp.Distances {
+		if d > 8 {
+			t.Fatalf("distance %d beyond tau", d)
+		}
+	}
+}
+
+func TestSearchGetErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		"/search?q=01xy&tau=3",      // bad bits
+		"/search?q=0101&tau=potato", // bad tau
+		"/search?q=0101&tau=3",      // wrong dimensionality
+	}
+	for _, url := range cases {
+		rec := httptest.NewRecorder()
+		s.handleSearch(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s → %d", url, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodDelete, "/search", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE → %d", rec.Code)
+	}
+}
+
+func TestSearchBatchPost(t *testing.T) {
+	s := testServer(t)
+	req := batchRequest{
+		Queries: []string{s.index.Vector(1).String(), s.index.Vector(2).String()},
+		Tau:     6,
+	}
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Results [][]int32 `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || len(resp.Results[0]) < 1 {
+		t.Fatalf("batch results %v", resp.Results)
+	}
+}
+
+func TestSearchBatchPostBadBody(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader([]byte("{nope"))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body → %d", rec.Code)
+	}
+}

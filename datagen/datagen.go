@@ -1,0 +1,52 @@
+// Package datagen exposes the repository's seeded binary-vector
+// generators for use by examples, tools and downstream benchmarks.
+// Each generator reproduces the statistical shape of one of the
+// corpora the GPH paper evaluates on (skewness profile, dimension
+// correlation, clustering); see DESIGN.md §3 for the fidelity
+// argument.
+package datagen
+
+import (
+	"io"
+
+	"gph/internal/dataset"
+)
+
+// Dataset is an immutable collection of equal-dimension binary
+// vectors plus generation metadata.
+type Dataset = dataset.Dataset
+
+// SIFTLike generates n vectors shaped like binarized SIFT features
+// (128 dims, near-zero skew).
+func SIFTLike(n int, seed int64) *Dataset { return dataset.SIFTLike(n, seed) }
+
+// GISTLike generates n vectors shaped like binary GIST descriptors
+// (256 dims, skew ramp 0→0.5, medium correlation).
+func GISTLike(n int, seed int64) *Dataset { return dataset.GISTLike(n, seed) }
+
+// PubChemLike generates n vectors shaped like PubChem substructure
+// fingerprints (881 dims, Zipf-like density, strong correlation).
+func PubChemLike(n int, seed int64) *Dataset { return dataset.PubChemLike(n, seed) }
+
+// FastTextLike generates n vectors shaped like spectral-hashed word
+// embeddings (128 dims, high skew).
+func FastTextLike(n int, seed int64) *Dataset { return dataset.FastTextLike(n, seed) }
+
+// UQVideoLike generates n vectors shaped like hashed video keyframes
+// (256 dims, bursts of near-duplicates).
+func UQVideoLike(n int, seed int64) *Dataset { return dataset.UQVideoLike(n, seed) }
+
+// Synthetic generates n vectors over dims dimensions with mean
+// skewness gamma (the paper's §VII-G construction).
+func Synthetic(n, dims int, gamma float64, seed int64) *Dataset {
+	return dataset.Synthetic(n, dims, gamma, seed)
+}
+
+// ByName returns the generator named "sift", "gist", "pubchem",
+// "fasttext" or "uqvideo".
+func ByName(name string, n int, seed int64) (*Dataset, error) {
+	return dataset.ByName(name, n, seed)
+}
+
+// Load reads a dataset previously written with Dataset.Save.
+func Load(r io.Reader) (*Dataset, error) { return dataset.Load(r) }

@@ -1,0 +1,49 @@
+package datagen_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gph/datagen"
+)
+
+func TestGeneratorsThroughPublicAPI(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func() *datagen.Dataset
+		dims int
+	}{
+		{"sift", func() *datagen.Dataset { return datagen.SIFTLike(50, 1) }, 128},
+		{"gist", func() *datagen.Dataset { return datagen.GISTLike(50, 1) }, 256},
+		{"pubchem", func() *datagen.Dataset { return datagen.PubChemLike(50, 1) }, 881},
+		{"fasttext", func() *datagen.Dataset { return datagen.FastTextLike(50, 1) }, 128},
+		{"uqvideo", func() *datagen.Dataset { return datagen.UQVideoLike(50, 1) }, 256},
+		{"synthetic", func() *datagen.Dataset { return datagen.Synthetic(50, 96, 0.2, 1) }, 96},
+	} {
+		ds := tc.gen()
+		if ds.Len() != 50 || ds.Dims != tc.dims {
+			t.Fatalf("%s: n=%d dims=%d", tc.name, ds.Len(), ds.Dims)
+		}
+	}
+}
+
+func TestByNameAndLoad(t *testing.T) {
+	ds, err := datagen.ByName("gist", 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := datagen.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 30 {
+		t.Fatalf("round trip lost vectors: %d", got.Len())
+	}
+	if _, err := datagen.ByName("bogus", 1, 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

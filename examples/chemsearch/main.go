@@ -1,0 +1,90 @@
+// Chemsearch: molecular similarity search over binary substructure
+// fingerprints — the PubChem scenario from the paper's introduction.
+//
+// Chemists specify similarity as a Tanimoto threshold t over
+// fingerprints; for vectors of known popcounts the constraint
+// T(x, q) ≥ t implies the Hamming bound
+//
+//	H(x, q) ≤ (1−t)·(|x| + |q|) / (1+t) · … — conservatively,
+//	H(x, q) ≤ ⌈(1−t)/(1+t) · (|x| + |q|)⌉,
+//
+// (reference [43] of the paper), so one exact Hamming search with that
+// τ retrieves a superset which is then re-ranked by true Tanimoto.
+// This example runs the full pipeline on PubChem-like fingerprints.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"gph"
+	"gph/datagen"
+)
+
+// tanimoto computes |x∩q| / |x∪q| over the 1-bits.
+func tanimoto(a, b gph.Vector) float64 {
+	inter := 0
+	union := 0
+	na, nb := a.PopCount(), b.PopCount()
+	h := gph.Hamming(a, b)
+	// |x∩q| = (|x|+|q|−H)/2, |x∪q| = (|x|+|q|+H)/2.
+	inter = (na + nb - h) / 2
+	union = (na + nb + h) / 2
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func main() {
+	const (
+		molecules = 8000
+		tThresh   = 0.9 // Tanimoto similarity threshold
+	)
+	fmt.Printf("generating %d PubChem-like fingerprints (881 bits)…\n", molecules)
+	ds := datagen.PubChemLike(molecules, 7)
+
+	index, err := gph.Build(ds.Vectors, gph.Options{Seed: 7, MaxTau: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index ready: %d partitions over %d dims\n",
+		index.Partitioning().NumParts(), index.Dims())
+
+	// Take a few molecules as query structures.
+	for _, qi := range []int{100, 2500, 7000} {
+		q := ds.Vectors[qi]
+		// Convert the Tanimoto constraint to a Hamming threshold using
+		// the query's popcount: with |x| ≥ t·|q| for any match,
+		// H ≤ (1−t)/(1+t) · (|x|+|q|) ≤ 2(1−t)/(1+t) · |q| / t.
+		nq := float64(q.PopCount())
+		tau := int(math.Ceil((1 - tThresh) / (1 + tThresh) * 2 * nq / tThresh))
+		ids, err := index.Search(q, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Re-rank by true Tanimoto and keep those above the threshold.
+		type hit struct {
+			id  int32
+			sim float64
+		}
+		var hits []hit
+		for _, id := range ids {
+			if s := tanimoto(q, ds.Vectors[id]); s >= tThresh {
+				hits = append(hits, hit{id, s})
+			}
+		}
+		sort.Slice(hits, func(a, b int) bool { return hits[a].sim > hits[b].sim })
+		fmt.Printf("molecule %d (|q|=%d): τ=%d, %d Hamming candidates → %d with Tanimoto ≥ %.2f\n",
+			qi, int(nq), tau, len(ids), len(hits), tThresh)
+		for i, h := range hits {
+			if i == 5 {
+				fmt.Printf("   … %d more\n", len(hits)-5)
+				break
+			}
+			fmt.Printf("   molecule %d: Tanimoto %.3f\n", h.id, h.sim)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Imagesearch: learned-hash image retrieval — the paper's motivating
+// deep-learning scenario. Images are represented by 256-bit binary
+// codes (GIST-like distribution); retrieval takes a query code and
+// returns everything within a Hamming radius, batching queries across
+// CPU cores with SearchBatch (the paper's "parallel case" future-work
+// direction).
+//
+// The example also shows threshold tuning: sweeping τ and reporting
+// the result-set growth so an application can pick the radius that
+// yields its desired result count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gph"
+	"gph/datagen"
+)
+
+func main() {
+	const images = 30000
+	fmt.Printf("generating %d GIST-like image codes…\n", images)
+	ds := datagen.GISTLike(images, 21)
+
+	start := time.Now()
+	index, err := gph.Build(ds.Vectors, gph.Options{Seed: 21, MaxTau: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index built in %v (%.1f MB)\n",
+		time.Since(start).Round(time.Millisecond), float64(index.SizeBytes())/(1<<20))
+
+	// Simulate a user upload: a near-duplicate of an indexed image
+	// (e.g., re-encoded thumbnail) differs in a few code bits.
+	query := ds.Vectors[1234].Clone()
+	for _, b := range []int{3, 77, 141} {
+		query.Flip(b)
+	}
+
+	// Threshold tuning: how does the result set grow with τ?
+	fmt.Println("\nthreshold sweep for the query image:")
+	for _, tau := range []int{2, 4, 8, 16, 24} {
+		ids, stats, err := index.SearchStats(query, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  τ=%-3d results=%-5d candidates=%-6d alloc=%v\n",
+			tau, len(ids), stats.Candidates, stats.Thresholds)
+	}
+
+	// Batch mode: answer a page of queries in parallel.
+	queries := make([]gph.Vector, 64)
+	for i := range queries {
+		q := ds.Vectors[(i*449)%images].Clone()
+		q.Flip(i % q.Dims())
+		queries[i] = q
+	}
+	start = time.Now()
+	results, err := index.SearchBatch(queries, 8, 0) // 0 → all cores
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	fmt.Printf("\nbatch: %d queries in %v (%d total matches)\n",
+		len(queries), time.Since(start).Round(time.Microsecond), total)
+}

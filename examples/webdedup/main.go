@@ -1,0 +1,114 @@
+// Webdedup: near-duplicate web page detection with SimHash — the
+// Google scenario the paper cites (Manku et al., WWW 2007): pages are
+// hashed to 64-bit vectors and two pages are near-duplicates when
+// their Hamming distance is ≤ 3.
+//
+// This example implements SimHash over word shingles from scratch,
+// indexes a corpus of documents (with planted near-duplicates), and
+// uses GPH to find every near-duplicate pair.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math/rand"
+	"strings"
+
+	"gph"
+)
+
+const simhashBits = 64
+
+// simHash builds the classic 64-bit SimHash of a document: each
+// 3-shingle votes ±1 per bit position according to its FNV hash.
+func simHash(doc string) gph.Vector {
+	words := strings.Fields(strings.ToLower(doc))
+	var votes [simhashBits]int
+	for i := 0; i+3 <= len(words); i++ {
+		h := fnv.New64a()
+		h.Write([]byte(strings.Join(words[i:i+3], " ")))
+		hv := h.Sum64()
+		for b := 0; b < simhashBits; b++ {
+			if hv>>uint(b)&1 == 1 {
+				votes[b]++
+			} else {
+				votes[b]--
+			}
+		}
+	}
+	v := gph.NewVector(simhashBits)
+	for b, c := range votes {
+		if c > 0 {
+			v.Set(b)
+		}
+	}
+	return v
+}
+
+// corpus builds synthetic "pages": base articles plus mutated
+// near-duplicates (boilerplate tweaks, word swaps).
+func corpus(rng *rand.Rand) []string {
+	vocab := strings.Fields(`the quick brown fox jumps over lazy dog while
+		seventy archived reports describe ancient binary indexing methods
+		used across large scale retrieval systems for finding similar
+		documents pages images molecules vectors under hamming distance
+		thresholds with inverted signatures partitions pigeonhole theory`)
+	article := func(n int) string {
+		w := make([]string, n)
+		for i := range w {
+			w[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return strings.Join(w, " ")
+	}
+	var docs []string
+	for a := 0; a < 300; a++ {
+		base := article(120)
+		docs = append(docs, base)
+		// 0–3 near-duplicates: mutate a few words.
+		for d := 0; d < rng.Intn(4); d++ {
+			words := strings.Fields(base)
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				words[rng.Intn(len(words))] = vocab[rng.Intn(len(vocab))]
+			}
+			docs = append(docs, strings.Join(words, " "))
+		}
+	}
+	return docs
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	docs := corpus(rng)
+	fmt.Printf("corpus: %d pages\n", len(docs))
+
+	hashes := make([]gph.Vector, len(docs))
+	for i, d := range docs {
+		hashes[i] = simHash(d)
+	}
+
+	index, err := gph.Build(hashes, gph.Options{NumPartitions: 4, MaxTau: 4, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Google's setting: near-duplicate ⇔ Hamming distance ≤ 3.
+	const tau = 3
+	pairs := 0
+	for i, h := range hashes {
+		ids, err := index.Search(h, tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, id := range ids {
+			if int(id) > i { // report each pair once
+				pairs++
+				if pairs <= 8 {
+					fmt.Printf("near-duplicate: page %d ↔ page %d (distance %d)\n",
+						i, id, gph.Hamming(h, hashes[id]))
+				}
+			}
+		}
+	}
+	fmt.Printf("total near-duplicate pairs at τ=%d: %d\n", tau, pairs)
+}

@@ -1,0 +1,107 @@
+// Package gph is a library for exact similarity search in Hamming
+// space, implementing GPH (Qin et al., "GPH: Similarity Search in
+// Hamming Space", ICDE 2018): a filter-and-refine index built on a
+// tight, general form of the pigeonhole principle with cost-aware
+// dimension partitioning (offline) and per-query threshold allocation
+// (online).
+//
+// # Quickstart
+//
+//	data := []gph.Vector{ /* n-dimensional binary vectors */ }
+//	index, err := gph.Build(data, gph.Options{})
+//	if err != nil { ... }
+//	ids, err := index.Search(query, 8) // all vectors within distance 8
+//
+// Build cost is dominated by the offline partitioning optimization;
+// queries then allocate per-partition thresholds with a dynamic
+// program, enumerate signature balls, probe inverted indexes, and
+// verify candidates. Results are exact: every vector within the
+// threshold is returned, nothing else.
+//
+// The internal packages also provide the paper's baselines (MIH,
+// HmSearch, PartAlloc, MinHash LSH) and the full experiment harness;
+// see cmd/gph-bench and DESIGN.md.
+package gph
+
+import (
+	"io"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+)
+
+// Vector is an n-dimensional binary vector packed into 64-bit words.
+type Vector = bitvec.Vector
+
+// NewVector returns an all-zero vector with n dimensions.
+func NewVector(n int) Vector { return bitvec.New(n) }
+
+// VectorFromBits builds a vector from a byte-per-dimension slice;
+// bits[i] != 0 sets dimension i.
+func VectorFromBits(bits []byte) Vector { return bitvec.FromBits(bits) }
+
+// VectorFromString parses a vector from a '0'/'1' string, dimension 0
+// first.
+func VectorFromString(s string) (Vector, error) { return bitvec.FromString(s) }
+
+// VectorFromWords builds an n-dimensional vector adopting the given
+// packed words (bit i of word i/64 is dimension i).
+func VectorFromWords(n int, words []uint64) Vector { return bitvec.FromWords(n, words) }
+
+// Hamming returns the Hamming distance between two equal-dimension
+// vectors.
+func Hamming(a, b Vector) int { return a.Hamming(b) }
+
+// Index is an immutable GPH index; safe for concurrent searches after
+// Build.
+type Index = core.Index
+
+// Options configures Build; the zero value selects the paper's
+// defaults (greedy entropy partitioning with refinement, exact
+// candidate-number estimation, m ≈ n/24).
+type Options = core.Options
+
+// Stats decomposes a query's work; see SearchStats.
+type Stats = core.Stats
+
+// BuildStats decomposes index construction time.
+type BuildStats = core.BuildStats
+
+// InitKind selects the initial dimension arrangement.
+type InitKind = core.InitKind
+
+// Initial arrangement strategies (Fig. 4 of the paper).
+const (
+	InitGreedy   = core.InitGreedy   // entropy-minimizing greedy (default)
+	InitOriginal = core.InitOriginal // original dimension order
+	InitRandom   = core.InitRandom   // random shuffle
+	InitOS       = core.InitOS       // HmSearch frequency dealing
+	InitDD       = core.InitDD       // data-driven correlation spreading
+)
+
+// EstimatorKind selects the candidate-number estimator.
+type EstimatorKind = core.EstimatorKind
+
+// Candidate-number estimators (§IV-C / Table III of the paper).
+const (
+	EstimatorExact        = core.EstimatorExact
+	EstimatorSubPartition = core.EstimatorSubPartition
+	EstimatorKRR          = core.EstimatorKRR
+	EstimatorForest       = core.EstimatorForest
+	EstimatorMLP          = core.EstimatorMLP
+)
+
+// Build constructs a GPH index over data. The slice is retained;
+// callers must not mutate the vectors afterwards.
+func Build(data []Vector, opts Options) (*Index, error) { return core.Build(data, opts) }
+
+// Load reads an index previously written with Index.Save.
+func Load(r io.Reader) (*Index, error) { return core.Load(r) }
+
+// TanimotoSearch returns the ids of indexed vectors whose Tanimoto
+// similarity to q is at least t ∈ (0, 1], using the Hamming-search
+// conversion from cheminformatics (exact results; see
+// Index.SearchTanimoto).
+func TanimotoSearch(index *Index, q Vector, t float64) ([]int32, error) {
+	return index.SearchTanimoto(q, t)
+}

@@ -1,0 +1,364 @@
+// Package alloc implements the paper's online threshold allocation:
+// the query-processing cost model (§IV-A, Eq. 1) and the dynamic
+// programming allocator of Algorithm 1, which distributes integer
+// thresholds T[i] ∈ [−1, τ] across m partitions subject to the general
+// pigeonhole constraint ‖T‖₁ = τ − m + 1 while minimizing the
+// estimated candidate count Σ CN(qᵢ, T[i]).
+//
+// The package is pure: it consumes candidate-number tables and knows
+// nothing about vectors or indexes, which keeps it trivially testable
+// against brute-force enumeration of all valid threshold vectors.
+package alloc
+
+import (
+	"fmt"
+	"math"
+
+	"gph/internal/hamming"
+)
+
+// Infeasible is the internal "+∞" cost; exported only through
+// documented behaviour (Allocate never returns it).
+const infeasible = math.MaxInt64 / 4
+
+// CostModel carries the constants of Eq. 1. The DP minimizes Σ CN
+// directly (the coefficient is query-independent, §IV-B); the model
+// exists to convert candidate counts into comparable cost estimates
+// for reporting and for the workload-level partitioning objective.
+type CostModel struct {
+	CAccess float64 // cost of touching one posting entry
+	CVerify float64 // cost of one full-vector verification
+	Alpha   float64 // measured |S_cand| / Σ|I_s| ratio (Fig. 2(b))
+}
+
+// DefaultCostModel mirrors the paper's observation that verification
+// costs a small multiple of a posting access and that α ∈ [0.69, 0.98]
+// on the evaluated datasets.
+func DefaultCostModel() CostModel { return CostModel{CAccess: 1, CVerify: 4, Alpha: 0.85} }
+
+// QueryCost converts a total candidate-generation count into the
+// estimated query processing cost of Eq. 1.
+func (cm CostModel) QueryCost(sumCN int64) float64 {
+	return float64(sumCN) * (cm.CAccess + cm.Alpha*cm.CVerify)
+}
+
+// Table holds per-partition candidate-number estimates: Table[i][e+1]
+// estimates CN(qᵢ, e) for e ∈ [−1, maxTau]. Entry [0] (e = −1) must be
+// 0; values must be non-decreasing in e for the DP's optimality
+// argument to carry to the brute-force definition.
+type Table [][]int64
+
+// Validate checks structural invariants of the table for maxTau.
+func (t Table) Validate(maxTau int) error {
+	if len(t) == 0 {
+		return fmt.Errorf("alloc: empty CN table")
+	}
+	for i, row := range t {
+		if len(row) != maxTau+2 {
+			return fmt.Errorf("alloc: partition %d has %d entries, want %d", i, len(row), maxTau+2)
+		}
+		if row[0] != 0 {
+			return fmt.Errorf("alloc: partition %d has CN(−1) = %d, want 0", i, row[0])
+		}
+		for e := 1; e < len(row); e++ {
+			if row[e] < row[e-1] {
+				return fmt.Errorf("alloc: partition %d CN not monotone at e=%d", i, e-1)
+			}
+		}
+	}
+	return nil
+}
+
+// Params carries the query-independent inputs of one allocation.
+type Params struct {
+	// Tau is the query threshold.
+	Tau int
+	// Widths are the partition widths (len must match the CN table).
+	Widths []int
+	// EnumBudget, when positive, caps per-partition Hamming-ball
+	// enumeration; see Allocate.
+	EnumBudget int64
+	// SigWeight is the cost of enumerating and probing one signature
+	// relative to accessing one posting entry. The paper drops the
+	// signature term from Eq. 1 because it is negligible at
+	// million-vector scale; at smaller scales it is not, so the DP here
+	// keeps the term with this weight. A hash probe costs roughly an
+	// order of magnitude more than touching a posting entry, hence the
+	// default of 8. Negative disables the term; 0 selects the default.
+	SigWeight float64
+}
+
+// DefaultSigWeight is the default Params.SigWeight.
+const DefaultSigWeight = 8
+
+func (p Params) sigWeight() float64 {
+	if p.SigWeight < 0 {
+		return 0
+	}
+	if p.SigWeight == 0 {
+		return DefaultSigWeight
+	}
+	return p.SigWeight
+}
+
+// Result is a threshold allocation together with its estimated cost.
+type Result struct {
+	Thresholds []int // T[i] ∈ [−1, tau], Σ = tau − m + 1
+	SumCN      int64 // Σ CN(qᵢ, T[i]) under the supplied table
+	// Objective is the DP objective: SumCN plus the weighted signature
+	// term Σ SigWeight·ball(widthᵢ, T[i]).
+	Objective int64
+	// EffectiveBudget is the per-partition enumeration budget under
+	// which Thresholds is feasible (0 when unconstrained). Callers must
+	// enumerate with at least this budget.
+	EffectiveBudget int64
+	// Fallback is set when no allocation fits even an escalated budget;
+	// Thresholds is nil and the caller should answer the query by
+	// scanning (signature enumeration would cost more than a scan).
+	Fallback bool
+}
+
+// Allocate runs Algorithm 1: given the CN table for a query, the
+// partition widths, and the query threshold tau, it returns the
+// threshold vector minimizing the estimated cost subject to
+// ‖T‖₁ = tau − m + 1.
+//
+// enumBudget, when positive, additionally rejects thresholds whose
+// signature enumeration ball C(width, e) would exceed the budget —
+// a guard the cost model itself does not capture (it ignores signature
+// generation cost, as the paper justifies empirically in Fig. 2(a)).
+// If the budget makes the problem infeasible — possible when τ is
+// large relative to the partitioning — the budget escalates ×16 up to
+// two times (Result.EffectiveBudget reports the final value); beyond
+// that the query is cheaper to answer by scanning and Result.Fallback
+// is set instead of returning thresholds that would explode
+// enumeration.
+func Allocate(cn Table, p Params) Result {
+	if len(cn) != len(p.Widths) {
+		panic(fmt.Sprintf("alloc: %d CN rows vs %d widths", len(cn), len(p.Widths)))
+	}
+	m := len(cn)
+	if m == 0 {
+		panic("alloc: no partitions")
+	}
+	if p.Tau < 0 {
+		panic(fmt.Sprintf("alloc: negative tau %d", p.Tau))
+	}
+	if p.EnumBudget <= 0 {
+		res, ok := allocate(cn, p, 0)
+		if !ok {
+			// Unreachable: T = [−1, …, −1, tau] is always valid with no budget.
+			panic("alloc: no feasible allocation")
+		}
+		return res
+	}
+	budget := p.EnumBudget
+	for attempt := 0; attempt < 3; attempt++ {
+		if res, ok := allocate(cn, p, budget); ok {
+			res.EffectiveBudget = budget
+			return res
+		}
+		budget *= 16
+	}
+	return Result{Fallback: true, SumCN: FallbackCost, Objective: FallbackCost}
+}
+
+// FallbackCost is the cost carried by a Fallback result. It exceeds
+// any realistic plan cost so optimizers (Algorithm 2) steer away from
+// partitionings that force scans, yet is small enough that summing it
+// across a workload cannot overflow.
+const FallbackCost = 1 << 40
+
+func allocate(cn Table, p Params, enumBudget int64) (Result, bool) {
+	m := len(cn)
+	tau := p.Tau
+	target := tau - m + 1
+
+	// Per-partition ball sizes and feasibility, computed once per call:
+	// the DP consults them O(m·τ²) times. cost[i][e+1] is the DP weight
+	// CN(qᵢ, e) + SigWeight·ball(widthᵢ, e); infeasible entries carry
+	// the +∞ sentinel.
+	weight := p.sigWeight()
+	cost := make([][]int64, m)
+	for i := range cost {
+		cost[i] = costRow(cn[i], p.Widths[i], tau, enumBudget, weight)
+	}
+	feasible := func(i, e int) bool { return cost[i][e+1] < infeasible }
+	cnAt := func(i, e int) int64 {
+		if e < -1 {
+			return infeasible
+		}
+		if e > tau {
+			e = tau
+		}
+		return cost[i][e+1]
+	}
+
+	// maxE[i] is the largest feasible threshold for partition i; the
+	// inner loop never needs to look beyond it.
+	maxE := make([]int, m)
+	for i := range maxE {
+		maxE[i] = -1
+		for e := tau; e >= 0; e-- {
+			if feasible(i, e) {
+				maxE[i] = e
+				break
+			}
+		}
+	}
+
+	// OPT[i][t+off] = min Σ_{j≤i} cost(q_j, e_j) with Σ e_j = t,
+	// e_j ∈ [−1, maxE[j]]. t ranges over [−m, tau].
+	off := m
+	span := tau + m + 1
+	opt := make([][]int64, m)
+	path := make([][]int16, m)
+	for i := range opt {
+		opt[i] = make([]int64, span)
+		path[i] = make([]int16, span)
+		for t := range opt[i] {
+			opt[i][t] = infeasible
+		}
+	}
+	for e := -1; e <= maxE[0]; e++ {
+		if !feasible(0, e) {
+			continue
+		}
+		if c := cnAt(0, e); c < opt[0][e+off] {
+			opt[0][e+off] = c
+			path[0][e+off] = int16(e)
+		}
+	}
+	for i := 1; i < m; i++ {
+		lo, hi := -(i + 1), tau
+		for t := lo; t <= hi; t++ {
+			best, bestE := int64(infeasible), -2
+			for e := -1; e <= maxE[i]; e++ {
+				prev := t - e
+				if prev < -i || prev > tau {
+					continue
+				}
+				if !feasible(i, e) {
+					continue
+				}
+				pc := opt[i-1][prev+off]
+				if pc >= infeasible {
+					continue
+				}
+				c := pc + cnAt(i, e)
+				if c < best {
+					best, bestE = c, e
+				}
+			}
+			if bestE != -2 {
+				opt[i][t+off] = best
+				path[i][t+off] = int16(bestE)
+			}
+		}
+	}
+	if target < -m || target > tau || opt[m-1][target+off] >= infeasible {
+		return Result{}, false
+	}
+	T := make([]int, m)
+	t := target
+	for i := m - 1; i >= 0; i-- {
+		e := int(path[i][t+off])
+		T[i] = e
+		t -= e
+	}
+	var sumCN int64
+	for i, e := range T {
+		if e < 0 {
+			continue
+		}
+		if e > tau {
+			e = tau
+		}
+		sumCN += cn[i][e+1]
+	}
+	return Result{Thresholds: T, SumCN: sumCN, Objective: opt[m-1][target+off]}, true
+}
+
+// costRow computes, for one partition of the given width, the DP
+// weight of each threshold e ∈ [−1, tau]: the CN estimate plus the
+// weighted Hamming-ball size (the signature term). Entries whose ball
+// exceeds the enumeration budget (or overflows) carry the +∞ sentinel;
+// ball sizes grow cumulatively, so one incremental pass suffices and
+// once a radius is infeasible all larger radii are too.
+func costRow(cnRow []int64, width, tau int, enumBudget int64, weight float64) []int64 {
+	row := make([]int64, tau+2)
+	for e := range row {
+		row[e] = infeasible
+	}
+	row[0] = 0 // e = −1 enumerates nothing and admits no candidates
+	var total uint64
+	for e := 0; e <= tau; e++ {
+		c, ok := hamming.Binomial(width, e)
+		if !ok || total+c < total {
+			break
+		}
+		total += c
+		if enumBudget > 0 && total > uint64(enumBudget) {
+			break
+		}
+		sig := int64(weight * float64(total))
+		if sig < 0 || sig >= infeasible {
+			break
+		}
+		v := cnRow[e+1] + sig
+		if v >= infeasible {
+			v = infeasible - 1
+		}
+		row[e+1] = v
+	}
+	return row
+}
+
+// RoundRobin is the baseline allocator of §VII-C: thresholds start at
+// −1 and are incremented cyclically until they sum to tau − m + 1, so
+// all partitions receive near-equal thresholds regardless of the data.
+func RoundRobin(m, tau int) []int {
+	if m <= 0 {
+		panic("alloc: RoundRobin with no partitions")
+	}
+	T := make([]int, m)
+	for i := range T {
+		T[i] = -1
+	}
+	for k := 0; k < tau+1; k++ {
+		T[k%m]++
+	}
+	return T
+}
+
+// SumCN evaluates a threshold vector against a CN table; used to score
+// RoundRobin and in tests.
+func SumCN(cn Table, T []int, tau int) int64 {
+	var s int64
+	for i, e := range T {
+		if e < 0 {
+			continue
+		}
+		if e > tau {
+			e = tau
+		}
+		s += cn[i][e+1]
+	}
+	return s
+}
+
+// CheckVector verifies that T satisfies the general pigeonhole
+// constraint for (m, tau): every entry in [−1, tau] and Σ = tau − m + 1.
+func CheckVector(T []int, tau int) error {
+	sum := 0
+	for i, e := range T {
+		if e < -1 || e > tau {
+			return fmt.Errorf("alloc: T[%d] = %d out of [−1, %d]", i, e, tau)
+		}
+		sum += e
+	}
+	if want := tau - len(T) + 1; sum != want {
+		return fmt.Errorf("alloc: ‖T‖₁ = %d, want %d", sum, want)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+
+	"gph/internal/core"
+)
+
+// buildGPH builds (and caches per dataset and m) the default GPH
+// configuration: greedy entropy init, refinement, exact estimator.
+// m == 0 selects the dataset spec's recommended partition count.
+func (r *Runner) buildGPH(c *cachedDataset, m int) (*core.Index, error) {
+	if m == 0 {
+		m = c.spec.m
+	}
+	key := fmt.Sprintf("gph/%s/m=%d", c.spec.name, m)
+	if r.gphCache == nil {
+		r.gphCache = make(map[string]*core.Index)
+	}
+	if ix, ok := r.gphCache[key]; ok {
+		return ix, nil
+	}
+	ix, err := core.Build(c.data.Vectors, core.Options{
+		NumPartitions: m,
+		MaxTau:        maxOf(c.spec.taus),
+		Seed:          r.cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: building GPH on %s: %w", c.spec.name, err)
+	}
+	r.gphCache[key] = ix
+	return ix, nil
+}
+
+func maxOf(vs []int) int {
+	m := 0
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gph/internal/alloc"
+	"gph/internal/candest"
+	"gph/internal/core"
+)
+
+// Fig3 reproduces Fig. 3: the DP allocator of Algorithm 1 against the
+// round-robin baseline, in estimated cost (candidate numbers under
+// the cost model) and measured query time, on the same partitioning.
+// The paper's shape: DP ≪ RR, with the gap widening with skew (on
+// PubChem RR approaches a sequential scan).
+func (r *Runner) Fig3() error {
+	t := newTable(r.cfg.Out, "dataset", "tau", "cost-RR", "cost-DP", "time-RR(ms)", "time-DP(ms)", "speedup")
+	for _, name := range []string{"sift", "gist", "pubchem"} {
+		c := r.load(name)
+		maxTau := maxOf(c.spec.taus)
+		build := func(kind core.AllocatorKind) (*core.Index, error) {
+			return core.Build(c.data.Vectors, core.Options{
+				NumPartitions: c.spec.m,
+				Init:          core.InitRandom, // the experiment isolates allocation policy
+				NoRefine:      true,
+				Allocator:     kind,
+				MaxTau:        maxTau,
+				Seed:          r.cfg.Seed,
+			})
+		}
+		dp, err := build(core.AllocDP)
+		if err != nil {
+			return err
+		}
+		rr, err := build(core.AllocRR)
+		if err != nil {
+			return err
+		}
+		for _, tau := range c.spec.taus {
+			var costRR, costDP int64
+			for _, q := range c.queries {
+				table := dp.EstimateTable(q, tau)
+				costDP += alloc.Allocate(table, alloc.Params{
+					Tau: tau, Widths: dp.Partitioning().Widths(), SigWeight: -1,
+				}).SumCN
+				costRR += alloc.SumCN(table, alloc.RoundRobin(dp.Partitioning().NumParts(), tau), tau)
+			}
+			timeDP, _, err := timeSearch(dp, c, tau)
+			if err != nil {
+				return err
+			}
+			timeRR, _, err := timeSearch(rr, c, tau)
+			if err != nil {
+				return err
+			}
+			n := int64(len(c.queries))
+			t.row(name, tau, costRR/n, costDP/n, ms(timeRR), ms(timeDP),
+				fmt.Sprintf("%.1fx", float64(timeRR)/float64(max64(timeDP, 1))))
+		}
+	}
+	t.flush()
+	return nil
+}
+
+func timeSearch(ix *core.Index, c *cachedDataset, tau int) (avgNanos int64, results int64, err error) {
+	start := time.Now()
+	for _, q := range c.queries {
+		ids, err := ix.Search(q, tau)
+		if err != nil {
+			return 0, 0, err
+		}
+		results += int64(len(ids))
+	}
+	return time.Since(start).Nanoseconds() / int64(len(c.queries)), results, nil
+}
+
+// Table3 reproduces Table III: relative error and prediction time of
+// the CN estimators (SP and the learned models) against the exact
+// method, on the GIST-like dataset. The paper's shape: SVM and DNN
+// errors are small (≲2%), RF is several times worse, and DNN
+// predictions are an order of magnitude slower than SVM's.
+func (r *Runner) Table3() error {
+	c := r.load("gist")
+	ix, err := r.buildGPH(c, 0)
+	if err != nil {
+		return err
+	}
+	parts := ix.Partitioning()
+	data := c.data.Vectors
+	taus := []int{16, 32, 48, 64}
+	maxTau := 64
+
+	exacts := make([]*candest.Exact, parts.NumParts())
+	sps := make([]*candest.SubPartition, parts.NumParts())
+	for i, dims := range parts.Parts {
+		exacts[i] = candest.NewExact(data, dims)
+		sps[i] = candest.NewSubPartition(data, dims, 2)
+	}
+	models := []candest.ModelKind{candest.ModelKRR, candest.ModelForest, candest.ModelMLP}
+	learned := make(map[candest.ModelKind][]*candest.Learned)
+	for _, mk := range models {
+		ls := make([]*candest.Learned, parts.NumParts())
+		for i, dims := range parts.Parts {
+			l, err := candest.NewLearned(data, dims, maxTau, candest.LearnedConfig{
+				Model: mk, Seed: r.cfg.Seed + int64(i),
+			})
+			if err != nil {
+				return err
+			}
+			ls[i] = l
+		}
+		learned[mk] = ls
+	}
+
+	t := newTable(r.cfg.Out, "tau", "SP err/us", "SVM err/us", "RF err/us", "DNN err/us")
+	for _, tau := range taus {
+		// The paper evaluates the estimators at partition threshold
+		// τᵢ = τ (clamped to the partition width): errors shrink as τ
+		// grows because CN saturates toward N, and SP's prediction cost
+		// grows with τ while the learned models stay flat.
+		levels := make([]int, parts.NumParts())
+		for p, dims := range parts.Parts {
+			levels[p] = tau
+			if levels[p] > len(dims) {
+				levels[p] = len(dims)
+			}
+		}
+		wants := make([][]int64, len(c.queries))
+		for qi, q := range c.queries {
+			wants[qi] = make([]int64, parts.NumParts())
+			for p, ex := range exacts {
+				wants[qi][p] = ex.CNAll(q, maxTau)[levels[p]+1]
+			}
+		}
+		cells := []interface{}{tau}
+		eval := func(predict func(p, qi int) int64) string {
+			var sumErr float64
+			var count int
+			start := time.Now()
+			for qi := range c.queries {
+				for p := range exacts {
+					got := predict(p, qi)
+					if want := wants[qi][p]; want > 0 {
+						sumErr += math.Abs(float64(got)-float64(want)) / float64(want)
+						count++
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			preds := len(c.queries) * len(exacts)
+			if preds == 0 || count == 0 {
+				return "n/a"
+			}
+			us := float64(elapsed.Microseconds()) / float64(preds)
+			return fmt.Sprintf("%.2f%%/%.2f", 100*sumErr/float64(count), us)
+		}
+		cells = append(cells, eval(func(p, qi int) int64 {
+			return sps[p].CNAll(c.queries[qi], maxTau)[levels[p]+1]
+		}))
+		for _, mk := range models {
+			ls := learned[mk]
+			cells = append(cells, eval(func(p, qi int) int64 {
+				return ls[p].Predict(c.queries[qi], levels[p])
+			}))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	return nil
+}

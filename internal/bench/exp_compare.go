@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+	"gph/internal/hmsearch"
+	"gph/internal/linscan"
+	"gph/internal/lsh"
+	"gph/internal/mih"
+	"gph/internal/partalloc"
+	"gph/internal/partition"
+)
+
+// Fig6 reproduces Fig. 6: index sizes of all algorithms across the
+// five datasets and τ settings. The paper's shape: GPH ≳ MIH (the
+// estimator state is the difference) and both well below HmSearch /
+// PartAlloc (deletion variants) with LSH varying by τ.
+func (r *Runner) Fig6() error {
+	t := newTable(r.cfg.Out, "dataset", "tau", "GPH(MB)", "MIH(MB)", "HmSearch(MB)", "PartAlloc(MB)", "LSH(MB)")
+	for _, spec := range specs() {
+		c := r.load(spec.name)
+		gphIx, err := r.buildGPH(c, 0)
+		if err != nil {
+			return err
+		}
+		mihSys := mihSystem(spec.m)
+		mihIx, err := mihSys.build(c.data.Vectors, 0, r.cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for _, tau := range c.spec.taus {
+			cells := []interface{}{spec.name, tau, mb(gphIx.SizeBytes()), mb(mihIx.SizeBytes())}
+			for _, sys := range []system{hmSystem(), paSystem(), lshSystem()} {
+				s, err := sys.build(c.data.Vectors, tau, r.cfg.Seed)
+				if err != nil {
+					return err
+				}
+				cells = append(cells, mb(s.SizeBytes()))
+			}
+			t.row(cells...)
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// Table4 reproduces Table IV: index construction time on the
+// GIST-like dataset. GPH's time is decomposed into partitioning +
+// indexing, as the paper reports ("5026 + 560").
+func (r *Runner) Table4() error {
+	c := r.load("gist")
+	data := c.data.Vectors
+	dims := c.data.Dims
+	t := newTable(r.cfg.Out, "tau", "MIH(s)", "HmSearch(s)", "PartAlloc(s)", "LSH(s)", "GPH(s part+index)")
+
+	// MIH and GPH are τ-independent: build once, report flat.
+	start := time.Now()
+	sample := partition.SampleRows(data, 500, r.cfg.Seed)
+	arr := partition.OS(sample, dims, c.spec.m)
+	if _, err := mih.Build(data, mih.Options{NumPartitions: c.spec.m, Arrangement: arr}); err != nil {
+		return err
+	}
+	mihSecs := time.Since(start).Seconds()
+
+	gphIx, err := core.Build(data, core.Options{NumPartitions: c.spec.m, MaxTau: 64, Seed: r.cfg.Seed})
+	if err != nil {
+		return err
+	}
+	bs := gphIx.BuildStats()
+	gphCell := fmt.Sprintf("%.2f + %.2f",
+		float64(bs.PartitionNanos)/1e9,
+		float64(bs.IndexNanos+bs.EstimatorNanos)/1e9)
+
+	for _, tau := range []int{16, 32, 48, 64} {
+		start = time.Now()
+		if _, err := hmsearch.Build(data, tau, hmsearch.Options{}); err != nil {
+			return err
+		}
+		hmSecs := time.Since(start).Seconds()
+
+		start = time.Now()
+		if _, err := partalloc.Build(data, tau, partalloc.Options{}); err != nil {
+			return err
+		}
+		paSecs := time.Since(start).Seconds()
+
+		start = time.Now()
+		if _, err := lsh.Build(data, tau, lsh.Options{Seed: r.cfg.Seed}); err != nil {
+			return err
+		}
+		lshSecs := time.Since(start).Seconds()
+
+		t.row(tau, fmt.Sprintf("%.2f", mihSecs), fmt.Sprintf("%.2f", hmSecs),
+			fmt.Sprintf("%.2f", paSecs), fmt.Sprintf("%.2f", lshSecs), gphCell)
+	}
+	t.flush()
+	return nil
+}
+
+// Fig7 reproduces Fig. 7: candidate numbers and query times of every
+// algorithm on every dataset across the τ sweeps. The paper's shape:
+// GPH has the fewest candidates and the lowest time throughout, with
+// speedups vs the runner-up growing with skew (up to two orders of
+// magnitude on PubChem); LSH collapses on skewed data. LSH rows also
+// report recall, since it is approximate.
+func (r *Runner) Fig7() error {
+	for _, spec := range specs() {
+		c := r.load(spec.name)
+		truth, err := linscan.New(c.data.Vectors)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.cfg.Out, "[%s, n=%d, dims=%d]\n", spec.name, c.data.Len(), c.data.Dims)
+		t := newTable(r.cfg.Out, "tau", "algo", "avg-cand", "avg-time(ms)", "recall")
+		gphIx, err := r.buildGPH(c, 0)
+		if err != nil {
+			return err
+		}
+		mihS, err := mihSystem(spec.m).build(c.data.Vectors, 0, r.cfg.Seed)
+		if err != nil {
+			return err
+		}
+		for _, tau := range c.spec.taus {
+			truthCounts := make([]int, len(c.queries))
+			var truthTotal int
+			for qi, q := range c.queries {
+				ids, err := truth.Search(q, tau)
+				if err != nil {
+					return err
+				}
+				truthCounts[qi] = len(ids)
+				truthTotal += len(ids)
+			}
+			row := func(algo string, s searcher) error {
+				avg, agg, err := measure(s, c.queries, tau)
+				if err != nil {
+					return err
+				}
+				recall := 1.0
+				if truthTotal > 0 {
+					recall = float64(agg.results) / float64(truthTotal)
+				}
+				t.row(tau, algo, agg.candidates/len(c.queries), ms(avg.Nanoseconds()),
+					fmt.Sprintf("%.2f", recall))
+				return nil
+			}
+			if err := row("GPH", gphSearcher{gphIx}); err != nil {
+				return err
+			}
+			if err := row("MIH", mihS); err != nil {
+				return err
+			}
+			for _, sys := range []system{hmSystem(), paSystem(), lshSystem()} {
+				s, err := sys.build(c.data.Vectors, tau, r.cfg.Seed)
+				if err != nil {
+					return err
+				}
+				if err := row(sys.name, s); err != nil {
+					return err
+				}
+			}
+		}
+		t.flush()
+	}
+	return nil
+}
+
+// scanBaselineNanos measures the naive linear scan for context rows.
+func scanBaselineNanos(data []bitvec.Vector, queries []bitvec.Vector, tau int) (int64, error) {
+	sc, err := linscan.New(data)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for _, q := range queries {
+		if _, err := sc.Search(q, tau); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(len(queries)), nil
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+
+	"gph/internal/core"
+)
+
+// Fig4 reproduces Fig. 4: GPH query time under the five partitioning
+// methods (GR = greedy entropy init + Algorithm 2 refinement; OR, RS,
+// OS, DD are the rearrangement baselines without refinement) and
+// under the three initializations all followed by refinement. The
+// paper's shape: near-parity on SIFT, GR ahead by multiples on GIST
+// and close to an order of magnitude on PubChem; GreedyInit beats
+// Original/Random inits on skewed data.
+func (r *Runner) Fig4() error {
+	type variant struct {
+		label    string
+		init     core.InitKind
+		noRefine bool
+	}
+	methods := []variant{
+		{"GR", core.InitGreedy, false},
+		{"OR", core.InitOriginal, true},
+		{"OS", core.InitOS, true},
+		{"DD", core.InitDD, true},
+		{"RS", core.InitRandom, true},
+	}
+	inits := []variant{
+		{"GreedyInit", core.InitGreedy, false},
+		{"OriginalInit", core.InitOriginal, false},
+		{"RandomInit", core.InitRandom, false},
+	}
+	for _, group := range []struct {
+		title    string
+		variants []variant
+	}{
+		{"partitioning method", methods},
+		{"initial partitioning (all refined)", inits},
+	} {
+		fmt.Fprintf(r.cfg.Out, "[%s]\n", group.title)
+		headers := []string{"dataset", "tau"}
+		for _, v := range group.variants {
+			headers = append(headers, v.label+"(ms)")
+		}
+		t := newTable(r.cfg.Out, headers...)
+		for _, name := range []string{"sift", "gist", "pubchem"} {
+			c := r.load(name)
+			ixs := make([]*core.Index, len(group.variants))
+			for vi, v := range group.variants {
+				ix, err := core.Build(c.data.Vectors, core.Options{
+					NumPartitions: c.spec.m,
+					Init:          v.init,
+					NoRefine:      v.noRefine,
+					MaxTau:        maxOf(c.spec.taus),
+					Seed:          r.cfg.Seed,
+				})
+				if err != nil {
+					return fmt.Errorf("building %s on %s: %w", v.label, name, err)
+				}
+				ixs[vi] = ix
+			}
+			for _, tau := range c.spec.taus {
+				cells := []interface{}{name, tau}
+				for _, ix := range ixs {
+					nanos, _, err := timeSearch(ix, c, tau)
+					if err != nil {
+						return err
+					}
+					cells = append(cells, ms(nanos))
+				}
+				t.row(cells...)
+			}
+		}
+		t.flush()
+	}
+	return nil
+}
+
+// Fig5 reproduces Fig. 5: GPH query time as the partition count m
+// varies. The paper's shape: small m wins at small τ; the best m
+// drifts upward as τ grows.
+func (r *Runner) Fig5() error {
+	sweeps := map[string][]int{
+		"sift":    {4, 6, 8, 10},
+		"gist":    {6, 8, 10, 12, 14},
+		"pubchem": {24, 36, 48},
+	}
+	for _, name := range []string{"sift", "gist", "pubchem"} {
+		c := r.load(name)
+		ms_ := sweeps[name]
+		headers := []string{"tau"}
+		for _, m := range ms_ {
+			headers = append(headers, fmt.Sprintf("m=%d(ms)", m))
+		}
+		fmt.Fprintf(r.cfg.Out, "[%s]\n", name)
+		t := newTable(r.cfg.Out, headers...)
+		ixs := make([]*core.Index, len(ms_))
+		for i, m := range ms_ {
+			ix, err := r.buildGPH(c, m)
+			if err != nil {
+				return err
+			}
+			ixs[i] = ix
+		}
+		for _, tau := range c.spec.taus {
+			cells := []interface{}{tau}
+			for _, ix := range ixs {
+				nanos, _, err := timeSearch(ix, c, tau)
+				if err != nil {
+					return err
+				}
+				cells = append(cells, ms(nanos))
+			}
+			t.row(cells...)
+		}
+		t.flush()
+	}
+	return nil
+}

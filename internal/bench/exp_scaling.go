@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+	"gph/internal/dataset"
+	"gph/internal/partition"
+)
+
+// Fig8ac reproduces Fig. 8(a–c): query time as the number of
+// dimensions varies (25–100% of each dataset's dimensions, with τ
+// scaling linearly). The paper's shape: all algorithms slow down with
+// n; GPH stays fastest, most visibly on the skewed PubChem.
+func (r *Runner) Fig8ac() error {
+	baseTau := map[string]int{"sift": 12, "gist": 24, "pubchem": 12}
+	fractions := []float64{0.25, 0.5, 0.75, 1.0}
+	for _, name := range []string{"sift", "gist", "pubchem"} {
+		c := r.load(name)
+		fmt.Fprintf(r.cfg.Out, "[%s]\n", name)
+		t := newTable(r.cfg.Out, "dims", "tau", "GPH(ms)", "MIH(ms)", "HmSearch(ms)", "PartAlloc(ms)", "LSH(ms)")
+		for _, frac := range fractions {
+			sub := c.data.SampleDims(frac)
+			tau := int(float64(baseTau[name]) * frac)
+			if tau < 1 {
+				tau = 1
+			}
+			qs := projectQueries(c, sub.Dims)
+			m := c.spec.m
+			if m > sub.Dims/2 {
+				m = sub.Dims / 2
+			}
+			if m < 2 {
+				m = 2
+			}
+			gphIx, err := core.Build(sub.Vectors, core.Options{
+				NumPartitions: m, MaxTau: tau * 2, Seed: r.cfg.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			cells := []interface{}{sub.Dims, tau}
+			avg, _, err := measure(gphSearcher{gphIx}, qs, tau)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, ms(avg.Nanoseconds()))
+			for _, sys := range []system{mihSystem(m), hmSystem(), paSystem(), lshSystem()} {
+				s, err := sys.build(sub.Vectors, tau, r.cfg.Seed)
+				if err != nil {
+					return err
+				}
+				avg, _, err := measure(s, qs, tau)
+				if err != nil {
+					return err
+				}
+				cells = append(cells, ms(avg.Nanoseconds()))
+			}
+			t.row(cells...)
+		}
+		t.flush()
+	}
+	return nil
+}
+
+// projectQueries projects the cached queries onto the first dims
+// dimensions to match a SampleDims'd dataset.
+func projectQueries(c *cachedDataset, dims int) []bitvec.Vector {
+	idx := make([]int, dims)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]bitvec.Vector, len(c.queries))
+	for i, q := range c.queries {
+		out[i] = q.Project(idx)
+	}
+	return out
+}
+
+// Fig8d reproduces Fig. 8(d): query time on the synthetic dataset as
+// mean skewness γ varies at τ=12. The paper's shape: everyone slows
+// down with skew; GPH degrades most gracefully.
+func (r *Runner) Fig8d() error {
+	const tau = 12
+	n := r.cfg.size(20000)
+	t := newTable(r.cfg.Out, "gamma", "GPH(ms)", "MIH(ms)", "HmSearch(ms)", "PartAlloc(ms)", "LSH(ms)")
+	for _, gamma := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		ds := dataset.Synthetic(n, 128, gamma, r.cfg.Seed)
+		qs := dataset.PerturbQueries(ds, r.cfg.Queries, 4, r.cfg.Seed+1)
+		gphIx, err := core.Build(ds.Vectors, core.Options{NumPartitions: 6, MaxTau: 24, Seed: r.cfg.Seed})
+		if err != nil {
+			return err
+		}
+		cells := []interface{}{gamma}
+		avg, _, err := measure(gphSearcher{gphIx}, qs, tau)
+		if err != nil {
+			return err
+		}
+		cells = append(cells, ms(avg.Nanoseconds()))
+		for _, sys := range []system{mihSystem(6), hmSystem(), paSystem(), lshSystem()} {
+			s, err := sys.build(ds.Vectors, tau, r.cfg.Seed)
+			if err != nil {
+				return err
+			}
+			avg, _, err := measure(s, qs, tau)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, ms(avg.Nanoseconds()))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	return nil
+}
+
+// Fig8ef reproduces Fig. 8(e–f): robustness of GPH when the workload
+// used to compute the partitioning has a different skew distribution
+// than the real queries (γ_D vs γ_q). The paper's shape: the matched
+// and mismatched curves nearly coincide (≤11% gap at the largest τ).
+func (r *Runner) Fig8ef() error {
+	n := r.cfg.size(20000)
+	taus := []int{3, 6, 9, 12}
+	for _, setup := range []struct {
+		dataGamma, queryGamma float64
+	}{
+		{0.5, 0.1},
+		{0.1, 0.5},
+	} {
+		ds := dataset.Synthetic(n, 128, setup.dataGamma, r.cfg.Seed)
+		queryPool := dataset.Synthetic(n/4, 128, setup.queryGamma, r.cfg.Seed+7)
+		qs := dataset.PerturbQueries(queryPool, r.cfg.Queries, 4, r.cfg.Seed+1)
+
+		build := func(workloadGamma float64) (*core.Index, error) {
+			pool := dataset.Synthetic(2000, 128, workloadGamma, r.cfg.Seed+13)
+			wl := partition.SurrogateWorkload(pool.Vectors, 40, taus, r.cfg.Seed)
+			return core.Build(ds.Vectors, core.Options{
+				NumPartitions: 6, MaxTau: 12, Seed: r.cfg.Seed, Workload: &wl,
+			})
+		}
+		matched, err := build(setup.queryGamma)
+		if err != nil {
+			return err
+		}
+		mismatched, err := build(setup.dataGamma)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(r.cfg.Out, "[gamma_D=%.1f, gamma_q=%.1f]\n", setup.dataGamma, setup.queryGamma)
+		t := newTable(r.cfg.Out, "tau",
+			fmt.Sprintf("GPH-%.1f(ms, workload=queries)", setup.queryGamma),
+			fmt.Sprintf("GPH-%.1f(ms, workload=data)", setup.dataGamma))
+		for _, tau := range taus {
+			avgM, _, err := measure(gphSearcher{matched}, qs, tau)
+			if err != nil {
+				return err
+			}
+			avgX, _, err := measure(gphSearcher{mismatched}, qs, tau)
+			if err != nil {
+				return err
+			}
+			t.row(tau, ms(avgM.Nanoseconds()), ms(avgX.Nanoseconds()))
+		}
+		t.flush()
+	}
+	return nil
+}

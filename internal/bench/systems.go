@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+	"gph/internal/hmsearch"
+	"gph/internal/lsh"
+	"gph/internal/mih"
+	"gph/internal/partalloc"
+	"gph/internal/partition"
+)
+
+// searcher is the uniform view of every algorithm the comparison
+// experiments measure.
+type searcher interface {
+	// Query answers one query, reporting candidate accounting.
+	Query(q bitvec.Vector, tau int) (queryStats, error)
+	// SizeBytes reports index memory under the shared accounting.
+	SizeBytes() int64
+}
+
+type queryStats struct {
+	candidates  int
+	sumPostings int64
+	results     int
+}
+
+// system builds a searcher for a dataset; perTau systems must be
+// rebuilt when tau changes (HmSearch, PartAlloc, LSH — exactly the
+// systems whose index size varies with τ in Fig. 6).
+type system struct {
+	name   string
+	perTau bool
+	build  func(data []bitvec.Vector, tau int, seed int64) (searcher, error)
+}
+
+// gphSystem builds GPH with the harness defaults: greedy init +
+// refinement, exact estimator, paper-recommended m.
+func gphSystem(m, maxTau int) system {
+	return system{name: "GPH", build: func(data []bitvec.Vector, _ int, seed int64) (searcher, error) {
+		ix, err := core.Build(data, core.Options{NumPartitions: m, MaxTau: maxTau, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return gphSearcher{ix}, nil
+	}}
+}
+
+// mihSystem builds MIH with the OS arrangement, the strongest
+// configuration the paper grants the competitors.
+func mihSystem(m int) system {
+	return system{name: "MIH", build: func(data []bitvec.Vector, _ int, seed int64) (searcher, error) {
+		sample := partition.SampleRows(data, 500, seed)
+		arr := partition.OS(sample, data[0].Dims(), m)
+		ix, err := mih.Build(data, mih.Options{NumPartitions: m, Arrangement: arr})
+		if err != nil {
+			return nil, err
+		}
+		return mihSearcher{ix}, nil
+	}}
+}
+
+func hmSystem() system {
+	return system{name: "HmSearch", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (searcher, error) {
+		dims := data[0].Dims()
+		m := hmsearch.NumPartitions(dims, tau)
+		sample := partition.SampleRows(data, 500, seed)
+		arr := partition.OS(sample, dims, m)
+		ix, err := hmsearch.Build(data, tau, hmsearch.Options{Arrangement: arr})
+		if err != nil {
+			return nil, err
+		}
+		return hmSearcher{ix}, nil
+	}}
+}
+
+func paSystem() system {
+	return system{name: "PartAlloc", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (searcher, error) {
+		dims := data[0].Dims()
+		m := partalloc.NumPartitions(dims, tau)
+		sample := partition.SampleRows(data, 500, seed)
+		arr := partition.OS(sample, dims, m)
+		ix, err := partalloc.Build(data, tau, partalloc.Options{Arrangement: arr})
+		if err != nil {
+			return nil, err
+		}
+		return paSearcher{ix}, nil
+	}}
+}
+
+func lshSystem() system {
+	return system{name: "LSH", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (searcher, error) {
+		ix, err := lsh.Build(data, tau, lsh.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return lshSearcher{ix}, nil
+	}}
+}
+
+func allSystems(spec datasetSpec, maxTau int) []system {
+	return []system{
+		gphSystem(spec.m, maxTau),
+		mihSystem(spec.m),
+		hmSystem(),
+		paSystem(),
+		lshSystem(),
+	}
+}
+
+type gphSearcher struct{ ix *core.Index }
+
+func (s gphSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
+	_, st, err := s.ix.SearchStats(q, tau)
+	if err != nil {
+		return queryStats{}, err
+	}
+	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
+}
+func (s gphSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
+
+type mihSearcher struct{ ix *mih.Index }
+
+func (s mihSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
+	_, st, err := s.ix.SearchStats(q, tau)
+	if err != nil {
+		return queryStats{}, err
+	}
+	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
+}
+func (s mihSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
+
+type hmSearcher struct{ ix *hmsearch.Index }
+
+func (s hmSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
+	_, st, err := s.ix.SearchStats(q, tau)
+	if err != nil {
+		return queryStats{}, err
+	}
+	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
+}
+func (s hmSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
+
+type paSearcher struct{ ix *partalloc.Index }
+
+func (s paSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
+	_, st, err := s.ix.SearchStats(q, tau)
+	if err != nil {
+		return queryStats{}, err
+	}
+	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
+}
+func (s paSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
+
+type lshSearcher struct{ ix *lsh.Index }
+
+func (s lshSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
+	_, st, err := s.ix.SearchStats(q, tau)
+	if err != nil {
+		return queryStats{}, err
+	}
+	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
+}
+func (s lshSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
+
+// measure runs all queries against a searcher, returning the average
+// per-query wall time and summed accounting.
+func measure(s searcher, queries []bitvec.Vector, tau int) (avgTime time.Duration, agg queryStats, err error) {
+	start := time.Now()
+	for _, q := range queries {
+		st, qerr := s.Query(q, tau)
+		if qerr != nil {
+			return 0, queryStats{}, qerr
+		}
+		agg.candidates += st.candidates
+		agg.sumPostings += st.sumPostings
+		agg.results += st.results
+	}
+	if len(queries) == 0 {
+		return 0, agg, fmt.Errorf("bench: no queries")
+	}
+	return time.Since(start) / time.Duration(len(queries)), agg, nil
+}

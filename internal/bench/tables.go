@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// table accumulates rows and renders them aligned; every experiment
+// prints through it so outputs are uniform and grep-able.
+type table struct {
+	w    *tabwriter.Writer
+	out  io.Writer
+	cols int
+}
+
+func newTable(out io.Writer, headers ...string) *table {
+	t := &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0), out: out, cols: len(headers)}
+	for i, h := range headers {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprint(t.w, h)
+	}
+	fmt.Fprintln(t.w)
+	return t
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.3g", v)
+		default:
+			fmt.Fprintf(t.w, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+// ms renders nanoseconds as fractional milliseconds.
+func ms(nanos int64) string { return fmt.Sprintf("%.3f", float64(nanos)/1e6) }
+
+// mb renders bytes as fractional megabytes.
+func mb(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/(1<<20)) }

@@ -1,0 +1,236 @@
+// Package binio implements the little-endian binary codec shared by
+// the repository's persistence formats (datasets and indexes). Writers
+// and readers are error-sticky: after the first failure every
+// subsequent call is a no-op and Err returns the original error, so
+// encode/decode sequences read linearly without per-call checks.
+package binio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxSliceLen bounds decoded slice lengths; a corrupt length field
+// must fail cleanly instead of attempting a multi-gigabyte allocation.
+const MaxSliceLen = 1 << 31
+
+// Writer serializes fixed-width little-endian values.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Err returns the first error encountered.
+func (w *Writer) Err() error { return w.err }
+
+// Flush flushes buffered output and returns the first error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.w.Flush()
+	return w.err
+}
+
+// Magic writes a fixed-length format tag.
+func (w *Writer) Magic(tag string) { w.Bytes([]byte(tag)) }
+
+// Bytes writes raw bytes without a length prefix.
+func (w *Writer) Bytes(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+// Uint64 writes a fixed 8-byte value.
+func (w *Writer) Uint64(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, w.err = w.w.Write(buf[:])
+}
+
+// Int writes an int as 8 bytes.
+func (w *Writer) Int(v int) { w.Uint64(uint64(int64(v))) }
+
+// Int64 writes an int64 as 8 bytes.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Uint32 writes a fixed 4-byte value.
+func (w *Writer) Uint32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, w.err = w.w.Write(buf[:])
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Int(len(s))
+	w.Bytes([]byte(s))
+}
+
+// Uint64s writes a length-prefixed []uint64.
+func (w *Writer) Uint64s(vs []uint64) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Uint64(v)
+	}
+}
+
+// Int32s writes a length-prefixed []int32.
+func (w *Writer) Int32s(vs []int32) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Uint32(uint32(v))
+	}
+}
+
+// Ints writes a length-prefixed []int.
+func (w *Writer) Ints(vs []int) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Int(v)
+	}
+}
+
+// Reader deserializes values written by Writer.
+type Reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+
+// Err returns the first error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Magic consumes and verifies a format tag.
+func (r *Reader) Magic(tag string) {
+	if r.err != nil {
+		return
+	}
+	buf := make([]byte, len(tag))
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.fail(fmt.Errorf("binio: reading magic: %w", err))
+		return
+	}
+	if string(buf) != tag {
+		r.fail(fmt.Errorf("binio: bad magic %q, want %q", buf, tag))
+	}
+}
+
+// Uint64 reads a fixed 8-byte value.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		r.fail(fmt.Errorf("binio: reading uint64: %w", err))
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(int64(r.Uint64())) }
+
+// Int64 reads an int64.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Uint32 reads a fixed 4-byte value.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		r.fail(fmt.Errorf("binio: reading uint32: %w", err))
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// sliceLen reads and validates a length prefix.
+func (r *Reader) sliceLen(what string) int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > MaxSliceLen {
+		r.fail(fmt.Errorf("binio: invalid %s length %d", what, n))
+		return 0
+	}
+	return n
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.sliceLen("string")
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.fail(fmt.Errorf("binio: reading string body: %w", err))
+		return ""
+	}
+	return string(buf)
+}
+
+// Uint64s reads a length-prefixed []uint64.
+func (r *Reader) Uint64s() []uint64 {
+	n := r.sliceLen("uint64 slice")
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// Int32s reads a length-prefixed []int32.
+func (r *Reader) Int32s() []int32 {
+	n := r.sliceLen("int32 slice")
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.Uint32())
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int.
+func (r *Reader) Ints() []int {
+	n := r.sliceLen("int slice")
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 881} {
+		v := New(n)
+		if v.Dims() != n {
+			t.Fatalf("Dims() = %d, want %d", v.Dims(), n)
+		}
+		if v.PopCount() != 0 {
+			t.Fatalf("n=%d: fresh vector has popcount %d", n, v.PopCount())
+		}
+		for i := 0; i < n; i++ {
+			if v.Bit(i) != 0 {
+				t.Fatalf("n=%d: bit %d set in fresh vector", n, i)
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetClearFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		v.Set(i)
+		if v.Bit(i) != 1 {
+			t.Fatalf("Set(%d) did not set", i)
+		}
+		v.Flip(i)
+		if v.Bit(i) != 0 {
+			t.Fatalf("Flip(%d) did not clear", i)
+		}
+		v.Flip(i)
+		if v.Bit(i) != 1 {
+			t.Fatalf("second Flip(%d) did not set", i)
+		}
+		v.Clear(i)
+		if v.Bit(i) != 0 {
+			t.Fatalf("Clear(%d) did not clear", i)
+		}
+		v.SetBit(i, 1)
+		if v.Bit(i) != 1 {
+			t.Fatalf("SetBit(%d,1) did not set", i)
+		}
+		v.SetBit(i, 0)
+		if v.Bit(i) != 0 {
+			t.Fatalf("SetBit(%d,0) did not clear", i)
+		}
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Bit(%d) did not panic", i)
+				}
+			}()
+			v.Bit(i)
+		}()
+	}
+}
+
+func TestFromStringRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "0101101", "000000001", "11111111111111111111111111111111111111111111111111111111111111111"}
+	for _, s := range cases {
+		v, err := FromString(s)
+		if err != nil {
+			t.Fatalf("FromString(%q): %v", s, err)
+		}
+		if got := v.String(); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, err := FromString("01012"); err == nil {
+		t.Fatal("FromString accepted invalid rune")
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	v := FromBits([]byte{0, 1, 0, 2, 0})
+	if v.String() != "01010" {
+		t.Fatalf("FromBits = %s", v.String())
+	}
+}
+
+func TestFromWordsMasksTail(t *testing.T) {
+	v := FromWords(4, []uint64{0xFFFF})
+	if v.PopCount() != 4 {
+		t.Fatalf("tail not masked: popcount %d", v.PopCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords with wrong word count did not panic")
+		}
+	}()
+	FromWords(65, []uint64{0})
+}
+
+func TestHammingKnown(t *testing.T) {
+	a := MustFromString("10110011")
+	b := MustFromString("10011010")
+	if d := a.Hamming(b); d != 3 {
+		t.Fatalf("Hamming = %d, want 3", d)
+	}
+	if !a.HammingWithin(b, 3) || a.HammingWithin(b, 2) {
+		t.Fatal("HammingWithin boundary wrong")
+	}
+	if a.HammingWithin(b, -1) {
+		t.Fatal("HammingWithin(-1) must be false")
+	}
+}
+
+func TestHammingDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Hamming across dims did not panic")
+		}
+	}()
+	New(8).Hamming(New(9))
+}
+
+func randVec(rng *rand.Rand, n int) Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// TestHammingMetricAxioms property-checks identity, symmetry and the
+// triangle inequality.
+func TestHammingMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b, c := randVec(r, n), randVec(r, n), randVec(r, n)
+		if a.Hamming(a) != 0 {
+			return false
+		}
+		if a.Hamming(b) != b.Hamming(a) {
+			return false
+		}
+		return a.Hamming(c) <= a.Hamming(b)+b.Hamming(c)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHammingEqualsXorPopcount cross-checks the distance kernel against
+// the definition.
+func TestHammingEqualsXorPopcount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := randVec(r, n), randVec(r, n)
+		naive := 0
+		for i := 0; i < n; i++ {
+			if a.Bit(i) != b.Bit(i) {
+				naive++
+			}
+		}
+		return a.Hamming(b) == naive && a.Xor(b).PopCount() == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProjectionDistanceSum verifies the identity the pigeonhole
+// principle rests on: distances over disjoint covering partitions sum
+// to the full distance.
+func TestProjectionDistanceSum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(150)
+		a, b := randVec(r, n), randVec(r, n)
+		perm := r.Perm(n)
+		m := 1 + r.Intn(5)
+		total := 0
+		for i := 0; i < m; i++ {
+			lo, hi := i*n/m, (i+1)*n/m
+			dims := perm[lo:hi]
+			total += a.Project(dims).Hamming(b.Project(dims))
+		}
+		return total == a.Hamming(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectInto(t *testing.T) {
+	v := MustFromString("10110")
+	dims := []int{4, 0, 2}
+	dst := New(3)
+	v.ProjectInto(dims, dst)
+	if !dst.Equal(v.Project(dims)) {
+		t.Fatalf("ProjectInto %s != Project %s", dst, v.Project(dims))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ProjectInto with wrong dst dims did not panic")
+		}
+	}()
+	v.ProjectInto(dims, New(4))
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randVec(r, n), randVec(r, n)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		v := randVec(rng, 1+rng.Intn(300))
+		if string(v.AppendKey(nil)) != v.Key() {
+			t.Fatal("AppendKey != Key")
+		}
+	}
+}
+
+func TestOnesIndices(t *testing.T) {
+	v := MustFromString("0100100000000000000000000000000000000000000000000000000000000000011")
+	got := v.OnesIndices()
+	want := []int{1, 4, 65, 66}
+	if len(got) != len(want) {
+		t.Fatalf("OnesIndices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnesIndices = %v, want %v", got, want)
+		}
+	}
+	if v.PopCount() != len(want) {
+		t.Fatalf("PopCount = %d", v.PopCount())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustFromString("1010")
+	b := a.Clone()
+	b.Flip(0)
+	if a.Bit(0) != 1 || b.Bit(0) != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestEqualDifferentDims(t *testing.T) {
+	if New(8).Equal(New(9)) {
+		t.Fatal("vectors of different dims compared equal")
+	}
+}

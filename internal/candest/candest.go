@@ -1,0 +1,137 @@
+// Package candest estimates per-partition candidate numbers
+// CN(qᵢ, τᵢ) — the quantity the paper's threshold-allocation DP
+// consumes (§IV-C). Three estimators are provided, mirroring the
+// paper: Exact (a distance histogram over the partition's distinct
+// projections), SubPartition (independence composition over
+// sub-partitions), and Learned (regression over the query bits, with
+// selectable model for the Table III comparison).
+package candest
+
+import (
+	"fmt"
+
+	"gph/internal/bitvec"
+)
+
+// Estimator estimates candidate numbers for one partition of the
+// dimension space. Implementations are immutable after construction
+// and safe for concurrent use.
+type Estimator interface {
+	// CNAll returns estimates of CN(q, e) for e ∈ [−1, maxTau] as a
+	// slice indexed by e+1 (so [0] is always 0). q is the full query
+	// vector; the estimator projects it onto its own dimensions.
+	CNAll(q bitvec.Vector, maxTau int) []int64
+	// Dims returns the partition's dimension list (shared, read-only).
+	Dims() []int
+	// SizeBytes reports the estimator's resident size for index-size
+	// accounting (learned models make GPH's index larger than MIH's,
+	// as the paper notes for Fig. 6).
+	SizeBytes() int64
+}
+
+// Exact computes CN exactly from the multiset of distinct projections
+// of the data onto the partition. One pass over the distinct values
+// yields CN(q, e) for every e simultaneously — exactly the shape the
+// allocation DP needs. Skewed partitions have few distinct values, so
+// the exact method is cheapest precisely where the paper's method
+// pays off.
+type Exact struct {
+	dims     []int
+	distinct []bitvec.Vector
+	counts   []int32
+	total    int64
+}
+
+// NewExact builds the estimator from the data collection.
+func NewExact(data []bitvec.Vector, dims []int) *Exact {
+	byKey := make(map[string]int32, len(data)/4+1)
+	scratch := bitvec.New(len(dims))
+	for _, v := range data {
+		v.ProjectInto(dims, scratch)
+		byKey[scratch.Key()]++
+	}
+	e := &Exact{
+		dims:     dims,
+		distinct: make([]bitvec.Vector, 0, len(byKey)),
+		counts:   make([]int32, 0, len(byKey)),
+		total:    int64(len(data)),
+	}
+	for k, c := range byKey {
+		e.distinct = append(e.distinct, vectorFromKey(k, len(dims)))
+		e.counts = append(e.counts, c)
+	}
+	return e
+}
+
+func vectorFromKey(key string, n int) bitvec.Vector {
+	words := make([]uint64, (n+63)/64)
+	if len(key) != 8*len(words) {
+		panic(fmt.Sprintf("candest: key length %d for %d dims", len(key), n))
+	}
+	for i := range words {
+		var w uint64
+		for b := 7; b >= 0; b-- {
+			w = w<<8 | uint64(key[8*i+b])
+		}
+		words[i] = w
+	}
+	return bitvec.FromWords(n, words)
+}
+
+// Dims implements Estimator.
+func (e *Exact) Dims() []int { return e.dims }
+
+// DistinctCount returns the number of distinct projections; the
+// partitioning refinement uses it to reason about selectivity.
+func (e *Exact) DistinctCount() int { return len(e.distinct) }
+
+// Total returns the number of data vectors the estimator was built on.
+func (e *Exact) Total() int64 { return e.total }
+
+// CNAll implements Estimator. The returned slice is freshly allocated.
+func (e *Exact) CNAll(q bitvec.Vector, maxTau int) []int64 {
+	out := make([]int64, maxTau+2)
+	e.CNAllInto(q, out)
+	return out
+}
+
+// CNAllInto is the allocation-free variant: out must have length
+// maxTau+2 and is overwritten.
+func (e *Exact) CNAllInto(q bitvec.Vector, out []int64) {
+	w := len(e.dims)
+	proj := bitvec.New(w)
+	q.ProjectInto(e.dims, proj)
+	hist := make([]int64, w+1)
+	for i, dv := range e.distinct {
+		hist[proj.Hamming(dv)] += int64(e.counts[i])
+	}
+	out[0] = 0 // e = −1: negative thresholds generate no candidates
+	var cum int64
+	for ei := 1; ei < len(out); ei++ {
+		d := ei - 1
+		if d <= w {
+			cum += hist[d]
+		}
+		out[ei] = cum
+	}
+}
+
+// Histogram returns the exact distance histogram of the data
+// projections relative to q (index = distance). Sub-partitioning and
+// tests build on it.
+func (e *Exact) Histogram(q bitvec.Vector) []int64 {
+	w := len(e.dims)
+	proj := bitvec.New(w)
+	q.ProjectInto(e.dims, proj)
+	hist := make([]int64, w+1)
+	for i, dv := range e.distinct {
+		hist[proj.Hamming(dv)] += int64(e.counts[i])
+	}
+	return hist
+}
+
+// SizeBytes implements Estimator.
+func (e *Exact) SizeBytes() int64 {
+	words := int64((len(e.dims) + 63) / 64)
+	return int64(len(e.distinct))*(words*8+4) + int64(len(e.dims))*8
+}

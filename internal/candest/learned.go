@@ -1,0 +1,216 @@
+package candest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gph/internal/bitvec"
+	"gph/internal/ml"
+)
+
+// ModelKind selects the regression model behind a Learned estimator;
+// the choices mirror Table III of the paper.
+type ModelKind int
+
+const (
+	// ModelKRR is kernel ridge regression with an RBF kernel — the
+	// reproduction's stand-in for the paper's RBF SVM (see DESIGN.md).
+	ModelKRR ModelKind = iota
+	// ModelForest is a CART random forest ("RF" in Table III).
+	ModelForest
+	// ModelMLP is a 3-layer perceptron ("DNN" in Table III).
+	ModelMLP
+)
+
+// String names the model kind as the paper's tables do.
+func (k ModelKind) String() string {
+	switch k {
+	case ModelKRR:
+		return "SVM"
+	case ModelForest:
+		return "RF"
+	case ModelMLP:
+		return "DNN"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// LearnedConfig controls training of a Learned estimator.
+type LearnedConfig struct {
+	Model     ModelKind
+	TrainN    int   // training queries (default 40; rows = TrainN × len(τ grid))
+	TauStride int   // grid stride beyond e=8 (default 4; all of 0..8 always sampled)
+	Seed      int64 // rng seed for query sampling and model init
+}
+
+// Learned predicts ln CN(q, e) with a regression model whose features
+// are the partition's query bits plus the normalized threshold. The
+// paper trains one model per (partition, τᵢ); this reproduction folds
+// τᵢ into the feature vector so one model per partition covers every
+// threshold, which keeps offline training proportional to m rather
+// than m·τ (documented adaptation, DESIGN.md §3).
+type Learned struct {
+	dims   []int
+	model  ml.Regressor
+	maxTau int
+	total  int64
+}
+
+// NewLearned trains the estimator. The training set mixes projections
+// of data vectors with uniformly random projections (the paper
+// "randomly generates feature vectors"), labels them with the Exact
+// estimator, and regresses ln(CN + 1).
+func NewLearned(data []bitvec.Vector, dims []int, maxTau int, cfg LearnedConfig) (*Learned, error) {
+	if cfg.TrainN <= 0 {
+		cfg.TrainN = 40
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x1ea4))
+	exact := NewExact(data, dims)
+	w := len(dims)
+
+	// Training grid over e: dense where CN changes fastest (small
+	// thresholds), sparse in the saturated tail. Queries at small e are
+	// exactly what the allocation DP asks about most often.
+	grid := tauGrid(maxTau, cfg.TauStride)
+
+	var feats [][]float64
+	var targets []float64
+	out := make([]int64, maxTau+2)
+	for i := 0; i < cfg.TrainN; i++ {
+		var q bitvec.Vector
+		if i%2 == 0 && len(data) > 0 {
+			q = data[rng.Intn(len(data))]
+		} else {
+			q = bitvec.New(maxDim(dims) + 1)
+			for _, d := range dims {
+				if rng.Intn(2) == 1 {
+					q.Set(d)
+				}
+			}
+		}
+		exact.CNAllInto(q, out)
+		proj := q.Project(dims)
+		for _, e := range grid {
+			x := make([]float64, w+1)
+			for j := 0; j < w; j++ {
+				x[j] = float64(proj.Bit(j))
+			}
+			x[w] = tauFeatureScale * float64(e) / float64(maxTau+1)
+			feats = append(feats, x)
+			targets = append(targets, math.Log(float64(out[e+1])+1))
+		}
+	}
+
+	var (
+		model ml.Regressor
+		err   error
+	)
+	switch cfg.Model {
+	case ModelKRR:
+		model, err = ml.NewKernelRidge(feats, targets, 0, 1e-2)
+	case ModelForest:
+		model, err = ml.NewForest(feats, targets, ml.ForestConfig{Seed: cfg.Seed})
+	case ModelMLP:
+		model, err = ml.NewMLP(feats, targets, ml.MLPConfig{Seed: cfg.Seed})
+	default:
+		return nil, fmt.Errorf("candest: unknown model kind %v", cfg.Model)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("candest: training %v estimator: %w", cfg.Model, err)
+	}
+	return &Learned{dims: dims, model: model, maxTau: maxTau, total: int64(len(data))}, nil
+}
+
+// tauFeatureScale amplifies the normalized threshold feature so its
+// influence in distance-based models (RBF kernel, tree splits) is
+// comparable to the Hamming variation across the binary bit features;
+// without it the kernel effectively ignores τ and the model collapses
+// to one CN level per query.
+const tauFeatureScale = 8.0
+
+// tauGrid returns the thresholds sampled during training: every value
+// through 8, then strided (default 4) up to maxTau.
+func tauGrid(maxTau, stride int) []int {
+	if stride <= 0 {
+		stride = 4
+	}
+	var grid []int
+	for e := 0; e <= maxTau && e <= 8; e++ {
+		grid = append(grid, e)
+	}
+	for e := 8 + stride; e <= maxTau; e += stride {
+		grid = append(grid, e)
+	}
+	if len(grid) == 0 || grid[len(grid)-1] != maxTau {
+		grid = append(grid, maxTau)
+	}
+	return grid
+}
+
+func maxDim(dims []int) int {
+	m := 0
+	for _, d := range dims {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Dims implements Estimator.
+func (l *Learned) Dims() []int { return l.dims }
+
+// CNAll implements Estimator. Predictions are clamped to [0, N] and
+// made monotone in e, restoring the invariants the DP relies on.
+func (l *Learned) CNAll(q bitvec.Vector, maxTau int) []int64 {
+	w := len(l.dims)
+	proj := q.Project(l.dims)
+	x := make([]float64, w+1)
+	for j := 0; j < w; j++ {
+		x[j] = float64(proj.Bit(j))
+	}
+	out := make([]int64, maxTau+2)
+	for e := 0; e <= maxTau; e++ {
+		x[w] = tauFeatureScale * float64(e) / float64(l.maxTau+1)
+		v := int64(math.Exp(l.model.Predict(x)) - 1 + 0.5)
+		if v < 0 {
+			v = 0
+		}
+		if v > l.total {
+			v = l.total
+		}
+		out[e+1] = v
+		if out[e+1] < out[e] {
+			out[e+1] = out[e]
+		}
+	}
+	return out
+}
+
+// Predict exposes a single-point estimate (used by the Table III
+// error measurements).
+func (l *Learned) Predict(q bitvec.Vector, e int) int64 {
+	if e < 0 {
+		return 0
+	}
+	w := len(l.dims)
+	proj := q.Project(l.dims)
+	x := make([]float64, w+1)
+	for j := 0; j < w; j++ {
+		x[j] = float64(proj.Bit(j))
+	}
+	x[w] = tauFeatureScale * float64(e) / float64(l.maxTau+1)
+	v := int64(math.Exp(l.model.Predict(x)) - 1 + 0.5)
+	if v < 0 {
+		v = 0
+	}
+	if v > l.total {
+		v = l.total
+	}
+	return v
+}
+
+// SizeBytes implements Estimator.
+func (l *Learned) SizeBytes() int64 { return l.model.SizeBytes() + int64(len(l.dims))*8 }

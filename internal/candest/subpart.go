@@ -1,0 +1,128 @@
+package candest
+
+import (
+	"fmt"
+
+	"gph/internal/bitvec"
+)
+
+// SubPartition approximates CN(qᵢ, τᵢ) by splitting the partition into
+// equi-width sub-partitions, computing exact per-sub-partition
+// distance histograms, and composing them under an independence
+// assumption (paper §IV-C):
+//
+//	ĈN(qᵢ, τᵢ) = Σ_{g ∈ G(mᵢ,τᵢ)} Π_j (CN(q_{ij}, g[j]) − CN(q_{ij}, g[j]−1))
+//
+// where G bounds the sub-threshold sums by τᵢ − mᵢ + 1 (the general
+// pigeonhole principle applied within the partition). Products of raw
+// counts are normalized by N^(mᵢ−1) so the estimate stays on the count
+// scale; the composition is evaluated as a truncated convolution of
+// the per-sub-partition histograms, which is algebraically identical
+// to the sum over G but linear-time.
+type SubPartition struct {
+	dims  []int
+	subs  []*Exact
+	total int64
+}
+
+// NewSubPartition builds the estimator with numSubs sub-partitions
+// (the paper uses 2). Widths differ by at most one.
+func NewSubPartition(data []bitvec.Vector, dims []int, numSubs int) *SubPartition {
+	if numSubs < 1 {
+		panic(fmt.Sprintf("candest: numSubs=%d", numSubs))
+	}
+	if numSubs > len(dims) && len(dims) > 0 {
+		numSubs = len(dims)
+	}
+	sp := &SubPartition{dims: dims, total: int64(len(data))}
+	if len(dims) == 0 {
+		sp.subs = []*Exact{NewExact(data, dims)}
+		return sp
+	}
+	base, extra := len(dims)/numSubs, len(dims)%numSubs
+	pos := 0
+	for i := 0; i < numSubs; i++ {
+		w := base
+		if i < extra {
+			w++
+		}
+		sub := dims[pos : pos+w]
+		pos += w
+		sp.subs = append(sp.subs, NewExact(data, sub))
+	}
+	return sp
+}
+
+// Dims implements Estimator.
+func (sp *SubPartition) Dims() []int { return sp.dims }
+
+// CNAll implements Estimator.
+func (sp *SubPartition) CNAll(q bitvec.Vector, maxTau int) []int64 {
+	mi := len(sp.subs)
+	// Convolve the per-sub-partition *fraction* histograms, truncated
+	// at maxTau (larger sums can never contribute to any CN(·, e≤maxTau)
+	// with the −mᵢ+1 correction).
+	limit := maxTau + 1
+	conv := make([]float64, limit+1)
+	conv[0] = 1
+	convLen := 1
+	n := float64(sp.total)
+	for _, sub := range sp.subs {
+		hist := sub.Histogram(q)
+		next := make([]float64, limit+1)
+		for s := 0; s < convLen; s++ {
+			if conv[s] == 0 {
+				continue
+			}
+			for d, c := range hist {
+				if s+d > limit {
+					break
+				}
+				var f float64
+				if n > 0 {
+					f = float64(c) / n
+				}
+				next[s+d] += conv[s] * f
+			}
+		}
+		conv = next
+		convLen = limit + 1
+	}
+	// CN(q, e) ≈ N · Σ_{s ≤ e − mᵢ + 1} conv[s].
+	out := make([]int64, maxTau+2)
+	cum := make([]float64, limit+2)
+	for s := 0; s <= limit; s++ {
+		cum[s+1] = cum[s] + conv[s]
+	}
+	for e := 0; e <= maxTau; e++ {
+		budget := e - mi + 1
+		if budget < 0 {
+			out[e+1] = 0
+			continue
+		}
+		if budget > limit {
+			budget = limit
+		}
+		v := int64(n*cum[budget+1] + 0.5)
+		if v > sp.total {
+			v = sp.total
+		}
+		out[e+1] = v
+	}
+	// Enforce monotonicity defensively against rounding.
+	for e := 1; e < len(out); e++ {
+		if out[e] < out[e-1] {
+			out[e] = out[e-1]
+		}
+	}
+	return out
+}
+
+// SizeBytes implements Estimator.
+func (sp *SubPartition) SizeBytes() int64 {
+	var s int64
+	for _, sub := range sp.subs {
+		s += sub.SizeBytes()
+	}
+	return s
+}

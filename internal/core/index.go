@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gph/internal/alloc"
+	"gph/internal/bitvec"
+	"gph/internal/candest"
+	"gph/internal/invindex"
+	"gph/internal/partition"
+)
+
+// Index is an immutable GPH index over a vector collection. Build it
+// once with Build; concurrent searches are safe afterwards.
+type Index struct {
+	dims  int
+	data  []bitvec.Vector
+	parts *partition.Partitioning
+	inv   []*invindex.Index
+	ests  []candest.Estimator
+	opts  Options
+	stats BuildStats
+}
+
+// BuildStats records where index construction time went; Table IV
+// reports partitioning and indexing separately ("5026 + 560").
+type BuildStats struct {
+	PartitionNanos int64 // initialization + Algorithm 2 refinement
+	IndexNanos     int64 // posting-list construction
+	EstimatorNanos int64 // CN estimator construction / training
+}
+
+// Build constructs a GPH index over data (which must be non-empty and
+// dimensionally uniform). The data slice is retained for verification;
+// callers must not mutate the vectors afterwards.
+func Build(data []bitvec.Vector, opts Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty data collection")
+	}
+	dims := data[0].Dims()
+	if dims == 0 {
+		return nil, fmt.Errorf("core: zero-dimensional vectors")
+	}
+	for i, v := range data {
+		if v.Dims() != dims {
+			return nil, fmt.Errorf("core: vector %d has %d dims, want %d", i, v.Dims(), dims)
+		}
+	}
+	opts = opts.withDefaults(dims)
+
+	ix := &Index{dims: dims, data: data, opts: opts}
+
+	// Offline phase 1: dimension partitioning (§V).
+	start := time.Now()
+	sample := partition.SampleRows(data, opts.SampleSize, opts.Seed)
+	var wl partition.Workload
+	if opts.Workload != nil {
+		wl = *opts.Workload
+		if err := wl.Validate(); err != nil {
+			return nil, fmt.Errorf("core: invalid workload: %w", err)
+		}
+	} else {
+		wl = partition.SurrogateWorkload(data, opts.WorkloadSize, defaultTauRange(opts.MaxTau), opts.Seed)
+	}
+	parts, err := buildPartitioning(sample, dims, len(data), opts, wl)
+	if err != nil {
+		return nil, err
+	}
+	ix.parts = parts
+	ix.stats.PartitionNanos = time.Since(start).Nanoseconds()
+
+	// Offline phase 2: per-partition inverted indexes.
+	start = time.Now()
+	ix.inv = make([]*invindex.Index, parts.NumParts())
+	for i, dimsI := range parts.Parts {
+		inv := invindex.New()
+		scratch := bitvec.New(len(dimsI))
+		var keyBuf []byte
+		for id, v := range data {
+			v.ProjectInto(dimsI, scratch)
+			keyBuf = scratch.AppendKey(keyBuf[:0])
+			inv.Add(string(keyBuf), int32(id))
+		}
+		ix.inv[i] = inv
+	}
+	ix.stats.IndexNanos = time.Since(start).Nanoseconds()
+
+	// Offline phase 3: candidate-number estimators.
+	start = time.Now()
+	ix.ests = make([]candest.Estimator, parts.NumParts())
+	for i, dimsI := range parts.Parts {
+		est, err := buildEstimator(data, dimsI, opts, int64(i))
+		if err != nil {
+			return nil, err
+		}
+		ix.ests[i] = est
+	}
+	ix.stats.EstimatorNanos = time.Since(start).Nanoseconds()
+	return ix, nil
+}
+
+func defaultTauRange(maxTau int) []int {
+	var taus []int
+	for t := 4; t <= maxTau; t *= 2 {
+		taus = append(taus, t)
+	}
+	if len(taus) == 0 {
+		taus = []int{maxTau}
+	}
+	return taus
+}
+
+func buildPartitioning(sample []bitvec.Vector, dims, totalRows int, opts Options, wl partition.Workload) (*partition.Partitioning, error) {
+	m := opts.NumPartitions
+	var p *partition.Partitioning
+	switch opts.Init {
+	case InitGreedy:
+		p = partition.GreedyInit(sample, dims, m)
+	case InitOriginal:
+		p = partition.OriginalInit(dims, m)
+	case InitRandom:
+		p = partition.RandomInit(dims, m, opts.Seed)
+	case InitOS:
+		p = partition.OS(sample, dims, m)
+	case InitDD:
+		p = partition.DD(sample, dims, m)
+	default:
+		return nil, fmt.Errorf("core: unknown init kind %v", opts.Init)
+	}
+	if !opts.NoRefine {
+		cfg := opts.Refine
+		if cfg.EnumBudget == 0 {
+			cfg.EnumBudget = opts.EnumBudget
+		}
+		if cfg.Seed == 0 {
+			cfg.Seed = opts.Seed
+		}
+		if cfg.TotalRows == 0 {
+			cfg.TotalRows = totalRows
+		}
+		p, _ = partition.Refine(p, sample, wl, cfg)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: partitioning invalid: %w", err)
+	}
+	return p, nil
+}
+
+func buildEstimator(data []bitvec.Vector, dims []int, opts Options, salt int64) (candest.Estimator, error) {
+	switch opts.Estimator {
+	case EstimatorExact:
+		return candest.NewExact(data, dims), nil
+	case EstimatorSubPartition:
+		return candest.NewSubPartition(data, dims, opts.SubPartitions), nil
+	case EstimatorKRR, EstimatorForest, EstimatorMLP:
+		cfg := opts.Learned
+		cfg.Seed = opts.Seed ^ salt
+		switch opts.Estimator {
+		case EstimatorKRR:
+			cfg.Model = candest.ModelKRR
+		case EstimatorForest:
+			cfg.Model = candest.ModelForest
+		case EstimatorMLP:
+			cfg.Model = candest.ModelMLP
+		}
+		return candest.NewLearned(data, dims, opts.MaxTau, cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown estimator kind %v", opts.Estimator)
+	}
+}
+
+// Dims returns the dimensionality of indexed vectors.
+func (ix *Index) Dims() int { return ix.dims }
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// Vector returns the indexed vector with the given id. The returned
+// vector shares storage with the index and must not be modified.
+func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
+
+// Partitioning exposes the (refined) partitioning for inspection.
+func (ix *Index) Partitioning() *partition.Partitioning { return ix.parts }
+
+// BuildStats returns the construction time decomposition.
+func (ix *Index) BuildStats() BuildStats { return ix.stats }
+
+// Options returns the resolved build options.
+func (ix *Index) Options() Options { return ix.opts }
+
+// EstimateTable returns the per-partition candidate-number estimates
+// for q at thresholds e ∈ [−1, tau] — the exact input Algorithm 1
+// consumes. It exists for the allocation experiments (Fig. 3), which
+// compare allocation policies under the same cost model.
+func (ix *Index) EstimateTable(q bitvec.Vector, tau int) alloc.Table {
+	table := make(alloc.Table, len(ix.ests))
+	for i, est := range ix.ests {
+		table[i] = est.CNAll(q, tau)
+	}
+	return table
+}
+
+// SizeBytes reports the index's resident size: posting lists plus
+// estimator state. (Learned estimators make GPH's index larger than
+// MIH's, which Fig. 6 shows.)
+func (ix *Index) SizeBytes() int64 {
+	var s int64
+	for _, inv := range ix.inv {
+		s += inv.SizeBytes()
+	}
+	for _, est := range ix.ests {
+		s += est.SizeBytes()
+	}
+	return s
+}

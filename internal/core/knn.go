@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gph/internal/bitvec"
+)
+
+// Neighbor is one k-nearest-neighbours result.
+type Neighbor struct {
+	ID       int32
+	Distance int
+}
+
+// SearchKNN returns the k nearest neighbours of q by Hamming distance,
+// ties broken by ascending id. It answers by progressive range
+// expansion — the standard reduction from kNN to range search (and the
+// original use of multi-index hashing): run range queries at doubling
+// radii until at least k results exist, then trim. Every probe reuses
+// the cost-aware machinery, so expansion stays cheap on selective
+// data.
+func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]Neighbor, error) {
+	if q.Dims() != ix.dims {
+		return nil, fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.dims)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if k > len(ix.data) {
+		k = len(ix.data)
+	}
+	tau := 1
+	for {
+		ids, err := ix.Search(q, tau)
+		if err != nil {
+			return nil, err
+		}
+		if len(ids) >= k || tau >= ix.dims {
+			out := make([]Neighbor, len(ids))
+			for i, id := range ids {
+				out[i] = Neighbor{ID: id, Distance: q.Hamming(ix.data[id])}
+			}
+			sort.Slice(out, func(a, b int) bool {
+				if out[a].Distance != out[b].Distance {
+					return out[a].Distance < out[b].Distance
+				}
+				return out[a].ID < out[b].ID
+			})
+			if len(out) > k {
+				out = out[:k]
+			}
+			return out, nil
+		}
+		tau *= 2
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"gph/internal/binio"
+	"gph/internal/bitvec"
+	"gph/internal/candest"
+	"gph/internal/invindex"
+	"gph/internal/partition"
+)
+
+// indexMagic identifies the index container format; bump the digit on
+// incompatible changes.
+const indexMagic = "GPHIX01\n"
+
+// Save serializes the index: data vectors, partitioning, resolved
+// options, and every posting list (sorted keys, so output is
+// byte-reproducible). Exact and sub-partition estimators are rebuilt
+// on Load from the persisted data (cheap); learned estimators are
+// retrained, which Load documents.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(indexMagic)
+	bw.Int(ix.dims)
+	bw.Int(len(ix.data))
+	for _, v := range ix.data {
+		for _, word := range v.Words() {
+			bw.Uint64(word)
+		}
+	}
+	// Partitioning.
+	bw.Int(ix.parts.NumParts())
+	for _, part := range ix.parts.Parts {
+		bw.Ints(part)
+	}
+	// Options (the fields that affect query behaviour).
+	bw.Int(int(ix.opts.Estimator))
+	bw.Int(ix.opts.SubPartitions)
+	bw.Int(ix.opts.MaxTau)
+	bw.Int64(ix.opts.EnumBudget)
+	bw.Int64(ix.opts.Seed)
+	// Posting lists.
+	for _, inv := range ix.inv {
+		keys := inv.SortedKeys()
+		bw.Int(len(keys))
+		for _, k := range keys {
+			bw.String(k)
+			bw.Int32s(inv.Postings(k))
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save. Estimator state is
+// reconstructed: exact and sub-partition estimators are rebuilt from
+// the persisted vectors; learned estimators are retrained with the
+// persisted seed, reproducing the original model.
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(indexMagic)
+	dims := br.Int()
+	count := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if dims <= 0 || dims > 1<<20 {
+		return nil, fmt.Errorf("core: implausible dimension count %d", dims)
+	}
+	if count <= 0 || count > binio.MaxSliceLen {
+		return nil, fmt.Errorf("core: implausible vector count %d", count)
+	}
+	words := (dims + 63) / 64
+	data := make([]bitvec.Vector, count)
+	for i := range data {
+		ws := make([]uint64, words)
+		for j := range ws {
+			ws[j] = br.Uint64()
+		}
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("core: reading vector %d: %w", i, err)
+		}
+		data[i] = bitvec.FromWords(dims, ws)
+	}
+	numParts := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading partition count: %w", err)
+	}
+	if numParts <= 0 || numParts > dims {
+		return nil, fmt.Errorf("core: implausible partition count %d", numParts)
+	}
+	parts := &partition.Partitioning{Dims: dims, Parts: make([][]int, numParts)}
+	for i := range parts.Parts {
+		parts.Parts[i] = br.Ints()
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading partitioning: %w", err)
+	}
+	if err := parts.Validate(); err != nil {
+		return nil, fmt.Errorf("core: persisted partitioning corrupt: %w", err)
+	}
+	opts := Options{
+		NumPartitions: numParts,
+		Estimator:     EstimatorKind(br.Int()),
+		SubPartitions: br.Int(),
+		MaxTau:        br.Int(),
+		EnumBudget:    br.Int64(),
+		Seed:          br.Int64(),
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading options: %w", err)
+	}
+	opts = opts.withDefaults(dims)
+
+	ix := &Index{dims: dims, data: data, parts: parts, opts: opts}
+	ix.inv = make([]*invindex.Index, numParts)
+	for i := 0; i < numParts; i++ {
+		keyCount := br.Int()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("core: reading partition %d key count: %w", i, err)
+		}
+		if keyCount < 0 || keyCount > count {
+			return nil, fmt.Errorf("core: partition %d has implausible key count %d", i, keyCount)
+		}
+		inv := invindex.New()
+		wantKeyLen := 8 * ((len(parts.Parts[i]) + 63) / 64)
+		for k := 0; k < keyCount; k++ {
+			key := br.String()
+			ids := br.Int32s()
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("core: reading partition %d posting %d: %w", i, k, err)
+			}
+			if len(key) != wantKeyLen {
+				return nil, fmt.Errorf("core: partition %d key %d has %d bytes, want %d", i, k, len(key), wantKeyLen)
+			}
+			for _, id := range ids {
+				if id < 0 || int(id) >= count {
+					return nil, fmt.Errorf("core: partition %d posting references vector %d of %d", i, id, count)
+				}
+				inv.Add(key, id)
+			}
+		}
+		ix.inv[i] = inv
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading index: %w", err)
+	}
+	ix.ests = make([]candest.Estimator, numParts)
+	for i, dimsI := range parts.Parts {
+		est, err := buildEstimator(data, dimsI, opts, int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: rebuilding estimator %d: %w", i, err)
+		}
+		ix.ests[i] = est
+	}
+	return ix, nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"gph/internal/alloc"
+	"gph/internal/bitvec"
+	"gph/internal/hamming"
+)
+
+// Stats decomposes one query's work the way Fig. 2(a) reports it:
+// threshold allocation (including CN estimation), signature
+// enumeration, candidate generation (index probes), and verification.
+type Stats struct {
+	AllocNanos  int64
+	EnumNanos   int64
+	ProbeNanos  int64
+	VerifyNanos int64
+
+	Thresholds  []int // allocated threshold vector T
+	EstimatedCN int64 // allocation objective term Σ CN(qᵢ, T[i])
+	Scanned     bool  // query answered by verified scan (plan cost ≥ scan cost)
+	Signatures  int   // enumerated signatures across partitions
+	SumPostings int64 // Σ_{s∈S_sig} |I_s| (Fig. 2(b) "sum")
+	Candidates  int   // |S_cand| distinct candidates (Fig. 2(b) "cand")
+	Results     int
+}
+
+// TotalNanos returns the summed phase times.
+func (s *Stats) TotalNanos() int64 {
+	return s.AllocNanos + s.EnumNanos + s.ProbeNanos + s.VerifyNanos
+}
+
+// Search returns the ids of all indexed vectors within Hamming
+// distance tau of q, in ascending id order.
+func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	ids, _, err := ix.search(q, tau, false)
+	return ids, err
+}
+
+// SearchStats is Search with per-phase instrumentation.
+func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
+	return ix.search(q, tau, true)
+}
+
+func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
+	if q.Dims() != ix.dims {
+		return nil, nil, fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.dims)
+	}
+	if tau < 0 {
+		return nil, nil, fmt.Errorf("core: negative threshold %d", tau)
+	}
+	stats := &Stats{}
+	if tau >= ix.dims {
+		// The ball covers the whole space; every vector matches.
+		out := make([]int32, len(ix.data))
+		for i := range out {
+			out[i] = int32(i)
+		}
+		stats.Results = len(out)
+		stats.Candidates = len(out)
+		return out, stats, nil
+	}
+
+	// Phase 1: threshold allocation (Algorithm 1) over estimated CNs.
+	// The RR baseline skips estimation entirely — that is the point of
+	// the comparison in Fig. 3.
+	start := time.Now()
+	m := ix.parts.NumParts()
+	var res alloc.Result
+	if ix.opts.Allocator == AllocRR {
+		res = alloc.Result{Thresholds: alloc.RoundRobin(m, tau), SumCN: -1}
+	} else {
+		table := make(alloc.Table, m)
+		for i, est := range ix.ests {
+			table[i] = est.CNAll(q, tau)
+		}
+		res = alloc.Allocate(table, alloc.Params{
+			Tau: tau, Widths: ix.parts.Widths(), EnumBudget: ix.opts.EnumBudget,
+		})
+	}
+	stats.AllocNanos = time.Since(start).Nanoseconds()
+	stats.Thresholds = res.Thresholds
+	stats.EstimatedCN = res.SumCN
+
+	// Scan guard: when every valid allocation costs more than verifying
+	// the whole collection (tiny collections or τ near the index's
+	// useful range), the honest plan is a scan. The cost units match
+	// Eq. 1 with verification ≈ 4 posting accesses.
+	scanCost := int64(len(ix.data)) * 4
+	if res.Fallback || (res.Thresholds != nil && ix.opts.Allocator == AllocDP && res.Objective > scanCost) {
+		start = time.Now()
+		out := make([]int32, 0, 64)
+		for id, v := range ix.data {
+			if q.HammingWithin(v, tau) {
+				out = append(out, int32(id))
+			}
+		}
+		stats.VerifyNanos = time.Since(start).Nanoseconds()
+		stats.Candidates = len(ix.data)
+		stats.Results = len(out)
+		stats.Scanned = true
+		return out, stats, nil
+	}
+	enumBudget := res.EffectiveBudget // 0 (unlimited) for RR and unbudgeted configs
+
+	// Phase 2: signature enumeration per partition.
+	start = time.Now()
+	type partSigs struct {
+		part int
+		keys []string
+	}
+	sigs := make([]partSigs, 0, m)
+	var keyBuf []byte
+	for i, ti := range res.Thresholds {
+		if ti < 0 {
+			continue
+		}
+		proj := q.Project(ix.parts.Parts[i])
+		ps := partSigs{part: i}
+		err := hamming.EnumerateBall(proj, ti, enumBudget, func(v bitvec.Vector) bool {
+			keyBuf = v.AppendKey(keyBuf[:0])
+			ps.keys = append(ps.keys, string(keyBuf))
+			return true
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: partition %d with threshold %d: %w", i, ti, err)
+		}
+		stats.Signatures += len(ps.keys)
+		sigs = append(sigs, ps)
+	}
+	stats.EnumNanos = time.Since(start).Nanoseconds()
+
+	// Phase 3: candidate generation via inverted-index probes.
+	start = time.Now()
+	seen := make([]uint64, (len(ix.data)+63)/64)
+	cands := make([]int32, 0, 256)
+	for _, ps := range sigs {
+		inv := ix.inv[ps.part]
+		for _, key := range ps.keys {
+			postings := inv.Postings(key)
+			stats.SumPostings += int64(len(postings))
+			for _, id := range postings {
+				w, b := id/64, uint(id)%64
+				if seen[w]>>b&1 == 0 {
+					seen[w] |= 1 << b
+					cands = append(cands, id)
+				}
+			}
+		}
+	}
+	stats.ProbeNanos = time.Since(start).Nanoseconds()
+	stats.Candidates = len(cands)
+
+	// Phase 4: verification.
+	start = time.Now()
+	results := cands[:0] // candidates are dead after this loop; reuse
+	for _, id := range cands {
+		if q.HammingWithin(ix.data[id], tau) {
+			results = append(results, id)
+		}
+	}
+	slices.Sort(results)
+	stats.VerifyNanos = time.Since(start).Nanoseconds()
+	stats.Results = len(results)
+	if !wantStats {
+		return results, nil, nil
+	}
+	return results, stats, nil
+}
+
+// SearchBatch answers many queries concurrently using up to
+// parallelism workers (≤ 0 selects GOMAXPROCS). Results align with
+// queries by position. The first error aborts the batch.
+func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([][]int32, len(queries))
+	errs := make([]error, len(queries))
+	var next int32 = -1
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	nextIdx := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		next++
+		if int(next) >= len(queries) {
+			return -1
+		}
+		return int(next)
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := nextIdx()
+				if i < 0 {
+					return
+				}
+				out[i], errs[i] = ix.Search(queries[i], tau)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gph/internal/dataset"
+)
+
+func TestSearchTanimotoMatchesScan(t *testing.T) {
+	ds := dataset.PubChemLike(1500, 3)
+	ix, err := Build(ds.Vectors, Options{
+		NumPartitions: 12, MaxTau: 32, Seed: 1, SampleSize: 300, WorkloadSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		q := ds.Vectors[rng.Intn(ds.Len())]
+		for _, thresh := range []float64{0.98, 0.9, 0.85} {
+			got, err := ix.SearchTanimoto(q, thresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []int32
+			for id, v := range ds.Vectors {
+				if tanimoto(q, v) >= thresh {
+					want = append(want, int32(id))
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("t=%.2f: want %d results, got %d", thresh, len(want), len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("t=%.2f: id mismatch at %d", thresh, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchTanimotoErrors(t *testing.T) {
+	ds := dataset.PubChemLike(200, 5)
+	ix, err := Build(ds.Vectors, Options{NumPartitions: 8, MaxTau: 16, Seed: 1, SampleSize: 100, WorkloadSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SearchTanimoto(ds.Vectors[0], 0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := ix.SearchTanimoto(ds.Vectors[0], 1.5); err == nil {
+		t.Fatal("t>1 accepted")
+	}
+	// Exact-match threshold: the query itself must be returned.
+	got, err := ix.SearchTanimoto(ds.Vectors[7], 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 1 {
+		t.Fatal("identical molecule not found at t=1")
+	}
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+
+	"gph/internal/binio"
+	"gph/internal/bitvec"
+)
+
+// magic identifies the dataset container format; bump the digit on
+// incompatible changes.
+const magic = "GPHDS01\n"
+
+// Save serializes the dataset in the repository's binary container
+// format (little-endian, versioned).
+func (d *Dataset) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(magic)
+	bw.String(d.Name)
+	bw.Int(d.Dims)
+	bw.Int(len(d.Vectors))
+	for _, v := range d.Vectors {
+		if v.Dims() != d.Dims {
+			return fmt.Errorf("dataset: vector has %d dims, dataset declares %d", v.Dims(), d.Dims)
+		}
+		for _, word := range v.Words() {
+			bw.Uint64(word)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset written by Save. Corrupt input yields a
+// descriptive error, never a panic.
+func Load(r io.Reader) (*Dataset, error) {
+	br := binio.NewReader(r)
+	br.Magic(magic)
+	name := br.String()
+	dims := br.Int()
+	count := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if dims <= 0 || dims > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible dimension count %d", dims)
+	}
+	if count < 0 || count > binio.MaxSliceLen {
+		return nil, fmt.Errorf("dataset: implausible vector count %d", count)
+	}
+	words := (dims + 63) / 64
+	ds := &Dataset{Name: name, Dims: dims, Vectors: make([]bitvec.Vector, count)}
+	for i := 0; i < count; i++ {
+		ws := make([]uint64, words)
+		for j := range ws {
+			ws[j] = br.Uint64()
+		}
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("dataset: reading vector %d: %w", i, err)
+		}
+		ds.Vectors[i] = bitvec.FromWords(dims, ws)
+	}
+	return ds, nil
+}

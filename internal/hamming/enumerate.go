@@ -1,0 +1,132 @@
+// Package hamming provides the enumeration and combinatorial kernels
+// shared by every signature-based index in this repository: binomial
+// coefficients with overflow guards, Hamming-ball sizes, and budgeted
+// enumeration of all vectors within a given radius of a point.
+package hamming
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"gph/internal/bitvec"
+)
+
+// ErrEnumerationBudget is returned when a Hamming-ball enumeration
+// would exceed the caller-supplied budget. Cost-aware allocators never
+// request such enumerations; the budget protects against adversarial
+// or misconfigured thresholds.
+var ErrEnumerationBudget = errors.New("hamming: enumeration budget exceeded")
+
+// Binomial returns C(n, k) and whether the value fits in uint64.
+// C(n, k) = 0 for k < 0 or k > n. Intermediate products use 128-bit
+// arithmetic, so every representable value is computed exactly.
+func Binomial(n, k int) (uint64, bool) {
+	if k < 0 || k > n {
+		return 0, true
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c uint64 = 1
+	for i := 1; i <= k; i++ {
+		hi, lo := bits.Mul64(c, uint64(n-k+i))
+		if hi >= uint64(i) {
+			return 0, false // quotient would exceed 64 bits
+		}
+		q, _ := bits.Div64(hi, lo, uint64(i))
+		c = q
+	}
+	return c, true
+}
+
+// BallSize returns Σ_{j=0..r} C(w, j), the number of w-bit vectors
+// within Hamming distance r of any fixed vector, saturating at
+// math.MaxUint64 on overflow (second result false).
+func BallSize(w, r int) (uint64, bool) {
+	if r < 0 {
+		return 0, true
+	}
+	if r > w {
+		r = w
+	}
+	var total uint64
+	for j := 0; j <= r; j++ {
+		c, ok := Binomial(w, j)
+		if !ok {
+			return math.MaxUint64, false
+		}
+		if total+c < total {
+			return math.MaxUint64, false
+		}
+		total += c
+	}
+	return total, true
+}
+
+// EnumerateBall invokes fn once for every vector within Hamming
+// distance radius of center (including center itself, at distance 0).
+// The vector passed to fn is a scratch buffer reused across calls; fn
+// must not retain it. If fn returns false, enumeration stops early
+// with a nil error.
+//
+// budget caps the number of enumerated vectors; pass budget ≤ 0 for
+// unlimited. When the ball size exceeds the budget, EnumerateBall
+// returns ErrEnumerationBudget without calling fn at all, so callers
+// never pay for partially-useless work.
+func EnumerateBall(center bitvec.Vector, radius int, budget int64, fn func(bitvec.Vector) bool) error {
+	if radius < 0 {
+		return nil // empty ball: negative thresholds mean "skip this partition"
+	}
+	w := center.Dims()
+	if budget > 0 {
+		size, ok := BallSize(w, radius)
+		if !ok || size > uint64(budget) {
+			return ErrEnumerationBudget
+		}
+	}
+	scratch := center.Clone()
+	if !fn(scratch) {
+		return nil
+	}
+	if radius == 0 || w == 0 {
+		return nil
+	}
+	positions := make([]int, radius)
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
+		for i := start; i < w; i++ {
+			scratch.Flip(i)
+			positions[depth] = i
+			if !fn(scratch) {
+				scratch.Flip(i)
+				return false
+			}
+			if depth+1 < radius {
+				if !rec(i+1, depth+1) {
+					scratch.Flip(i)
+					return false
+				}
+			}
+			scratch.Flip(i)
+		}
+		return true
+	}
+	rec(0, 0)
+	return nil
+}
+
+// BallCollect materializes the ball as freshly-allocated vectors; it
+// exists for tests and small offline computations, not hot paths.
+func BallCollect(center bitvec.Vector, radius int) []bitvec.Vector {
+	var out []bitvec.Vector
+	err := EnumerateBall(center, radius, 0, func(v bitvec.Vector) bool {
+		out = append(out, v.Clone())
+		return true
+	})
+	if err != nil {
+		panic(fmt.Sprintf("hamming: unbudgeted enumeration failed: %v", err))
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package integration holds cross-package tests: every index
+// implementation against the linear-scan oracle on every dataset
+// generator, plus smoke coverage of the experiment harness.
+package integration
+
+import (
+	"testing"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+	"gph/internal/dataset"
+	"gph/internal/hmsearch"
+	"gph/internal/linscan"
+	"gph/internal/lsh"
+	"gph/internal/mih"
+	"gph/internal/partalloc"
+)
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllAlgorithmsAgree is the repository's strongest end-to-end
+// property: on every generator, every exact algorithm returns exactly
+// the oracle's result set at every threshold, and LSH returns a
+// subset with decent recall.
+func TestAllAlgorithmsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix skipped in -short mode")
+	}
+	type gen struct {
+		name string
+		data *dataset.Dataset
+		taus []int
+		m    int
+	}
+	gens := []gen{
+		{"sift", dataset.SIFTLike(1500, 1), []int{2, 6, 10}, 4},
+		{"gist", dataset.GISTLike(1500, 2), []int{4, 10, 16}, 6},
+		{"pubchem", dataset.PubChemLike(1000, 3), []int{4, 12, 20}, 12},
+		{"fasttext", dataset.FastTextLike(1500, 4), []int{2, 6, 10}, 4},
+		{"uqvideo", dataset.UQVideoLike(1500, 5), []int{4, 12, 20}, 6},
+	}
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			data := g.data.Vectors
+			queries := dataset.PerturbQueries(g.data, 8, 4, 6)
+			oracle, err := linscan.New(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gphIx, err := core.Build(data, core.Options{
+				NumPartitions: g.m, MaxTau: g.taus[len(g.taus)-1],
+				Seed: 1, SampleSize: 300, WorkloadSize: 12,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mihIx, err := mih.Build(data, mih.Options{NumPartitions: g.m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tau := range g.taus {
+				hm, err := hmsearch.Build(data, tau, hmsearch.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pa, err := partalloc.Build(data, tau, partalloc.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ls, err := lsh.Build(data, tau, lsh.Options{Seed: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var truth, lshGot int
+				for qi, q := range queries {
+					want, _ := oracle.Search(q, tau)
+					truth += len(want)
+					check := func(algo string, got []int32, err error) {
+						t.Helper()
+						if err != nil {
+							t.Fatalf("%s τ=%d q%d: %v", algo, tau, qi, err)
+						}
+						if !equal(want, got) {
+							t.Fatalf("%s τ=%d q%d: want %d results, got %d",
+								algo, tau, qi, len(want), len(got))
+						}
+					}
+					got, err := gphIx.Search(q, tau)
+					check("gph", got, err)
+					got, err = mihIx.Search(q, tau)
+					check("mih", got, err)
+					got, err = hm.Search(q, tau)
+					check("hmsearch", got, err)
+					got, err = pa.Search(q, tau)
+					check("partalloc", got, err)
+					approx, err := ls.Search(q, tau)
+					if err != nil {
+						t.Fatalf("lsh τ=%d q%d: %v", tau, qi, err)
+					}
+					lshGot += len(approx)
+					// LSH results must always be a subset of the truth.
+					wi := 0
+					for _, id := range approx {
+						for wi < len(want) && want[wi] < id {
+							wi++
+						}
+						if wi >= len(want) || want[wi] != id {
+							t.Fatalf("lsh τ=%d q%d: false positive id %d", tau, qi, id)
+						}
+					}
+				}
+				if truth > 0 && float64(lshGot)/float64(truth) < 0.5 {
+					t.Errorf("lsh recall %d/%d suspiciously low on %s τ=%d", lshGot, truth, g.name, tau)
+				}
+			}
+		})
+	}
+}
+
+// TestGPHBeatsBasicPigeonholeOnSkew asserts the paper's headline
+// claim at test scale: on highly skewed data GPH generates
+// substantially fewer candidates than MIH with the same m.
+func TestGPHBeatsBasicPigeonholeOnSkew(t *testing.T) {
+	ds := dataset.PubChemLike(2000, 7)
+	queries := dataset.PerturbQueries(ds, 10, 4, 8)
+	gphIx, err := core.Build(ds.Vectors, core.Options{
+		NumPartitions: 12, MaxTau: 16, Seed: 1, SampleSize: 300, WorkloadSize: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mihIx, err := mih.Build(ds.Vectors, mih.Options{NumPartitions: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gphCand, mihCand int
+	tau := 12
+	for _, q := range queries {
+		_, gs, err := gphIx.SearchStats(q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ms, err := mihIx.SearchStats(q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gphCand += gs.Candidates
+		mihCand += ms.Candidates
+	}
+	if gphCand*2 > mihCand {
+		t.Fatalf("GPH candidates (%d) not well below MIH's (%d) on skewed data", gphCand, mihCand)
+	}
+	t.Logf("candidates at τ=%d: GPH=%d MIH=%d (%.1fx reduction)",
+		tau, gphCand, mihCand, float64(mihCand)/float64(gphCand+1))
+}
+
+// TestParallelBatchUnderRace exercises concurrent searches (run with
+// -race in CI) across all index types that support shared reads.
+func TestParallelBatchUnderRace(t *testing.T) {
+	ds := dataset.UQVideoLike(1200, 9)
+	ix, err := core.Build(ds.Vectors, core.Options{
+		NumPartitions: 6, MaxTau: 16, Seed: 1, SampleSize: 200, WorkloadSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]bitvec.Vector, 40)
+	for i := range queries {
+		queries[i] = ds.Vectors[i*7]
+	}
+	res, err := ix.SearchBatch(queries, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if len(res[i]) == 0 {
+			t.Fatalf("query %d (an indexed vector) found nothing", i)
+		}
+	}
+}

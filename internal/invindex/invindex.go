@@ -1,0 +1,125 @@
+// Package invindex provides the inverted-index substrate shared by
+// every filter-and-refine algorithm in this repository: posting lists
+// keyed by partition-projection signatures, optional deletion-variant
+// keys (used by HmSearch and PartAlloc to answer radius-1 probes from
+// the data side), and byte-exact size accounting for the index-size
+// experiments (paper Fig. 6).
+package invindex
+
+import (
+	"sort"
+
+	"gph/internal/bitvec"
+)
+
+// Index maps projection signatures (bitvec keys) to posting lists of
+// vector ids. It is append-only during build and immutable afterwards;
+// concurrent reads are safe once building completes.
+type Index struct {
+	post     map[string][]int32
+	keyBytes int64 // total bytes across distinct keys
+	postings int64 // total posting entries
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{post: make(map[string][]int32)}
+}
+
+// Add appends id to the posting list of key.
+func (ix *Index) Add(key string, id int32) {
+	lst, ok := ix.post[key]
+	if !ok {
+		ix.keyBytes += int64(len(key))
+	}
+	ix.post[key] = append(lst, id)
+	ix.postings++
+}
+
+// Postings returns the posting list for key (nil when absent). The
+// returned slice is owned by the index and must not be modified.
+func (ix *Index) Postings(key string) []int32 { return ix.post[key] }
+
+// PostingLen returns the length of the posting list for key without
+// materializing it; this is the |I_s| term of the paper's cost model.
+func (ix *Index) PostingLen(key string) int { return len(ix.post[key]) }
+
+// DistinctKeys returns the number of distinct signatures indexed.
+func (ix *Index) DistinctKeys() int { return len(ix.post) }
+
+// TotalPostings returns the total number of (signature, id) pairs.
+func (ix *Index) TotalPostings() int64 { return ix.postings }
+
+// Range calls fn for every (key, postings) pair until fn returns
+// false. Iteration order is unspecified.
+func (ix *Index) Range(fn func(key string, ids []int32) bool) {
+	for k, v := range ix.post {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// SortedKeys returns all keys in lexicographic order; used by the
+// persistence codec so that serialized indexes are byte-reproducible.
+func (ix *Index) SortedKeys() []string {
+	keys := make([]string, 0, len(ix.post))
+	for k := range ix.post {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SizeBytes estimates the resident size of the index: key bytes,
+// posting entries (4 bytes each), and a fixed per-entry overhead for
+// the map header and slice headers. The same accounting is applied to
+// every algorithm so Fig. 6 comparisons are apples-to-apples.
+func (ix *Index) SizeBytes() int64 {
+	const perKeyOverhead = 48 // map bucket share + string & slice headers
+	return ix.keyBytes + 4*ix.postings + int64(len(ix.post))*perKeyOverhead
+}
+
+// DeletionVariantKey builds the key for signature sig with dimension j
+// "deleted" (replaced by a wildcard): one byte encoding j followed by
+// the signature with bit j cleared. Two signatures within Hamming
+// distance 1 that differ exactly at j share this key; equal signatures
+// share every deletion key as well as the exact key.
+//
+// Partitions are always far narrower than 256 dimensions (they shrink
+// as 1/m of n), so a single byte suffices for j.
+func DeletionVariantKey(sig bitvec.Vector, j int) string {
+	masked := sig.Clone()
+	masked.Clear(j)
+	b := make([]byte, 0, 1+8*len(sig.Words()))
+	b = append(b, byte(j))
+	b = masked.AppendKey(b)
+	return string(b)
+}
+
+// AddWithDeletionVariants indexes sig under its exact key and all w
+// deletion-variant keys. This is the data-side enumeration strategy of
+// HmSearch and PartAlloc; it multiplies index size by roughly the
+// partition width, which Fig. 6 measures.
+func (ix *Index) AddWithDeletionVariants(sig bitvec.Vector, id int32) {
+	ix.Add(sig.Key(), id)
+	for j := 0; j < sig.Dims(); j++ {
+		ix.Add(DeletionVariantKey(sig, j), id)
+	}
+}
+
+// CollectRadius1 gathers the ids of all indexed signatures within
+// Hamming distance 1 of sig, assuming the index was built with
+// AddWithDeletionVariants. Results may contain duplicates (an id can
+// match several variant keys); callers dedupe via their candidate
+// bitmap exactly as they do for multi-partition hits.
+func (ix *Index) CollectRadius1(sig bitvec.Vector, fn func(id int32)) {
+	for _, id := range ix.post[sig.Key()] {
+		fn(id)
+	}
+	for j := 0; j < sig.Dims(); j++ {
+		for _, id := range ix.post[DeletionVariantKey(sig, j)] {
+			fn(id)
+		}
+	}
+}

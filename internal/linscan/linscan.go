@@ -1,0 +1,55 @@
+// Package linscan is the naïve Hamming-search baseline: scan every
+// vector and verify. It is the ground-truth oracle for every
+// correctness test and the "sequential scan" reference point the
+// paper compares degenerate cases against.
+package linscan
+
+import (
+	"fmt"
+
+	"gph/internal/bitvec"
+)
+
+// Scanner answers Hamming distance searches by exhaustive scan.
+type Scanner struct {
+	dims int
+	data []bitvec.Vector
+}
+
+// New builds a scanner over data.
+func New(data []bitvec.Vector) (*Scanner, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("linscan: empty data collection")
+	}
+	dims := data[0].Dims()
+	for i, v := range data {
+		if v.Dims() != dims {
+			return nil, fmt.Errorf("linscan: vector %d has %d dims, want %d", i, v.Dims(), dims)
+		}
+	}
+	return &Scanner{dims: dims, data: data}, nil
+}
+
+// Len returns the collection size.
+func (s *Scanner) Len() int { return len(s.data) }
+
+// Dims returns the dimensionality.
+func (s *Scanner) Dims() int { return s.dims }
+
+// Search returns ids of all vectors within distance tau of q, in
+// ascending id order.
+func (s *Scanner) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	if q.Dims() != s.dims {
+		return nil, fmt.Errorf("linscan: query has %d dims, index has %d", q.Dims(), s.dims)
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("linscan: negative threshold %d", tau)
+	}
+	var out []int32
+	for id, v := range s.data {
+		if q.HammingWithin(v, tau) {
+			out = append(out, int32(id))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+package linscan
+
+import (
+	"testing"
+
+	"gph/internal/bitvec"
+)
+
+func TestScanner(t *testing.T) {
+	data := []bitvec.Vector{
+		bitvec.MustFromString("0000"),
+		bitvec.MustFromString("0001"),
+		bitvec.MustFromString("0011"),
+		bitvec.MustFromString("1111"),
+	}
+	s, err := New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 || s.Dims() != 4 {
+		t.Fatal("accessors")
+	}
+	got, err := s.Search(bitvec.MustFromString("0000"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Search = %v", got)
+	}
+	if _, err := s.Search(bitvec.New(5), 1); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	if _, err := s.Search(data[0], -1); err == nil {
+		t.Fatal("negative tau accepted")
+	}
+}
+
+func TestScannerErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := New([]bitvec.Vector{bitvec.New(4), bitvec.New(5)}); err == nil {
+		t.Fatal("mixed dims accepted")
+	}
+}

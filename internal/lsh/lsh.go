@@ -1,0 +1,213 @@
+// Package lsh implements the MinHash LSH baseline of the GPH paper's
+// experiments (§VII-A): the Hamming constraint is converted to an
+// equivalent Jaccard similarity constraint over the vectors' 1-bit
+// sets; k minhashes are concatenated into a band signature and
+// repeated across l tables sized for a target recall. LSH is
+// approximate — it can miss results — and, as the paper shows, its
+// selectivity collapses on highly skewed data because the hash
+// functions sample skewed, correlated dimensions.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+
+	"gph/internal/bitvec"
+	"gph/internal/invindex"
+)
+
+// Options configures Build.
+type Options struct {
+	// K is the minhashes per band signature (paper: 3).
+	K int
+	// Recall is the target probability of retrieving a true result
+	// (paper: 0.95).
+	Recall float64
+	// MaxTables caps l to bound memory (default 256).
+	MaxTables int
+	// Seed drives hash function generation.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.Recall <= 0 || o.Recall >= 1 {
+		o.Recall = 0.95
+	}
+	if o.MaxTables <= 0 {
+		o.MaxTables = 256
+	}
+	return o
+}
+
+// Index is an immutable MinHash LSH index built for a specific τ.
+type Index struct {
+	dims   int
+	tau    int
+	data   []bitvec.Vector
+	opts   Options
+	tables []*invindex.Index
+	// hash function parameters, one (a, b) pair per table per row
+	ha, hb []uint64
+	// jaccardT is the converted threshold; exposed for tests/EXPERIMENTS
+	jaccardT float64
+}
+
+// Stats mirrors core.Stats for the comparison harness.
+type Stats struct {
+	Signatures  int
+	SumPostings int64
+	Candidates  int
+	Results     int
+}
+
+const hashPrime = (1 << 31) - 1 // Mersenne prime for universal hashing
+
+// Build constructs the index for queries at threshold tau. The
+// Hamming→Jaccard conversion uses the collection's mean popcount a:
+// H(x,q) ≤ τ implies J(x,q) ≥ (2a−τ)/(2a+τ) for |x| ≈ |q| ≈ a.
+func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("lsh: empty data collection")
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("lsh: negative threshold %d", tau)
+	}
+	opts = opts.withDefaults()
+	dims := data[0].Dims()
+	for i, v := range data {
+		if v.Dims() != dims {
+			return nil, fmt.Errorf("lsh: vector %d has %d dims, want %d", i, v.Dims(), dims)
+		}
+	}
+	var popSum float64
+	for _, v := range data {
+		popSum += float64(v.PopCount())
+	}
+	a := popSum / float64(len(data))
+	t := (2*a - float64(tau)) / (2*a + float64(tau))
+	t = math.Max(0.05, math.Min(0.95, t))
+	l := int(math.Ceil(math.Log(1-opts.Recall) / math.Log(1-math.Pow(t, float64(opts.K)))))
+	if l < 1 {
+		l = 1
+	}
+	if l > opts.MaxTables {
+		l = opts.MaxTables
+	}
+
+	ix := &Index{dims: dims, tau: tau, data: data, opts: opts, jaccardT: t}
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x15a4))
+	ix.ha = make([]uint64, l*opts.K)
+	ix.hb = make([]uint64, l*opts.K)
+	for i := range ix.ha {
+		ix.ha[i] = uint64(rng.Int63n(hashPrime-1) + 1)
+		ix.hb[i] = uint64(rng.Int63n(hashPrime))
+	}
+	ix.tables = make([]*invindex.Index, l)
+	sig := make([]byte, 4*opts.K)
+	for ti := 0; ti < l; ti++ {
+		table := invindex.New()
+		for id, v := range data {
+			ix.signature(v, ti, sig)
+			table.Add(string(sig), int32(id))
+		}
+		ix.tables[ti] = table
+	}
+	return ix, nil
+}
+
+// signature writes table ti's band signature of v into buf.
+func (ix *Index) signature(v bitvec.Vector, ti int, buf []byte) {
+	ones := v.OnesIndices()
+	for r := 0; r < ix.opts.K; r++ {
+		h := ix.ha[ti*ix.opts.K+r]
+		b := ix.hb[ti*ix.opts.K+r]
+		minV := uint64(math.MaxUint64)
+		if len(ones) == 0 {
+			// Empty set: hash the sentinel element n so empty vectors
+			// collide with each other, not with everything.
+			minV = (h*uint64(ix.dims) + b) % hashPrime
+		}
+		for _, e := range ones {
+			hv := (h*uint64(e) + b) % hashPrime
+			if hv < minV {
+				minV = hv
+			}
+		}
+		buf[4*r] = byte(minV)
+		buf[4*r+1] = byte(minV >> 8)
+		buf[4*r+2] = byte(minV >> 16)
+		buf[4*r+3] = byte(minV >> 24)
+	}
+}
+
+// Tau returns the threshold the index was built for.
+func (ix *Index) Tau() int { return ix.tau }
+
+// Tables returns l, the number of hash tables.
+func (ix *Index) Tables() int { return len(ix.tables) }
+
+// JaccardThreshold returns the converted similarity threshold.
+func (ix *Index) JaccardThreshold() float64 { return ix.jaccardT }
+
+// Len returns the collection size.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// SizeBytes reports hash-table memory.
+func (ix *Index) SizeBytes() int64 {
+	var s int64
+	for _, t := range ix.tables {
+		s += t.SizeBytes()
+	}
+	return s + int64(len(ix.ha)+len(ix.hb))*8
+}
+
+// Search returns ids within distance tau of q found by the hash
+// tables, in ascending order. Being LSH, recall is probabilistic:
+// roughly Options.Recall of true results are returned; false positives
+// are always verified away.
+func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	ids, _, err := ix.SearchStats(q, tau)
+	return ids, err
+}
+
+// SearchStats is Search with candidate accounting.
+func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
+	if q.Dims() != ix.dims {
+		return nil, nil, fmt.Errorf("lsh: query has %d dims, index has %d", q.Dims(), ix.dims)
+	}
+	if tau < 0 {
+		return nil, nil, fmt.Errorf("lsh: negative threshold %d", tau)
+	}
+	stats := &Stats{}
+	seen := make([]uint64, (len(ix.data)+63)/64)
+	cands := make([]int32, 0, 256)
+	sig := make([]byte, 4*ix.opts.K)
+	for ti, table := range ix.tables {
+		ix.signature(q, ti, sig)
+		stats.Signatures++
+		postings := table.Postings(string(sig))
+		stats.SumPostings += int64(len(postings))
+		for _, id := range postings {
+			w, b := id/64, uint(id)%64
+			if seen[w]>>b&1 == 0 {
+				seen[w] |= 1 << b
+				cands = append(cands, id)
+			}
+		}
+	}
+	stats.Candidates = len(cands)
+	results := cands[:0]
+	for _, id := range cands {
+		if q.HammingWithin(ix.data[id], tau) {
+			results = append(results, id)
+		}
+	}
+	slices.Sort(results)
+	stats.Results = len(results)
+	return results, stats, nil
+}

@@ -1,0 +1,163 @@
+// Package mih implements Multi-Index Hashing (Norouzi, Punjani, Fleet
+// — CVPR 2012, reference [25] of the GPH paper): the strongest of the
+// basic-pigeonhole baselines. Vectors are split into m equi-width
+// partitions; a query enumerates, in each partition, all signatures
+// within ⌊τ/m⌋ and probes a per-partition inverted index.
+package mih
+
+import (
+	"fmt"
+	"slices"
+
+	"gph/internal/bitvec"
+	"gph/internal/hamming"
+	"gph/internal/invindex"
+	"gph/internal/partition"
+)
+
+// Options configures an MIH index.
+type Options struct {
+	// NumPartitions is m; 0 selects max(2, n/16), a common MIH rule of
+	// thumb (the benches sweep m and keep the fastest, as the paper
+	// does for the MIH baseline).
+	NumPartitions int
+	// Arrangement optionally replaces the default equi-width original
+	// order; the paper equips competitors with the OS rearrangement in
+	// Fig. 7 (nil keeps original order).
+	Arrangement *partition.Partitioning
+	// EnumBudget caps per-partition ball enumeration (default 1<<20).
+	EnumBudget int64
+}
+
+// Index is an immutable MIH index.
+type Index struct {
+	dims  int
+	data  []bitvec.Vector
+	parts *partition.Partitioning
+	inv   []*invindex.Index
+	buget int64
+}
+
+// Stats mirrors core.Stats for the comparison harness.
+type Stats struct {
+	Signatures  int
+	SumPostings int64
+	Candidates  int
+	Results     int
+}
+
+// Build constructs the index.
+func Build(data []bitvec.Vector, opts Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("mih: empty data collection")
+	}
+	dims := data[0].Dims()
+	for i, v := range data {
+		if v.Dims() != dims {
+			return nil, fmt.Errorf("mih: vector %d has %d dims, want %d", i, v.Dims(), dims)
+		}
+	}
+	m := opts.NumPartitions
+	if m == 0 {
+		m = dims / 16
+	}
+	if m < 2 {
+		m = 2
+	}
+	if m > dims {
+		m = dims
+	}
+	parts := opts.Arrangement
+	if parts == nil {
+		parts = partition.EquiWidth(dims, m)
+	}
+	if err := parts.Validate(); err != nil {
+		return nil, fmt.Errorf("mih: invalid arrangement: %w", err)
+	}
+	budget := opts.EnumBudget
+	if budget == 0 {
+		budget = 1 << 20
+	}
+	ix := &Index{dims: dims, data: data, parts: parts, buget: budget}
+	ix.inv = make([]*invindex.Index, parts.NumParts())
+	for i, dimsI := range parts.Parts {
+		inv := invindex.New()
+		scratch := bitvec.New(len(dimsI))
+		var keyBuf []byte
+		for id, v := range data {
+			v.ProjectInto(dimsI, scratch)
+			keyBuf = scratch.AppendKey(keyBuf[:0])
+			inv.Add(string(keyBuf), int32(id))
+		}
+		ix.inv[i] = inv
+	}
+	return ix, nil
+}
+
+// Dims returns the dimensionality.
+func (ix *Index) Dims() int { return ix.dims }
+
+// Len returns the collection size.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// SizeBytes reports posting-list memory (Fig. 6 accounting).
+func (ix *Index) SizeBytes() int64 {
+	var s int64
+	for _, inv := range ix.inv {
+		s += inv.SizeBytes()
+	}
+	return s
+}
+
+// Search returns ids within distance tau of q in ascending order.
+func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	ids, _, err := ix.SearchStats(q, tau)
+	return ids, err
+}
+
+// SearchStats is Search with candidate accounting.
+func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
+	if q.Dims() != ix.dims {
+		return nil, nil, fmt.Errorf("mih: query has %d dims, index has %d", q.Dims(), ix.dims)
+	}
+	if tau < 0 {
+		return nil, nil, fmt.Errorf("mih: negative threshold %d", tau)
+	}
+	stats := &Stats{}
+	m := ix.parts.NumParts()
+	sub := tau / m // ⌊τ/m⌋, the basic pigeonhole threshold
+	seen := make([]uint64, (len(ix.data)+63)/64)
+	cands := make([]int32, 0, 256)
+	var keyBuf []byte
+	for i, dimsI := range ix.parts.Parts {
+		proj := q.Project(dimsI)
+		inv := ix.inv[i]
+		err := hamming.EnumerateBall(proj, sub, ix.buget, func(v bitvec.Vector) bool {
+			keyBuf = v.AppendKey(keyBuf[:0])
+			stats.Signatures++
+			postings := inv.Postings(string(keyBuf))
+			stats.SumPostings += int64(len(postings))
+			for _, id := range postings {
+				w, b := id/64, uint(id)%64
+				if seen[w]>>b&1 == 0 {
+					seen[w] |= 1 << b
+					cands = append(cands, id)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("mih: partition %d radius %d: %w", i, sub, err)
+		}
+	}
+	stats.Candidates = len(cands)
+	results := cands[:0]
+	for _, id := range cands {
+		if q.HammingWithin(ix.data[id], tau) {
+			results = append(results, id)
+		}
+	}
+	slices.Sort(results)
+	stats.Results = len(results)
+	return results, stats, nil
+}

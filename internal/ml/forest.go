@@ -1,0 +1,185 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls random-forest fitting.
+type ForestConfig struct {
+	Trees    int // number of trees (default 32)
+	MaxDepth int // maximum tree depth (default 12)
+	MinLeaf  int // minimum samples per leaf (default 2)
+	Seed     int64
+}
+
+func (c *ForestConfig) defaults() {
+	if c.Trees <= 0 {
+		c.Trees = 32
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+}
+
+// Forest is a CART regression forest: bootstrap-sampled trees with
+// √p random feature subsets per split, averaged at prediction time.
+// It reproduces the "RF" column of Table III.
+type Forest struct {
+	trees []*treeNode
+}
+
+type treeNode struct {
+	feature   int // -1 for leaf
+	threshold float64
+	value     float64
+	left      *treeNode
+	right     *treeNode
+	size      int64 // node count of subtree, for SizeBytes
+}
+
+// NewForest fits a regression forest.
+func NewForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
+	features, err := validate(x, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Regression forests sample p/3 features per split (the classic
+	// Breiman recommendation); √p is the classification default and
+	// underfits continuous targets.
+	mtry := features / 3
+	if mtry < 1 {
+		mtry = 1
+	}
+	f := &Forest{trees: make([]*treeNode, cfg.Trees)}
+	for t := range f.trees {
+		// Bootstrap sample.
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = rng.Intn(len(x))
+		}
+		f.trees[t] = growTree(x, y, idx, features, mtry, cfg.MaxDepth, cfg.MinLeaf, rng)
+	}
+	return f, nil
+}
+
+func growTree(x [][]float64, y []float64, idx []int, features, mtry, depth, minLeaf int, rng *rand.Rand) *treeNode {
+	mean, sse := meanSSE(y, idx)
+	node := &treeNode{feature: -1, value: mean, size: 1}
+	if depth <= 0 || len(idx) < 2*minLeaf || sse <= 1e-12 {
+		return node
+	}
+	bestGain, bestF, bestT := 0.0, -1, 0.0
+	for trial := 0; trial < mtry; trial++ {
+		fi := rng.Intn(features)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range idx {
+			v := x[r][fi]
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		if hi <= lo {
+			continue
+		}
+		// Candidate thresholds: random cut points between observed min
+		// and max (binary features effectively get 0.5).
+		for c := 0; c < 6; c++ {
+			th := lo + rng.Float64()*(hi-lo)
+			gain := splitGain(x, y, idx, fi, th, sse, minLeaf)
+			if gain > bestGain {
+				bestGain, bestF, bestT = gain, fi, th
+			}
+		}
+	}
+	if bestF < 0 {
+		return node
+	}
+	var li, ri []int
+	for _, r := range idx {
+		if x[r][bestF] <= bestT {
+			li = append(li, r)
+		} else {
+			ri = append(ri, r)
+		}
+	}
+	if len(li) < minLeaf || len(ri) < minLeaf {
+		return node
+	}
+	node.feature = bestF
+	node.threshold = bestT
+	node.left = growTree(x, y, li, features, mtry, depth-1, minLeaf, rng)
+	node.right = growTree(x, y, ri, features, mtry, depth-1, minLeaf, rng)
+	node.size = 1 + node.left.size + node.right.size
+	return node
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	for _, r := range idx {
+		mean += y[r]
+	}
+	mean /= float64(len(idx))
+	for _, r := range idx {
+		d := y[r] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+func splitGain(x [][]float64, y []float64, idx []int, fi int, th, parentSSE float64, minLeaf int) float64 {
+	var ln, rn int
+	var lsum, rsum float64
+	for _, r := range idx {
+		if x[r][fi] <= th {
+			ln++
+			lsum += y[r]
+		} else {
+			rn++
+			rsum += y[r]
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return 0
+	}
+	lmean, rmean := lsum/float64(ln), rsum/float64(rn)
+	var child float64
+	for _, r := range idx {
+		var d float64
+		if x[r][fi] <= th {
+			d = y[r] - lmean
+		} else {
+			d = y[r] - rmean
+		}
+		child += d * d
+	}
+	return parentSSE - child
+}
+
+// Predict implements Regressor.
+func (f *Forest) Predict(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.trees {
+		n := t
+		for n.feature >= 0 {
+			if x[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		s += n.value
+	}
+	return s / float64(len(f.trees))
+}
+
+// SizeBytes implements Regressor.
+func (f *Forest) SizeBytes() int64 {
+	var nodes int64
+	for _, t := range f.trees {
+		nodes += t.size
+	}
+	return nodes * 48
+}

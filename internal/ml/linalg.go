@@ -1,0 +1,53 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// errNotSPD reports a Cholesky failure; callers retry with a larger
+// ridge term.
+var errNotSPD = errors.New("ml: matrix not positive definite")
+
+// choleskySolve solves A·x = b for symmetric positive-definite A,
+// overwriting A with its Cholesky factor. A is row-major n×n.
+func choleskySolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Decompose: A = L·Lᵀ (lower triangle stored in place).
+	for j := 0; j < n; j++ {
+		d := a[j][j]
+		for k := 0; k < j; k++ {
+			d -= a[j][k] * a[j][k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, errNotSPD
+		}
+		a[j][j] = math.Sqrt(d)
+		inv := 1 / a[j][j]
+		for i := j + 1; i < n; i++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= a[i][k] * a[j][k]
+			}
+			a[i][j] = s * inv
+		}
+	}
+	// Forward substitution: L·y = b.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= a[i][k] * x[k]
+		}
+		x[i] = s / a[i][i]
+	}
+	// Back substitution: Lᵀ·α = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[k][i] * x[k]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}

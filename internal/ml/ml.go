@@ -1,0 +1,67 @@
+// Package ml provides the small, dependency-free learners the paper's
+// candidate-number estimation uses (§IV-C, Table III): kernel ridge
+// regression with an RBF kernel (the stand-in for SVR — after the
+// paper's own ln-transform both minimize squared error on ln CN in the
+// same RKHS), a CART random forest, and a 3-layer MLP ("DNN").
+//
+// All learners are deterministic given their seed and implement
+// Regressor.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Regressor predicts a scalar target from a feature vector.
+type Regressor interface {
+	// Predict returns the estimated target for features x.
+	Predict(x []float64) float64
+	// SizeBytes estimates the resident size of the fitted model; the
+	// index-size experiment (Fig. 6) charges learned estimators to the
+	// index that owns them.
+	SizeBytes() int64
+}
+
+// ErrBadTrainingData is returned by constructors when the training
+// matrix is empty or ragged.
+var ErrBadTrainingData = errors.New("ml: empty or ragged training data")
+
+func validate(x [][]float64, y []float64) (features int, err error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d rows, %d targets", ErrBadTrainingData, len(x), len(y))
+	}
+	features = len(x[0])
+	if features == 0 {
+		return 0, fmt.Errorf("%w: zero features", ErrBadTrainingData)
+	}
+	for i, row := range x {
+		if len(row) != features {
+			return 0, fmt.Errorf("%w: row %d has %d features, want %d", ErrBadTrainingData, i, len(row), features)
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: target %d is %v", ErrBadTrainingData, i, v)
+		}
+	}
+	return features, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func cloneMatrix(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func makeRegression(rng *rand.Rand, n, p int, f func([]float64) float64, noise float64) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.Float64() * 4
+		}
+		x[i] = row
+		y[i] = f(row) + rng.NormFloat64()*noise
+	}
+	return x, y
+}
+
+func rmse(m Regressor, x [][]float64, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		d := m.Predict(x[i]) - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+func variance(y []float64) float64 {
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	s := 0.0
+	for _, v := range y {
+		s += (v - mean) * (v - mean)
+	}
+	return s / float64(len(y))
+}
+
+func target(row []float64) float64 { return 2*row[0] - row[1] + 0.5*row[2]*row[2] }
+
+func TestKernelRidgeFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := makeRegression(rng, 200, 4, target, 0.05)
+	m, err := NewKernelRidge(x, y, 0, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rmse(m, x, y); r > 0.5*math.Sqrt(variance(y)) {
+		t.Fatalf("KRR underfits: rmse %.3f vs std %.3f", r, math.Sqrt(variance(y)))
+	}
+	if m.SizeBytes() <= 0 {
+		t.Fatal("SizeBytes")
+	}
+}
+
+func TestKernelRidgeSingularRecovers(t *testing.T) {
+	// Duplicate rows make the Gram matrix singular at λ=0; the fit must
+	// still succeed by inflating the ridge.
+	x := [][]float64{{1, 2}, {1, 2}, {1, 2}, {3, 4}}
+	y := []float64{1, 1, 1, 2}
+	if _, err := NewKernelRidge(x, y, 1, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := makeRegression(rng, 400, 4, target, 0.05)
+	m, err := NewForest(x, y, ForestConfig{Trees: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rmse(m, x, y); r > 0.8*math.Sqrt(variance(y)) {
+		t.Fatalf("forest no better than predicting the mean: rmse %.3f", r)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := makeRegression(rng, 100, 3, target, 0.1)
+	a, _ := NewForest(x, y, ForestConfig{Trees: 8, Seed: 9})
+	b, _ := NewForest(x, y, ForestConfig{Trees: 8, Seed: 9})
+	for i := 0; i < 20; i++ {
+		if a.Predict(x[i]) != b.Predict(x[i]) {
+			t.Fatal("forest not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestMLPFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := makeRegression(rng, 300, 4, target, 0.05)
+	m, err := NewMLP(x, y, MLPConfig{Epochs: 60, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rmse(m, x, y); r > 0.6*math.Sqrt(variance(y)) {
+		t.Fatalf("MLP underfits: rmse %.3f vs std %.3f", r, math.Sqrt(variance(y)))
+	}
+}
+
+func TestMLPConstantTarget(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 5, 5, 5}
+	m, err := NewMLP(x, y, MLPConfig{Epochs: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Predict([]float64{1.5})-5) > 1 {
+		t.Fatalf("constant target predicted as %.2f", m.Predict([]float64{1.5}))
+	}
+}
+
+func TestValidateRejectsBadData(t *testing.T) {
+	cases := []struct {
+		name string
+		x    [][]float64
+		y    []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatch", [][]float64{{1}}, []float64{1, 2}},
+		{"ragged", [][]float64{{1, 2}, {1}}, []float64{1, 2}},
+		{"zero features", [][]float64{{}}, []float64{1}},
+		{"nan target", [][]float64{{1}}, []float64{math.NaN()}},
+	}
+	for _, c := range cases {
+		if _, err := NewKernelRidge(c.x, c.y, 1, 1); err == nil {
+			t.Fatalf("KRR accepted %s", c.name)
+		}
+		if _, err := NewForest(c.x, c.y, ForestConfig{}); err == nil {
+			t.Fatalf("forest accepted %s", c.name)
+		}
+		if _, err := NewMLP(c.x, c.y, MLPConfig{}); err == nil {
+			t.Fatalf("MLP accepted %s", c.name)
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// A = [[4,2],[2,3]], b = [10, 9] → x = [1.5, 2].
+	a := [][]float64{{4, 2}, {2, 3}}
+	b := []float64{10, 9}
+	x, err := choleskySolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.5) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("solution %v", x)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 1}} // eigenvalues 3, −1
+	if _, err := choleskySolve(a, []float64{1, 1}); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLPConfig controls MLP fitting.
+type MLPConfig struct {
+	Hidden1 int     // first hidden width (default 24)
+	Hidden2 int     // second hidden width (default 12)
+	Epochs  int     // training epochs (default 40)
+	LR      float64 // Adam learning rate (default 0.01)
+	Seed    int64
+}
+
+func (c *MLPConfig) defaults() {
+	if c.Hidden1 <= 0 {
+		c.Hidden1 = 24
+	}
+	if c.Hidden2 <= 0 {
+		c.Hidden2 = 12
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+}
+
+// MLP is a 3-layer perceptron (two ReLU hidden layers, linear output)
+// trained with Adam on squared error — the "DNN" row of Table III.
+// Parameters live in one flat slice (layout: w1 | b1 | w2 | b2 | w3 |
+// b3) so the optimizer state is two parallel slices rather than a map.
+// Targets are standardized internally so learning rates are
+// scale-free.
+type MLP struct {
+	features, h1, h2 int
+	params           []float64
+	yMean, yStd      float64
+}
+
+// Parameter layout offsets.
+func (m *MLP) offW1() int   { return 0 }
+func (m *MLP) offB1() int   { return m.h1 * m.features }
+func (m *MLP) offW2() int   { return m.offB1() + m.h1 }
+func (m *MLP) offB2() int   { return m.offW2() + m.h2*m.h1 }
+func (m *MLP) offW3() int   { return m.offB2() + m.h2 }
+func (m *MLP) offB3() int   { return m.offW3() + m.h2 }
+func (m *MLP) nParams() int { return m.offB3() + 1 }
+
+// NewMLP fits the network.
+func NewMLP(x [][]float64, y []float64, cfg MLPConfig) (*MLP, error) {
+	features, err := validate(x, y)
+	if err != nil {
+		return nil, err
+	}
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &MLP{features: features, h1: cfg.Hidden1, h2: cfg.Hidden2}
+	m.yMean, m.yStd = meanStd(y)
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - m.yMean) / m.yStd
+	}
+
+	np := m.nParams()
+	m.params = make([]float64, np)
+	initLayer := func(off, rows, cols int) {
+		scale := math.Sqrt(2 / float64(cols))
+		for i := 0; i < rows*cols; i++ {
+			m.params[off+i] = rng.NormFloat64() * scale
+		}
+	}
+	initLayer(m.offW1(), m.h1, features)
+	initLayer(m.offW2(), m.h2, m.h1)
+	initLayer(m.offW3(), 1, m.h2)
+
+	grad := make([]float64, np)
+	adamM := make([]float64, np)
+	adamV := make([]float64, np)
+	z1 := make([]float64, m.h1)
+	a1 := make([]float64, m.h1)
+	z2 := make([]float64, m.h2)
+	a2 := make([]float64, m.h2)
+	d1 := make([]float64, m.h1)
+	d2 := make([]float64, m.h2)
+
+	const b1c, b2c, eps = 0.9, 0.999, 1e-8
+	t := 0.0
+	order := rng.Perm(len(x))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, r := range order {
+			xi := x[r]
+			out := m.forward(xi, z1, a1, z2, a2)
+			dOut := out - ys[r]
+			// Backward.
+			w3 := m.params[m.offW3():m.offB3()]
+			for j := 0; j < m.h2; j++ {
+				d2[j] = dOut * w3[j] * reluGrad(z2[j])
+			}
+			w2 := m.params[m.offW2():m.offB2()]
+			for j := 0; j < m.h1; j++ {
+				s := 0.0
+				for k := 0; k < m.h2; k++ {
+					s += d2[k] * w2[k*m.h1+j]
+				}
+				d1[j] = s * reluGrad(z1[j])
+			}
+			// Gradients (dense overwrite; every entry is written).
+			g := grad
+			o := m.offW1()
+			for j := 0; j < m.h1; j++ {
+				for k := 0; k < features; k++ {
+					g[o+j*features+k] = d1[j] * xi[k]
+				}
+			}
+			o = m.offB1()
+			copy(g[o:o+m.h1], d1)
+			o = m.offW2()
+			for j := 0; j < m.h2; j++ {
+				for k := 0; k < m.h1; k++ {
+					g[o+j*m.h1+k] = d2[j] * a1[k]
+				}
+			}
+			o = m.offB2()
+			copy(g[o:o+m.h2], d2)
+			o = m.offW3()
+			for j := 0; j < m.h2; j++ {
+				g[o+j] = dOut * a2[j]
+			}
+			g[m.offB3()] = dOut
+			// Adam step over the flat parameter vector.
+			t++
+			corr1 := 1 - math.Pow(b1c, t)
+			corr2 := 1 - math.Pow(b2c, t)
+			for i := 0; i < np; i++ {
+				adamM[i] = b1c*adamM[i] + (1-b1c)*g[i]
+				adamV[i] = b2c*adamV[i] + (1-b2c)*g[i]*g[i]
+				m.params[i] -= cfg.LR * (adamM[i] / corr1) / (math.Sqrt(adamV[i]/corr2) + eps)
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *MLP) forward(x, z1, a1, z2, a2 []float64) float64 {
+	w1 := m.params[m.offW1():m.offB1()]
+	bias1 := m.params[m.offB1():m.offW2()]
+	for j := 0; j < m.h1; j++ {
+		s := bias1[j]
+		row := w1[j*m.features : (j+1)*m.features]
+		for k, v := range x {
+			s += row[k] * v
+		}
+		z1[j] = s
+		a1[j] = relu(s)
+	}
+	w2 := m.params[m.offW2():m.offB2()]
+	bias2 := m.params[m.offB2():m.offW3()]
+	for j := 0; j < m.h2; j++ {
+		s := bias2[j]
+		row := w2[j*m.h1 : (j+1)*m.h1]
+		for k := 0; k < m.h1; k++ {
+			s += row[k] * a1[k]
+		}
+		z2[j] = s
+		a2[j] = relu(s)
+	}
+	w3 := m.params[m.offW3():m.offB3()]
+	out := m.params[m.offB3()]
+	for j := 0; j < m.h2; j++ {
+		out += w3[j] * a2[j]
+	}
+	return out
+}
+
+// Predict implements Regressor.
+func (m *MLP) Predict(x []float64) float64 {
+	z1 := make([]float64, m.h1)
+	a1 := make([]float64, m.h1)
+	z2 := make([]float64, m.h2)
+	a2 := make([]float64, m.h2)
+	return m.forward(x, z1, a1, z2, a2)*m.yStd + m.yMean
+}
+
+// SizeBytes implements Regressor.
+func (m *MLP) SizeBytes() int64 { return int64(len(m.params))*8 + 32 }
+
+func relu(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+func reluGrad(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+func meanStd(y []float64) (mean, std float64) {
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(y)))
+	if std < 1e-9 {
+		std = 1
+	}
+	return mean, std
+}

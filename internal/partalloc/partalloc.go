@@ -1,0 +1,254 @@
+// Package partalloc implements the PartAlloc baseline (Deng, Li, Wen,
+// Feng — PVLDB 2015, reference [11] of the GPH paper), translated from
+// set similarity joins to Hamming search exactly as the paper's
+// experiments do: vectors are divided into τ+1 equi-width partitions;
+// each partition receives a threshold from {−1, 0, 1} with the
+// thresholds summing to 0 (the tight pigeonhole budget τ − m + 1);
+// a greedy allocator chooses which partitions to skip (−1) and which
+// to probe at radius 1, trading posting sizes; radius-1 probes are
+// answered with data-side deletion variants; and a positional
+// (popcount) filter prunes candidates before verification.
+package partalloc
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"gph/internal/bitvec"
+	"gph/internal/invindex"
+	"gph/internal/partition"
+)
+
+// Options configures Build.
+type Options struct {
+	// Arrangement optionally replaces equi-width original order.
+	Arrangement *partition.Partitioning
+}
+
+// Index is an immutable PartAlloc index built for a specific τ.
+type Index struct {
+	dims  int
+	tau   int
+	data  []bitvec.Vector
+	pops  []int32 // popcount per data vector, for the positional filter
+	parts *partition.Partitioning
+	inv   []*invindex.Index
+}
+
+// Stats mirrors core.Stats for the comparison harness.
+type Stats struct {
+	Signatures  int
+	SumPostings int64
+	Candidates  int
+	Results     int
+	Thresholds  []int
+}
+
+// NumPartitions returns PartAlloc's partition count for tau.
+func NumPartitions(dims, tau int) int {
+	m := tau + 1
+	if m < 2 {
+		m = 2
+	}
+	if m > dims {
+		m = dims
+	}
+	return m
+}
+
+// Build constructs the index for queries at threshold tau.
+func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("partalloc: empty data collection")
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("partalloc: negative threshold %d", tau)
+	}
+	dims := data[0].Dims()
+	for i, v := range data {
+		if v.Dims() != dims {
+			return nil, fmt.Errorf("partalloc: vector %d has %d dims, want %d", i, v.Dims(), dims)
+		}
+	}
+	m := NumPartitions(dims, tau)
+	parts := opts.Arrangement
+	if parts == nil {
+		parts = partition.EquiWidth(dims, m)
+	}
+	if parts.NumParts() != m {
+		return nil, fmt.Errorf("partalloc: arrangement has %d parts, τ=%d needs %d", parts.NumParts(), tau, m)
+	}
+	if err := parts.Validate(); err != nil {
+		return nil, fmt.Errorf("partalloc: invalid arrangement: %w", err)
+	}
+	ix := &Index{dims: dims, tau: tau, data: data, parts: parts}
+	ix.pops = make([]int32, len(data))
+	for id, v := range data {
+		ix.pops[id] = int32(v.PopCount())
+	}
+	ix.inv = make([]*invindex.Index, m)
+	for i, dimsI := range parts.Parts {
+		inv := invindex.New()
+		scratch := bitvec.New(len(dimsI))
+		for id, v := range data {
+			v.ProjectInto(dimsI, scratch)
+			inv.AddWithDeletionVariants(scratch, int32(id))
+		}
+		ix.inv[i] = inv
+	}
+	return ix, nil
+}
+
+// Tau returns the threshold the index was built for.
+func (ix *Index) Tau() int { return ix.tau }
+
+// Len returns the collection size.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// SizeBytes reports posting-list memory including deletion variants.
+func (ix *Index) SizeBytes() int64 {
+	var s int64
+	for _, inv := range ix.inv {
+		s += inv.SizeBytes()
+	}
+	return s
+}
+
+// Search returns ids within distance tau of q in ascending order.
+func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	ids, _, err := ix.SearchStats(q, tau)
+	return ids, err
+}
+
+// SearchStats is Search with candidate accounting.
+func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
+	if q.Dims() != ix.dims {
+		return nil, nil, fmt.Errorf("partalloc: query has %d dims, index has %d", q.Dims(), ix.dims)
+	}
+	if tau < 0 {
+		return nil, nil, fmt.Errorf("partalloc: negative threshold %d", tau)
+	}
+	if tau > ix.tau {
+		return nil, nil, fmt.Errorf("partalloc: query τ=%d exceeds build τ=%d", tau, ix.tau)
+	}
+	stats := &Stats{}
+	m := ix.parts.NumParts()
+	projs := make([]bitvec.Vector, m)
+	for i, dimsI := range ix.parts.Parts {
+		projs[i] = q.Project(dimsI)
+	}
+	T := ix.allocate(projs, tau)
+	stats.Thresholds = T
+
+	seen := make([]uint64, (len(ix.data)+63)/64)
+	cands := make([]int32, 0, 256)
+	collect := func(id int32) {
+		stats.SumPostings++
+		w, b := id/64, uint(id)%64
+		if seen[w]>>b&1 == 0 {
+			seen[w] |= 1 << b
+			cands = append(cands, id)
+		}
+	}
+	for i, ti := range T {
+		switch ti {
+		case -1:
+			// skipped
+		case 0:
+			stats.Signatures++
+			for _, id := range ix.inv[i].Postings(projs[i].Key()) {
+				collect(id)
+			}
+		case 1:
+			stats.Signatures += 1 + projs[i].Dims()
+			ix.inv[i].CollectRadius1(projs[i], collect)
+		}
+	}
+	stats.Candidates = len(cands)
+	qp := qPop(projs)
+	results := cands[:0]
+	for _, id := range cands {
+		// Positional filter: H(x, q) ≥ |pop(x) − pop(q)|.
+		d := int(ix.pops[id]) - qp
+		if d > tau || d < -tau {
+			continue
+		}
+		if q.HammingWithin(ix.data[id], tau) {
+			results = append(results, id)
+		}
+	}
+	slices.Sort(results)
+	stats.Results = len(results)
+	return results, stats, nil
+}
+
+func qPop(projs []bitvec.Vector) int {
+	p := 0
+	for _, v := range projs {
+		p += v.PopCount()
+	}
+	return p
+}
+
+// allocate chooses thresholds in {−1, 0, 1} summing to 0 (the general
+// pigeonhole budget for m = τ+1 when the query τ equals the build τ;
+// for smaller query τ the budget τ − m + 1 is negative, forcing more
+// −1 partitions). It greedily pairs the partitions with the largest
+// exact-probe savings (set to −1) against those with the smallest
+// radius-1 penalty (raised to 1).
+func (ix *Index) allocate(projs []bitvec.Vector, tau int) []int {
+	m := len(projs)
+	budget := tau - m + 1 // ≤ 0 by construction (m = buildTau+1 ≥ tau+1)
+	T := make([]int, m)
+	cost0 := make([]int64, m)
+	cost1 := make([]int64, m)
+	for i, proj := range projs {
+		inv := ix.inv[i]
+		c0 := int64(inv.PostingLen(proj.Key()))
+		c1 := c0
+		for j := 0; j < proj.Dims(); j++ {
+			c1 += int64(inv.PostingLen(invindex.DeletionVariantKey(proj, j)))
+		}
+		cost0[i] = c0
+		cost1[i] = c1
+	}
+	// Mandatory −1s: budget < 0 forces |budget| partitions down. Take
+	// the ones with the largest exact-probe cost.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cost0[order[a]] > cost0[order[b]] })
+	forced := -budget
+	for k := 0; k < forced && k < m; k++ {
+		T[order[k]] = -1
+	}
+	// Optional paired moves: set one more partition to −1 (saving its
+	// exact cost) and raise another to +1 (paying its deletion cost)
+	// while the trade is profitable.
+	for {
+		bestGain := int64(0)
+		bestDown, bestUp := -1, -1
+		for i := 0; i < m; i++ {
+			if T[i] != 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if i == j || T[j] != 0 {
+					continue
+				}
+				gain := cost0[i] - (cost1[j] - cost0[j])
+				if gain > bestGain {
+					bestGain, bestDown, bestUp = gain, i, j
+				}
+			}
+		}
+		if bestDown < 0 {
+			break
+		}
+		T[bestDown] = -1
+		T[bestUp] = 1
+	}
+	return T
+}

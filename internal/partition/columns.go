@@ -1,0 +1,75 @@
+package partition
+
+import (
+	"math/bits"
+
+	"gph/internal/bitvec"
+)
+
+// ColumnSet is a column-major bit matrix over a data sample: for each
+// dimension d, Col(d) packs the d-th bit of every sample row into
+// words. It accelerates correlation and entropy computations that scan
+// one dimension across many rows.
+type ColumnSet struct {
+	rows  int
+	words int
+	cols  [][]uint64
+}
+
+// Columns builds a ColumnSet from the sample over n dimensions.
+func Columns(sample []bitvec.Vector, n int) *ColumnSet {
+	words := (len(sample) + 63) / 64
+	cs := &ColumnSet{rows: len(sample), words: words, cols: make([][]uint64, n)}
+	for d := 0; d < n; d++ {
+		cs.cols[d] = make([]uint64, words)
+	}
+	for r, v := range sample {
+		for _, d := range v.OnesIndices() {
+			cs.cols[d][r/64] |= 1 << (uint(r) % 64)
+		}
+	}
+	return cs
+}
+
+// Rows returns the number of sample rows.
+func (cs *ColumnSet) Rows() int { return cs.rows }
+
+// Ones returns the number of rows with dimension d set.
+func (cs *ColumnSet) Ones(d int) int {
+	c := 0
+	for _, w := range cs.cols[d] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndOnes returns |{rows : bit a ∧ bit b}|.
+func (cs *ColumnSet) AndOnes(a, b int) int {
+	c := 0
+	ca, cb := cs.cols[a], cs.cols[b]
+	for i := range ca {
+		c += bits.OnesCount64(ca[i] & cb[i])
+	}
+	return c
+}
+
+// absCorr returns |φ| — the absolute Pearson (phi) correlation of two
+// binary dimensions over the sample, with degenerate (constant)
+// columns treated as uncorrelated.
+func absCorr(cs *ColumnSet, rows, a, b int) float64 {
+	n := float64(rows)
+	if n == 0 {
+		return 0
+	}
+	na, nb := float64(cs.Ones(a)), float64(cs.Ones(b))
+	nab := float64(cs.AndOnes(a, b))
+	den := na * (n - na) * nb * (n - nb)
+	if den <= 0 {
+		return 0
+	}
+	num := nab*n - na*nb
+	if num < 0 {
+		num = -num
+	}
+	return num * num / den // |φ|² avoids a sqrt; ordering is preserved
+}

@@ -1,0 +1,168 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+
+	"gph/internal/bitvec"
+)
+
+// Entropy returns H(D_P) — the Shannon entropy (nats) of the
+// projections of sample onto dims. Lower entropy means the dimensions
+// are more correlated, which the paper's initialization *seeks*:
+// concentrating correlated dimensions lets the online allocator give
+// a partition a large threshold while starving the rest (§V-C).
+func Entropy(sample []bitvec.Vector, dims []int) float64 {
+	if len(sample) == 0 || len(dims) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(sample))
+	scratch := bitvec.New(len(dims))
+	for _, v := range sample {
+		v.ProjectInto(dims, scratch)
+		counts[scratch.Key()]++
+	}
+	n := float64(len(sample))
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// PartitioningEntropy returns H(P) = Σ_i H(D_{P_i}).
+func PartitioningEntropy(sample []bitvec.Vector, p *Partitioning) float64 {
+	total := 0.0
+	for _, part := range p.Parts {
+		total += Entropy(sample, part)
+	}
+	return total
+}
+
+// GreedyInit implements the paper's §V-C initialization: build
+// equi-width partitions one at a time, each time adding the unused
+// dimension that minimizes the partition's entropy over the sample,
+// thereby packing correlated dimensions together.
+func GreedyInit(sample []bitvec.Vector, n, m int) *Partitioning {
+	if m <= 0 || m > n {
+		panic("partition: GreedyInit m out of range")
+	}
+	rows := len(sample)
+	used := make([]bool, n)
+	base, extra := n/m, n%m
+	parts := make([][]int, 0, m)
+
+	// groupID[r] identifies the equivalence class of sample row r under
+	// the projection onto the partition built so far; adding a dimension
+	// splits classes by that bit. Entropy is computed from class sizes.
+	groupID := make([]int, rows)
+	cnt0 := make([]int, 0)
+	cnt1 := make([]int, 0)
+
+	for pi := 0; pi < m; pi++ {
+		width := base
+		if pi < extra {
+			width++
+		}
+		for r := range groupID {
+			groupID[r] = 0
+		}
+		numGroups := 1
+		part := make([]int, 0, width)
+		for len(part) < width {
+			bestD, bestH := -1, math.Inf(1)
+			cnt0 = resize(cnt0, numGroups)
+			cnt1 = resize(cnt1, numGroups)
+			for d := 0; d < n; d++ {
+				if used[d] {
+					continue
+				}
+				for g := 0; g < numGroups; g++ {
+					cnt0[g], cnt1[g] = 0, 0
+				}
+				for r, v := range sample {
+					if v.Bit(d) == 1 {
+						cnt1[groupID[r]]++
+					} else {
+						cnt0[groupID[r]]++
+					}
+				}
+				h := 0.0
+				fn := float64(rows)
+				for g := 0; g < numGroups; g++ {
+					if cnt0[g] > 0 {
+						p := float64(cnt0[g]) / fn
+						h -= p * math.Log(p)
+					}
+					if cnt1[g] > 0 {
+						p := float64(cnt1[g]) / fn
+						h -= p * math.Log(p)
+					}
+				}
+				if h < bestH {
+					bestH, bestD = h, d
+				}
+			}
+			if bestD == -1 {
+				break // no unused dimensions left (only when n < Σ widths)
+			}
+			used[bestD] = true
+			part = append(part, bestD)
+			// Refine groups by the chosen dimension: rows with bit 1 move
+			// to a fresh group id derived from their old one.
+			remap := make(map[int]int, numGroups)
+			for r, v := range sample {
+				if v.Bit(bestD) == 1 {
+					ng, ok := remap[groupID[r]]
+					if !ok {
+						ng = numGroups
+						remap[groupID[r]] = ng
+						numGroups++
+					}
+					groupID[r] = ng
+				}
+			}
+		}
+		parts = append(parts, part)
+	}
+	// Any dimensions never selected (possible only when the sample is
+	// empty) are appended to the last partition to preserve coverage.
+	for d := 0; d < n; d++ {
+		if !used[d] {
+			parts[len(parts)-1] = append(parts[len(parts)-1], d)
+		}
+	}
+	return &Partitioning{Dims: n, Parts: parts}
+}
+
+// RandomInit returns the RS arrangement; it exists alongside
+// GreedyInit/OriginalInit so the Fig. 4 initialization study can name
+// all three uniformly.
+func RandomInit(n, m int, seed int64) *Partitioning { return RandomShuffle(n, m, seed) }
+
+// OriginalInit returns the equi-width original-order arrangement.
+func OriginalInit(n, m int) *Partitioning { return EquiWidth(n, m) }
+
+// SampleRows draws up to limit rows from data without replacement
+// (deterministically from seed); helpers like GreedyInit and the
+// refinement cost model run on such samples.
+func SampleRows(data []bitvec.Vector, limit int, seed int64) []bitvec.Vector {
+	if len(data) <= limit {
+		return data
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(data))[:limit]
+	out := make([]bitvec.Vector, limit)
+	for i, j := range idx {
+		out[i] = data[j]
+	}
+	return out
+}
+
+func resize(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}

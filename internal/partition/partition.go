@@ -1,0 +1,231 @@
+// Package partition implements dimension partitioning for Hamming
+// space indexes: the Partitioning type shared by every algorithm, the
+// paper's entropy-driven greedy initialization (§V-C), the
+// hill-climbing refinement of Algorithm 2 (§V-B), and the dimension
+// rearrangement baselines (OS, DD, RS, OR) evaluated in Fig. 4.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"gph/internal/bitvec"
+)
+
+// Partitioning divides the n dimensions of a vector space into
+// disjoint ordered parts. Parts may have different widths (the paper's
+// variable partitioning); dimension order inside a part determines the
+// bit order of its projections.
+type Partitioning struct {
+	Dims  int
+	Parts [][]int
+}
+
+// NumParts returns the number of partitions.
+func (p *Partitioning) NumParts() int { return len(p.Parts) }
+
+// Widths returns the width (dimension count) of each partition.
+func (p *Partitioning) Widths() []int {
+	w := make([]int, len(p.Parts))
+	for i, part := range p.Parts {
+		w[i] = len(part)
+	}
+	return w
+}
+
+// Validate checks the partitioning invariant: parts are disjoint and
+// their union is exactly {0, …, Dims−1}.
+func (p *Partitioning) Validate() error {
+	seen := make([]bool, p.Dims)
+	total := 0
+	for i, part := range p.Parts {
+		for _, d := range part {
+			if d < 0 || d >= p.Dims {
+				return fmt.Errorf("partition: part %d contains out-of-range dimension %d (dims=%d)", i, d, p.Dims)
+			}
+			if seen[d] {
+				return fmt.Errorf("partition: dimension %d appears in more than one part", d)
+			}
+			seen[d] = true
+			total++
+		}
+	}
+	if total != p.Dims {
+		return fmt.Errorf("partition: parts cover %d of %d dimensions", total, p.Dims)
+	}
+	return nil
+}
+
+// Project returns the projection of v onto partition i.
+func (p *Partitioning) Project(v bitvec.Vector, i int) bitvec.Vector {
+	return v.Project(p.Parts[i])
+}
+
+// Clone returns a deep copy.
+func (p *Partitioning) Clone() *Partitioning {
+	parts := make([][]int, len(p.Parts))
+	for i, part := range p.Parts {
+		parts[i] = append([]int(nil), part...)
+	}
+	return &Partitioning{Dims: p.Dims, Parts: parts}
+}
+
+// DropEmpty removes zero-width partitions (Algorithm 2 may empty a
+// partition; the paper notes the output need not have exactly m
+// parts).
+func (p *Partitioning) DropEmpty() {
+	out := p.Parts[:0]
+	for _, part := range p.Parts {
+		if len(part) > 0 {
+			out = append(out, part)
+		}
+	}
+	p.Parts = out
+}
+
+// String renders the partitioning compactly for logs and tests.
+func (p *Partitioning) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Partitioning(n=%d, m=%d;", p.Dims, len(p.Parts))
+	for _, part := range p.Parts {
+		fmt.Fprintf(&sb, " %v", part)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// EquiWidth partitions dimensions {0..n−1} in their original order
+// into m contiguous parts whose widths differ by at most one. This is
+// the "OR" (original order) baseline and the shape every basic
+// pigeonhole method uses.
+func EquiWidth(n, m int) *Partitioning {
+	return FromOrder(identityOrder(n), m)
+}
+
+// FromOrder deals the given dimension order into m contiguous chunks
+// whose widths differ by at most one. It panics if m is out of range:
+// callers choose m, so a bad m is a programming error.
+func FromOrder(order []int, m int) *Partitioning {
+	n := len(order)
+	if m <= 0 || m > n {
+		panic(fmt.Sprintf("partition: m=%d out of range [1,%d]", m, n))
+	}
+	p := &Partitioning{Dims: n, Parts: make([][]int, m)}
+	base, extra := n/m, n%m
+	pos := 0
+	for i := 0; i < m; i++ {
+		w := base
+		if i < extra {
+			w++
+		}
+		p.Parts[i] = append([]int(nil), order[pos:pos+w]...)
+		pos += w
+	}
+	return p
+}
+
+// RandomShuffle returns an equi-width partitioning over a seeded
+// random permutation of the dimensions (the "RS" baseline).
+func RandomShuffle(n, m int, seed int64) *Partitioning {
+	order := identityOrder(n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return FromOrder(order, m)
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// OS implements the dimension rearrangement of HmSearch [43]: sort
+// dimensions by their 1-frequency and deal them round-robin, so every
+// partition receives a comparable frequency mixture and is roughly
+// uniformly distributed.
+func OS(sample []bitvec.Vector, n, m int) *Partitioning {
+	freq := onesFrequency(sample, n)
+	order := identityOrder(n)
+	sort.SliceStable(order, func(a, b int) bool { return freq[order[a]] > freq[order[b]] })
+	parts := make([][]int, m)
+	for idx, d := range order {
+		parts[idx%m] = append(parts[idx%m], d)
+	}
+	for _, part := range parts {
+		sort.Ints(part)
+	}
+	return &Partitioning{Dims: n, Parts: parts}
+}
+
+// DD implements data-driven rearrangement in the spirit of [36]:
+// dimensions are processed in decreasing skew order and greedily
+// assigned to the partition (with remaining capacity) that minimizes
+// the added intra-partition absolute correlation, spreading correlated
+// dimensions apart — the opposite of the paper's GreedyInit, which is
+// exactly the contrast Fig. 4 measures.
+func DD(sample []bitvec.Vector, n, m int) *Partitioning {
+	cols := Columns(sample, n)
+	freq := onesFrequency(sample, n)
+	order := identityOrder(n)
+	sort.SliceStable(order, func(a, b int) bool {
+		return skewOf(freq[order[a]]) > skewOf(freq[order[b]])
+	})
+	cap0 := n / m
+	extra := n % m
+	capacity := make([]int, m)
+	for i := range capacity {
+		capacity[i] = cap0
+		if i < extra {
+			capacity[i]++
+		}
+	}
+	parts := make([][]int, m)
+	for _, d := range order {
+		best, bestCost := -1, 0.0
+		for i := 0; i < m; i++ {
+			if len(parts[i]) >= capacity[i] {
+				continue
+			}
+			cost := 0.0
+			for _, e := range parts[i] {
+				cost += absCorr(cols, len(sample), d, e)
+			}
+			if best == -1 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		parts[best] = append(parts[best], d)
+	}
+	for _, part := range parts {
+		sort.Ints(part)
+	}
+	return &Partitioning{Dims: n, Parts: parts}
+}
+
+func onesFrequency(sample []bitvec.Vector, n int) []float64 {
+	freq := make([]float64, n)
+	if len(sample) == 0 {
+		return freq
+	}
+	for _, v := range sample {
+		for _, i := range v.OnesIndices() {
+			freq[i]++
+		}
+	}
+	for i := range freq {
+		freq[i] /= float64(len(sample))
+	}
+	return freq
+}
+
+func skewOf(p float64) float64 {
+	s := 2*p - 1
+	if s < 0 {
+		return -s
+	}
+	return s
+}

@@ -1,0 +1,342 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gph/internal/alloc"
+	"gph/internal/bitvec"
+	"gph/internal/candest"
+)
+
+// Workload is the query workload Q of §V: (query, threshold) pairs.
+// The paper computes one partitioning from a workload spanning a range
+// of thresholds and reuses it for every query τ (§VII-E); when no
+// historical workload exists, a sample of the data is the surrogate.
+type Workload struct {
+	Queries []bitvec.Vector
+	Taus    []int
+}
+
+// Validate checks the workload is non-empty and well-formed.
+func (w *Workload) Validate() error {
+	if len(w.Queries) == 0 {
+		return fmt.Errorf("partition: empty workload")
+	}
+	if len(w.Queries) != len(w.Taus) {
+		return fmt.Errorf("partition: %d queries vs %d thresholds", len(w.Queries), len(w.Taus))
+	}
+	for i, t := range w.Taus {
+		if t < 0 {
+			return fmt.Errorf("partition: workload threshold %d is negative (%d)", i, t)
+		}
+	}
+	return nil
+}
+
+// MaxTau returns the largest threshold in the workload.
+func (w *Workload) MaxTau() int {
+	m := 0
+	for _, t := range w.Taus {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// SurrogateWorkload builds a workload from data vectors with
+// thresholds cycling over tauRange, the paper's fallback when no
+// historical queries are available.
+func SurrogateWorkload(data []bitvec.Vector, size int, tauRange []int, seed int64) Workload {
+	if size <= 0 || len(tauRange) == 0 {
+		panic("partition: SurrogateWorkload needs size > 0 and a non-empty tau range")
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	w := Workload{Queries: make([]bitvec.Vector, size), Taus: make([]int, size)}
+	for i := 0; i < size; i++ {
+		w.Queries[i] = data[rng.Intn(len(data))]
+		w.Taus[i] = tauRange[i%len(tauRange)]
+	}
+	return w
+}
+
+// RefineConfig controls Algorithm 2.
+type RefineConfig struct {
+	// MaxMoves caps accepted moves; 0 means 2·n.
+	MaxMoves int
+	// MaxEvals caps move *evaluations* (each one rebuilds two exact
+	// estimators over the sample), bounding build latency
+	// deterministically; 0 means 2500. BestImprovement ignores it.
+	MaxEvals int
+	// TargetsPerDim bounds, per first-improvement scan, how many target
+	// partitions are tried for each dimension (0 means min(3, m−1));
+	// targets are re-randomized every pass, so the reachable move set
+	// is unchanged, only the order of exploration.
+	TargetsPerDim int
+	// BestImprovement selects the paper's literal Algorithm 2 (evaluate
+	// every (dimension, target) move each round and apply the best).
+	// The default first-improvement strategy accepts the first
+	// cost-reducing move per scan, converging to the same local optima
+	// class with far fewer evaluations — the scale adaptation DESIGN.md
+	// documents.
+	BestImprovement bool
+	// EnumBudget forwards to the allocation DP (see alloc.Allocate).
+	EnumBudget int64
+	// TotalRows is the full collection size the sample stands in for;
+	// sample CN counts are scaled by TotalRows/len(sample) so candidate
+	// costs and signature costs stay on the same scale (otherwise the
+	// optimizer under-weights candidates and drifts toward tiny
+	// partitions). 0 means len(sample) (no scaling).
+	TotalRows int
+	// Seed orders the first-improvement scan.
+	Seed int64
+}
+
+// Refine runs Algorithm 2: starting from p, it moves single dimensions
+// between partitions while the workload cost (Σ per-query DP-allocated
+// candidate estimates over the sample) strictly decreases. It returns
+// the refined partitioning (with empty parts dropped) and its final
+// workload cost.
+func Refine(p *Partitioning, sample []bitvec.Vector, wl Workload, cfg RefineConfig) (*Partitioning, int64) {
+	if err := wl.Validate(); err != nil {
+		panic(err)
+	}
+	r := newRefiner(p.Clone(), sample, wl, cfg.EnumBudget, cfg.TotalRows)
+	maxMoves := cfg.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 2 * p.Dims
+	}
+	maxEvals := cfg.MaxEvals
+	if maxEvals <= 0 {
+		maxEvals = 2500
+	}
+	targets := cfg.TargetsPerDim
+	if targets <= 0 {
+		targets = 3
+	}
+	if targets > len(p.Parts)-1 {
+		targets = len(p.Parts) - 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x2ef1))
+
+	cur := r.totalCost()
+	moves, evals := 0, 0
+	for moves < maxMoves {
+		improved := false
+		if cfg.BestImprovement {
+			bestCost, bestD, bestI, bestJ := cur, -1, -1, -1
+			for i := range r.parts {
+				for _, d := range append([]int(nil), r.parts[i]...) {
+					for j := range r.parts {
+						if j == i {
+							continue
+						}
+						if c := r.tryMove(d, i, j); c < bestCost {
+							bestCost, bestD, bestI, bestJ = c, d, i, j
+						}
+					}
+				}
+			}
+			if bestD >= 0 {
+				cur = r.applyMove(bestD, bestI, bestJ)
+				moves++
+				improved = true
+			}
+		} else {
+			dims := rng.Perm(p.Dims)
+		scan:
+			for _, d := range dims {
+				i := r.partOf(d)
+				if len(r.parts[i]) == 1 && r.singleton(i) {
+					continue // moving the only dim of the only non-empty part is pointless
+				}
+				tried := 0
+				for _, j := range rng.Perm(len(r.parts)) {
+					if j == i {
+						continue
+					}
+					if tried >= targets || evals >= maxEvals {
+						break
+					}
+					tried++
+					evals++
+					if c := r.tryMove(d, i, j); c < cur {
+						cur = r.applyMove(d, i, j)
+						moves++
+						improved = true
+						if moves >= maxMoves {
+							break scan
+						}
+						break // d has moved; re-deriving i is a fresh scan's job
+					}
+				}
+				if evals >= maxEvals {
+					break scan
+				}
+			}
+			if evals >= maxEvals {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	out := &Partitioning{Dims: p.Dims, Parts: r.parts}
+	out.DropEmpty()
+	return out, cur
+}
+
+// WorkloadCost evaluates Eq. 2 — the total DP-allocated candidate
+// estimate of the workload under partitioning p — without refining.
+func WorkloadCost(p *Partitioning, sample []bitvec.Vector, wl Workload, enumBudget int64) int64 {
+	r := newRefiner(p.Clone(), sample, wl, enumBudget, 0)
+	return r.totalCost()
+}
+
+// refiner caches per-partition exact estimators and per-(query,
+// partition) CN rows so that evaluating a move only recomputes the two
+// partitions it touches.
+type refiner struct {
+	sample     []bitvec.Vector
+	wl         Workload
+	maxTau     int
+	enumBudget int64
+	scale      float64 // full-collection rows per sample row
+	parts      [][]int
+	ests       []*candest.Exact
+	cn         [][][]int64 // [query][part] → CN row, scaled to full size
+	home       []int       // dimension → partition
+}
+
+func newRefiner(p *Partitioning, sample []bitvec.Vector, wl Workload, enumBudget int64, totalRows int) *refiner {
+	scale := 1.0
+	if totalRows > len(sample) && len(sample) > 0 {
+		scale = float64(totalRows) / float64(len(sample))
+	}
+	r := &refiner{
+		sample:     sample,
+		wl:         wl,
+		maxTau:     wl.MaxTau(),
+		enumBudget: enumBudget,
+		scale:      scale,
+		parts:      p.Parts,
+		home:       make([]int, p.Dims),
+	}
+	r.ests = make([]*candest.Exact, len(r.parts))
+	for i, part := range r.parts {
+		r.ests[i] = candest.NewExact(sample, part)
+		for _, d := range part {
+			r.home[d] = i
+		}
+	}
+	r.cn = make([][][]int64, len(wl.Queries))
+	for qi, q := range wl.Queries {
+		r.cn[qi] = make([][]int64, len(r.parts))
+		for i := range r.parts {
+			row := r.ests[i].CNAll(q, r.maxTau)
+			r.rescale(row)
+			r.cn[qi][i] = row
+		}
+	}
+	return r
+}
+
+// rescale converts a sample CN row to full-collection scale in place.
+func (r *refiner) rescale(row []int64) {
+	if r.scale == 1 {
+		return
+	}
+	for i, v := range row {
+		row[i] = int64(float64(v)*r.scale + 0.5)
+	}
+}
+
+func (r *refiner) partOf(d int) int { return r.home[d] }
+
+// singleton reports whether partition i is the only non-empty one.
+func (r *refiner) singleton(i int) bool {
+	for j, part := range r.parts {
+		if j != i && len(part) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refiner) widths() []int {
+	w := make([]int, len(r.parts))
+	for i, part := range r.parts {
+		w[i] = len(part)
+	}
+	return w
+}
+
+func (r *refiner) totalCost() int64 {
+	widths := r.widths()
+	var total int64
+	for qi := range r.wl.Queries {
+		res := alloc.Allocate(alloc.Table(r.cn[qi]), alloc.Params{
+			Tau: r.wl.Taus[qi], Widths: widths, EnumBudget: r.enumBudget,
+		})
+		total += res.Objective
+	}
+	return total
+}
+
+// tryMove returns the workload cost if dimension d moved from
+// partition i to j, leaving the refiner state untouched.
+func (r *refiner) tryMove(d, i, j int) int64 {
+	newPi := without(r.parts[i], d)
+	newPj := append(append([]int(nil), r.parts[j]...), d)
+	estI := candest.NewExact(r.sample, newPi)
+	estJ := candest.NewExact(r.sample, newPj)
+
+	widths := r.widths()
+	widths[i] = len(newPi)
+	widths[j] = len(newPj)
+	var total int64
+	rowI := make([]int64, r.maxTau+2)
+	rowJ := make([]int64, r.maxTau+2)
+	for qi, q := range r.wl.Queries {
+		estI.CNAllInto(q, rowI)
+		estJ.CNAllInto(q, rowJ)
+		r.rescale(rowI)
+		r.rescale(rowJ)
+		savedI, savedJ := r.cn[qi][i], r.cn[qi][j]
+		r.cn[qi][i], r.cn[qi][j] = rowI, rowJ
+		res := alloc.Allocate(alloc.Table(r.cn[qi]), alloc.Params{
+			Tau: r.wl.Taus[qi], Widths: widths, EnumBudget: r.enumBudget,
+		})
+		r.cn[qi][i], r.cn[qi][j] = savedI, savedJ
+		total += res.Objective
+	}
+	return total
+}
+
+// applyMove commits the move and returns the new total cost.
+func (r *refiner) applyMove(d, i, j int) int64 {
+	r.parts[i] = without(r.parts[i], d)
+	r.parts[j] = append(r.parts[j], d)
+	r.home[d] = j
+	r.ests[i] = candest.NewExact(r.sample, r.parts[i])
+	r.ests[j] = candest.NewExact(r.sample, r.parts[j])
+	for qi, q := range r.wl.Queries {
+		r.cn[qi][i] = r.ests[i].CNAll(q, r.maxTau)
+		r.cn[qi][j] = r.ests[j].CNAll(q, r.maxTau)
+		r.rescale(r.cn[qi][i])
+		r.rescale(r.cn[qi][j])
+	}
+	return r.totalCost()
+}
+
+func without(s []int, d int) []int {
+	out := make([]int, 0, len(s)-1)
+	for _, v := range s {
+		if v != d {
+			out = append(out, v)
+		}
+	}
+	return out
+}
