@@ -77,16 +77,22 @@ func BenchmarkSearchGIST(b *testing.B)    { benchSearch(b, "gist", 10000, 12) }
 func BenchmarkSearchPubChem(b *testing.B) { benchSearch(b, "pubchem", 5000, 16) }
 func BenchmarkSearchUQVideo(b *testing.B) { benchSearch(b, "uqvideo", 10000, 16) }
 
-func BenchmarkBuildGIST(b *testing.B) {
+func benchBuild(b *testing.B, parallelism int) {
+	b.Helper()
 	ds := datagen.GISTLike(5000, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := gph.Build(ds.Vectors, gph.Options{Seed: 1, MaxTau: 16}); err != nil {
+		opts := gph.Options{Seed: 1, MaxTau: 16, BuildParallelism: parallelism}
+		if _, err := gph.Build(ds.Vectors, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkBuildGIST(b *testing.B)         { benchBuild(b, 0) } // GOMAXPROCS workers
+func BenchmarkBuildGISTSerial(b *testing.B)   { benchBuild(b, 1) }
+func BenchmarkBuildGISTParallel(b *testing.B) { benchBuild(b, 4) }
 
 func BenchmarkBatchSearch(b *testing.B) {
 	ds := datagen.UQVideoLike(10000, 1)

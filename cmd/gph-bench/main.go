@@ -18,11 +18,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list) or \"all\"")
-		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
-		queries = flag.Int("queries", 30, "queries per measurement point")
-		seed    = flag.Int64("seed", 42, "seed for data generation")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "", "experiment id (see -list) or \"all\"")
+		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
+		queries  = flag.Int("queries", 30, "queries per measurement point")
+		seed     = flag.Int64("seed", 42, "seed for data generation")
+		buildPar = flag.Int("build-parallelism", 0, "GPH index-build worker count (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -38,10 +39,11 @@ func main() {
 	}
 
 	r := bench.NewRunner(bench.Config{
-		Scale:   *scale,
-		Queries: *queries,
-		Seed:    *seed,
-		Out:     os.Stdout,
+		Scale:            *scale,
+		Queries:          *queries,
+		Seed:             *seed,
+		BuildParallelism: *buildPar,
+		Out:              os.Stdout,
 	})
 	var err error
 	if *exp == "all" {

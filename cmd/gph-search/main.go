@@ -29,10 +29,11 @@ func main() {
 		sample    = flag.Int("sample", 0, "answer this many sampled data vectors as queries")
 		m         = flag.Int("m", 0, "partition count (0 = auto, ≈ dims/24)")
 		seed      = flag.Int64("seed", 42, "build seed")
+		buildPar  = flag.Int("build-parallelism", 0, "index-build worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	index, data, err := openIndex(*dataPath, *indexPath, *m, *seed)
+	index, data, err := openIndex(*dataPath, *indexPath, *m, *buildPar, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
 		os.Exit(1)
@@ -98,7 +99,7 @@ func main() {
 	}
 }
 
-func openIndex(dataPath, indexPath string, m int, seed int64) (*gph.Index, *datagen.Dataset, error) {
+func openIndex(dataPath, indexPath string, m, buildPar int, seed int64) (*gph.Index, *datagen.Dataset, error) {
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {
@@ -124,7 +125,7 @@ func openIndex(dataPath, indexPath string, m int, seed int64) (*gph.Index, *data
 		return nil, nil, fmt.Errorf("loading dataset: %w", err)
 	}
 	start := time.Now()
-	ix, err := gph.Build(ds.Vectors, gph.Options{NumPartitions: m, Seed: seed})
+	ix, err := gph.Build(ds.Vectors, gph.Options{NumPartitions: m, Seed: seed, BuildParallelism: buildPar})
 	if err != nil {
 		return nil, nil, fmt.Errorf("building index: %w", err)
 	}

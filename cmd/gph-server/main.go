@@ -9,16 +9,24 @@
 //
 //	gph-server -data corpus.ds -addr :8080
 //	gph-server -gen uqvideo -n 20000 -addr :8080
+//
+// The server carries read/write timeouts, caps POST batch sizes
+// (-max-batch, oversize → 413), and shuts down gracefully on SIGINT
+// or SIGTERM, draining in-flight requests.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"gph"
@@ -26,7 +34,8 @@ import (
 )
 
 type server struct {
-	index *gph.Index
+	index    *gph.Index
+	maxBatch int
 }
 
 type searchResponse struct {
@@ -49,6 +58,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "seed")
 		m        = flag.Int("m", 0, "partition count (0 = auto)")
 		addr     = flag.String("addr", ":8080", "listen address")
+		buildPar = flag.Int("build-parallelism", 0, "index-build worker count (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 1024, "maximum queries per POST /search batch")
 	)
 	flag.Parse()
 
@@ -57,7 +68,9 @@ func main() {
 		log.Fatalf("gph-server: %v", err)
 	}
 	start := time.Now()
-	index, err := gph.Build(ds.Vectors, gph.Options{NumPartitions: *m, Seed: *seed})
+	index, err := gph.Build(ds.Vectors, gph.Options{
+		NumPartitions: *m, Seed: *seed, BuildParallelism: *buildPar,
+	})
 	if err != nil {
 		log.Fatalf("gph-server: building index: %v", err)
 	}
@@ -65,12 +78,39 @@ func main() {
 		index.Len(), index.Dims(), time.Since(start).Round(time.Millisecond),
 		float64(index.SizeBytes())/(1<<20))
 
-	s := &server{index: index}
+	s := &server{index: index, maxBatch: *maxBatch}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/search", s.handleSearch)
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatalf("gph-server: %v", err)
+	case <-ctx.Done():
+		log.Printf("signal received; draining connections")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("gph-server: shutdown: %v", err)
+		}
+		log.Printf("shutdown complete")
+	}
 }
 
 func loadOrGenerate(dataPath, gen string, n int, seed int64) (*datagen.Dataset, error) {
@@ -107,6 +147,31 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// searchStatus distinguishes client mistakes (gph.ErrInvalidQuery:
+// wrong dimensionality, negative threshold → 400) from internal
+// search failures (→ 500). The classification lives in core, so the
+// edge cannot drift from what the library actually validates. A
+// joined batch error is a client error only when every failure is —
+// a 400 must not mask a concurrent internal failure.
+func searchStatus(err error) int {
+	if allInvalidQuery(err) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func allInvalidQuery(err error) bool {
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range joined.Unwrap() {
+			if !allInvalidQuery(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return errors.Is(err, gph.ErrInvalidQuery)
+}
+
 func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 	q, err := gph.VectorFromString(r.URL.Query().Get("q"))
 	if err != nil {
@@ -121,7 +186,7 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ids, stats, err := s.index.SearchStats(q, tau)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, searchStatus(err), "%v", err)
 		return
 	}
 	resp := searchResponse{
@@ -137,9 +202,26 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) searchBatch(w http.ResponseWriter, r *http.Request) {
+	if s.maxBatch > 0 {
+		// A '0'/'1' query string costs Dims bytes plus JSON quoting
+		// and separators; anything past this bound cannot be a legal
+		// batch, so cut the read off early.
+		maxBody := int64(s.maxBatch)*int64(s.index.Dims()+16) + 4096
+		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if s.maxBatch > 0 && len(req.Queries) > s.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d queries exceeds limit %d", len(req.Queries), s.maxBatch)
 		return
 	}
 	queries := make([]gph.Vector, len(req.Queries))
@@ -154,7 +236,10 @@ func (s *server) searchBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	results, err := s.index.SearchBatch(queries, req.Tau, 0)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		// SearchBatch joins per-query errors ("query %d: ...") and
+		// keeps sibling results; report the failures with a status
+		// matching their kind.
+		httpError(w, searchStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{

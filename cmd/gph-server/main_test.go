@@ -105,11 +105,59 @@ func TestSearchBatchPost(t *testing.T) {
 	}
 }
 
+func TestSearchBatchTooLarge(t *testing.T) {
+	s := testServer(t)
+	s.maxBatch = 2
+	req := batchRequest{
+		Queries: []string{
+			s.index.Vector(0).String(),
+			s.index.Vector(1).String(),
+			s.index.Vector(2).String(),
+		},
+		Tau: 6,
+	}
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize batch → %d, want 413", rec.Code)
+	}
+}
+
+func TestSearchBatchBadQueryDims(t *testing.T) {
+	s := testServer(t)
+	s.maxBatch = 16
+	req := batchRequest{
+		Queries: []string{s.index.Vector(0).String(), "0101"},
+		Tau:     6,
+	}
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("wrong-dimension query → %d, want 400", rec.Code)
+	}
+}
+
 func TestSearchBatchPostBadBody(t *testing.T) {
 	s := testServer(t)
 	rec := httptest.NewRecorder()
 	s.handleSearch(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader([]byte("{nope"))))
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("bad body → %d", rec.Code)
+	}
+}
+
+func TestSearchBatchBodyTooLarge(t *testing.T) {
+	s := testServer(t)
+	s.maxBatch = 2
+	// Any body past maxBatch*(dims+16)+4096 bytes trips the
+	// MaxBytesReader before JSON decoding completes.
+	huge := bytes.Repeat([]byte("0"), 64<<10)
+	body := append([]byte(`{"queries":["`), huge...)
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodPost, "/search", bytes.NewReader(body)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body → %d, want 413", rec.Code)
 	}
 }

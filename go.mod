@@ -1,0 +1,3 @@
+module gph
+
+go 1.24

@@ -91,6 +91,11 @@ const (
 	EstimatorMLP          = core.EstimatorMLP
 )
 
+// ErrInvalidQuery marks search errors caused by the caller's query
+// input (wrong dimensionality, negative threshold) rather than an
+// internal failure; match with errors.Is.
+var ErrInvalidQuery = core.ErrInvalidQuery
+
 // Build constructs a GPH index over data. The slice is retained;
 // callers must not mutate the vectors afterwards.
 func Build(data []Vector, opts Options) (*Index, error) { return core.Build(data, opts) }

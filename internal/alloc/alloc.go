@@ -118,6 +118,52 @@ type Result struct {
 	Fallback bool
 }
 
+// Scratch holds the DP's working grids so repeated allocations (one
+// per query, and one per candidate move during partitioning
+// refinement) reuse memory instead of reallocating O(m·τ) cells each
+// time. The zero value is ready to use; a Scratch is not safe for
+// concurrent use.
+type Scratch struct {
+	cost grid[int64]
+	opt  grid[int64]
+	path grid[int16]
+	maxE []int
+}
+
+// grid is a reusable rows×cols matrix backed by one flat slice;
+// reshape re-fills it, so no stale state survives between
+// allocations.
+type grid[T int64 | int16] struct {
+	rows [][]T
+	flat []T
+}
+
+func (g *grid[T]) reshape(rows, cols int, fill T) [][]T {
+	if cap(g.rows) < rows {
+		g.rows = make([][]T, rows)
+	}
+	g.rows = g.rows[:rows]
+	need := rows * cols
+	if cap(g.flat) < need {
+		g.flat = make([]T, need)
+	}
+	g.flat = g.flat[:need]
+	for i := range g.flat {
+		g.flat[i] = fill
+	}
+	for i := 0; i < rows; i++ {
+		g.rows[i] = g.flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return g.rows
+}
+
+func (s *Scratch) ints(n int) []int {
+	if cap(s.maxE) < n {
+		s.maxE = make([]int, n)
+	}
+	return s.maxE[:n]
+}
+
 // Allocate runs Algorithm 1: given the CN table for a query, the
 // partition widths, and the query threshold tau, it returns the
 // threshold vector minimizing the estimated cost subject to
@@ -134,6 +180,15 @@ type Result struct {
 // is set instead of returning thresholds that would explode
 // enumeration.
 func Allocate(cn Table, p Params) Result {
+	var s Scratch
+	return AllocateScratch(cn, p, &s)
+}
+
+// AllocateScratch is Allocate with caller-provided working memory;
+// hot paths keep one Scratch per worker and allocate (almost) nothing
+// per call. Result.Thresholds is always freshly allocated and safe to
+// retain.
+func AllocateScratch(cn Table, p Params, s *Scratch) Result {
 	if len(cn) != len(p.Widths) {
 		panic(fmt.Sprintf("alloc: %d CN rows vs %d widths", len(cn), len(p.Widths)))
 	}
@@ -145,7 +200,7 @@ func Allocate(cn Table, p Params) Result {
 		panic(fmt.Sprintf("alloc: negative tau %d", p.Tau))
 	}
 	if p.EnumBudget <= 0 {
-		res, ok := allocate(cn, p, 0)
+		res, ok := allocate(cn, p, 0, s)
 		if !ok {
 			// Unreachable: T = [−1, …, −1, tau] is always valid with no budget.
 			panic("alloc: no feasible allocation")
@@ -154,7 +209,7 @@ func Allocate(cn Table, p Params) Result {
 	}
 	budget := p.EnumBudget
 	for attempt := 0; attempt < 3; attempt++ {
-		if res, ok := allocate(cn, p, budget); ok {
+		if res, ok := allocate(cn, p, budget, s); ok {
 			res.EffectiveBudget = budget
 			return res
 		}
@@ -169,7 +224,7 @@ func Allocate(cn Table, p Params) Result {
 // across a workload cannot overflow.
 const FallbackCost = 1 << 40
 
-func allocate(cn Table, p Params, enumBudget int64) (Result, bool) {
+func allocate(cn Table, p Params, enumBudget int64, s *Scratch) (Result, bool) {
 	m := len(cn)
 	tau := p.Tau
 	target := tau - m + 1
@@ -179,9 +234,9 @@ func allocate(cn Table, p Params, enumBudget int64) (Result, bool) {
 	// CN(qᵢ, e) + SigWeight·ball(widthᵢ, e); infeasible entries carry
 	// the +∞ sentinel.
 	weight := p.sigWeight()
-	cost := make([][]int64, m)
+	cost := s.cost.reshape(m, tau+2, infeasible)
 	for i := range cost {
-		cost[i] = costRow(cn[i], p.Widths[i], tau, enumBudget, weight)
+		costRowInto(cost[i], cn[i], p.Widths[i], tau, enumBudget, weight)
 	}
 	feasible := func(i, e int) bool { return cost[i][e+1] < infeasible }
 	cnAt := func(i, e int) int64 {
@@ -196,7 +251,7 @@ func allocate(cn Table, p Params, enumBudget int64) (Result, bool) {
 
 	// maxE[i] is the largest feasible threshold for partition i; the
 	// inner loop never needs to look beyond it.
-	maxE := make([]int, m)
+	maxE := s.ints(m)
 	for i := range maxE {
 		maxE[i] = -1
 		for e := tau; e >= 0; e-- {
@@ -211,15 +266,8 @@ func allocate(cn Table, p Params, enumBudget int64) (Result, bool) {
 	// e_j ∈ [−1, maxE[j]]. t ranges over [−m, tau].
 	off := m
 	span := tau + m + 1
-	opt := make([][]int64, m)
-	path := make([][]int16, m)
-	for i := range opt {
-		opt[i] = make([]int64, span)
-		path[i] = make([]int16, span)
-		for t := range opt[i] {
-			opt[i][t] = infeasible
-		}
-	}
+	opt := s.opt.reshape(m, span, infeasible)
+	path := s.path.reshape(m, span, 0)
 	for e := -1; e <= maxE[0]; e++ {
 		if !feasible(0, e) {
 			continue
@@ -279,17 +327,14 @@ func allocate(cn Table, p Params, enumBudget int64) (Result, bool) {
 	return Result{Thresholds: T, SumCN: sumCN, Objective: opt[m-1][target+off]}, true
 }
 
-// costRow computes, for one partition of the given width, the DP
+// costRowInto computes, for one partition of the given width, the DP
 // weight of each threshold e ∈ [−1, tau]: the CN estimate plus the
-// weighted Hamming-ball size (the signature term). Entries whose ball
-// exceeds the enumeration budget (or overflows) carry the +∞ sentinel;
-// ball sizes grow cumulatively, so one incremental pass suffices and
-// once a radius is infeasible all larger radii are too.
-func costRow(cnRow []int64, width, tau int, enumBudget int64, weight float64) []int64 {
-	row := make([]int64, tau+2)
-	for e := range row {
-		row[e] = infeasible
-	}
+// weighted Hamming-ball size (the signature term). row has length
+// tau+2 and arrives pre-filled with the +∞ sentinel, which entries
+// whose ball exceeds the enumeration budget (or overflows) keep; ball
+// sizes grow cumulatively, so one incremental pass suffices and once
+// a radius is infeasible all larger radii are too.
+func costRowInto(row, cnRow []int64, width, tau int, enumBudget int64, weight float64) {
 	row[0] = 0 // e = −1 enumerates nothing and admits no candidates
 	var total uint64
 	for e := 0; e <= tau; e++ {
@@ -311,7 +356,6 @@ func costRow(cnRow []int64, width, tau int, enumBudget int64, weight float64) []
 		}
 		row[e+1] = v
 	}
-	return row
 }
 
 // RoundRobin is the baseline allocator of §VII-C: thresholds start at

@@ -25,6 +25,10 @@ type Config struct {
 	Queries int
 	// Seed drives all data generation and randomized choices.
 	Seed int64
+	// BuildParallelism bounds the GPH index-build worker pool
+	// (core.Options.BuildParallelism); ≤ 0 selects GOMAXPROCS. The
+	// build-time tables (Table IV) reflect the setting.
+	BuildParallelism int
 	// Out receives the rendered tables (default io.Discard).
 	Out io.Writer
 	// Verbose adds per-query progress.

@@ -21,9 +21,10 @@ func (r *Runner) buildGPH(c *cachedDataset, m int) (*core.Index, error) {
 		return ix, nil
 	}
 	ix, err := core.Build(c.data.Vectors, core.Options{
-		NumPartitions: m,
-		MaxTau:        maxOf(c.spec.taus),
-		Seed:          r.cfg.Seed,
+		NumPartitions:    m,
+		MaxTau:           maxOf(c.spec.taus),
+		Seed:             r.cfg.Seed,
+		BuildParallelism: r.cfg.BuildParallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: building GPH on %s: %w", c.spec.name, err)

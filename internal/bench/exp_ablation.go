@@ -38,9 +38,10 @@ func (r *Runner) Ablation() error {
 		ixs := make([]*core.Index, len(variants))
 		for vi, v := range variants {
 			base := core.Options{
-				NumPartitions: c.spec.m,
-				MaxTau:        maxOf(c.spec.taus),
-				Seed:          r.cfg.Seed,
+				NumPartitions:    c.spec.m,
+				MaxTau:           maxOf(c.spec.taus),
+				Seed:             r.cfg.Seed,
+				BuildParallelism: r.cfg.BuildParallelism,
 			}
 			ix, err := core.Build(c.data.Vectors, v.opts(base))
 			if err != nil {

@@ -22,12 +22,13 @@ func (r *Runner) Fig3() error {
 		maxTau := maxOf(c.spec.taus)
 		build := func(kind core.AllocatorKind) (*core.Index, error) {
 			return core.Build(c.data.Vectors, core.Options{
-				NumPartitions: c.spec.m,
-				Init:          core.InitRandom, // the experiment isolates allocation policy
-				NoRefine:      true,
-				Allocator:     kind,
-				MaxTau:        maxTau,
-				Seed:          r.cfg.Seed,
+				NumPartitions:    c.spec.m,
+				Init:             core.InitRandom, // the experiment isolates allocation policy
+				NoRefine:         true,
+				Allocator:        kind,
+				MaxTau:           maxTau,
+				Seed:             r.cfg.Seed,
+				BuildParallelism: r.cfg.BuildParallelism,
 			})
 		}
 		dp, err := build(core.AllocDP)

@@ -65,7 +65,10 @@ func (r *Runner) Table4() error {
 	}
 	mihSecs := time.Since(start).Seconds()
 
-	gphIx, err := core.Build(data, core.Options{NumPartitions: c.spec.m, MaxTau: 64, Seed: r.cfg.Seed})
+	gphIx, err := core.Build(data, core.Options{
+		NumPartitions: c.spec.m, MaxTau: 64, Seed: r.cfg.Seed,
+		BuildParallelism: r.cfg.BuildParallelism,
+	})
 	if err != nil {
 		return err
 	}

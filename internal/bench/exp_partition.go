@@ -49,11 +49,12 @@ func (r *Runner) Fig4() error {
 			ixs := make([]*core.Index, len(group.variants))
 			for vi, v := range group.variants {
 				ix, err := core.Build(c.data.Vectors, core.Options{
-					NumPartitions: c.spec.m,
-					Init:          v.init,
-					NoRefine:      v.noRefine,
-					MaxTau:        maxOf(c.spec.taus),
-					Seed:          r.cfg.Seed,
+					NumPartitions:    c.spec.m,
+					Init:             v.init,
+					NoRefine:         v.noRefine,
+					MaxTau:           maxOf(c.spec.taus),
+					Seed:             r.cfg.Seed,
+					BuildParallelism: r.cfg.BuildParallelism,
 				})
 				if err != nil {
 					return fmt.Errorf("building %s on %s: %w", v.label, name, err)

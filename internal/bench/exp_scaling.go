@@ -36,6 +36,7 @@ func (r *Runner) Fig8ac() error {
 			}
 			gphIx, err := core.Build(sub.Vectors, core.Options{
 				NumPartitions: m, MaxTau: tau * 2, Seed: r.cfg.Seed,
+				BuildParallelism: r.cfg.BuildParallelism,
 			})
 			if err != nil {
 				return err
@@ -88,7 +89,10 @@ func (r *Runner) Fig8d() error {
 	for _, gamma := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
 		ds := dataset.Synthetic(n, 128, gamma, r.cfg.Seed)
 		qs := dataset.PerturbQueries(ds, r.cfg.Queries, 4, r.cfg.Seed+1)
-		gphIx, err := core.Build(ds.Vectors, core.Options{NumPartitions: 6, MaxTau: 24, Seed: r.cfg.Seed})
+		gphIx, err := core.Build(ds.Vectors, core.Options{
+			NumPartitions: 6, MaxTau: 24, Seed: r.cfg.Seed,
+			BuildParallelism: r.cfg.BuildParallelism,
+		})
 		if err != nil {
 			return err
 		}
@@ -137,6 +141,7 @@ func (r *Runner) Fig8ef() error {
 			wl := partition.SurrogateWorkload(pool.Vectors, 40, taus, r.cfg.Seed)
 			return core.Build(ds.Vectors, core.Options{
 				NumPartitions: 6, MaxTau: 12, Seed: r.cfg.Seed, Workload: &wl,
+				BuildParallelism: r.cfg.BuildParallelism,
 			})
 		}
 		matched, err := build(setup.queryGamma)

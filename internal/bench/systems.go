@@ -38,10 +38,13 @@ type system struct {
 }
 
 // gphSystem builds GPH with the harness defaults: greedy init +
-// refinement, exact estimator, paper-recommended m.
-func gphSystem(m, maxTau int) system {
+// refinement, exact estimator, paper-recommended m. buildPar bounds
+// the build worker pool (≤ 0 selects GOMAXPROCS).
+func gphSystem(m, maxTau, buildPar int) system {
 	return system{name: "GPH", build: func(data []bitvec.Vector, _ int, seed int64) (searcher, error) {
-		ix, err := core.Build(data, core.Options{NumPartitions: m, MaxTau: maxTau, Seed: seed})
+		ix, err := core.Build(data, core.Options{
+			NumPartitions: m, MaxTau: maxTau, Seed: seed, BuildParallelism: buildPar,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -101,9 +104,9 @@ func lshSystem() system {
 	}}
 }
 
-func allSystems(spec datasetSpec, maxTau int) []system {
+func allSystems(spec datasetSpec, maxTau, buildPar int) []system {
 	return []system{
-		gphSystem(spec.m, maxTau),
+		gphSystem(spec.m, maxTau, buildPar),
 		mihSystem(spec.m),
 		hmSystem(),
 		paSystem(),

@@ -213,6 +213,36 @@ func (v Vector) Xor(u Vector) Vector {
 	return out
 }
 
+// CloneInto copies v into dst's storage when dst has enough capacity,
+// allocating a fresh vector otherwise, and returns the result. It is
+// the storage-reusing form of Clone used by enumeration hot paths.
+func (v Vector) CloneInto(dst Vector) Vector {
+	if cap(dst.words) < len(v.words) {
+		return v.Clone()
+	}
+	dst.words = dst.words[:len(v.words)]
+	copy(dst.words, v.words)
+	dst.n = v.n
+	return dst
+}
+
+// Resized returns a vector with n dimensions, reusing v's word
+// storage when it is large enough. The contents are unspecified —
+// the caller must fully overwrite them (ProjectInto does) before any
+// read, including the tail bits beyond n. Hot paths use it to keep
+// one scratch vector across partitions of different widths without
+// paying a clear that the subsequent overwrite repeats.
+func (v Vector) Resized(n int) Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative dimension count %d", n))
+	}
+	w := wordsFor(n)
+	if cap(v.words) < w {
+		return New(n)
+	}
+	return Vector{n: n, words: v.words[:w]}
+}
+
 // Project extracts the bits at dims (in order) into a new
 // len(dims)-dimensional vector. Projections are how partitions view
 // their slice of a vector.

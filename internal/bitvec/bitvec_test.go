@@ -279,3 +279,46 @@ func TestEqualDifferentDims(t *testing.T) {
 		t.Fatal("vectors of different dims compared equal")
 	}
 }
+
+func TestCloneInto(t *testing.T) {
+	src := MustFromString("101100101")
+	// Too-small destination: must fall back to a fresh clone.
+	got := src.CloneInto(New(3))
+	if !got.Equal(src) {
+		t.Fatalf("CloneInto = %v, want %v", got, src)
+	}
+	// Large destination: storage reused, contents equal.
+	dst := New(192)
+	dst.Set(150)
+	got = src.CloneInto(dst)
+	if !got.Equal(src) {
+		t.Fatalf("CloneInto = %v, want %v", got, src)
+	}
+	got.Flip(0)
+	if src.Bit(0) != 1 {
+		t.Fatal("CloneInto result aliases the source")
+	}
+}
+
+func TestResizedThenProjectInto(t *testing.T) {
+	// Resized contents are unspecified; ProjectInto must fully
+	// overwrite them, including tail bits beyond the new length.
+	wide := New(128)
+	for i := 0; i < 128; i++ {
+		wide.Set(i)
+	}
+	src := MustFromString("0110")
+	proj := wide.Resized(2)
+	src.ProjectInto([]int{1, 0}, proj)
+	if proj.Dims() != 2 || proj.Bit(0) != 1 || proj.Bit(1) != 0 {
+		t.Fatalf("projection after Resized = %v", proj)
+	}
+	if proj.PopCount() != 1 {
+		t.Fatalf("stale bits survived ProjectInto: popcount %d", proj.PopCount())
+	}
+	// Growth beyond capacity allocates.
+	grown := proj.Resized(512)
+	if grown.Dims() != 512 {
+		t.Fatalf("Resized(512) has %d dims", grown.Dims())
+	}
+}

@@ -95,15 +95,35 @@ func (e *Exact) CNAll(q bitvec.Vector, maxTau int) []int64 {
 	return out
 }
 
-// CNAllInto is the allocation-free variant: out must have length
+// CNAllInto fills a caller-provided row: out must have length
 // maxTau+2 and is overwritten.
 func (e *Exact) CNAllInto(q bitvec.Vector, out []int64) {
+	var s Scratch
+	e.CNAllIntoScratch(q, out, &s)
+}
+
+// Scratch holds the projection and histogram buffers one CNAll
+// evaluation needs; reusing it across calls (and across estimators —
+// buffers resize to each partition's width) makes estimation
+// allocation-free. A Scratch is not safe for concurrent use.
+type Scratch struct {
+	proj bitvec.Vector
+	hist []int64
+}
+
+// CNAllIntoScratch is CNAllInto with caller-provided working memory,
+// the form query hot paths use.
+func (e *Exact) CNAllIntoScratch(q bitvec.Vector, out []int64, s *Scratch) {
 	w := len(e.dims)
-	proj := bitvec.New(w)
-	q.ProjectInto(e.dims, proj)
-	hist := make([]int64, w+1)
+	s.proj = s.proj.Resized(w)
+	q.ProjectInto(e.dims, s.proj)
+	if cap(s.hist) < w+1 {
+		s.hist = make([]int64, w+1)
+	}
+	hist := s.hist[:w+1]
+	clear(hist)
 	for i, dv := range e.distinct {
-		hist[proj.Hamming(dv)] += int64(e.counts[i])
+		hist[s.proj.Hamming(dv)] += int64(e.counts[i])
 	}
 	out[0] = 0 // e = −1: negative thresholds generate no candidates
 	var cum int64

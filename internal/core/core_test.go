@@ -253,6 +253,41 @@ func TestPersistRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPersistRoundTripOptions guards against the GPHIX01 regression:
+// Init and Allocator were dropped by Save, so a round-tripped index
+// built with AllocRR silently answered queries with the DP allocator.
+func TestPersistRoundTripOptions(t *testing.T) {
+	data := testData(t, 300, 12)
+	ix := buildSmall(t, data, Options{
+		NumPartitions: 4,
+		Seed:          1,
+		Init:          InitRandom,
+		Allocator:     AllocRR,
+		Estimator:     EstimatorSubPartition,
+	})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := loaded.Options(), ix.Options()
+	if got.Init != want.Init {
+		t.Errorf("Init round-tripped as %v, want %v", got.Init, want.Init)
+	}
+	if got.Allocator != want.Allocator {
+		t.Errorf("Allocator round-tripped as %v, want %v", got.Allocator, want.Allocator)
+	}
+	if got.Estimator != want.Estimator {
+		t.Errorf("Estimator round-tripped as %v, want %v", got.Estimator, want.Estimator)
+	}
+	if got.MaxTau != want.MaxTau || got.EnumBudget != want.EnumBudget || got.Seed != want.Seed {
+		t.Errorf("scalar options round-tripped as %+v, want %+v", got, want)
+	}
+}
+
 func TestPersistDeterministic(t *testing.T) {
 	data := testData(t, 150, 13)
 	ix := buildSmall(t, data, Options{NumPartitions: 3, Seed: 1})

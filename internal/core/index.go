@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gph/internal/alloc"
@@ -21,6 +24,11 @@ type Index struct {
 	ests  []candest.Estimator
 	opts  Options
 	stats BuildStats
+
+	// scratch pools per-query working memory (seen bitmap, key
+	// buffer, candidate and CN-table slices) so steady-state searches
+	// allocate almost nothing; see search.go.
+	scratch sync.Pool
 }
 
 // BuildStats records where index construction time went; Table IV
@@ -70,10 +78,14 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	ix.parts = parts
 	ix.stats.PartitionNanos = time.Since(start).Nanoseconds()
 
-	// Offline phase 2: per-partition inverted indexes.
+	// Offline phase 2: per-partition inverted indexes. Partitions are
+	// independent, so construction fans out over a bounded worker
+	// pool; each partition is built whole by one worker, which keeps
+	// the result identical to a serial build.
 	start = time.Now()
 	ix.inv = make([]*invindex.Index, parts.NumParts())
-	for i, dimsI := range parts.Parts {
+	err = forEachPartition(opts.BuildParallelism, parts.NumParts(), func(i int) error {
+		dimsI := parts.Parts[i]
 		inv := invindex.New()
 		scratch := bitvec.New(len(dimsI))
 		var keyBuf []byte
@@ -83,21 +95,82 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 			inv.Add(string(keyBuf), int32(id))
 		}
 		ix.inv[i] = inv
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	ix.stats.IndexNanos = time.Since(start).Nanoseconds()
 
-	// Offline phase 3: candidate-number estimators.
+	// Offline phase 3: candidate-number estimators, on the same pool.
+	// Learned estimators are seeded per partition (opts.Seed ^ i), so
+	// training is reproducible under any schedule.
 	start = time.Now()
 	ix.ests = make([]candest.Estimator, parts.NumParts())
-	for i, dimsI := range parts.Parts {
-		est, err := buildEstimator(data, dimsI, opts, int64(i))
+	err = forEachPartition(opts.BuildParallelism, parts.NumParts(), func(i int) error {
+		est, err := buildEstimator(data, parts.Parts[i], opts, int64(i))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ix.ests[i] = est
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	ix.stats.EstimatorNanos = time.Since(start).Nanoseconds()
 	return ix, nil
+}
+
+// forEachPartition runs fn(0..n-1) on up to parallelism workers
+// (≤ 0 selects GOMAXPROCS) and returns the lowest-numbered recorded
+// error. A failure stops workers from starting further partitions —
+// estimator training can be expensive, so the failure path should not
+// finish the whole build first. Every started fn call completes
+// before forEachPartition returns, so callers may read the filled
+// slices without synchronization.
+func forEachPartition(parallelism, n int, fn func(i int) error) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func defaultTauRange(maxTau int) []int {

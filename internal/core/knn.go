@@ -22,10 +22,10 @@ type Neighbor struct {
 // data.
 func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]Neighbor, error) {
 	if q.Dims() != ix.dims {
-		return nil, fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.dims)
+		return nil, fmt.Errorf("core: query has %d dims, index has %d: %w", q.Dims(), ix.dims, ErrInvalidQuery)
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+		return nil, fmt.Errorf("core: k must be positive, got %d: %w", k, ErrInvalidQuery)
 	}
 	if k > len(ix.data) {
 		k = len(ix.data)

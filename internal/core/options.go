@@ -152,6 +152,12 @@ type Options struct {
 	EnumBudget int64
 	// Seed makes every randomized choice reproducible.
 	Seed int64
+	// BuildParallelism bounds the worker pool that builds the
+	// per-partition inverted indexes and trains the estimators
+	// (offline phases 2 and 3); ≤ 0 selects GOMAXPROCS. The built
+	// index is identical for every setting — partitions are
+	// independent, so only wall-clock time changes.
+	BuildParallelism int
 }
 
 func (o Options) withDefaults(n int) Options {

@@ -12,8 +12,10 @@ import (
 )
 
 // indexMagic identifies the index container format; bump the digit on
-// incompatible changes.
-const indexMagic = "GPHIX01\n"
+// incompatible changes. GPHIX02 added Init and Allocator to the
+// persisted options — GPHIX01 dropped them, so a round-tripped index
+// built with AllocRR silently answered queries with the DP allocator.
+const indexMagic = "GPHIX02\n"
 
 // Save serializes the index: data vectors, partitioning, resolved
 // options, and every posting list (sorted keys, so output is
@@ -36,6 +38,8 @@ func (ix *Index) Save(w io.Writer) error {
 		bw.Ints(part)
 	}
 	// Options (the fields that affect query behaviour).
+	bw.Int(int(ix.opts.Init))
+	bw.Int(int(ix.opts.Allocator))
 	bw.Int(int(ix.opts.Estimator))
 	bw.Int(ix.opts.SubPartitions)
 	bw.Int(ix.opts.MaxTau)
@@ -102,6 +106,8 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	opts := Options{
 		NumPartitions: numParts,
+		Init:          InitKind(br.Int()),
+		Allocator:     AllocatorKind(br.Int()),
 		Estimator:     EstimatorKind(br.Int()),
 		SubPartitions: br.Int(),
 		MaxTau:        br.Int(),
@@ -110,6 +116,15 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("core: reading options: %w", err)
+	}
+	if opts.Init < InitGreedy || opts.Init > InitDD {
+		return nil, fmt.Errorf("core: persisted init kind %d unknown", int(opts.Init))
+	}
+	if opts.Allocator < AllocDP || opts.Allocator > AllocRR {
+		return nil, fmt.Errorf("core: persisted allocator kind %d unknown", int(opts.Allocator))
+	}
+	if opts.Estimator < EstimatorExact || opts.Estimator > EstimatorMLP {
+		return nil, fmt.Errorf("core: persisted estimator kind %d unknown", int(opts.Estimator))
 	}
 	opts = opts.withDefaults(dims)
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -9,14 +10,21 @@ import (
 
 	"gph/internal/alloc"
 	"gph/internal/bitvec"
+	"gph/internal/candest"
 	"gph/internal/hamming"
+	"gph/internal/invindex"
 )
 
 // Stats decomposes one query's work the way Fig. 2(a) reports it:
-// threshold allocation (including CN estimation), signature
-// enumeration, candidate generation (index probes), and verification.
+// threshold allocation (including CN estimation), the fused signature
+// enumeration + index-probe loop (candidate generation), and
+// verification.
 type Stats struct {
-	AllocNanos  int64
+	AllocNanos int64
+	// EnumNanos is retained for compatibility but is always 0: the
+	// probe loop now consumes each signature as it is enumerated
+	// instead of materializing the signature set first, so
+	// enumeration time is part of ProbeNanos.
 	EnumNanos   int64
 	ProbeNanos  int64
 	VerifyNanos int64
@@ -35,6 +43,78 @@ func (s *Stats) TotalNanos() int64 {
 	return s.AllocNanos + s.EnumNanos + s.ProbeNanos + s.VerifyNanos
 }
 
+// searchScratch is every buffer one query needs. Instances are pooled
+// on the Index, so after warm-up the hot path performs no per-query
+// or per-signature allocations beyond the returned result slice.
+type searchScratch struct {
+	seen   []uint64      // candidate-dedup bitmap, one bit per data vector
+	keyBuf []byte        // packed signature key, rebuilt per signature
+	cands  []int32       // distinct candidate ids in probe order
+	proj   bitvec.Vector // query projection, resized per partition
+	enum   hamming.Enumerator
+	table  alloc.Table     // reused CN-table rows for the allocation DP
+	dp     alloc.Scratch   // reused DP grids for the allocator
+	est    candest.Scratch // reused estimator projection + histogram
+
+	// probe-loop state: probeFn is the enumeration callback bound
+	// once per scratch (a method value allocates on every binding, so
+	// rebinding per partition would defeat the pool).
+	inv     *invindex.Index
+	sigs    int
+	sumPost int64
+	probeFn func(bitvec.Vector) bool
+}
+
+// probe consumes one enumerated signature: build its packed key and
+// merge the matching posting list into the candidate set. The map
+// lookup via string(keyBuf) inside PostingsBytes is allocation-free.
+func (s *searchScratch) probe(v bitvec.Vector) bool {
+	s.keyBuf = v.AppendKey(s.keyBuf[:0])
+	postings := s.inv.PostingsBytes(s.keyBuf)
+	s.sigs++
+	s.sumPost += int64(len(postings))
+	for _, id := range postings {
+		w, b := id/64, uint(id)%64
+		if s.seen[w]>>b&1 == 0 {
+			s.seen[w] |= 1 << b
+			s.cands = append(s.cands, id)
+		}
+	}
+	return true
+}
+
+func (ix *Index) getScratch() *searchScratch {
+	s, _ := ix.scratch.Get().(*searchScratch)
+	if s == nil {
+		s = &searchScratch{}
+		s.probeFn = s.probe
+	}
+	words := (len(ix.data) + 63) / 64
+	if cap(s.seen) < words {
+		s.seen = make([]uint64, words)
+	} else {
+		s.seen = s.seen[:words]
+		clear(s.seen)
+	}
+	s.cands = s.cands[:0]
+	s.sigs = 0
+	s.sumPost = 0
+	return s
+}
+
+func (ix *Index) putScratch(s *searchScratch) {
+	s.inv = nil
+	ix.scratch.Put(s)
+}
+
+// cnAllIntoScratch is implemented by estimators that can fill a
+// caller-provided row with caller-provided working memory instead of
+// allocating (the default Exact estimator does); the hot path uses it
+// to reuse the DP input table across queries.
+type cnAllIntoScratch interface {
+	CNAllIntoScratch(q bitvec.Vector, out []int64, s *candest.Scratch)
+}
+
 // Search returns the ids of all indexed vectors within Hamming
 // distance tau of q, in ascending id order.
 func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
@@ -47,12 +127,17 @@ func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) 
 	return ix.search(q, tau, true)
 }
 
+// ErrInvalidQuery marks errors caused by the caller's query input
+// (wrong dimensionality, negative threshold) rather than an internal
+// failure; servers use errors.Is to map the former to client errors.
+var ErrInvalidQuery = errors.New("invalid query")
+
 func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
 	if q.Dims() != ix.dims {
-		return nil, nil, fmt.Errorf("core: query has %d dims, index has %d", q.Dims(), ix.dims)
+		return nil, nil, fmt.Errorf("core: query has %d dims, index has %d: %w", q.Dims(), ix.dims, ErrInvalidQuery)
 	}
 	if tau < 0 {
-		return nil, nil, fmt.Errorf("core: negative threshold %d", tau)
+		return nil, nil, fmt.Errorf("core: negative threshold %d: %w", tau, ErrInvalidQuery)
 	}
 	stats := &Stats{}
 	if tau >= ix.dims {
@@ -66,6 +151,9 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		return out, stats, nil
 	}
 
+	s := ix.getScratch()
+	defer ix.putScratch(s)
+
 	// Phase 1: threshold allocation (Algorithm 1) over estimated CNs.
 	// The RR baseline skips estimation entirely — that is the point of
 	// the comparison in Fig. 3.
@@ -75,13 +163,26 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	if ix.opts.Allocator == AllocRR {
 		res = alloc.Result{Thresholds: alloc.RoundRobin(m, tau), SumCN: -1}
 	} else {
-		table := make(alloc.Table, m)
-		for i, est := range ix.ests {
-			table[i] = est.CNAll(q, tau)
+		if cap(s.table) < m {
+			s.table = make(alloc.Table, m)
 		}
-		res = alloc.Allocate(table, alloc.Params{
+		s.table = s.table[:m]
+		for i, est := range ix.ests {
+			if into, ok := est.(cnAllIntoScratch); ok {
+				row := s.table[i]
+				if cap(row) < tau+2 {
+					row = make([]int64, tau+2)
+				}
+				row = row[:tau+2]
+				into.CNAllIntoScratch(q, row, &s.est)
+				s.table[i] = row
+			} else {
+				s.table[i] = est.CNAll(q, tau)
+			}
+		}
+		res = alloc.AllocateScratch(s.table, alloc.Params{
 			Tau: tau, Widths: ix.parts.Widths(), EnumBudget: ix.opts.EnumBudget,
-		})
+		}, &s.dp)
 	}
 	stats.AllocNanos = time.Since(start).Nanoseconds()
 	stats.Thresholds = res.Thresholds
@@ -108,74 +209,58 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	}
 	enumBudget := res.EffectiveBudget // 0 (unlimited) for RR and unbudgeted configs
 
-	// Phase 2: signature enumeration per partition.
+	// Phases 2+3 fused: per partition, enumerate the signature ball
+	// and probe the inverted index with each signature's byte key as
+	// it is produced. Nothing is materialized per signature — no key
+	// string, no signature slice — which is what makes the loop
+	// allocation-free.
 	start = time.Now()
-	type partSigs struct {
-		part int
-		keys []string
-	}
-	sigs := make([]partSigs, 0, m)
-	var keyBuf []byte
 	for i, ti := range res.Thresholds {
 		if ti < 0 {
 			continue
 		}
-		proj := q.Project(ix.parts.Parts[i])
-		ps := partSigs{part: i}
-		err := hamming.EnumerateBall(proj, ti, enumBudget, func(v bitvec.Vector) bool {
-			keyBuf = v.AppendKey(keyBuf[:0])
-			ps.keys = append(ps.keys, string(keyBuf))
-			return true
-		})
-		if err != nil {
+		dimsI := ix.parts.Parts[i]
+		s.proj = s.proj.Resized(len(dimsI))
+		q.ProjectInto(dimsI, s.proj)
+		s.inv = ix.inv[i]
+		if err := s.enum.Enumerate(s.proj, ti, enumBudget, s.probeFn); err != nil {
 			return nil, nil, fmt.Errorf("core: partition %d with threshold %d: %w", i, ti, err)
-		}
-		stats.Signatures += len(ps.keys)
-		sigs = append(sigs, ps)
-	}
-	stats.EnumNanos = time.Since(start).Nanoseconds()
-
-	// Phase 3: candidate generation via inverted-index probes.
-	start = time.Now()
-	seen := make([]uint64, (len(ix.data)+63)/64)
-	cands := make([]int32, 0, 256)
-	for _, ps := range sigs {
-		inv := ix.inv[ps.part]
-		for _, key := range ps.keys {
-			postings := inv.Postings(key)
-			stats.SumPostings += int64(len(postings))
-			for _, id := range postings {
-				w, b := id/64, uint(id)%64
-				if seen[w]>>b&1 == 0 {
-					seen[w] |= 1 << b
-					cands = append(cands, id)
-				}
-			}
 		}
 	}
 	stats.ProbeNanos = time.Since(start).Nanoseconds()
-	stats.Candidates = len(cands)
+	stats.Signatures = s.sigs
+	stats.SumPostings = s.sumPost
+	stats.Candidates = len(s.cands)
 
-	// Phase 4: verification.
+	// Phase 4: verification, in place over the pooled candidate
+	// slice; survivors are copied into an exact-size result the
+	// caller owns.
 	start = time.Now()
-	results := cands[:0] // candidates are dead after this loop; reuse
-	for _, id := range cands {
+	k := 0
+	for _, id := range s.cands {
 		if q.HammingWithin(ix.data[id], tau) {
-			results = append(results, id)
+			s.cands[k] = id
+			k++
 		}
 	}
+	results := s.cands[:k]
 	slices.Sort(results)
+	out := make([]int32, k)
+	copy(out, results)
 	stats.VerifyNanos = time.Since(start).Nanoseconds()
-	stats.Results = len(results)
+	stats.Results = k
 	if !wantStats {
-		return results, nil, nil
+		return out, nil, nil
 	}
-	return results, stats, nil
+	return out, stats, nil
 }
 
 // SearchBatch answers many queries concurrently using up to
 // parallelism workers (≤ 0 selects GOMAXPROCS). Results align with
-// queries by position. The first error aborts the batch.
+// queries by position. A failing query does not abort its siblings:
+// its slot is nil, every other slot holds that query's results, and
+// the returned error joins every per-query failure (nil when all
+// succeed).
 func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -211,10 +296,11 @@ func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) 
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failures []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failures = append(failures, fmt.Errorf("query %d: %w", i, err))
 		}
 	}
-	return out, nil
+	return out, errors.Join(failures...)
 }

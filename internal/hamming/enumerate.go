@@ -65,17 +65,27 @@ func BallSize(w, r int) (uint64, bool) {
 	return total, true
 }
 
-// EnumerateBall invokes fn once for every vector within Hamming
-// distance radius of center (including center itself, at distance 0).
-// The vector passed to fn is a scratch buffer reused across calls; fn
+// Enumerator enumerates Hamming balls while reusing its scratch
+// vector and position stack across calls. A zero Enumerator is ready
+// to use; after warm-up, Enumerate performs no allocations, which is
+// what query hot paths pool it for. An Enumerator is not safe for
+// concurrent use.
+type Enumerator struct {
+	scratch   bitvec.Vector
+	positions []int
+}
+
+// Enumerate invokes fn once for every vector within Hamming distance
+// radius of center (including center itself, at distance 0). The
+// vector passed to fn is a scratch buffer reused across calls; fn
 // must not retain it. If fn returns false, enumeration stops early
 // with a nil error.
 //
 // budget caps the number of enumerated vectors; pass budget ≤ 0 for
-// unlimited. When the ball size exceeds the budget, EnumerateBall
-// returns ErrEnumerationBudget without calling fn at all, so callers
-// never pay for partially-useless work.
-func EnumerateBall(center bitvec.Vector, radius int, budget int64, fn func(bitvec.Vector) bool) error {
+// unlimited. When the ball size exceeds the budget, Enumerate returns
+// ErrEnumerationBudget without calling fn at all, so callers never
+// pay for partially-useless work.
+func (e *Enumerator) Enumerate(center bitvec.Vector, radius int, budget int64, fn func(bitvec.Vector) bool) error {
 	if radius < 0 {
 		return nil // empty ball: negative thresholds mean "skip this partition"
 	}
@@ -86,35 +96,56 @@ func EnumerateBall(center bitvec.Vector, radius int, budget int64, fn func(bitve
 			return ErrEnumerationBudget
 		}
 	}
-	scratch := center.Clone()
+	e.scratch = center.CloneInto(e.scratch)
+	scratch := e.scratch
 	if !fn(scratch) {
 		return nil
 	}
 	if radius == 0 || w == 0 {
 		return nil
 	}
-	positions := make([]int, radius)
-	var rec func(start, depth int) bool
-	rec = func(start, depth int) bool {
-		for i := start; i < w; i++ {
-			scratch.Flip(i)
-			positions[depth] = i
-			if !fn(scratch) {
-				scratch.Flip(i)
-				return false
-			}
-			if depth+1 < radius {
-				if !rec(i+1, depth+1) {
-					scratch.Flip(i)
-					return false
-				}
-			}
-			scratch.Flip(i)
-		}
-		return true
+	if cap(e.positions) < radius {
+		e.positions = make([]int, radius)
 	}
-	rec(0, 0)
-	return nil
+	positions := e.positions[:radius]
+
+	// Iterative depth-first walk over bit-position combinations, in
+	// the same order as the natural recursion: at depth d with bit i
+	// flipped, descend starting from i+1. positions is the explicit
+	// stack of flipped bits.
+	d, i := 0, 0
+	for {
+		if i < w {
+			scratch.Flip(i)
+			positions[d] = i
+			if !fn(scratch) {
+				return nil
+			}
+			if d+1 < radius {
+				d++
+				i++
+				continue
+			}
+			scratch.Flip(i) // leaf: undo and advance
+			i++
+			continue
+		}
+		// Candidates at this depth exhausted: backtrack.
+		d--
+		if d < 0 {
+			return nil
+		}
+		i = positions[d]
+		scratch.Flip(i)
+		i++
+	}
+}
+
+// EnumerateBall is Enumerate with single-use state; prefer a pooled
+// Enumerator on hot paths.
+func EnumerateBall(center bitvec.Vector, radius int, budget int64, fn func(bitvec.Vector) bool) error {
+	var e Enumerator
+	return e.Enumerate(center, radius, budget, fn)
 }
 
 // BallCollect materializes the ball as freshly-allocated vectors; it

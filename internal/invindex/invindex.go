@@ -40,6 +40,13 @@ func (ix *Index) Add(key string, id int32) {
 // returned slice is owned by the index and must not be modified.
 func (ix *Index) Postings(key string) []int32 { return ix.post[key] }
 
+// PostingsBytes returns the posting list for the signature whose
+// packed key bytes are key. The string conversion inside the map
+// index expression is recognized by the compiler and does not copy,
+// so probing with a reused byte buffer allocates nothing — the form
+// query hot paths use.
+func (ix *Index) PostingsBytes(key []byte) []int32 { return ix.post[string(key)] }
+
 // PostingLen returns the length of the posting list for key without
 // materializing it; this is the |I_s| term of the paper's cost model.
 func (ix *Index) PostingLen(key string) int { return len(ix.post[key]) }

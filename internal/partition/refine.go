@@ -206,8 +206,9 @@ type refiner struct {
 	scale      float64 // full-collection rows per sample row
 	parts      [][]int
 	ests       []*candest.Exact
-	cn         [][][]int64 // [query][part] → CN row, scaled to full size
-	home       []int       // dimension → partition
+	cn         [][][]int64   // [query][part] → CN row, scaled to full size
+	home       []int         // dimension → partition
+	dp         alloc.Scratch // reused DP grids: hill climbing allocates per candidate move otherwise
 }
 
 func newRefiner(p *Partitioning, sample []bitvec.Vector, wl Workload, enumBudget int64, totalRows int) *refiner {
@@ -277,9 +278,9 @@ func (r *refiner) totalCost() int64 {
 	widths := r.widths()
 	var total int64
 	for qi := range r.wl.Queries {
-		res := alloc.Allocate(alloc.Table(r.cn[qi]), alloc.Params{
+		res := alloc.AllocateScratch(alloc.Table(r.cn[qi]), alloc.Params{
 			Tau: r.wl.Taus[qi], Widths: widths, EnumBudget: r.enumBudget,
-		})
+		}, &r.dp)
 		total += res.Objective
 	}
 	return total
@@ -306,9 +307,9 @@ func (r *refiner) tryMove(d, i, j int) int64 {
 		r.rescale(rowJ)
 		savedI, savedJ := r.cn[qi][i], r.cn[qi][j]
 		r.cn[qi][i], r.cn[qi][j] = rowI, rowJ
-		res := alloc.Allocate(alloc.Table(r.cn[qi]), alloc.Params{
+		res := alloc.AllocateScratch(alloc.Table(r.cn[qi]), alloc.Params{
 			Tau: r.wl.Taus[qi], Widths: widths, EnumBudget: r.enumBudget,
-		})
+		}, &r.dp)
 		r.cn[qi][i], r.cn[qi][j] = savedI, savedJ
 		total += res.Objective
 	}
