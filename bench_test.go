@@ -38,6 +38,7 @@ func BenchmarkExpFig7Comparison(b *testing.B)     { runExp(b, "fig7") }
 func BenchmarkExpFig8Dimensions(b *testing.B)     { runExp(b, "fig8ac") }
 func BenchmarkExpFig8dSkewness(b *testing.B)      { runExp(b, "fig8d") }
 func BenchmarkExpFig8efRobustness(b *testing.B)   { runExp(b, "fig8ef") }
+func BenchmarkExpSharded(b *testing.B)            { runExp(b, "sharded") }
 
 // --- micro-benchmarks ---
 

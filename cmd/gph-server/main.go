@@ -1,18 +1,25 @@
 // Command gph-server exposes a GPH index over HTTP with a minimal
 // JSON API (net/http only):
 //
-//	GET /healthz                          → {"status":"ok", ...}
-//	GET /search?q=0101...&tau=3           → results for one query
-//	POST /search {"queries":[...],"tau":3} → batch results
+//	GET  /healthz                           → {"status":"ok", ...}
+//	GET  /search?q=0101...&tau=3            → results for one query
+//	POST /search {"queries":[...],"tau":3}  → batch results
+//	GET  /stats                             → index (and per-shard) statistics
+//	POST /insert {"vector":"0101..."}       → insert one vector (-shards mode)
+//	POST /compact                           → fold update buffers (-shards mode)
 //
 // Usage:
 //
 //	gph-server -data corpus.ds -addr :8080
-//	gph-server -gen uqvideo -n 20000 -addr :8080
+//	gph-server -gen uqvideo -n 20000 -shards 4 -addr :8080
 //
-// The server carries read/write timeouts, caps POST batch sizes
-// (-max-batch, oversize → 413), and shuts down gracefully on SIGINT
-// or SIGTERM, draining in-flight requests.
+// With -shards N the collection is hash-partitioned across N
+// independently built GPH shards and queries fan out concurrently;
+// this mode also accepts live updates through /insert, buffered per
+// shard until /compact folds them in. Without -shards the index is
+// single and immutable. The server carries read/write timeouts, caps
+// POST batch sizes (-max-batch, oversize → 413), and shuts down
+// gracefully on SIGINT or SIGTERM, draining in-flight requests.
 package main
 
 import (
@@ -33,9 +40,45 @@ import (
 	"gph/datagen"
 )
 
+// server answers requests from exactly one of two backends: a single
+// immutable index, or a sharded updatable one (-shards).
 type server struct {
-	index    *gph.Index
+	index    *gph.Index        // single-index mode
+	sharded  *gph.ShardedIndex // sharded mode; nil without -shards
 	maxBatch int
+}
+
+func (s *server) vectors() int {
+	if s.sharded != nil {
+		return s.sharded.Len()
+	}
+	return s.index.Len()
+}
+
+func (s *server) dims() int {
+	if s.sharded != nil {
+		return s.sharded.Dims()
+	}
+	return s.index.Dims()
+}
+
+func (s *server) sizeBytes() int64 {
+	if s.sharded != nil {
+		return s.sharded.SizeBytes()
+	}
+	return s.index.SizeBytes()
+}
+
+// vector resolves an id from a search result to its vector for
+// distance reporting.
+func (s *server) vector(id int32) (gph.Vector, bool) {
+	if s.sharded != nil {
+		return s.sharded.Vector(id)
+	}
+	if id < 0 || int(id) >= s.index.Len() {
+		return gph.Vector{}, false
+	}
+	return s.index.Vector(id), true
 }
 
 type searchResponse struct {
@@ -60,6 +103,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		buildPar = flag.Int("build-parallelism", 0, "index-build worker count (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 1024, "maximum queries per POST /search batch")
+		shards   = flag.Int("shards", 0, "shard count; 0 = single immutable index, >0 enables /insert and /compact")
 	)
 	flag.Parse()
 
@@ -67,21 +111,36 @@ func main() {
 	if err != nil {
 		log.Fatalf("gph-server: %v", err)
 	}
+	opts := gph.Options{NumPartitions: *m, Seed: *seed, BuildParallelism: *buildPar}
 	start := time.Now()
-	index, err := gph.Build(ds.Vectors, gph.Options{
-		NumPartitions: *m, Seed: *seed, BuildParallelism: *buildPar,
-	})
-	if err != nil {
-		log.Fatalf("gph-server: building index: %v", err)
+	s := &server{maxBatch: *maxBatch}
+	if *shards > 0 {
+		sharded, err := gph.BuildSharded(ds.Vectors, *shards, opts)
+		if err != nil {
+			log.Fatalf("gph-server: building sharded index: %v", err)
+		}
+		s.sharded = sharded
+	} else {
+		index, err := gph.Build(ds.Vectors, opts)
+		if err != nil {
+			log.Fatalf("gph-server: building index: %v", err)
+		}
+		s.index = index
 	}
-	log.Printf("index ready: %d vectors × %d dims in %v (%.2f MB)",
-		index.Len(), index.Dims(), time.Since(start).Round(time.Millisecond),
-		float64(index.SizeBytes())/(1<<20))
+	mode := "single index"
+	if *shards > 0 {
+		mode = fmt.Sprintf("%d shards", *shards)
+	}
+	log.Printf("index ready (%s): %d vectors × %d dims in %v (%.2f MB)",
+		mode, s.vectors(), s.dims(), time.Since(start).Round(time.Millisecond),
+		float64(s.sizeBytes())/(1<<20))
 
-	s := &server{index: index, maxBatch: *maxBatch}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/compact", s.handleCompact)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -131,8 +190,96 @@ func loadOrGenerate(dataPath, gen string, n int, seed int64) (*datagen.Dataset, 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":  "ok",
-		"vectors": s.index.Len(),
-		"dims":    s.index.Dims(),
+		"vectors": s.vectors(),
+		"dims":    s.dims(),
+	})
+}
+
+// handleStats reports index occupancy; in sharded mode it adds the
+// per-shard breakdown (indexed vectors, pending delta inserts,
+// tombstones, resident size), which is how operators decide when to
+// /compact.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := map[string]interface{}{
+		"vectors":    s.vectors(),
+		"dims":       s.dims(),
+		"size_bytes": s.sizeBytes(),
+	}
+	if s.sharded != nil {
+		resp["num_shards"] = s.sharded.NumShards()
+		resp["shards"] = s.sharded.ShardStats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type insertRequest struct {
+	Vector string `json:"vector"`
+}
+
+// handleInsert adds one vector to a sharded index; it lands in the
+// owning shard's delta buffer, visible to searches immediately.
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.sharded == nil {
+		httpError(w, http.StatusNotImplemented, "updates require a sharded index: restart with -shards")
+		return
+	}
+	// An empty index has no dimensionality yet — the first insert
+	// defines it — so fall back to a generous fixed cap there.
+	maxBody := int64(s.dims()) + 4096
+	if s.dims() == 0 {
+		maxBody = 1 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	v, err := gph.VectorFromString(req.Vector)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad vector: %v", err)
+		return
+	}
+	id, err := s.sharded.Insert(v)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id})
+}
+
+// handleCompact folds every shard's delta buffer and tombstones into
+// its built index. Rebuilds block searches, so this is an explicit
+// operator action rather than an automatic background step.
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.sharded == nil {
+		httpError(w, http.StatusNotImplemented, "compaction requires a sharded index: restart with -shards")
+		return
+	}
+	start := time.Now()
+	if err := s.sharded.Compact(); err != nil {
+		httpError(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"millis": time.Since(start).Milliseconds(),
 	})
 }
 
@@ -184,7 +331,20 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	ids, stats, err := s.index.SearchStats(q, tau)
+	var ids []int32
+	var candidates int
+	if s.sharded != nil {
+		// Per-query candidate accounting is a single-index notion;
+		// sharded stats live under /stats.
+		ids, err = s.sharded.Search(q, tau)
+		candidates = len(ids)
+	} else {
+		var stats *gph.Stats
+		ids, stats, err = s.index.SearchStats(q, tau)
+		if stats != nil {
+			candidates = stats.Candidates
+		}
+	}
 	if err != nil {
 		httpError(w, searchStatus(err), "%v", err)
 		return
@@ -192,11 +352,13 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 	resp := searchResponse{
 		Results:    ids,
 		Distances:  make([]int, len(ids)),
-		Candidates: stats.Candidates,
+		Candidates: candidates,
 		Micros:     time.Since(start).Microseconds(),
 	}
 	for i, id := range ids {
-		resp.Distances[i] = gph.Hamming(q, s.index.Vector(id))
+		if v, ok := s.vector(id); ok {
+			resp.Distances[i] = gph.Hamming(q, v)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -206,7 +368,7 @@ func (s *server) searchBatch(w http.ResponseWriter, r *http.Request) {
 		// A '0'/'1' query string costs Dims bytes plus JSON quoting
 		// and separators; anything past this bound cannot be a legal
 		// batch, so cut the read off early.
-		maxBody := int64(s.maxBatch)*int64(s.index.Dims()+16) + 4096
+		maxBody := int64(s.maxBatch)*int64(s.dims()+16) + 4096
 		r.Body = http.MaxBytesReader(w, r.Body, maxBody)
 	}
 	var req batchRequest
@@ -234,7 +396,13 @@ func (s *server) searchBatch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = q
 	}
 	start := time.Now()
-	results, err := s.index.SearchBatch(queries, req.Tau, 0)
+	var results [][]int32
+	var err error
+	if s.sharded != nil {
+		results, err = s.sharded.SearchBatch(queries, req.Tau, 0)
+	} else {
+		results, err = s.index.SearchBatch(queries, req.Tau, 0)
+	}
 	if err != nil {
 		// SearchBatch joins per-query errors ("query %d: ...") and
 		// keeps sibling results; report the failures with a status

@@ -161,3 +161,154 @@ func TestSearchBatchBodyTooLarge(t *testing.T) {
 		t.Fatalf("oversized body → %d, want 413", rec.Code)
 	}
 }
+
+// testShardedServer mirrors testServer in -shards mode.
+func testShardedServer(t *testing.T) *server {
+	t.Helper()
+	ds := datagen.UQVideoLike(800, 1)
+	sharded, err := gph.BuildSharded(ds.Vectors, 3, gph.Options{
+		NumPartitions: 6, MaxTau: 16, Seed: 1, SampleSize: 200, WorkloadSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{sharded: sharded}
+}
+
+// TestShardedSearchMatchesSingle: the HTTP layer must be
+// backend-agnostic — the same query answered by both backends
+// returns the same id set.
+func TestShardedSearchMatchesSingle(t *testing.T) {
+	single := testServer(t)
+	sharded := testShardedServer(t)
+	q := single.index.Vector(7).String()
+	var bodies []searchResponse
+	for _, s := range []*server{single, sharded} {
+		rec := httptest.NewRecorder()
+		s.handleSearch(rec, httptest.NewRequest(http.MethodGet, "/search?q="+q+"&tau=8", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, resp)
+	}
+	if len(bodies[0].Results) != len(bodies[1].Results) {
+		t.Fatalf("backends disagree: %v vs %v", bodies[0].Results, bodies[1].Results)
+	}
+	for i := range bodies[0].Results {
+		if bodies[0].Results[i] != bodies[1].Results[i] || bodies[0].Distances[i] != bodies[1].Distances[i] {
+			t.Fatalf("backends disagree at %d: %v/%v vs %v/%v", i,
+				bodies[0].Results[i], bodies[0].Distances[i], bodies[1].Results[i], bodies[1].Distances[i])
+		}
+	}
+}
+
+// TestInsertCompactStats drives the update lifecycle over HTTP:
+// insert → visible to search and /stats → compact → buffers folded.
+func TestInsertCompactStats(t *testing.T) {
+	s := testShardedServer(t)
+	before := s.vectors()
+
+	v, _ := s.sharded.Vector(0)
+	q := v.Clone()
+	q.Flip(1)
+	body, _ := json.Marshal(insertRequest{Vector: q.String()})
+	rec := httptest.NewRecorder()
+	s.handleInsert(rec, httptest.NewRequest(http.MethodPost, "/insert", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert → %d: %s", rec.Code, rec.Body.String())
+	}
+	var ins struct {
+		ID int32 `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if int(ins.ID) != before {
+		t.Fatalf("assigned id %d, want %d", ins.ID, before)
+	}
+
+	// The insert is searchable pre-compact.
+	rec = httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodGet, "/search?q="+q.String()+"&tau=0", nil))
+	var sr searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range sr.Results {
+		if id == ins.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inserted vector not found at tau=0: %v", sr.Results)
+	}
+
+	// /stats reports the pending delta entry, then compaction clears it.
+	statsDelta := func() int {
+		rec := httptest.NewRecorder()
+		s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("stats → %d", rec.Code)
+		}
+		var resp struct {
+			Vectors int `json:"vectors"`
+			Shards  []struct {
+				Delta int `json:"delta"`
+			} `json:"shards"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Vectors != before+1 {
+			t.Fatalf("stats vectors %d, want %d", resp.Vectors, before+1)
+		}
+		total := 0
+		for _, sh := range resp.Shards {
+			total += sh.Delta
+		}
+		return total
+	}
+	if d := statsDelta(); d != 1 {
+		t.Fatalf("pending delta %d, want 1", d)
+	}
+	rec = httptest.NewRecorder()
+	s.handleCompact(rec, httptest.NewRequest(http.MethodPost, "/compact", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("compact → %d: %s", rec.Code, rec.Body.String())
+	}
+	if d := statsDelta(); d != 0 {
+		t.Fatalf("pending delta after compact %d, want 0", d)
+	}
+}
+
+// TestUpdatesRequireShardedMode: /insert and /compact on a single
+// immutable index answer 501, and non-POST methods 405.
+func TestUpdatesRequireShardedMode(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleInsert(rec, httptest.NewRequest(http.MethodPost, "/insert", bytes.NewReader([]byte(`{"vector":"01"}`))))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("insert on single index → %d, want 501", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.handleCompact(rec, httptest.NewRequest(http.MethodPost, "/compact", nil))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("compact on single index → %d, want 501", rec.Code)
+	}
+	sh := testShardedServer(t)
+	rec = httptest.NewRecorder()
+	sh.handleInsert(rec, httptest.NewRequest(http.MethodGet, "/insert", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /insert → %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	sh.handleInsert(rec, httptest.NewRequest(http.MethodPost, "/insert", bytes.NewReader([]byte(`{"vector":"01x"}`))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad vector → %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,117 @@
+package gph_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"gph"
+)
+
+// exampleData is a tiny 16-dimensional corpus; real collections have
+// hundreds of dimensions and millions of rows, but the API is the
+// same.
+func exampleData() []gph.Vector {
+	rows := []string{
+		"0000000000000000", // id 0
+		"1111111111111111", // id 1
+		"0000000011111111", // id 2
+		"0000000011111100", // id 3
+		"1111111100000000", // id 4
+		"0101010101010101", // id 5
+	}
+	data := make([]gph.Vector, len(rows))
+	for i, r := range rows {
+		data[i] = gph.MustVectorFromString(r)
+	}
+	return data
+}
+
+// ExampleBuild indexes a small collection with the paper's default
+// configuration (greedy entropy partitioning, exact candidate-number
+// estimation).
+func ExampleBuild() {
+	index, err := gph.Build(exampleData(), gph.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(index.Len(), "vectors,", index.Dims(), "dims")
+	// Output: 6 vectors, 16 dims
+}
+
+// ExampleIndex_Search runs an exact Hamming range query: every vector
+// within the threshold is returned, in ascending id order.
+func ExampleIndex_Search() {
+	index, err := gph.Build(exampleData(), gph.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := gph.MustVectorFromString("0000000011111110")
+	ids, err := index.Search(q, 2) // all vectors within distance 2
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range ids {
+		fmt.Println(id, gph.Hamming(q, index.Vector(id)))
+	}
+	// Output:
+	// 2 1
+	// 3 1
+}
+
+// ExampleIndex_Save round-trips an index through its binary container
+// format; the loaded index answers queries identically.
+func ExampleIndex_Save() {
+	index, err := gph.Build(exampleData(), gph.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := index.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := gph.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := loaded.Search(gph.MustVectorFromString("0000000011111110"), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(loaded.Len(), ids)
+	// Output: 6 [2 3]
+}
+
+// ExampleShardedIndex partitions the collection across shards and
+// applies live updates: inserts and deletes are visible to searches
+// immediately, and Compact folds them into the built shards.
+func ExampleShardedIndex() {
+	sharded, err := gph.BuildSharded(exampleData(), 2, gph.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Insert a near-duplicate of vector 2; ids continue after the
+	// initial collection.
+	id, err := sharded.Insert(gph.MustVectorFromString("0000000011111110"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inserted id", id)
+
+	q := gph.MustVectorFromString("0000000011111111")
+	ids, _ := sharded.Search(q, 1)
+	fmt.Println("before delete:", ids)
+
+	if err := sharded.Delete(2); err != nil {
+		log.Fatal(err)
+	}
+	if err := sharded.Compact(); err != nil { // fold buffers into the shards
+		log.Fatal(err)
+	}
+	ids, _ = sharded.Search(q, 1)
+	fmt.Println("after delete: ", ids)
+	// Output:
+	// inserted id 6
+	// before delete: [2 6]
+	// after delete:  [6]
+}

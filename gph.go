@@ -28,6 +28,7 @@ import (
 
 	"gph/internal/bitvec"
 	"gph/internal/core"
+	"gph/internal/shard"
 )
 
 // Vector is an n-dimensional binary vector packed into 64-bit words.
@@ -43,6 +44,10 @@ func VectorFromBits(bits []byte) Vector { return bitvec.FromBits(bits) }
 // VectorFromString parses a vector from a '0'/'1' string, dimension 0
 // first.
 func VectorFromString(s string) (Vector, error) { return bitvec.FromString(s) }
+
+// MustVectorFromString is VectorFromString that panics on malformed
+// input; it is intended for tests, examples and literals.
+func MustVectorFromString(s string) Vector { return bitvec.MustFromString(s) }
 
 // VectorFromWords builds an n-dimensional vector adopting the given
 // packed words (bit i of word i/64 is dimension i).
@@ -60,6 +65,10 @@ type Index = core.Index
 // defaults (greedy entropy partitioning with refinement, exact
 // candidate-number estimation, m ≈ n/24).
 type Options = core.Options
+
+// Neighbor is one k-nearest-neighbours result: a vector id and its
+// Hamming distance from the query.
+type Neighbor = core.Neighbor
 
 // Stats decomposes a query's work; see SearchStats.
 type Stats = core.Stats
@@ -110,3 +119,40 @@ func Load(r io.Reader) (*Index, error) { return core.Load(r) }
 func TanimotoSearch(index *Index, q Vector, t float64) ([]int32, error) {
 	return index.SearchTanimoto(q, t)
 }
+
+// ShardedIndex hash-partitions a collection across independently
+// built GPH shards and fans every query out across them, merging
+// per-shard results deterministically. Unlike Index it is updatable:
+// Insert and Delete take effect immediately through small per-shard
+// delta buffers, and Compact folds the buffers into the built shards.
+// Search results are exact and identical to a single Index over the
+// same live vectors. All methods are safe for concurrent use.
+type ShardedIndex = shard.Index
+
+// ShardStats describes one shard of a ShardedIndex: indexed vector
+// count, pending delta-buffer and tombstone depth, and resident size.
+type ShardStats = shard.Stats
+
+// ErrNotFound reports a ShardedIndex.Delete of an id that is not
+// live; match with errors.Is.
+var ErrNotFound = shard.ErrNotFound
+
+// BuildSharded constructs a ShardedIndex over data with numShards
+// hash-partitioned shards, assigning global ids 0..len(data)-1. The
+// per-shard builds run on a worker pool bounded by
+// opts.BuildParallelism. The slice is retained; callers must not
+// mutate the vectors afterwards.
+func BuildSharded(data []Vector, numShards int, opts Options) (*ShardedIndex, error) {
+	return shard.Build(data, numShards, opts)
+}
+
+// NewSharded returns an empty ShardedIndex that adopts its
+// dimensionality from the first Insert; use it for pure-streaming
+// collections.
+func NewSharded(numShards int, opts Options) (*ShardedIndex, error) {
+	return shard.New(numShards, opts)
+}
+
+// LoadSharded reads a sharded index previously written with
+// ShardedIndex.Save.
+func LoadSharded(r io.Reader) (*ShardedIndex, error) { return shard.Load(r) }

@@ -83,6 +83,7 @@ func Experiments() []Experiment {
 		{"fig8d", "Fig. 8(d): varying skewness", (*Runner).Fig8d},
 		{"fig8ef", "Fig. 8(e-f): workload-mismatch robustness", (*Runner).Fig8ef},
 		{"ablation", "Ablation: each GPH design choice removed in turn", (*Runner).Ablation},
+		{"sharded", "Sharded vs single-index GPH: build, fan-out query, agreement", (*Runner).Sharded},
 	}
 }
 

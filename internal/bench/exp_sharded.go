@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gph/internal/core"
+	"gph/internal/shard"
+)
+
+// Sharded compares the single core index against the sharded layer
+// (internal/shard) at several shard counts on the UQVideo-like
+// corpus: build wall time, per-query latency for sequential and
+// batch search, and result-set agreement. This is not a paper
+// artifact — it quantifies the fan-out overhead the ROADMAP's
+// distribution work accepts in exchange for incremental updates and
+// horizontal build scaling: per-shard candidate pruning is weaker
+// than global pruning, so sharded queries trade pruning power for
+// update capability and parallel builds.
+func (r *Runner) Sharded() error {
+	c := r.load("uqvideo")
+	const tau = 8
+	opts := core.Options{
+		NumPartitions: c.spec.m, MaxTau: 16, Seed: r.cfg.Seed,
+		BuildParallelism: r.cfg.BuildParallelism,
+	}
+
+	t := newTable(r.cfg.Out, "shards", "build(ms)", "query(ms)", "batch(ms/q)", "size(MB)", "agree")
+
+	// Baseline: the single index.
+	start := time.Now()
+	single, err := core.Build(c.data.Vectors, opts)
+	if err != nil {
+		return err
+	}
+	buildSingle := time.Since(start)
+	want := make([][]int32, len(c.queries))
+	qStart := time.Now()
+	for i, q := range c.queries {
+		if want[i], err = single.Search(q, tau); err != nil {
+			return err
+		}
+	}
+	qSingle := time.Since(qStart) / time.Duration(len(c.queries))
+	bStart := time.Now()
+	if _, err := single.SearchBatch(c.queries, tau, 0); err != nil {
+		return err
+	}
+	bSingle := time.Since(bStart) / time.Duration(len(c.queries))
+	t.row(1, ms(buildSingle.Nanoseconds()), ms(qSingle.Nanoseconds()),
+		ms(bSingle.Nanoseconds()), mb(single.SizeBytes()), "-")
+
+	for _, numShards := range []int{2, 4, 8} {
+		start := time.Now()
+		sharded, err := shard.Build(c.data.Vectors, numShards, opts)
+		if err != nil {
+			return err
+		}
+		build := time.Since(start)
+		agree := true
+		qStart := time.Now()
+		for i, q := range c.queries {
+			got, err := sharded.Search(q, tau)
+			if err != nil {
+				return err
+			}
+			if len(got) != len(want[i]) {
+				agree = false
+			} else {
+				for j := range got {
+					if got[j] != want[i][j] {
+						agree = false
+						break
+					}
+				}
+			}
+		}
+		qSharded := time.Since(qStart) / time.Duration(len(c.queries))
+		bStart := time.Now()
+		if _, err := sharded.SearchBatch(c.queries, tau, 0); err != nil {
+			return err
+		}
+		bSharded := time.Since(bStart) / time.Duration(len(c.queries))
+		t.row(numShards, ms(build.Nanoseconds()), ms(qSharded.Nanoseconds()),
+			ms(bSharded.Nanoseconds()), mb(sharded.SizeBytes()), agree)
+		if !agree {
+			t.flush() // surface the divergent row before failing
+			return fmt.Errorf("bench: sharded results diverge from single index at %d shards", numShards)
+		}
+	}
+	t.flush()
+	return nil
+}

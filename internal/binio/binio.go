@@ -80,6 +80,15 @@ func (w *Writer) String(s string) {
 	w.Bytes([]byte(s))
 }
 
+// ByteSlice writes a length-prefixed byte slice; the container
+// formats use it to embed nested blobs (e.g. a per-shard index inside
+// a sharded container) without the inner codec over-reading the
+// shared stream.
+func (w *Writer) ByteSlice(b []byte) {
+	w.Int(len(b))
+	w.Bytes(b)
+}
+
 // Uint64s writes a length-prefixed []uint64.
 func (w *Writer) Uint64s(vs []uint64) {
 	w.Int(len(vs))
@@ -194,6 +203,21 @@ func (r *Reader) String() string {
 		return ""
 	}
 	return string(buf)
+}
+
+// ByteSlice reads a length-prefixed byte slice written by
+// Writer.ByteSlice.
+func (r *Reader) ByteSlice() []byte {
+	n := r.sliceLen("byte slice")
+	if r.err != nil {
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.fail(fmt.Errorf("binio: reading byte slice body: %w", err))
+		return nil
+	}
+	return buf
 }
 
 // Uint64s reads a length-prefixed []uint64.

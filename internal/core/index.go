@@ -84,7 +84,7 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	// the result identical to a serial build.
 	start = time.Now()
 	ix.inv = make([]*invindex.Index, parts.NumParts())
-	err = forEachPartition(opts.BuildParallelism, parts.NumParts(), func(i int) error {
+	err = ForEach(opts.BuildParallelism, parts.NumParts(), func(i int) error {
 		dimsI := parts.Parts[i]
 		inv := invindex.New()
 		scratch := bitvec.New(len(dimsI))
@@ -107,7 +107,7 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	// training is reproducible under any schedule.
 	start = time.Now()
 	ix.ests = make([]candest.Estimator, parts.NumParts())
-	err = forEachPartition(opts.BuildParallelism, parts.NumParts(), func(i int) error {
+	err = ForEach(opts.BuildParallelism, parts.NumParts(), func(i int) error {
 		est, err := buildEstimator(data, parts.Parts[i], opts, int64(i))
 		if err != nil {
 			return err
@@ -122,14 +122,16 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-// forEachPartition runs fn(0..n-1) on up to parallelism workers
-// (≤ 0 selects GOMAXPROCS) and returns the lowest-numbered recorded
-// error. A failure stops workers from starting further partitions —
-// estimator training can be expensive, so the failure path should not
-// finish the whole build first. Every started fn call completes
-// before forEachPartition returns, so callers may read the filled
-// slices without synchronization.
-func forEachPartition(parallelism, n int, fn func(i int) error) error {
+// ForEach runs fn(0..n-1) on up to parallelism workers (≤ 0 selects
+// GOMAXPROCS) and returns the lowest-numbered recorded error. A
+// failure stops workers from starting further items — estimator
+// training can be expensive, so the failure path should not finish
+// the whole build first. Every started fn call completes before
+// ForEach returns, so callers may read the filled slices without
+// synchronization. It is the build-side worker pool shared by the
+// per-partition phases here and the per-shard builds in
+// internal/shard.
+func ForEach(parallelism, n int, fn func(i int) error) error {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gph/internal/alloc"
@@ -262,6 +263,19 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 // the returned error joins every per-query failure (nil when all
 // succeed).
 func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return ix.Search(q, tau)
+	})
+}
+
+// BatchSearch is the batch-query worker pool shared by Index and the
+// sharded layer: it runs search over every query on up to parallelism
+// workers (≤ 0 selects GOMAXPROCS), attempting every query even after
+// failures (unlike ForEach, which stops scheduling on the first
+// error). Results align with queries by position; a failing query
+// nils only its own slot, and the returned error joins every
+// per-query failure as "query %d: ...".
+func BatchSearch(queries []bitvec.Vector, parallelism int, search func(q bitvec.Vector) ([]int32, error)) ([][]int32, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -270,28 +284,19 @@ func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) 
 	}
 	out := make([][]int32, len(queries))
 	errs := make([]error, len(queries))
-	var next int32 = -1
+	var next atomic.Int64
+	next.Store(-1)
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	nextIdx := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		next++
-		if int(next) >= len(queries) {
-			return -1
-		}
-		return int(next)
-	}
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := nextIdx()
-				if i < 0 {
+				i := int(next.Add(1))
+				if i >= len(queries) {
 					return
 				}
-				out[i], errs[i] = ix.Search(queries[i], tau)
+				out[i], errs[i] = search(queries[i])
 			}
 		}()
 	}

@@ -1,0 +1,83 @@
+package shard
+
+import "gph/internal/core"
+
+// boundedHeap merges per-shard kNN lists while keeping only the k
+// best neighbours seen so far. It is a binary max-heap ordered by
+// "worse" (greater distance, then greater id), so the root is always
+// the weakest kept neighbour and a better offer replaces it in
+// O(log k); offers past capacity that cannot beat the root are
+// rejected in O(1).
+type boundedHeap struct {
+	k  int
+	ns []core.Neighbor
+}
+
+func newBoundedHeap(k int) *boundedHeap {
+	return &boundedHeap{k: k, ns: make([]core.Neighbor, 0, k)}
+}
+
+// worse reports whether a is a strictly worse result than b under the
+// kNN ordering (ascending distance, ties by ascending id).
+func worse(a, b core.Neighbor) bool {
+	if a.Distance != b.Distance {
+		return a.Distance > b.Distance
+	}
+	return a.ID > b.ID
+}
+
+// offer considers one neighbour for the running top k.
+func (h *boundedHeap) offer(n core.Neighbor) {
+	if len(h.ns) < h.k {
+		h.ns = append(h.ns, n)
+		h.up(len(h.ns) - 1)
+		return
+	}
+	if worse(n, h.ns[0]) {
+		return
+	}
+	h.ns[0] = n
+	h.down(0)
+}
+
+func (h *boundedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.ns[i], h.ns[parent]) {
+			return
+		}
+		h.ns[i], h.ns[parent] = h.ns[parent], h.ns[i]
+		i = parent
+	}
+}
+
+func (h *boundedHeap) down(i int) {
+	n := len(h.ns)
+	for {
+		worst := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < n && worse(h.ns[c], h.ns[worst]) {
+				worst = c
+			}
+		}
+		if worst == i {
+			return
+		}
+		h.ns[i], h.ns[worst] = h.ns[worst], h.ns[i]
+		i = worst
+	}
+}
+
+// sorted drains the heap into ascending (distance, id) order. The
+// heap is consumed.
+func (h *boundedHeap) sorted() []core.Neighbor {
+	out := make([]core.Neighbor, len(h.ns))
+	for i := len(h.ns) - 1; i >= 0; i-- {
+		out[i] = h.ns[0]
+		last := len(h.ns) - 1
+		h.ns[0] = h.ns[last]
+		h.ns = h.ns[:last]
+		h.down(0)
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"gph/internal/binio"
+	"gph/internal/bitvec"
+	"gph/internal/candest"
+	"gph/internal/core"
+)
+
+// shardMagic identifies the sharded container format. GPHSH01 wraps
+// one length-prefixed GPHIX02 blob per built shard, together with the
+// id mappings and update buffers the blobs do not know about.
+const shardMagic = "GPHSH01\n"
+
+// Save serializes the sharded index: the container header (dims,
+// shard count, id counter, raw build options), then per shard its
+// global-id mapping, its built core index as a nested GPHIX02 blob,
+// its tombstone set (sorted) and its delta buffer (insertion order).
+// Output is byte-reproducible: saving a loaded index reproduces the
+// original bytes.
+//
+// The full build configuration is persisted — Compact after Load
+// rebuilds shards exactly as the original index would — with two
+// exceptions: a caller-supplied Options.Workload (a pointer the
+// container cannot capture; post-Load compactions fall back to the
+// surrogate workload) and BuildParallelism (wall-clock only; resets
+// to GOMAXPROCS).
+func (s *Index) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := binio.NewWriter(w)
+	bw.Magic(shardMagic)
+	bw.Int(s.dims)
+	bw.Int(s.numShards)
+	bw.Int(int(s.nextID))
+	writeOptions(bw, s.opts)
+	for i, sh := range s.shards {
+		bw.Int32s(sh.builtIDs)
+		if sh.built != nil {
+			var blob bytes.Buffer
+			if err := sh.built.Save(&blob); err != nil {
+				return fmt.Errorf("shard: saving shard %d: %w", i, err)
+			}
+			bw.ByteSlice(blob.Bytes())
+		}
+		bw.Int32s(sortedIDs(sh.dead))
+		bw.Int(len(sh.delta))
+		for _, e := range sh.delta {
+			bw.Uint32(uint32(e.id))
+			for _, word := range e.vec.Words() {
+				bw.Uint64(word)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeOptions persists every Options field Compact needs to rebuild
+// shards faithfully (all scalars, including the nested Refine and
+// Learned configurations).
+func writeOptions(bw *binio.Writer, o core.Options) {
+	bw.Int(o.NumPartitions)
+	bw.Int(int(o.Init))
+	bw.Int(boolToInt(o.NoRefine))
+	bw.Int(int(o.Allocator))
+	bw.Int(int(o.Estimator))
+	bw.Int(o.SubPartitions)
+	bw.Int(o.MaxTau)
+	bw.Int(o.WorkloadSize)
+	bw.Int(o.SampleSize)
+	bw.Int64(o.EnumBudget)
+	bw.Int64(o.Seed)
+	bw.Int(o.Refine.MaxMoves)
+	bw.Int(o.Refine.MaxEvals)
+	bw.Int(o.Refine.TargetsPerDim)
+	bw.Int(boolToInt(o.Refine.BestImprovement))
+	bw.Int64(o.Refine.EnumBudget)
+	bw.Int(o.Refine.TotalRows)
+	bw.Int64(o.Refine.Seed)
+	bw.Int(int(o.Learned.Model))
+	bw.Int(o.Learned.TrainN)
+	bw.Int(o.Learned.TauStride)
+	bw.Int64(o.Learned.Seed)
+}
+
+// readOptions reads what writeOptions wrote.
+func readOptions(br *binio.Reader) core.Options {
+	var o core.Options
+	o.NumPartitions = br.Int()
+	o.Init = core.InitKind(br.Int())
+	o.NoRefine = br.Int() != 0
+	o.Allocator = core.AllocatorKind(br.Int())
+	o.Estimator = core.EstimatorKind(br.Int())
+	o.SubPartitions = br.Int()
+	o.MaxTau = br.Int()
+	o.WorkloadSize = br.Int()
+	o.SampleSize = br.Int()
+	o.EnumBudget = br.Int64()
+	o.Seed = br.Int64()
+	o.Refine.MaxMoves = br.Int()
+	o.Refine.MaxEvals = br.Int()
+	o.Refine.TargetsPerDim = br.Int()
+	o.Refine.BestImprovement = br.Int() != 0
+	o.Refine.EnumBudget = br.Int64()
+	o.Refine.TotalRows = br.Int()
+	o.Refine.Seed = br.Int64()
+	o.Learned.Model = candest.ModelKind(br.Int())
+	o.Learned.TrainN = br.Int()
+	o.Learned.TauStride = br.Int()
+	o.Learned.Seed = br.Int64()
+	return o
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sortedIDs(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tombstone sets are small
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Load reads a sharded index written by Save, validating the id
+// mappings against the nested per-shard indexes (every global id
+// unique and below the id counter, tombstones subset of the built
+// ids, delta dimensionality consistent).
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(shardMagic)
+	dims := br.Int()
+	numShards := br.Int()
+	nextID := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("shard: reading container header: %w", err)
+	}
+	if dims < 0 || dims > 1<<20 {
+		return nil, fmt.Errorf("shard: implausible dimension count %d", dims)
+	}
+	if numShards < 1 || numShards > 1<<16 {
+		return nil, fmt.Errorf("shard: implausible shard count %d", numShards)
+	}
+	if nextID < 0 || nextID > binio.MaxSliceLen {
+		return nil, fmt.Errorf("shard: implausible id counter %d", nextID)
+	}
+	if dims == 0 && nextID != 0 {
+		// dims is set by the first insert and never cleared, so a
+		// dimensionless container cannot have assigned any id; a
+		// nonzero counter would let zero-dimensional delta vectors
+		// through and panic later searches.
+		return nil, fmt.Errorf("shard: container has no dimensionality but id counter %d", nextID)
+	}
+	opts := readOptions(br)
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("shard: reading options: %w", err)
+	}
+	if opts.Init < core.InitGreedy || opts.Init > core.InitDD {
+		return nil, fmt.Errorf("shard: persisted init kind %d unknown", int(opts.Init))
+	}
+	if opts.Allocator < core.AllocDP || opts.Allocator > core.AllocRR {
+		return nil, fmt.Errorf("shard: persisted allocator kind %d unknown", int(opts.Allocator))
+	}
+	if opts.Estimator < core.EstimatorExact || opts.Estimator > core.EstimatorMLP {
+		return nil, fmt.Errorf("shard: persisted estimator kind %d unknown", int(opts.Estimator))
+	}
+	s, err := New(numShards, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.dims = dims
+	s.nextID = int32(nextID)
+	words := (dims + 63) / 64
+	for i := int32(0); i < int32(numShards); i++ {
+		sh := s.shards[i]
+		sh.builtIDs = br.Int32s()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("shard: reading shard %d ids: %w", i, err)
+		}
+		for j, gid := range sh.builtIDs {
+			if gid < 0 || int(gid) >= nextID {
+				return nil, fmt.Errorf("shard: shard %d references id %d outside [0,%d)", i, gid, nextID)
+			}
+			if _, dup := s.owner[gid]; dup {
+				return nil, fmt.Errorf("shard: id %d appears in two shards", gid)
+			}
+			sh.builtPos[gid] = int32(j)
+			s.owner[gid] = i
+		}
+		if len(sh.builtIDs) > 0 {
+			blob := br.ByteSlice()
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("shard: reading shard %d index blob: %w", i, err)
+			}
+			built, err := core.Load(bytes.NewReader(blob))
+			if err != nil {
+				return nil, fmt.Errorf("shard: loading shard %d index: %w", i, err)
+			}
+			if built.Len() != len(sh.builtIDs) {
+				return nil, fmt.Errorf("shard: shard %d blob has %d vectors, id map has %d", i, built.Len(), len(sh.builtIDs))
+			}
+			if built.Dims() != dims {
+				return nil, fmt.Errorf("shard: shard %d blob has %d dims, container has %d", i, built.Dims(), dims)
+			}
+			sh.built = built
+		}
+		for _, gid := range br.Int32s() {
+			if _, ok := sh.builtPos[gid]; !ok {
+				return nil, fmt.Errorf("shard: shard %d tombstone %d not in built index", i, gid)
+			}
+			sh.dead[gid] = true
+			delete(s.owner, gid)
+		}
+		deltaCount := br.Int()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("shard: reading shard %d buffers: %w", i, err)
+		}
+		if deltaCount < 0 || deltaCount > nextID {
+			return nil, fmt.Errorf("shard: shard %d has implausible delta count %d", i, deltaCount)
+		}
+		for d := 0; d < deltaCount; d++ {
+			gid := int32(br.Uint32())
+			ws := make([]uint64, words)
+			for j := range ws {
+				ws[j] = br.Uint64()
+			}
+			if err := br.Err(); err != nil {
+				return nil, fmt.Errorf("shard: reading shard %d delta %d: %w", i, d, err)
+			}
+			if gid < 0 || int(gid) >= nextID {
+				return nil, fmt.Errorf("shard: shard %d delta references id %d outside [0,%d)", i, gid, nextID)
+			}
+			if _, dup := s.owner[gid]; dup {
+				return nil, fmt.Errorf("shard: id %d appears twice", gid)
+			}
+			sh.delta = append(sh.delta, deltaEntry{id: gid, vec: bitvec.FromWords(dims, ws)})
+			s.owner[gid] = i
+		}
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("shard: reading container: %w", err)
+	}
+	return s, nil
+}

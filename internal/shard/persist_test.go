@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"gph/internal/dataset"
+)
+
+// dirtyIndex builds a sharded index carrying every kind of state the
+// container must persist: built shards, tombstones, and delta
+// entries.
+func dirtyIndex(t *testing.T) *Index {
+	t.Helper()
+	ds := dataset.UQVideoLike(500, 17)
+	s, err := Build(ds.Vectors[:400], 3, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ds.Vectors[400:] {
+		if _, err := s.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int32{3, 77, 200, 410, 455} {
+		if err := s.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestSaveLoadRoundTrip asserts the acceptance criterion: a loaded
+// sharded container re-saves byte-identically, and the loaded index
+// answers queries exactly as the original, through further updates
+// and compaction.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := dirtyIndex(t)
+	var first bytes.Buffer
+	if err := s.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical: %d vs %d bytes", first.Len(), second.Len())
+	}
+
+	if loaded.Len() != s.Len() || loaded.Dims() != s.Dims() || loaded.NumShards() != s.NumShards() {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			loaded.Len(), loaded.Dims(), loaded.NumShards(), s.Len(), s.Dims(), s.NumShards())
+	}
+	queries := dataset.PerturbQueries(dataset.UQVideoLike(500, 17), 6, 4, 3)
+	for _, q := range queries {
+		want, err := s.Search(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(want, got) {
+			t.Fatalf("loaded index answers differently: %v vs %v", want, got)
+		}
+	}
+
+	// The loaded index stays updatable: compact, insert, and the id
+	// counter continues where the original left off.
+	if err := loaded.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	idA, err := s.Insert(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := loaded.Insert(queries[0].Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA != idB {
+		t.Fatalf("id counters diverged: %d vs %d", idA, idB)
+	}
+
+	// Compacted state round-trips too.
+	if err := loaded.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	var third bytes.Buffer
+	if err := loaded.Save(&third); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(bytes.NewReader(third.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fourth bytes.Buffer
+	if err := reloaded.Save(&fourth); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(third.Bytes(), fourth.Bytes()) {
+		t.Fatal("compacted round trip not byte-identical")
+	}
+}
+
+// TestOptionsRoundTrip: the container must carry the full build
+// configuration, so a Compact after Load rebuilds shards exactly as
+// the original index would (a dropped field here silently changes
+// partitioning or training of every post-load rebuild).
+func TestOptionsRoundTrip(t *testing.T) {
+	opts := testOpts()
+	opts.NumPartitions = 5
+	opts.NoRefine = true
+	opts.Refine.MaxEvals = 123
+	opts.Learned.TrainN = 17
+	ds := dataset.SIFTLike(300, 2)
+	s, err := Build(ds.Vectors, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Options(); got != opts {
+		t.Fatalf("options not preserved:\n got  %+v\n want %+v", got, opts)
+	}
+}
+
+// TestEmptyRoundTrip: a never-built index (dims 0) must survive
+// persistence.
+func TestEmptyRoundTrip(t *testing.T) {
+	s, err := New(4, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 || loaded.Dims() != 0 || loaded.NumShards() != 4 {
+		t.Fatalf("empty shape: %d/%d/%d", loaded.Len(), loaded.Dims(), loaded.NumShards())
+	}
+	if _, err := loaded.Insert(dataset.SIFTLike(1, 1).Vectors[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadCorrupt: truncations and bit flips must fail cleanly, never
+// panic.
+func TestLoadCorrupt(t *testing.T) {
+	s := dirtyIndex(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, cut := range []int{1, 8, 40, len(good) / 2, len(good) - 3} {
+		if _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for _, pos := range []int{0, 9, 17, 60, len(good) / 3} {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0xff
+		if _, err := Load(bytes.NewReader(bad)); err == nil {
+			// Flips in magic, dims and shard count (bytes 0–23) must
+			// fail; deeper flips can land in vector payload or the id
+			// counter, where any value decodes as structurally valid.
+			if pos < 24 {
+				t.Fatalf("header flip at %d accepted", pos)
+			}
+		}
+	}
+}

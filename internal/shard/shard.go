@@ -1,0 +1,516 @@
+// Package shard implements the horizontally sharded, incrementally
+// updatable layer over the core GPH index. An Index hash-partitions
+// vectors by content across S independently built core indexes (the
+// same decomposition Faiss's IndexShards applies to billion-scale
+// collections), fans queries out across shards concurrently, and
+// merges per-shard results deterministically. Updates are absorbed by
+// a small per-shard delta buffer (inserts are linearly scanned at
+// query time, deletes are tombstoned) and folded into the built
+// indexes by an explicit Compact. The paper's machinery (partitioning,
+// allocation, enumeration — §IV–V) is untouched: every shard is a
+// complete GPH index over its slice of the collection, so sharded
+// answers are exact, matching a single index over the same live set.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+)
+
+// ErrNotFound reports a Delete of an id that is not live (never
+// assigned, or already deleted); match with errors.Is.
+var ErrNotFound = errors.New("id not found")
+
+// deltaEntry is one unindexed insert: a vector awaiting Compact,
+// carrying its already-assigned global id.
+type deltaEntry struct {
+	id  int32
+	vec bitvec.Vector
+}
+
+// state is one shard: a built core index over its indexed vectors
+// plus the update buffers layered on top.
+type state struct {
+	built    *core.Index     // nil when the shard has no indexed vectors
+	builtIDs []int32         // local id → global id, strictly ascending
+	builtPos map[int32]int32 // global id → local id (inverse of builtIDs)
+	dead     map[int32]bool  // tombstoned global ids within built
+	delta    []deltaEntry    // unindexed inserts, ascending global id
+}
+
+// live returns the number of vectors the shard answers for.
+func (sh *state) live() int {
+	return len(sh.builtIDs) - len(sh.dead) + len(sh.delta)
+}
+
+// Index is a sharded, updatable GPH index. Vectors carry stable
+// global ids: Build assigns 0..n-1, Insert continues from there, and
+// ids survive Compact. All methods are safe for concurrent use —
+// searches run under a read lock and proceed concurrently with each
+// other; Insert, Delete and Compact serialize behind a write lock.
+type Index struct {
+	mu        sync.RWMutex
+	dims      int // 0 until the first vector arrives
+	numShards int
+	opts      core.Options // raw (pre-default) build options, reused by Compact
+	nextID    int32
+	shards    []*state
+	owner     map[int32]int32 // global id → shard; exactly the live ids
+}
+
+// New returns an empty sharded index with numShards shards; the
+// dimensionality is adopted from the first inserted vector. opts
+// configures every per-shard build (Compact applies it as Build
+// would).
+func New(numShards int, opts core.Options) (*Index, error) {
+	if numShards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", numShards)
+	}
+	s := &Index{
+		numShards: numShards,
+		opts:      opts,
+		shards:    make([]*state, numShards),
+		owner:     make(map[int32]int32),
+	}
+	for i := range s.shards {
+		s.shards[i] = &state{builtPos: map[int32]int32{}, dead: map[int32]bool{}}
+	}
+	return s, nil
+}
+
+// Build constructs a sharded index over data, assigning global ids
+// 0..len(data)-1. Vectors are routed to shards by a content hash, and
+// the per-shard builds fan out over a worker pool bounded by
+// opts.BuildParallelism (each inner build runs serially, so the
+// result is deterministic for every parallelism setting).
+func Build(data []bitvec.Vector, numShards int, opts core.Options) (*Index, error) {
+	s, err := New(numShards, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return s, nil
+	}
+	s.dims = data[0].Dims()
+	if s.dims == 0 {
+		return nil, fmt.Errorf("shard: zero-dimensional vectors")
+	}
+	for i, v := range data {
+		if v.Dims() != s.dims {
+			return nil, fmt.Errorf("shard: vector %d has %d dims, want %d", i, v.Dims(), s.dims)
+		}
+	}
+	for id, v := range data {
+		si := s.route(v)
+		sh := s.shards[si]
+		sh.builtIDs = append(sh.builtIDs, int32(id))
+		s.owner[int32(id)] = si
+	}
+	s.nextID = int32(len(data))
+	err = core.ForEach(opts.BuildParallelism, numShards, func(i int) error {
+		sh := s.shards[i]
+		if len(sh.builtIDs) == 0 {
+			return nil
+		}
+		local := make([]bitvec.Vector, len(sh.builtIDs))
+		for j, gid := range sh.builtIDs {
+			local[j] = data[gid]
+			sh.builtPos[gid] = int32(j)
+		}
+		built, err := core.Build(local, s.innerOpts())
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh.built = built
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// innerOpts is the per-shard build configuration: the caller's
+// options with inner parallelism pinned to 1, because the shard-level
+// pool already owns the cores.
+func (s *Index) innerOpts() core.Options {
+	o := s.opts
+	o.BuildParallelism = 1
+	return o
+}
+
+// route hash-partitions a vector by content (FNV-1a over the packed
+// words), so placement is deterministic and independent of insertion
+// order or shard load.
+func (s *Index) route(v bitvec.Vector) int32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range v.Words() {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (w >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	return int32(h % uint64(s.numShards))
+}
+
+// Dims returns the dimensionality of indexed vectors (0 while the
+// index is empty and has never seen a vector).
+func (s *Index) Dims() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dims
+}
+
+// Len returns the number of live vectors (inserted and not deleted,
+// whether indexed or still in a delta buffer).
+func (s *Index) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.owner)
+}
+
+// NumShards returns the shard count.
+func (s *Index) NumShards() int { return s.numShards }
+
+// Options returns the build options applied to every shard.
+func (s *Index) Options() core.Options { return s.opts }
+
+// Vector returns the live vector with the given global id. The
+// returned vector shares storage with the index and must not be
+// modified.
+func (s *Index) Vector(id int32) (bitvec.Vector, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	si, ok := s.owner[id]
+	if !ok {
+		return bitvec.Vector{}, false
+	}
+	sh := s.shards[si]
+	if pos, ok := sh.builtPos[id]; ok && !sh.dead[id] {
+		return sh.built.Vector(pos), true
+	}
+	for _, e := range sh.delta {
+		if e.id == id {
+			return e.vec, true
+		}
+	}
+	return bitvec.Vector{}, false
+}
+
+// Insert adds a vector and returns its assigned global id. The
+// vector lands in its shard's delta buffer — visible to searches
+// immediately, folded into the built index by the next Compact. The
+// vector is retained; callers must not mutate it afterwards.
+func (s *Index) Insert(v bitvec.Vector) (int32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v.Dims() == 0 {
+		return 0, fmt.Errorf("shard: cannot insert zero-dimensional vector")
+	}
+	if s.dims == 0 {
+		s.dims = v.Dims()
+	} else if v.Dims() != s.dims {
+		return 0, fmt.Errorf("shard: vector has %d dims, index has %d", v.Dims(), s.dims)
+	}
+	id := s.nextID
+	s.nextID++
+	si := s.route(v)
+	s.shards[si].delta = append(s.shards[si].delta, deltaEntry{id: id, vec: v})
+	s.owner[id] = si
+	return id, nil
+}
+
+// Delete removes the vector with the given global id. Deletes of
+// indexed vectors are tombstoned (filtered from every search) until
+// Compact physically drops them; deletes of delta-buffered vectors
+// take effect directly. Returns ErrNotFound if id is not live.
+func (s *Index) Delete(id int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si, ok := s.owner[id]
+	if !ok {
+		return fmt.Errorf("shard: delete %d: %w", id, ErrNotFound)
+	}
+	sh := s.shards[si]
+	if _, ok := sh.builtPos[id]; ok {
+		sh.dead[id] = true
+	} else {
+		for j, e := range sh.delta {
+			if e.id == id {
+				sh.delta = append(sh.delta[:j], sh.delta[j+1:]...)
+				break
+			}
+		}
+	}
+	delete(s.owner, id)
+	return nil
+}
+
+// Compact folds every shard's update buffers into its built index:
+// tombstoned vectors are dropped, delta vectors are indexed, and the
+// buffers reset. Only dirty shards rebuild, fanned out over the
+// BuildParallelism pool. Global ids are preserved. Compact blocks
+// searches for the duration of the rebuild.
+func (s *Index) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dirty []int32
+	for i, sh := range s.shards {
+		if len(sh.dead) > 0 || len(sh.delta) > 0 {
+			dirty = append(dirty, int32(i))
+		}
+	}
+	if len(dirty) == 0 {
+		return nil
+	}
+	rebuilt := make([]*state, len(dirty))
+	err := core.ForEach(s.opts.BuildParallelism, len(dirty), func(di int) error {
+		sh := s.shards[dirty[di]]
+		// Survivors keep their local order; delta ids are newer than
+		// every built id, so the merged id list stays ascending.
+		ids := make([]int32, 0, sh.live())
+		vecs := make([]bitvec.Vector, 0, sh.live())
+		for j, gid := range sh.builtIDs {
+			if !sh.dead[gid] {
+				ids = append(ids, gid)
+				vecs = append(vecs, sh.built.Vector(int32(j)))
+			}
+		}
+		for _, e := range sh.delta {
+			ids = append(ids, e.id)
+			vecs = append(vecs, e.vec)
+		}
+		next := &state{builtIDs: ids, builtPos: make(map[int32]int32, len(ids)), dead: map[int32]bool{}}
+		for j, gid := range ids {
+			next.builtPos[gid] = int32(j)
+		}
+		if len(vecs) > 0 {
+			built, err := core.Build(vecs, s.innerOpts())
+			if err != nil {
+				return fmt.Errorf("shard %d: compact: %w", dirty[di], err)
+			}
+			next.built = built
+		}
+		rebuilt[di] = next
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for di, i := range dirty {
+		s.shards[i] = rebuilt[di]
+	}
+	return nil
+}
+
+// Search returns the global ids of all live vectors within Hamming
+// distance tau of q, in ascending id order — the same id set a single
+// core index over the live vectors would return. Shards are probed
+// concurrently; each shard answers from its built index (tombstones
+// filtered) plus a linear scan of its delta buffer.
+func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.validateQuery(q, tau); err != nil {
+		return nil, err
+	}
+	perShard := make([][]int32, s.numShards)
+	errs := make([]error, s.numShards)
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		if sh.built == nil && len(sh.delta) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *state) {
+			defer wg.Done()
+			perShard[i], errs[i] = sh.search(q, tau)
+		}(i, sh)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, ids := range perShard {
+		total += len(ids)
+	}
+	out := make([]int32, 0, total)
+	for _, ids := range perShard {
+		out = append(out, ids...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// search answers one shard's share of a range query: built-index
+// results mapped to global ids with tombstones dropped, then the
+// delta scan. builtIDs is ascending, so the mapped ids stay sorted.
+func (sh *state) search(q bitvec.Vector, tau int) ([]int32, error) {
+	var out []int32
+	if sh.built != nil {
+		local, err := sh.built.Search(q, tau)
+		if err != nil {
+			return nil, err
+		}
+		out = make([]int32, 0, len(local))
+		for _, lid := range local {
+			gid := sh.builtIDs[lid]
+			if !sh.dead[gid] {
+				out = append(out, gid)
+			}
+		}
+	}
+	for _, e := range sh.delta {
+		if q.HammingWithin(e.vec, tau) {
+			out = append(out, e.id)
+		}
+	}
+	return out, nil
+}
+
+// SearchKNN returns the k nearest live neighbours of q by Hamming
+// distance, ties broken by ascending global id — matching a single
+// index's SearchKNN over the same live set. Each shard contributes
+// its local top k (requesting k plus its tombstone count from the
+// built index so filtered entries cannot displace true neighbours);
+// the per-shard lists merge through a max-heap bounded at k.
+func (s *Index) SearchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.validateQuery(q, 0); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: k must be positive, got %d: %w", k, core.ErrInvalidQuery)
+	}
+	perShard := make([][]core.Neighbor, s.numShards)
+	errs := make([]error, s.numShards)
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		if sh.built == nil && len(sh.delta) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *state) {
+			defer wg.Done()
+			perShard[i], errs[i] = sh.searchKNN(q, k)
+		}(i, sh)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	h := newBoundedHeap(k)
+	for _, ns := range perShard {
+		for _, n := range ns {
+			h.offer(n)
+		}
+	}
+	return h.sorted(), nil
+}
+
+// searchKNN answers one shard's share of a kNN query.
+func (sh *state) searchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
+	var out []core.Neighbor
+	if sh.built != nil {
+		local, err := sh.built.SearchKNN(q, k+len(sh.dead))
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range local {
+			gid := sh.builtIDs[n.ID]
+			if !sh.dead[gid] {
+				out = append(out, core.Neighbor{ID: gid, Distance: n.Distance})
+				if len(out) == k {
+					break
+				}
+			}
+		}
+	}
+	for _, e := range sh.delta {
+		out = append(out, core.Neighbor{ID: e.id, Distance: q.Hamming(e.vec)})
+	}
+	return out, nil
+}
+
+// SearchBatch answers many queries using up to parallelism workers
+// (≤ 0 selects GOMAXPROCS); each query then fans out across shards as
+// Search does. Results align with queries by position; a failing
+// query nils only its own slot and the returned error joins every
+// per-query failure, mirroring the single-index SearchBatch contract.
+func (s *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return core.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return s.Search(q, tau)
+	})
+}
+
+// validateQuery applies the core query contract at the sharded layer,
+// so delta-only and empty shards reject bad input exactly as built
+// shards do. An index that has never seen a vector accepts any query
+// dimensionality (and answers with no results).
+func (s *Index) validateQuery(q bitvec.Vector, tau int) error {
+	if tau < 0 {
+		return fmt.Errorf("shard: negative threshold %d: %w", tau, core.ErrInvalidQuery)
+	}
+	if s.dims != 0 && q.Dims() != s.dims {
+		return fmt.Errorf("shard: query has %d dims, index has %d: %w", q.Dims(), s.dims, core.ErrInvalidQuery)
+	}
+	return nil
+}
+
+// Stats describes one shard for observability endpoints: how many
+// vectors its built index covers, how much unindexed state has
+// accumulated (Compact folds Delta and Tombstones to zero), and its
+// resident size under the repository's shared accounting.
+type Stats struct {
+	Indexed    int   `json:"indexed"`    // vectors in the built index (tombstones included)
+	Delta      int   `json:"delta"`      // unindexed inserts pending Compact
+	Tombstones int   `json:"tombstones"` // deletes pending Compact
+	SizeBytes  int64 `json:"size_bytes"` // built index resident size
+}
+
+// ShardStats reports per-shard occupancy and buffer depth, indexed by
+// shard number.
+func (s *Index) ShardStats() []Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Stats, s.numShards)
+	for i, sh := range s.shards {
+		out[i] = Stats{
+			Indexed:    len(sh.builtIDs),
+			Delta:      len(sh.delta),
+			Tombstones: len(sh.dead),
+		}
+		if sh.built != nil {
+			out[i].SizeBytes = sh.built.SizeBytes()
+		}
+	}
+	return out
+}
+
+// SizeBytes reports the total resident size across shards: built
+// indexes plus the raw vectors sitting in delta buffers.
+func (s *Index) SizeBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, sh := range s.shards {
+		if sh.built != nil {
+			total += sh.built.SizeBytes()
+		}
+		for _, e := range sh.delta {
+			total += int64(8 * len(e.vec.Words()))
+		}
+	}
+	return total
+}

@@ -1,0 +1,157 @@
+// Command doccheck is the repository's documentation gate, run by CI.
+// It enforces two rules:
+//
+//  1. Every Go package in the module has a package comment.
+//  2. Every exported identifier in the public packages (the root gph
+//     package and datagen) has a doc comment. An identifier inside a
+//     documented const/var/type block counts as documented.
+//
+// Usage:
+//
+//	go run ./tools/doccheck [module root]
+//
+// Exits non-zero listing every violation, so missing docs fail the
+// build instead of rotting silently.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// publicDirs are the packages whose exported API must be fully
+// documented (rule 2); every other package only needs a package
+// comment (rule 1).
+var publicDirs = map[string]bool{".": true, "datagen": true}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == ".git" || name == "testdata" || strings.HasPrefix(name, "_") {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		vs, err := checkDir(path, rel, publicDirs[filepath.ToSlash(rel)])
+		if err != nil {
+			return err
+		}
+		violations = append(violations, vs...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses the non-test Go files of one directory and applies
+// the rules. Directories without Go files are skipped.
+func checkDir(dir, rel string, public bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", rel, err)
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", rel, pkg.Name))
+		}
+		if !public {
+			continue
+		}
+		for filename, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				out = append(out, checkDecl(fset, filename, decl)...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkDecl reports exported top-level identifiers lacking docs.
+func checkDecl(fset *token.FileSet, filename string, decl ast.Decl) []string {
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", filename, p.Line, what, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil // method on an unexported type
+		}
+		report(d.Pos(), "function", d.Name.Name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && sp.Doc == nil && d.Doc == nil {
+					report(sp.Pos(), "type", sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range sp.Names {
+					if n.IsExported() && sp.Doc == nil && d.Doc == nil {
+						report(n.Pos(), "value", n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method receiver names an exported
+// type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
