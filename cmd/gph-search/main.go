@@ -1,12 +1,18 @@
-// Command gph-search builds a GPH index over a dataset and answers
-// Hamming distance queries from the command line.
+// Command gph-search builds a search engine over a dataset and
+// answers Hamming distance queries from the command line.
 //
 // Usage:
 //
 //	gph-search -data corpus.ds -tau 8 -q 0110...           # one query
 //	gph-search -data corpus.ds -tau 8 -sample 5            # sampled queries
+//	gph-search -data corpus.ds -engine mih -tau 8 -q 0...  # another engine
 //	gph-search -data corpus.ds -save index.gph             # persist the index
 //	gph-search -index index.gph -tau 8 -q 0110...          # load and query
+//	gph-search -data corpus.ds -knn 10 -q 0110...          # k nearest
+//
+// -engine selects any registered backend (gph by default); -index
+// loads a previously saved index of any engine, dispatching on the
+// file's magic bytes.
 package main
 
 import (
@@ -25,15 +31,18 @@ func main() {
 		indexPath = flag.String("index", "", "load a previously saved index instead of building")
 		savePath  = flag.String("save", "", "write the built index to this file")
 		tau       = flag.Int("tau", 8, "Hamming distance threshold")
+		knn       = flag.Int("knn", 0, "answer k-nearest-neighbours queries instead of range queries")
 		queryStr  = flag.String("q", "", "query as a 0/1 string (dimension 0 first)")
 		sample    = flag.Int("sample", 0, "answer this many sampled data vectors as queries")
-		m         = flag.Int("m", 0, "partition count (0 = auto, ≈ dims/24)")
+		m         = flag.Int("m", 0, "partition count (0 = auto)")
+		maxTau    = flag.Int("max-tau", 0, "largest query threshold τ-bounded engines build for (0 = default 64)")
 		seed      = flag.Int64("seed", 42, "build seed")
 		buildPar  = flag.Int("build-parallelism", 0, "index-build worker count (0 = GOMAXPROCS)")
+		engName   = flag.String("engine", "gph", fmt.Sprintf("search engine to build %v", gph.Engines()))
 	)
 	flag.Parse()
 
-	index, data, err := openIndex(*dataPath, *indexPath, *m, *buildPar, *seed)
+	index, data, err := openIndex(*dataPath, *indexPath, *engName, *m, *maxTau, *buildPar, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
 		os.Exit(1)
@@ -50,12 +59,28 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("saved index (%d vectors, %.2f MB) to %s\n",
-			index.Len(), float64(index.SizeBytes())/(1<<20), *savePath)
+		fmt.Printf("saved %s index (%d vectors, %.2f MB) to %s\n",
+			index.Name(), index.Len(), float64(index.SizeBytes())/(1<<20), *savePath)
 	}
 
 	run := func(q gph.Vector, label string) {
 		start := time.Now()
+		if *knn > 0 {
+			nns, err := index.SearchKNN(q, *knn)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: %d nearest in %v\n", label, len(nns), time.Since(start).Round(time.Microsecond))
+			for i, n := range nns {
+				if i == 10 {
+					fmt.Printf("  … %d more\n", len(nns)-10)
+					break
+				}
+				fmt.Printf("  id=%d distance=%d\n", n.ID, n.Distance)
+			}
+			return
+		}
 		ids, stats, err := index.SearchStats(q, *tau)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gph-search: %v\n", err)
@@ -99,18 +124,19 @@ func main() {
 	}
 }
 
-func openIndex(dataPath, indexPath string, m, buildPar int, seed int64) (*gph.Index, *datagen.Dataset, error) {
+func openIndex(dataPath, indexPath, engName string, m, maxTau, buildPar int, seed int64) (gph.Engine, *datagen.Dataset, error) {
 	if indexPath != "" {
 		f, err := os.Open(indexPath)
 		if err != nil {
 			return nil, nil, err
 		}
 		defer f.Close()
-		ix, err := gph.Load(f)
+		e, err := gph.LoadAny(f)
 		if err != nil {
 			return nil, nil, fmt.Errorf("loading index: %w", err)
 		}
-		return ix, nil, nil
+		fmt.Printf("loaded %s index over %d vectors × %d dims\n", e.Name(), e.Len(), e.Dims())
+		return e, nil, nil
 	}
 	if dataPath == "" {
 		return nil, nil, fmt.Errorf("need -data or -index")
@@ -125,11 +151,13 @@ func openIndex(dataPath, indexPath string, m, buildPar int, seed int64) (*gph.In
 		return nil, nil, fmt.Errorf("loading dataset: %w", err)
 	}
 	start := time.Now()
-	ix, err := gph.Build(ds.Vectors, gph.Options{NumPartitions: m, Seed: seed, BuildParallelism: buildPar})
+	e, err := gph.BuildEngine(engName, ds.Vectors, gph.EngineOptions{
+		NumPartitions: m, MaxTau: maxTau, Seed: seed, BuildParallelism: buildPar,
+	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("building index: %w", err)
 	}
-	fmt.Printf("built index over %d vectors × %d dims in %v\n",
-		ds.Len(), ds.Dims, time.Since(start).Round(time.Millisecond))
-	return ix, ds, nil
+	fmt.Printf("built %s index over %d vectors × %d dims in %v\n",
+		engName, ds.Len(), ds.Dims, time.Since(start).Round(time.Millisecond))
+	return e, ds, nil
 }

@@ -1,9 +1,10 @@
-// Command gph-server exposes a GPH index over HTTP with a minimal
-// JSON API (net/http only):
+// Command gph-server exposes any registered search engine over HTTP
+// with a minimal JSON API (net/http only):
 //
 //	GET  /healthz                           → {"status":"ok", ...}
 //	GET  /search?q=0101...&tau=3            → results for one query
 //	POST /search {"queries":[...],"tau":3}  → batch results
+//	GET  /knn?q=0101...&k=10                → k nearest neighbours
 //	GET  /stats                             → index (and per-shard) statistics
 //	POST /insert {"vector":"0101..."}       → insert one vector (-shards mode)
 //	POST /compact                           → fold update buffers (-shards mode)
@@ -11,15 +12,20 @@
 // Usage:
 //
 //	gph-server -data corpus.ds -addr :8080
+//	gph-server -gen uqvideo -n 20000 -engine mih -addr :8080
 //	gph-server -gen uqvideo -n 20000 -shards 4 -addr :8080
 //
-// With -shards N the collection is hash-partitioned across N
-// independently built GPH shards and queries fan out concurrently;
-// this mode also accepts live updates through /insert, buffered per
-// shard until /compact folds them in. Without -shards the index is
-// single and immutable. The server carries read/write timeouts, caps
-// POST batch sizes (-max-batch, oversize → 413), and shuts down
-// gracefully on SIGINT or SIGTERM, draining in-flight requests.
+// -engine selects the backend (gph by default; mih, hmsearch,
+// partalloc, linscan, lsh) — every engine serves the same API, with
+// query-validation failures (wrong dimensionality, negative or
+// out-of-bound τ) answered 400 uniformly. With -shards N the
+// collection is hash-partitioned across N independently built shards
+// of that engine and queries fan out concurrently; this mode also
+// accepts live updates through /insert, buffered per shard until
+// /compact folds them in. Without -shards the index is single and
+// immutable. The server carries read/write timeouts, caps POST batch
+// sizes (-max-batch, oversize → 413), and shuts down gracefully on
+// SIGINT or SIGTERM, draining in-flight requests.
 package main
 
 import (
@@ -41,9 +47,10 @@ import (
 )
 
 // server answers requests from exactly one of two backends: a single
-// immutable index, or a sharded updatable one (-shards).
+// immutable engine, or a sharded updatable one (-shards). Either way
+// the HTTP layer is engine-agnostic: it speaks the engine contract.
 type server struct {
-	index    *gph.Index        // single-index mode
+	engine   gph.Engine        // single-engine mode
 	sharded  *gph.ShardedIndex // sharded mode; nil without -shards
 	maxBatch int
 }
@@ -52,21 +59,30 @@ func (s *server) vectors() int {
 	if s.sharded != nil {
 		return s.sharded.Len()
 	}
-	return s.index.Len()
+	return s.engine.Len()
 }
 
 func (s *server) dims() int {
 	if s.sharded != nil {
 		return s.sharded.Dims()
 	}
-	return s.index.Dims()
+	return s.engine.Dims()
 }
 
 func (s *server) sizeBytes() int64 {
 	if s.sharded != nil {
 		return s.sharded.SizeBytes()
 	}
-	return s.index.SizeBytes()
+	return s.engine.SizeBytes()
+}
+
+// engineName reports which backend is serving, for /healthz and
+// /stats.
+func (s *server) engineName() string {
+	if s.sharded != nil {
+		return s.sharded.Engine()
+	}
+	return s.engine.Name()
 }
 
 // vector resolves an id from a search result to its vector for
@@ -75,10 +91,10 @@ func (s *server) vector(id int32) (gph.Vector, bool) {
 	if s.sharded != nil {
 		return s.sharded.Vector(id)
 	}
-	if id < 0 || int(id) >= s.index.Len() {
+	if id < 0 || int(id) >= s.engine.Len() {
 		return gph.Vector{}, false
 	}
-	return s.index.Vector(id), true
+	return s.engine.Vector(id), true
 }
 
 type searchResponse struct {
@@ -104,6 +120,8 @@ func main() {
 		buildPar = flag.Int("build-parallelism", 0, "index-build worker count (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 1024, "maximum queries per POST /search batch")
 		shards   = flag.Int("shards", 0, "shard count; 0 = single immutable index, >0 enables /insert and /compact")
+		engName  = flag.String("engine", "gph", fmt.Sprintf("search engine to serve %v", gph.Engines()))
+		maxTau   = flag.Int("max-tau", 0, "largest query threshold τ-bounded engines build for (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -111,33 +129,36 @@ func main() {
 	if err != nil {
 		log.Fatalf("gph-server: %v", err)
 	}
-	opts := gph.Options{NumPartitions: *m, Seed: *seed, BuildParallelism: *buildPar}
 	start := time.Now()
 	s := &server{maxBatch: *maxBatch}
 	if *shards > 0 {
-		sharded, err := gph.BuildSharded(ds.Vectors, *shards, opts)
+		opts := gph.Options{NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar}
+		sharded, err := gph.BuildShardedEngine(*engName, ds.Vectors, *shards, opts)
 		if err != nil {
 			log.Fatalf("gph-server: building sharded index: %v", err)
 		}
 		s.sharded = sharded
 	} else {
-		index, err := gph.Build(ds.Vectors, opts)
+		eng, err := gph.BuildEngine(*engName, ds.Vectors, gph.EngineOptions{
+			NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar,
+		})
 		if err != nil {
 			log.Fatalf("gph-server: building index: %v", err)
 		}
-		s.index = index
+		s.engine = eng
 	}
 	mode := "single index"
 	if *shards > 0 {
 		mode = fmt.Sprintf("%d shards", *shards)
 	}
-	log.Printf("index ready (%s): %d vectors × %d dims in %v (%.2f MB)",
-		mode, s.vectors(), s.dims(), time.Since(start).Round(time.Millisecond),
+	log.Printf("%s index ready (%s): %d vectors × %d dims in %v (%.2f MB)",
+		s.engineName(), mode, s.vectors(), s.dims(), time.Since(start).Round(time.Millisecond),
 		float64(s.sizeBytes())/(1<<20))
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/knn", s.handleKNN)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/compact", s.handleCompact)
@@ -190,6 +211,7 @@ func loadOrGenerate(dataPath, gen string, n int, seed int64) (*datagen.Dataset, 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":  "ok",
+		"engine":  s.engineName(),
 		"vectors": s.vectors(),
 		"dims":    s.dims(),
 	})
@@ -205,6 +227,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]interface{}{
+		"engine":     s.engineName(),
 		"vectors":    s.vectors(),
 		"dims":       s.dims(),
 		"size_bytes": s.sizeBytes(),
@@ -340,7 +363,7 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 		candidates = len(ids)
 	} else {
 		var stats *gph.Stats
-		ids, stats, err = s.index.SearchStats(q, tau)
+		ids, stats, err = s.engine.SearchStats(q, tau)
 		if stats != nil {
 			candidates = stats.Candidates
 		}
@@ -359,6 +382,48 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 		if v, ok := s.vector(id); ok {
 			resp.Distances[i] = gph.Hamming(q, v)
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleKNN answers GET /knn?q=...&k=N with the k nearest neighbours
+// of q, ordered by (distance, id). τ-bounded engines answer
+// best-effort within their build threshold and may return fewer than
+// k neighbours; approximate engines may miss true neighbours.
+func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q, err := gph.VectorFromString(r.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad q: %v", err)
+		return
+	}
+	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad k: %v", err)
+		return
+	}
+	start := time.Now()
+	var nns []gph.Neighbor
+	if s.sharded != nil {
+		nns, err = s.sharded.SearchKNN(q, k)
+	} else {
+		nns, err = s.engine.SearchKNN(q, k)
+	}
+	if err != nil {
+		httpError(w, searchStatus(err), "%v", err)
+		return
+	}
+	resp := searchResponse{
+		Results:   make([]int32, len(nns)),
+		Distances: make([]int, len(nns)),
+		Micros:    time.Since(start).Microseconds(),
+	}
+	for i, n := range nns {
+		resp.Results[i] = n.ID
+		resp.Distances[i] = n.Distance
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -401,7 +466,7 @@ func (s *server) searchBatch(w http.ResponseWriter, r *http.Request) {
 	if s.sharded != nil {
 		results, err = s.sharded.SearchBatch(queries, req.Tau, 0)
 	} else {
-		results, err = s.index.SearchBatch(queries, req.Tau, 0)
+		results, err = s.engine.SearchBatch(queries, req.Tau, 0)
 	}
 	if err != nil {
 		// SearchBatch joins per-query errors ("query %d: ...") and

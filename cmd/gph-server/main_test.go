@@ -20,7 +20,7 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &server{index: index}
+	return &server{engine: index}
 }
 
 func TestHealthz(t *testing.T) {
@@ -41,7 +41,7 @@ func TestHealthz(t *testing.T) {
 
 func TestSearchGet(t *testing.T) {
 	s := testServer(t)
-	q := s.index.Vector(0)
+	q := s.engine.Vector(0)
 	rec := httptest.NewRecorder()
 	s.handleSearch(rec, httptest.NewRequest(http.MethodGet, "/search?q="+q.String()+"&tau=8", nil))
 	if rec.Code != http.StatusOK {
@@ -85,7 +85,7 @@ func TestSearchGetErrors(t *testing.T) {
 func TestSearchBatchPost(t *testing.T) {
 	s := testServer(t)
 	req := batchRequest{
-		Queries: []string{s.index.Vector(1).String(), s.index.Vector(2).String()},
+		Queries: []string{s.engine.Vector(1).String(), s.engine.Vector(2).String()},
 		Tau:     6,
 	}
 	body, _ := json.Marshal(req)
@@ -110,9 +110,9 @@ func TestSearchBatchTooLarge(t *testing.T) {
 	s.maxBatch = 2
 	req := batchRequest{
 		Queries: []string{
-			s.index.Vector(0).String(),
-			s.index.Vector(1).String(),
-			s.index.Vector(2).String(),
+			s.engine.Vector(0).String(),
+			s.engine.Vector(1).String(),
+			s.engine.Vector(2).String(),
 		},
 		Tau: 6,
 	}
@@ -128,7 +128,7 @@ func TestSearchBatchBadQueryDims(t *testing.T) {
 	s := testServer(t)
 	s.maxBatch = 16
 	req := batchRequest{
-		Queries: []string{s.index.Vector(0).String(), "0101"},
+		Queries: []string{s.engine.Vector(0).String(), "0101"},
 		Tau:     6,
 	}
 	body, _ := json.Marshal(req)
@@ -181,7 +181,7 @@ func testShardedServer(t *testing.T) *server {
 func TestShardedSearchMatchesSingle(t *testing.T) {
 	single := testServer(t)
 	sharded := testShardedServer(t)
-	q := single.index.Vector(7).String()
+	q := single.engine.Vector(7).String()
 	var bodies []searchResponse
 	for _, s := range []*server{single, sharded} {
 		rec := httptest.NewRecorder()

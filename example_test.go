@@ -115,3 +115,55 @@ func ExampleShardedIndex() {
 	// before delete: [2 6]
 	// after delete:  [6]
 }
+
+// ExampleBuildEngine builds one of the baseline engines through the
+// registry and round-trips it through LoadAny, which dispatches on
+// the file's magic bytes — the same call restores an index of any
+// engine.
+func ExampleBuildEngine() {
+	e, err := gph.BuildEngine("mih", exampleData(), gph.EngineOptions{NumPartitions: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := gph.MustVectorFromString("0000000011111110")
+	ids, err := e.Search(q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(e.Name(), "found", ids)
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := gph.LoadAny(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nns, err := restored.SearchKNN(q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range nns {
+		fmt.Println("id", n.ID, "distance", n.Distance)
+	}
+	// Output:
+	// mih found [2 3]
+	// id 2 distance 1
+	// id 3 distance 1
+}
+
+// ExampleEngines lists the registered engines; approximate engines
+// (LSH) report Exact == false.
+func ExampleEngines() {
+	for _, info := range gph.Engines() {
+		fmt.Println(info.Name, info.Exact)
+	}
+	// Output:
+	// gph true
+	// hmsearch true
+	// linscan true
+	// lsh false
+	// mih true
+	// partalloc true
+}

@@ -18,9 +18,20 @@
 // verify candidates. Results are exact: every vector within the
 // threshold is returned, nothing else.
 //
-// The internal packages also provide the paper's baselines (MIH,
-// HmSearch, PartAlloc, MinHash LSH) and the full experiment harness;
-// see cmd/gph-bench and DESIGN.md.
+// # Engines
+//
+// GPH and the paper's baselines (MIH, HmSearch, PartAlloc, linear
+// scan, MinHash LSH) all serve one search contract, Engine, through a
+// registry keyed by name and by persistence magic bytes:
+//
+//	e, err := gph.BuildEngine("mih", data, gph.EngineOptions{})
+//	ids, err := e.Search(query, 8)
+//	nns, err := e.SearchKNN(query, 10)
+//	e.Save(f)                       // restore with gph.LoadAny(f)
+//
+// Engines are interchangeable behind ShardedIndex, gph-server and
+// gph-search; see DESIGN.md §8 and cmd/gph-bench for the comparison
+// harness.
 package gph
 
 import (
@@ -28,7 +39,17 @@ import (
 
 	"gph/internal/bitvec"
 	"gph/internal/core"
+	"gph/internal/engine"
 	"gph/internal/shard"
+
+	// The baseline engines register themselves with the engine
+	// registry at init; importing them here makes every registered
+	// engine available to BuildEngine, LoadAny and the CLIs.
+	_ "gph/internal/hmsearch"
+	_ "gph/internal/linscan"
+	_ "gph/internal/lsh"
+	_ "gph/internal/mih"
+	_ "gph/internal/partalloc"
 )
 
 // Vector is an n-dimensional binary vector packed into 64-bit words.
@@ -156,3 +177,58 @@ func NewSharded(numShards int, opts Options) (*ShardedIndex, error) {
 // LoadSharded reads a sharded index previously written with
 // ShardedIndex.Save.
 func LoadSharded(r io.Reader) (*ShardedIndex, error) { return shard.Load(r) }
+
+// Engine is the uniform search contract every index in this module
+// serves — GPH and the paper's baselines alike: range search with
+// per-query stats, kNN, batched queries, persistence, and metadata
+// (Name, Exact, MaxTau). Exact engines return exactly the vectors
+// within the threshold; approximate engines (LSH) may miss results
+// but never return false positives.
+type Engine = engine.Engine
+
+// EngineOptions is the engine-independent build configuration
+// BuildEngine accepts; each engine consumes the fields that apply to
+// it. The zero value selects sensible defaults everywhere.
+type EngineOptions = engine.BuildOptions
+
+// EngineInfo describes one registered engine: its name and whether it
+// is exact.
+type EngineInfo = engine.Info
+
+// ErrDimMismatch, ErrNegativeTau and ErrTauExceedsBuild are the
+// specific query-validation sentinels shared by every engine; each
+// wraps ErrInvalidQuery, so errors.Is against either level works.
+var (
+	ErrDimMismatch     = engine.ErrDimMismatch
+	ErrNegativeTau     = engine.ErrNegativeTau
+	ErrTauExceedsBuild = engine.ErrTauExceedsBuild
+)
+
+// Engines lists every registered engine, sorted by name.
+func Engines() []EngineInfo { return engine.Infos() }
+
+// BuildEngine constructs the named engine ("gph", "mih", "hmsearch",
+// "partalloc", "linscan", "lsh") over data. The slice is retained;
+// callers must not mutate the vectors afterwards.
+func BuildEngine(name string, data []Vector, opts EngineOptions) (Engine, error) {
+	return engine.Build(name, data, opts)
+}
+
+// LoadAny restores any engine previously written with Engine.Save
+// (including Index.Save), dispatching on the stream's leading magic
+// bytes.
+func LoadAny(r io.Reader) (Engine, error) { return engine.LoadAny(r) }
+
+// BuildShardedEngine is BuildSharded with an explicit engine name:
+// every shard is built as that engine, and Compact rebuilds shards
+// the same way. For engines other than "gph" the applicable subset of
+// opts (NumPartitions, MaxTau, EnumBudget, Seed) configures the
+// builds.
+func BuildShardedEngine(name string, data []Vector, numShards int, opts Options) (*ShardedIndex, error) {
+	return shard.BuildEngine(name, data, numShards, opts)
+}
+
+// NewShardedEngine is NewSharded with an explicit engine name.
+func NewShardedEngine(name string, numShards int, opts Options) (*ShardedIndex, error) {
+	return shard.NewEngine(name, numShards, opts)
+}

@@ -12,7 +12,7 @@ import (
 	"sort"
 	"time"
 
-	"gph/internal/core"
+	"gph/internal/engine"
 )
 
 // Config scales the harness. The defaults target a two-core laptop:
@@ -98,11 +98,11 @@ func ExperimentIDs() []string {
 }
 
 // Runner executes experiments under one Config, caching generated
-// datasets and built indexes across experiments.
+// datasets and built engines across experiments.
 type Runner struct {
 	cfg      Config
 	datasets map[string]*cachedDataset
-	gphCache map[string]*core.Index
+	engCache map[string]engine.Engine
 }
 
 // NewRunner builds a runner.

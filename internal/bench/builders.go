@@ -4,33 +4,45 @@ import (
 	"fmt"
 
 	"gph/internal/core"
+	"gph/internal/engine"
 )
 
-// buildGPH builds (and caches per dataset and m) the default GPH
-// configuration: greedy entropy init, refinement, exact estimator.
-// m == 0 selects the dataset spec's recommended partition count.
-func (r *Runner) buildGPH(c *cachedDataset, m int) (*core.Index, error) {
+// buildEngine builds (and caches per engine, dataset and m) a
+// registered engine with the harness defaults. m == 0 selects the
+// dataset spec's recommended partition count.
+func (r *Runner) buildEngine(name string, c *cachedDataset, m int) (engine.Engine, error) {
 	if m == 0 {
 		m = c.spec.m
 	}
-	key := fmt.Sprintf("gph/%s/m=%d", c.spec.name, m)
-	if r.gphCache == nil {
-		r.gphCache = make(map[string]*core.Index)
+	key := fmt.Sprintf("%s/%s/m=%d", name, c.spec.name, m)
+	if r.engCache == nil {
+		r.engCache = make(map[string]engine.Engine)
 	}
-	if ix, ok := r.gphCache[key]; ok {
-		return ix, nil
+	if e, ok := r.engCache[key]; ok {
+		return e, nil
 	}
-	ix, err := core.Build(c.data.Vectors, core.Options{
+	e, err := engine.Build(name, c.data.Vectors, engine.BuildOptions{
 		NumPartitions:    m,
 		MaxTau:           maxOf(c.spec.taus),
 		Seed:             r.cfg.Seed,
 		BuildParallelism: r.cfg.BuildParallelism,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("bench: building GPH on %s: %w", c.spec.name, err)
+		return nil, fmt.Errorf("bench: building %s on %s: %w", name, c.spec.name, err)
 	}
-	r.gphCache[key] = ix
-	return ix, nil
+	r.engCache[key] = e
+	return e, nil
+}
+
+// buildGPH is buildEngine("gph", …) narrowed to the concrete index
+// type, for the experiments that exercise GPH-only machinery
+// (EstimateTable, BuildStats, threshold vectors).
+func (r *Runner) buildGPH(c *cachedDataset, m int) (*core.Index, error) {
+	e, err := r.buildEngine(core.EngineName, c, m)
+	if err != nil {
+		return nil, err
+	}
+	return e.(*core.Index), nil
 }
 
 func maxOf(vs []int) int {

@@ -6,6 +6,7 @@ import (
 
 	"gph/internal/bitvec"
 	"gph/internal/core"
+	"gph/internal/engine"
 	"gph/internal/hmsearch"
 	"gph/internal/linscan"
 	"gph/internal/lsh"
@@ -137,7 +138,7 @@ func (r *Runner) Fig7() error {
 				truthCounts[qi] = len(ids)
 				truthTotal += len(ids)
 			}
-			row := func(algo string, s searcher) error {
+			row := func(algo string, s engine.Engine) error {
 				avg, agg, err := measure(s, c.queries, tau)
 				if err != nil {
 					return err
@@ -150,7 +151,7 @@ func (r *Runner) Fig7() error {
 					fmt.Sprintf("%.2f", recall))
 				return nil
 			}
-			if err := row("GPH", gphSearcher{gphIx}); err != nil {
+			if err := row("GPH", gphIx); err != nil {
 				return err
 			}
 			if err := row("MIH", mihS); err != nil {

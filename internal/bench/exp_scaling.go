@@ -42,7 +42,7 @@ func (r *Runner) Fig8ac() error {
 				return err
 			}
 			cells := []interface{}{sub.Dims, tau}
-			avg, _, err := measure(gphSearcher{gphIx}, qs, tau)
+			avg, _, err := measure(gphIx, qs, tau)
 			if err != nil {
 				return err
 			}
@@ -97,7 +97,7 @@ func (r *Runner) Fig8d() error {
 			return err
 		}
 		cells := []interface{}{gamma}
-		avg, _, err := measure(gphSearcher{gphIx}, qs, tau)
+		avg, _, err := measure(gphIx, qs, tau)
 		if err != nil {
 			return err
 		}
@@ -157,11 +157,11 @@ func (r *Runner) Fig8ef() error {
 			fmt.Sprintf("GPH-%.1f(ms, workload=queries)", setup.queryGamma),
 			fmt.Sprintf("GPH-%.1f(ms, workload=data)", setup.dataGamma))
 		for _, tau := range taus {
-			avgM, _, err := measure(gphSearcher{matched}, qs, tau)
+			avgM, _, err := measure(matched, qs, tau)
 			if err != nil {
 				return err
 			}
-			avgX, _, err := measure(gphSearcher{mismatched}, qs, tau)
+			avgX, _, err := measure(mismatched, qs, tau)
 			if err != nil {
 				return err
 			}

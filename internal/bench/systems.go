@@ -5,102 +5,84 @@ import (
 	"time"
 
 	"gph/internal/bitvec"
-	"gph/internal/core"
+	"gph/internal/engine"
 	"gph/internal/hmsearch"
-	"gph/internal/lsh"
-	"gph/internal/mih"
 	"gph/internal/partalloc"
 	"gph/internal/partition"
 )
 
-// searcher is the uniform view of every algorithm the comparison
-// experiments measure.
-type searcher interface {
-	// Query answers one query, reporting candidate accounting.
-	Query(q bitvec.Vector, tau int) (queryStats, error)
-	// SizeBytes reports index memory under the shared accounting.
-	SizeBytes() int64
-}
+// The comparison experiments measure every algorithm through the
+// shared engine contract — engine.SearchStats carries the uniform
+// candidate accounting — so this file reduces to registry lookups
+// plus each system's arrangement policy (the paper equips the
+// competitors with the OS rearrangement, their strongest
+// configuration).
 
+// queryStats is the per-measurement aggregate the tables report.
 type queryStats struct {
 	candidates  int
 	sumPostings int64
 	results     int
 }
 
-// system builds a searcher for a dataset; perTau systems must be
+// system builds an engine for a dataset; perTau systems must be
 // rebuilt when tau changes (HmSearch, PartAlloc, LSH — exactly the
 // systems whose index size varies with τ in Fig. 6).
 type system struct {
 	name   string
 	perTau bool
-	build  func(data []bitvec.Vector, tau int, seed int64) (searcher, error)
+	build  func(data []bitvec.Vector, tau int, seed int64) (engine.Engine, error)
+}
+
+// osArrangement samples the data and computes the OS rearrangement
+// for m partitions.
+func osArrangement(data []bitvec.Vector, m int, seed int64) *partition.Partitioning {
+	sample := partition.SampleRows(data, 500, seed)
+	return partition.OS(sample, data[0].Dims(), m)
 }
 
 // gphSystem builds GPH with the harness defaults: greedy init +
 // refinement, exact estimator, paper-recommended m. buildPar bounds
 // the build worker pool (≤ 0 selects GOMAXPROCS).
 func gphSystem(m, maxTau, buildPar int) system {
-	return system{name: "GPH", build: func(data []bitvec.Vector, _ int, seed int64) (searcher, error) {
-		ix, err := core.Build(data, core.Options{
+	return system{name: "GPH", build: func(data []bitvec.Vector, _ int, seed int64) (engine.Engine, error) {
+		return engine.Build("gph", data, engine.BuildOptions{
 			NumPartitions: m, MaxTau: maxTau, Seed: seed, BuildParallelism: buildPar,
 		})
-		if err != nil {
-			return nil, err
-		}
-		return gphSearcher{ix}, nil
 	}}
 }
 
 // mihSystem builds MIH with the OS arrangement, the strongest
 // configuration the paper grants the competitors.
 func mihSystem(m int) system {
-	return system{name: "MIH", build: func(data []bitvec.Vector, _ int, seed int64) (searcher, error) {
-		sample := partition.SampleRows(data, 500, seed)
-		arr := partition.OS(sample, data[0].Dims(), m)
-		ix, err := mih.Build(data, mih.Options{NumPartitions: m, Arrangement: arr})
-		if err != nil {
-			return nil, err
-		}
-		return mihSearcher{ix}, nil
+	return system{name: "MIH", build: func(data []bitvec.Vector, _ int, seed int64) (engine.Engine, error) {
+		return engine.Build("mih", data, engine.BuildOptions{
+			NumPartitions: m, Arrangement: osArrangement(data, m, seed),
+		})
 	}}
 }
 
 func hmSystem() system {
-	return system{name: "HmSearch", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (searcher, error) {
-		dims := data[0].Dims()
-		m := hmsearch.NumPartitions(dims, tau)
-		sample := partition.SampleRows(data, 500, seed)
-		arr := partition.OS(sample, dims, m)
-		ix, err := hmsearch.Build(data, tau, hmsearch.Options{Arrangement: arr})
-		if err != nil {
-			return nil, err
-		}
-		return hmSearcher{ix}, nil
+	return system{name: "HmSearch", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (engine.Engine, error) {
+		m := hmsearch.NumPartitions(data[0].Dims(), tau)
+		return engine.Build("hmsearch", data, engine.BuildOptions{
+			MaxTau: tau, Arrangement: osArrangement(data, m, seed),
+		})
 	}}
 }
 
 func paSystem() system {
-	return system{name: "PartAlloc", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (searcher, error) {
-		dims := data[0].Dims()
-		m := partalloc.NumPartitions(dims, tau)
-		sample := partition.SampleRows(data, 500, seed)
-		arr := partition.OS(sample, dims, m)
-		ix, err := partalloc.Build(data, tau, partalloc.Options{Arrangement: arr})
-		if err != nil {
-			return nil, err
-		}
-		return paSearcher{ix}, nil
+	return system{name: "PartAlloc", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (engine.Engine, error) {
+		m := partalloc.NumPartitions(data[0].Dims(), tau)
+		return engine.Build("partalloc", data, engine.BuildOptions{
+			MaxTau: tau, Arrangement: osArrangement(data, m, seed),
+		})
 	}}
 }
 
 func lshSystem() system {
-	return system{name: "LSH", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (searcher, error) {
-		ix, err := lsh.Build(data, tau, lsh.Options{Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		return lshSearcher{ix}, nil
+	return system{name: "LSH", perTau: true, build: func(data []bitvec.Vector, tau int, seed int64) (engine.Engine, error) {
+		return engine.Build("lsh", data, engine.BuildOptions{MaxTau: tau, Seed: seed})
 	}}
 }
 
@@ -114,73 +96,18 @@ func allSystems(spec datasetSpec, maxTau, buildPar int) []system {
 	}
 }
 
-type gphSearcher struct{ ix *core.Index }
-
-func (s gphSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
-	_, st, err := s.ix.SearchStats(q, tau)
-	if err != nil {
-		return queryStats{}, err
-	}
-	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
-}
-func (s gphSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
-
-type mihSearcher struct{ ix *mih.Index }
-
-func (s mihSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
-	_, st, err := s.ix.SearchStats(q, tau)
-	if err != nil {
-		return queryStats{}, err
-	}
-	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
-}
-func (s mihSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
-
-type hmSearcher struct{ ix *hmsearch.Index }
-
-func (s hmSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
-	_, st, err := s.ix.SearchStats(q, tau)
-	if err != nil {
-		return queryStats{}, err
-	}
-	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
-}
-func (s hmSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
-
-type paSearcher struct{ ix *partalloc.Index }
-
-func (s paSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
-	_, st, err := s.ix.SearchStats(q, tau)
-	if err != nil {
-		return queryStats{}, err
-	}
-	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
-}
-func (s paSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
-
-type lshSearcher struct{ ix *lsh.Index }
-
-func (s lshSearcher) Query(q bitvec.Vector, tau int) (queryStats, error) {
-	_, st, err := s.ix.SearchStats(q, tau)
-	if err != nil {
-		return queryStats{}, err
-	}
-	return queryStats{candidates: st.Candidates, sumPostings: st.SumPostings, results: st.Results}, nil
-}
-func (s lshSearcher) SizeBytes() int64 { return s.ix.SizeBytes() }
-
-// measure runs all queries against a searcher, returning the average
+// measure runs all queries against an engine, returning the average
 // per-query wall time and summed accounting.
-func measure(s searcher, queries []bitvec.Vector, tau int) (avgTime time.Duration, agg queryStats, err error) {
+func measure(e engine.Engine, queries []bitvec.Vector, tau int) (avgTime time.Duration, agg queryStats, err error) {
 	start := time.Now()
 	for _, q := range queries {
-		st, qerr := s.Query(q, tau)
+		_, st, qerr := e.SearchStats(q, tau)
 		if qerr != nil {
 			return 0, queryStats{}, qerr
 		}
-		agg.candidates += st.candidates
-		agg.sumPostings += st.sumPostings
-		agg.results += st.results
+		agg.candidates += st.Candidates
+		agg.sumPostings += st.SumPostings
+		agg.results += st.Results
 	}
 	if len(queries) == 0 {
 		return 0, agg, fmt.Errorf("bench: no queries")

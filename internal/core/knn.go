@@ -5,13 +5,12 @@ import (
 	"sort"
 
 	"gph/internal/bitvec"
+	"gph/internal/engine"
 )
 
-// Neighbor is one k-nearest-neighbours result.
-type Neighbor struct {
-	ID       int32
-	Distance int
-}
+// Neighbor is one k-nearest-neighbours result; the struct lives in
+// internal/engine, shared by every engine's SearchKNN.
+type Neighbor = engine.Neighbor
 
 // SearchKNN returns the k nearest neighbours of q by Hamming distance,
 // ties broken by ascending id. It answers by progressive range
@@ -21,11 +20,8 @@ type Neighbor struct {
 // the cost-aware machinery, so expansion stays cheap on selective
 // data.
 func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]Neighbor, error) {
-	if q.Dims() != ix.dims {
-		return nil, fmt.Errorf("core: query has %d dims, index has %d: %w", q.Dims(), ix.dims, ErrInvalidQuery)
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("core: k must be positive, got %d: %w", k, ErrInvalidQuery)
+	if err := engine.CheckKNN(q, ix.dims, k); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if k > len(ix.data) {
 		k = len(ix.data)

@@ -101,7 +101,10 @@ func TestKNNTiesAtKth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Neighbor{{2, 0}, {4, 0}, {7, 0}, {9, 0}, {0, 1}, {1, 1}}
+	want := []Neighbor{
+		{ID: 2, Distance: 0}, {ID: 4, Distance: 0}, {ID: 7, Distance: 0},
+		{ID: 9, Distance: 0}, {ID: 0, Distance: 1}, {ID: 1, Distance: 1},
+	}
 	if len(got) != len(want) {
 		t.Fatalf("got %v, want %v", got, want)
 	}

@@ -1,17 +1,14 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"runtime"
 	"slices"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"gph/internal/alloc"
 	"gph/internal/bitvec"
 	"gph/internal/candest"
+	"gph/internal/engine"
 	"gph/internal/hamming"
 	"gph/internal/invindex"
 )
@@ -19,30 +16,10 @@ import (
 // Stats decomposes one query's work the way Fig. 2(a) reports it:
 // threshold allocation (including CN estimation), the fused signature
 // enumeration + index-probe loop (candidate generation), and
-// verification.
-type Stats struct {
-	AllocNanos int64
-	// EnumNanos is retained for compatibility but is always 0: the
-	// probe loop now consumes each signature as it is enumerated
-	// instead of materializing the signature set first, so
-	// enumeration time is part of ProbeNanos.
-	EnumNanos   int64
-	ProbeNanos  int64
-	VerifyNanos int64
-
-	Thresholds  []int // allocated threshold vector T
-	EstimatedCN int64 // allocation objective term Σ CN(qᵢ, T[i])
-	Scanned     bool  // query answered by verified scan (plan cost ≥ scan cost)
-	Signatures  int   // enumerated signatures across partitions
-	SumPostings int64 // Σ_{s∈S_sig} |I_s| (Fig. 2(b) "sum")
-	Candidates  int   // |S_cand| distinct candidates (Fig. 2(b) "cand")
-	Results     int
-}
-
-// TotalNanos returns the summed phase times.
-func (s *Stats) TotalNanos() int64 {
-	return s.AllocNanos + s.EnumNanos + s.ProbeNanos + s.VerifyNanos
-}
+// verification. The struct itself lives in internal/engine — it is the
+// single stats type every engine reports; GPH is the engine that fills
+// every field.
+type Stats = engine.Stats
 
 // searchScratch is every buffer one query needs. Instances are pooled
 // on the Index, so after warm-up the hot path performs no per-query
@@ -131,14 +108,13 @@ func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) 
 // ErrInvalidQuery marks errors caused by the caller's query input
 // (wrong dimensionality, negative threshold) rather than an internal
 // failure; servers use errors.Is to map the former to client errors.
-var ErrInvalidQuery = errors.New("invalid query")
+// It is the engine layer's shared sentinel, so the classification is
+// identical across every registered engine.
+var ErrInvalidQuery = engine.ErrInvalidQuery
 
 func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
-	if q.Dims() != ix.dims {
-		return nil, nil, fmt.Errorf("core: query has %d dims, index has %d: %w", q.Dims(), ix.dims, ErrInvalidQuery)
-	}
-	if tau < 0 {
-		return nil, nil, fmt.Errorf("core: negative threshold %d: %w", tau, ErrInvalidQuery)
+	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	stats := &Stats{}
 	if tau >= ix.dims {
@@ -263,49 +239,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 // the returned error joins every per-query failure (nil when all
 // succeed).
 func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
-	return BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
 		return ix.Search(q, tau)
 	})
-}
-
-// BatchSearch is the batch-query worker pool shared by Index and the
-// sharded layer: it runs search over every query on up to parallelism
-// workers (≤ 0 selects GOMAXPROCS), attempting every query even after
-// failures (unlike ForEach, which stops scheduling on the first
-// error). Results align with queries by position; a failing query
-// nils only its own slot, and the returned error joins every
-// per-query failure as "query %d: ...".
-func BatchSearch(queries []bitvec.Vector, parallelism int, search func(q bitvec.Vector) ([]int32, error)) ([][]int32, error) {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(queries) {
-		parallelism = len(queries)
-	}
-	out := make([][]int32, len(queries))
-	errs := make([]error, len(queries))
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= len(queries) {
-					return
-				}
-				out[i], errs[i] = search(queries[i])
-			}
-		}()
-	}
-	wg.Wait()
-	var failures []error
-	for i, err := range errs {
-		if err != nil {
-			failures = append(failures, fmt.Errorf("query %d: %w", i, err))
-		}
-	}
-	return out, errors.Join(failures...)
 }

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"slices"
+
+	"gph/internal/bitvec"
+)
+
+// Collector is the filter-and-refine candidate pipeline every probing
+// engine shares: a seen-bitmap deduplicating posting ids into a
+// candidate list, and the verify → sort → copy-out tail that turns
+// candidates into a result slice the caller owns. Engines embed one
+// in their pooled per-query scratch and Reset it per query, so the
+// whole pipeline is allocation-free after warm-up (Reset only grows
+// the bitmap, FinishVerified only allocates the returned slice).
+type Collector struct {
+	seen  []uint64
+	cands []int32
+}
+
+// Reset prepares the collector for a query over a collection of n
+// vectors: the bitmap is sized (or cleared) for n ids and the
+// candidate list emptied.
+func (c *Collector) Reset(n int) {
+	words := (n + 63) / 64
+	if cap(c.seen) < words {
+		c.seen = make([]uint64, words)
+	} else {
+		c.seen = c.seen[:words]
+		clear(c.seen)
+	}
+	c.cands = c.cands[:0]
+}
+
+// Collect adds id to the candidate set unless already present.
+func (c *Collector) Collect(id int32) {
+	w, b := id/64, uint(id)%64
+	if c.seen[w]>>b&1 == 0 {
+		c.seen[w] |= 1 << b
+		c.cands = append(c.cands, id)
+	}
+}
+
+// Candidates returns the number of distinct candidates collected.
+func (c *Collector) Candidates() int { return len(c.cands) }
+
+// FinishVerified verifies every candidate against the true Hamming
+// distance (in place, over the pooled list), sorts the survivors by
+// id and copies them into an exact-size slice the caller owns.
+func (c *Collector) FinishVerified(q bitvec.Vector, tau int, data []bitvec.Vector) []int32 {
+	k := 0
+	for _, id := range c.cands {
+		if q.HammingWithin(data[id], tau) {
+			c.cands[k] = id
+			k++
+		}
+	}
+	results := c.cands[:k]
+	slices.Sort(results)
+	out := make([]int32, k)
+	copy(out, results)
+	return out
+}

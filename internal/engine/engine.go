@@ -1,0 +1,144 @@
+// Package engine defines the single search contract every Hamming
+// index in this repository serves — GPH itself and the paper's
+// baselines alike — together with the registry that maps engine names
+// and persistence magic bytes to constructors. Layers above (the
+// public gph API, the shard layer, gph-server, gph-search and the
+// bench harness) program against Engine and the registry instead of
+// the concrete index types, so adding a backend is one package with an
+// init-time Register call.
+//
+// The package sits below every implementation: it may import only the
+// substrate packages (bitvec, binio, partition), never an engine
+// implementation. Implementations import it for the contract, the
+// shared error sentinels, and the kNN/batch/persistence helpers that
+// keep the five index types from carrying five copies of the same
+// glue.
+package engine
+
+import (
+	"io"
+
+	"gph/internal/bitvec"
+	"gph/internal/partition"
+)
+
+// Stats decomposes one query's work. It is the single stats type every
+// engine reports: GPH fills every field (including the per-phase
+// timings and the allocated threshold vector); the baseline engines
+// fill only the candidate-accounting subset (Signatures, SumPostings,
+// Candidates, Results), leaving the rest zero.
+type Stats struct {
+	AllocNanos int64
+	// EnumNanos is retained for compatibility but is always 0: the
+	// GPH probe loop consumes each signature as it is enumerated
+	// instead of materializing the signature set first, so
+	// enumeration time is part of ProbeNanos.
+	EnumNanos   int64
+	ProbeNanos  int64
+	VerifyNanos int64
+
+	Thresholds  []int // allocated threshold vector T (GPH and PartAlloc)
+	EstimatedCN int64 // allocation objective term Σ CN(qᵢ, T[i])
+	Scanned     bool  // query answered by verified scan (plan cost ≥ scan cost)
+	Signatures  int   // enumerated signatures across partitions
+	SumPostings int64 // Σ_{s∈S_sig} |I_s| (Fig. 2(b) "sum")
+	Candidates  int   // |S_cand| distinct candidates (Fig. 2(b) "cand")
+	Results     int
+}
+
+// TotalNanos returns the summed phase times.
+func (s *Stats) TotalNanos() int64 {
+	return s.AllocNanos + s.EnumNanos + s.ProbeNanos + s.VerifyNanos
+}
+
+// Neighbor is one k-nearest-neighbours result: a vector id and its
+// Hamming distance from the query.
+type Neighbor struct {
+	ID       int32
+	Distance int
+}
+
+// Engine is the uniform search contract. An Engine is an immutable
+// index over a fixed vector collection with dense ids 0..Len()-1; all
+// methods are safe for concurrent use after construction.
+//
+// Range searches return ascending ids. Exact engines return exactly
+// the vectors within the threshold; approximate engines (Exact() ==
+// false) may miss results but never return false positives. kNN
+// results order by (distance, id); engines with a bounded MaxTau
+// answer kNN best-effort within that bound and may return fewer than
+// k neighbours. SearchBatch aligns results with queries by position,
+// nils only the slots of failing queries, and joins their errors.
+type Engine interface {
+	// Name returns the registry name of the engine ("gph", "mih", …).
+	Name() string
+	// Exact reports whether every true result is guaranteed returned.
+	Exact() bool
+	// MaxTau returns the largest query threshold the engine accepts.
+	// Engines without a build-time bound return Dims().
+	MaxTau() int
+	// Dims returns the dimensionality of indexed vectors.
+	Dims() int
+	// Len returns the number of indexed vectors.
+	Len() int
+	// SizeBytes reports resident index size under the repository's
+	// shared accounting.
+	SizeBytes() int64
+	// Vector returns the indexed vector with id ∈ [0, Len()). The
+	// returned vector shares storage with the engine and must not be
+	// modified.
+	Vector(id int32) bitvec.Vector
+
+	// Search returns the ids of indexed vectors within Hamming
+	// distance tau of q, in ascending order.
+	Search(q bitvec.Vector, tau int) ([]int32, error)
+	// SearchStats is Search with per-query accounting.
+	SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error)
+	// SearchKNN returns the k nearest neighbours of q, ties broken by
+	// ascending id.
+	SearchKNN(q bitvec.Vector, k int) ([]Neighbor, error)
+	// SearchBatch answers many queries concurrently on up to
+	// parallelism workers (≤ 0 selects GOMAXPROCS).
+	SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error)
+
+	// Save serializes the engine; the registry's LoadAny restores it,
+	// dispatching on the leading magic bytes.
+	Save(w io.Writer) error
+}
+
+// BuildOptions is the engine-independent build configuration the
+// registry constructors accept. Each engine consumes the fields that
+// apply to it and ignores the rest; the zero value selects sensible
+// defaults everywhere.
+type BuildOptions struct {
+	// NumPartitions is the partition count m for partition-based
+	// engines (gph, mih); 0 selects each engine's own rule of thumb.
+	NumPartitions int
+	// MaxTau is the largest query threshold the engine must support
+	// (default 64). Engines whose structure depends on τ (hmsearch,
+	// lsh, partalloc) build for exactly this threshold; gph uses it to
+	// bound estimator training; mih and linscan ignore it.
+	MaxTau int
+	// EnumBudget caps per-partition signature enumeration for engines
+	// that enumerate (0 selects each engine's default).
+	EnumBudget int64
+	// Seed drives every randomized choice, making builds reproducible.
+	Seed int64
+	// BuildParallelism bounds build-time worker pools for engines that
+	// parallelize construction (≤ 0 selects GOMAXPROCS).
+	BuildParallelism int
+	// Arrangement optionally replaces an engine's default dimension
+	// arrangement (the bench harness equips the baselines with the OS
+	// rearrangement this way). gph derives its own cost-aware
+	// arrangement and ignores it.
+	Arrangement *partition.Partitioning
+}
+
+// WithDefaults returns opts with unset fields resolved to the
+// contract's documented defaults.
+func (o BuildOptions) WithDefaults() BuildOptions {
+	if o.MaxTau <= 0 {
+		o.MaxTau = 64
+	}
+	return o
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"gph/internal/bitvec"
+)
+
+// ErrInvalidQuery marks search errors caused by the caller's query
+// input rather than an internal failure; servers use errors.Is to map
+// the former to client errors. The specific sentinels below all wrap
+// it, so errors.Is(err, ErrInvalidQuery) matches any of them.
+var ErrInvalidQuery = errors.New("invalid query")
+
+// ErrDimMismatch reports a query whose dimensionality differs from
+// the index's; match with errors.Is.
+var ErrDimMismatch = fmt.Errorf("query dimension mismatch: %w", ErrInvalidQuery)
+
+// ErrNegativeTau reports a negative search threshold; match with
+// errors.Is.
+var ErrNegativeTau = fmt.Errorf("negative threshold: %w", ErrInvalidQuery)
+
+// ErrTauExceedsBuild reports a query threshold beyond the engine's
+// MaxTau — engines whose structure depends on the build-time τ
+// (hmsearch, lsh, partalloc) cannot answer past it; match with
+// errors.Is.
+var ErrTauExceedsBuild = fmt.Errorf("threshold exceeds build threshold: %w", ErrInvalidQuery)
+
+// CheckQuery validates the query contract shared by every engine:
+// matching dimensionality and a non-negative threshold. The returned
+// errors wrap ErrDimMismatch / ErrNegativeTau (and transitively
+// ErrInvalidQuery).
+func CheckQuery(q bitvec.Vector, dims, tau int) error {
+	if q.Dims() != dims {
+		return fmt.Errorf("query has %d dims, index has %d: %w", q.Dims(), dims, ErrDimMismatch)
+	}
+	if tau < 0 {
+		return fmt.Errorf("threshold %d: %w", tau, ErrNegativeTau)
+	}
+	return nil
+}
+
+// CheckTauBound validates tau against a build-time bound; the error
+// wraps ErrTauExceedsBuild.
+func CheckTauBound(tau, buildTau int) error {
+	if tau > buildTau {
+		return fmt.Errorf("query τ=%d exceeds build τ=%d: %w", tau, buildTau, ErrTauExceedsBuild)
+	}
+	return nil
+}

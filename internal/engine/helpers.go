@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gph/internal/bitvec"
+)
+
+// BatchSearch is the batch-query worker pool shared by every engine
+// and the sharded layer: it runs search over every query on up to
+// parallelism workers (≤ 0 selects GOMAXPROCS), attempting every query
+// even after failures. Results align with queries by position; a
+// failing query nils only its own slot, and the returned error joins
+// every per-query failure as "query %d: ...".
+func BatchSearch(queries []bitvec.Vector, parallelism int, search func(q bitvec.Vector) ([]int32, error)) ([][]int32, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([][]int32, len(queries))
+	errs := make([]error, len(queries))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(queries) {
+					return
+				}
+				out[i], errs[i] = search(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var failures []error
+	for i, err := range errs {
+		if err != nil {
+			failures = append(failures, fmt.Errorf("query %d: %w", i, err))
+		}
+	}
+	return out, errors.Join(failures...)
+}
+
+// GrowKNN answers a k-nearest-neighbours query on any Engine by
+// progressive range expansion — the standard reduction from kNN to
+// range search: run range queries at doubling radii until at least k
+// results exist, then rank by (distance, id) and trim. Radii are
+// capped at the engine's MaxTau, so τ-bounded engines answer
+// best-effort within their bound and may return fewer than k
+// neighbours. It is the shared implementation behind every baseline's
+// SearchKNN; engines with a native strategy (gph, linscan) override
+// it.
+func GrowKNN(e Engine, q bitvec.Vector, k int) ([]Neighbor, error) {
+	if err := CheckKNN(q, e.Dims(), k); err != nil {
+		return nil, err
+	}
+	if k > e.Len() {
+		k = e.Len()
+	}
+	maxTau := e.Dims()
+	if mt := e.MaxTau(); mt < maxTau {
+		maxTau = mt
+	}
+	tau := 1
+	if tau > maxTau {
+		tau = maxTau
+	}
+	for {
+		ids, err := e.Search(q, tau)
+		if err != nil {
+			return nil, err
+		}
+		if len(ids) >= k || tau >= maxTau {
+			return RankNeighbors(e, q, ids, k), nil
+		}
+		tau *= 2
+		if tau > maxTau {
+			tau = maxTau
+		}
+	}
+}
+
+// CheckKNN validates the kNN query contract shared by every engine:
+// matching dimensionality and positive k. The errors wrap
+// ErrInvalidQuery.
+func CheckKNN(q bitvec.Vector, dims, k int) error {
+	if q.Dims() != dims {
+		return fmt.Errorf("query has %d dims, index has %d: %w", q.Dims(), dims, ErrDimMismatch)
+	}
+	if k <= 0 {
+		return fmt.Errorf("k must be positive, got %d: %w", k, ErrInvalidQuery)
+	}
+	return nil
+}
+
+// RankNeighbors converts a range-search result into a kNN result:
+// distances are recomputed against the engine's vectors, ordered by
+// (distance, id), and trimmed to k.
+func RankNeighbors(e Engine, q bitvec.Vector, ids []int32, k int) []Neighbor {
+	out := make([]Neighbor, len(ids))
+	for i, id := range ids {
+		out[i] = Neighbor{ID: id, Distance: q.Hamming(e.Vector(id))}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].ID < out[b].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"fmt"
+
+	"gph/internal/binio"
+	"gph/internal/bitvec"
+	"gph/internal/partition"
+)
+
+// The persistence helpers below are the shared halves of every
+// baseline engine's Save/Load: the vector collection and (for
+// partition-based engines) the dimension arrangement. Each engine's
+// own codec writes its magic and scalar options around them and
+// rebuilds its derived structures (inverted indexes, hash tables)
+// deterministically on load, which keeps the baseline formats small —
+// only GPH persists posting lists, because only GPH's structures are
+// expensive to rebuild.
+
+// WriteVectors writes dims, the collection size and every vector's
+// packed words.
+func WriteVectors(bw *binio.Writer, dims int, data []bitvec.Vector) {
+	bw.Int(dims)
+	bw.Int(len(data))
+	for _, v := range data {
+		for _, word := range v.Words() {
+			bw.Uint64(word)
+		}
+	}
+}
+
+// ReadVectors reads a collection written by WriteVectors, validating
+// the header bounds before allocating.
+func ReadVectors(br *binio.Reader) (int, []bitvec.Vector, error) {
+	dims := br.Int()
+	count := br.Int()
+	if err := br.Err(); err != nil {
+		return 0, nil, fmt.Errorf("reading vector header: %w", err)
+	}
+	if dims <= 0 || dims > 1<<20 {
+		return 0, nil, fmt.Errorf("implausible dimension count %d", dims)
+	}
+	if count <= 0 || count > binio.MaxSliceLen {
+		return 0, nil, fmt.Errorf("implausible vector count %d", count)
+	}
+	words := (dims + 63) / 64
+	data := make([]bitvec.Vector, count)
+	for i := range data {
+		ws := make([]uint64, words)
+		for j := range ws {
+			ws[j] = br.Uint64()
+		}
+		if err := br.Err(); err != nil {
+			return 0, nil, fmt.Errorf("reading vector %d: %w", i, err)
+		}
+		data[i] = bitvec.FromWords(dims, ws)
+	}
+	return dims, data, nil
+}
+
+// WritePartitioning writes a dimension arrangement.
+func WritePartitioning(bw *binio.Writer, p *partition.Partitioning) {
+	bw.Int(p.Dims)
+	bw.Int(p.NumParts())
+	for _, part := range p.Parts {
+		bw.Ints(part)
+	}
+}
+
+// ReadPartitioning reads an arrangement written by WritePartitioning
+// and validates it (every dimension covered exactly once).
+func ReadPartitioning(br *binio.Reader) (*partition.Partitioning, error) {
+	dims := br.Int()
+	numParts := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("reading partitioning header: %w", err)
+	}
+	if dims <= 0 || dims > 1<<20 {
+		return nil, fmt.Errorf("implausible partitioning dims %d", dims)
+	}
+	if numParts <= 0 || numParts > dims {
+		return nil, fmt.Errorf("implausible partition count %d", numParts)
+	}
+	p := &partition.Partitioning{Dims: dims, Parts: make([][]int, numParts)}
+	for i := range p.Parts {
+		p.Parts[i] = br.Ints()
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("reading partitioning: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("persisted partitioning corrupt: %w", err)
+	}
+	return p, nil
+}

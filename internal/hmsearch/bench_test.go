@@ -1,0 +1,26 @@
+package hmsearch
+
+import (
+	"testing"
+
+	"gph/internal/dataset"
+)
+
+// BenchmarkSearchStats measures the per-query cost of the HmSearch
+// radius-1 probe path; run with -benchmem to see the effect of the
+// pooled scratch.
+func BenchmarkSearchStats(b *testing.B) {
+	ds := dataset.GISTLike(10000, 42)
+	ix, err := Build(ds.Vectors, 12, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.PerturbQueries(ds, 16, 4, 43)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.SearchStats(queries[i%len(queries)], 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

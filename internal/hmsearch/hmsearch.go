@@ -8,17 +8,32 @@
 // This reproduction implements the basic radius-1 variant; HmSearch's
 // additional odd/even 0-vs-1 case split only prunes a constant factor
 // and does not change the asymptotic candidate behaviour the paper's
-// comparison exercises.
+// comparison exercises. The index implements the full engine contract
+// (kNN, batch, persistence) with MaxTau bounded by the build-time τ.
 package hmsearch
 
 import (
 	"fmt"
-	"slices"
+	"io"
+	"sync"
 
+	"gph/internal/binio"
 	"gph/internal/bitvec"
+	"gph/internal/engine"
 	"gph/internal/invindex"
 	"gph/internal/partition"
 )
+
+// Index implements the engine contract.
+var _ engine.Engine = (*Index)(nil)
+
+// EngineName is the registry name of the HmSearch engine.
+const EngineName = "hmsearch"
+
+// indexMagic identifies the persisted form: build threshold,
+// arrangement and the raw collection; the deletion-variant inverted
+// indexes are rebuilt deterministically on Load.
+const indexMagic = "GPHHM01\n"
 
 // Options configures Build.
 type Options struct {
@@ -34,15 +49,16 @@ type Index struct {
 	data  []bitvec.Vector
 	parts *partition.Partitioning
 	inv   []*invindex.Index
+
+	// scratch pools per-query working memory (seen bitmap, candidate
+	// slice, projection, radius-1 key buffers) so steady-state searches
+	// allocate only the returned result slice.
+	scratch sync.Pool
 }
 
-// Stats mirrors core.Stats for the comparison harness.
-type Stats struct {
-	Signatures  int
-	SumPostings int64
-	Candidates  int
-	Results     int
-}
+// Stats is the shared per-query accounting type; HmSearch fills the
+// candidate-accounting subset.
+type Stats = engine.Stats
 
 // NumPartitions returns HmSearch's partition count for tau.
 func NumPartitions(dims, tau int) int {
@@ -81,18 +97,28 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 	if err := parts.Validate(); err != nil {
 		return nil, fmt.Errorf("hmsearch: invalid arrangement: %w", err)
 	}
+	if parts.Dims != dims {
+		return nil, fmt.Errorf("hmsearch: arrangement covers %d dims, data has %d", parts.Dims, dims)
+	}
 	ix := &Index{dims: dims, tau: tau, data: data, parts: parts}
-	ix.inv = make([]*invindex.Index, m)
+	ix.inv = buildInverted(data, parts)
+	return ix, nil
+}
+
+// buildInverted constructs the per-partition deletion-variant indexes;
+// shared by Build and Load.
+func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invindex.Index {
+	inv := make([]*invindex.Index, parts.NumParts())
 	for i, dimsI := range parts.Parts {
-		inv := invindex.New()
+		ii := invindex.New()
 		scratch := bitvec.New(len(dimsI))
 		for id, v := range data {
 			v.ProjectInto(dimsI, scratch)
-			inv.AddWithDeletionVariants(scratch, int32(id))
+			ii.AddWithDeletionVariants(scratch, int32(id))
 		}
-		ix.inv[i] = inv
+		inv[i] = ii
 	}
-	return ix, nil
+	return inv
 }
 
 // Tau returns the threshold the index was built for.
@@ -100,6 +126,24 @@ func (ix *Index) Tau() int { return ix.tau }
 
 // Len returns the collection size.
 func (ix *Index) Len() int { return len(ix.data) }
+
+// Dims returns the dimensionality.
+func (ix *Index) Dims() int { return ix.dims }
+
+// Name returns the registry name "hmsearch".
+func (ix *Index) Name() string { return EngineName }
+
+// Exact reports that HmSearch returns every true result (within its
+// build threshold).
+func (ix *Index) Exact() bool { return true }
+
+// MaxTau returns the build threshold: the partitioning depends on it,
+// so larger query thresholds are rejected.
+func (ix *Index) MaxTau() int { return ix.tau }
+
+// Vector returns the indexed vector with id ∈ [0, Len()). The vector
+// shares storage with the index and must not be modified.
+func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
 
 // SizeBytes reports posting-list memory including deletion variants.
 func (ix *Index) SizeBytes() int64 {
@@ -110,47 +154,144 @@ func (ix *Index) SizeBytes() int64 {
 	return s
 }
 
+// searchScratch is every buffer one query needs; instances are pooled
+// on the Index so the steady-state probe path allocates nothing beyond
+// the returned result slice.
+type searchScratch struct {
+	col     engine.Collector
+	proj    bitvec.Vector
+	r1      invindex.Radius1Scratch
+	sumPost int64
+	// collectFn is the radius-1 callback bound once per scratch (a
+	// method value allocates on every binding).
+	collectFn func(id int32)
+}
+
+// collect merges one posting into the deduplicated candidate set.
+func (s *searchScratch) collect(id int32) {
+	s.sumPost++
+	s.col.Collect(id)
+}
+
+func (ix *Index) getScratch() *searchScratch {
+	s, _ := ix.scratch.Get().(*searchScratch)
+	if s == nil {
+		s = &searchScratch{}
+		s.collectFn = s.collect
+	}
+	s.col.Reset(len(ix.data))
+	s.sumPost = 0
+	return s
+}
+
 // Search returns ids within distance tau of q in ascending order. tau
 // must not exceed the build threshold (the partitioning depends on it).
 func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
-	ids, _, err := ix.SearchStats(q, tau)
+	ids, _, err := ix.search(q, tau, false)
 	return ids, err
 }
 
 // SearchStats is Search with candidate accounting.
 func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
-	if q.Dims() != ix.dims {
-		return nil, nil, fmt.Errorf("hmsearch: query has %d dims, index has %d", q.Dims(), ix.dims)
+	return ix.search(q, tau, true)
+}
+
+func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
+	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+		return nil, nil, fmt.Errorf("hmsearch: %w", err)
 	}
-	if tau < 0 {
-		return nil, nil, fmt.Errorf("hmsearch: negative threshold %d", tau)
+	if err := engine.CheckTauBound(tau, ix.tau); err != nil {
+		return nil, nil, fmt.Errorf("hmsearch: %w", err)
 	}
-	if tau > ix.tau {
-		return nil, nil, fmt.Errorf("hmsearch: query τ=%d exceeds build τ=%d", tau, ix.tau)
-	}
-	stats := &Stats{}
-	seen := make([]uint64, (len(ix.data)+63)/64)
-	cands := make([]int32, 0, 256)
+	s := ix.getScratch()
+	defer ix.scratch.Put(s)
+	sigs := 0
 	for i, dimsI := range ix.parts.Parts {
-		proj := q.Project(dimsI)
-		stats.Signatures += 1 + proj.Dims() // exact key + deletion variants
-		ix.inv[i].CollectRadius1(proj, func(id int32) {
-			stats.SumPostings++
-			w, b := id/64, uint(id)%64
-			if seen[w]>>b&1 == 0 {
-				seen[w] |= 1 << b
-				cands = append(cands, id)
-			}
-		})
+		s.proj = s.proj.Resized(len(dimsI))
+		q.ProjectInto(dimsI, s.proj)
+		sigs += 1 + len(dimsI) // exact key + deletion variants
+		ix.inv[i].CollectRadius1Scratch(s.proj, &s.r1, s.collectFn)
 	}
-	stats.Candidates = len(cands)
-	results := cands[:0]
-	for _, id := range cands {
-		if q.HammingWithin(ix.data[id], tau) {
-			results = append(results, id)
-		}
+	candidates := s.col.Candidates()
+	out := s.col.FinishVerified(q, tau, ix.data)
+	if !wantStats {
+		return out, nil, nil
 	}
-	slices.Sort(results)
-	stats.Results = len(results)
-	return results, stats, nil
+	return out, &Stats{
+		Signatures:  sigs,
+		SumPostings: s.sumPost,
+		Candidates:  candidates,
+		Results:     len(out),
+	}, nil
+}
+
+// SearchKNN returns the k nearest neighbours of q by progressive range
+// expansion capped at the build threshold; past MaxTau the answer is
+// best-effort (see engine.GrowKNN).
+func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]engine.Neighbor, error) {
+	return engine.GrowKNN(ix, q, k)
+}
+
+// SearchBatch answers many queries concurrently; see
+// engine.BatchSearch for the contract.
+func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return ix.Search(q, tau)
+	})
+}
+
+// Save serializes the index: magic, build threshold, arrangement and
+// the raw collection. Load rebuilds the deletion-variant indexes,
+// which keeps the persisted form far smaller than the resident one.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(indexMagic)
+	bw.Int(ix.tau)
+	engine.WritePartitioning(bw, ix.parts)
+	engine.WriteVectors(bw, ix.dims, ix.data)
+	return bw.Flush()
+}
+
+// Load reads an index written by Save, rebuilding the deletion-variant
+// inverted indexes from the persisted collection.
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(indexMagic)
+	tau := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("hmsearch: %w", err)
+	}
+	parts, err := engine.ReadPartitioning(br)
+	if err != nil {
+		return nil, fmt.Errorf("hmsearch: %w", err)
+	}
+	dims, data, err := engine.ReadVectors(br)
+	if err != nil {
+		return nil, fmt.Errorf("hmsearch: %w", err)
+	}
+	if tau < 0 || tau > 1<<20 {
+		return nil, fmt.Errorf("hmsearch: implausible build threshold %d", tau)
+	}
+	if parts.Dims != dims {
+		return nil, fmt.Errorf("hmsearch: arrangement covers %d dims, vectors have %d", parts.Dims, dims)
+	}
+	if parts.NumParts() != NumPartitions(dims, tau) {
+		return nil, fmt.Errorf("hmsearch: arrangement has %d parts, τ=%d needs %d", parts.NumParts(), tau, NumPartitions(dims, tau))
+	}
+	ix := &Index{dims: dims, tau: tau, data: data, parts: parts}
+	ix.inv = buildInverted(data, parts)
+	return ix, nil
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:       EngineName,
+		Exact:      true,
+		TauBounded: true,
+		Magic:      indexMagic,
+		Build: func(data []bitvec.Vector, opts engine.BuildOptions) (engine.Engine, error) {
+			return Build(data, opts.MaxTau, Options{Arrangement: opts.Arrangement})
+		},
+		Load: func(r io.Reader) (engine.Engine, error) { return Load(r) },
+	})
 }

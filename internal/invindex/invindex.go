@@ -121,12 +121,41 @@ func (ix *Index) AddWithDeletionVariants(sig bitvec.Vector, id int32) {
 // match several variant keys); callers dedupe via their candidate
 // bitmap exactly as they do for multi-partition hits.
 func (ix *Index) CollectRadius1(sig bitvec.Vector, fn func(id int32)) {
-	for _, id := range ix.post[sig.Key()] {
+	var s Radius1Scratch
+	ix.CollectRadius1Scratch(sig, &s, fn)
+}
+
+// Radius1Scratch holds the reusable buffers of CollectRadius1Scratch:
+// a masked copy of the probe signature and the packed key buffer. The
+// zero value is ready to use; pooling one per query removes every
+// per-variant key allocation from the radius-1 probe path.
+type Radius1Scratch struct {
+	masked bitvec.Vector
+	keyBuf []byte
+}
+
+// CollectRadius1Scratch is CollectRadius1 with caller-provided scratch
+// buffers: after warm-up it performs no allocations — variant keys are
+// built into the reused buffer and probed through the allocation-free
+// byte-key map lookup.
+func (ix *Index) CollectRadius1Scratch(sig bitvec.Vector, s *Radius1Scratch, fn func(id int32)) {
+	s.keyBuf = sig.AppendKey(s.keyBuf[:0])
+	for _, id := range ix.PostingsBytes(s.keyBuf) {
 		fn(id)
 	}
+	s.masked = sig.CloneInto(s.masked)
 	for j := 0; j < sig.Dims(); j++ {
-		for _, id := range ix.post[DeletionVariantKey(sig, j)] {
+		set := sig.Bit(j) == 1
+		if set {
+			s.masked.Clear(j)
+		}
+		s.keyBuf = append(s.keyBuf[:0], byte(j))
+		s.keyBuf = s.masked.AppendKey(s.keyBuf)
+		for _, id := range ix.PostingsBytes(s.keyBuf) {
 			fn(id)
+		}
+		if set {
+			s.masked.Set(j)
 		}
 	}
 }

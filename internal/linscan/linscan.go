@@ -1,14 +1,31 @@
 // Package linscan is the naïve Hamming-search baseline: scan every
 // vector and verify. It is the ground-truth oracle for every
-// correctness test and the "sequential scan" reference point the
-// paper compares degenerate cases against.
+// correctness test (including the engine conformance suite) and the
+// "sequential scan" reference point the paper compares degenerate
+// cases against. It implements the full engine contract, so it can be
+// served, sharded and persisted like any other backend — useful as the
+// always-correct fallback for tiny collections.
 package linscan
 
 import (
 	"fmt"
+	"io"
+	"sort"
 
+	"gph/internal/binio"
 	"gph/internal/bitvec"
+	"gph/internal/engine"
 )
+
+// Scanner implements the engine contract by exhaustive scan.
+var _ engine.Engine = (*Scanner)(nil)
+
+// EngineName is the registry name of the linear-scan engine.
+const EngineName = "linscan"
+
+// scannerMagic identifies the persisted form: the raw collection,
+// nothing else.
+const scannerMagic = "GPHLN01\n"
 
 // Scanner answers Hamming distance searches by exhaustive scan.
 type Scanner struct {
@@ -36,14 +53,45 @@ func (s *Scanner) Len() int { return len(s.data) }
 // Dims returns the dimensionality.
 func (s *Scanner) Dims() int { return s.dims }
 
+// Name returns the registry name "linscan".
+func (s *Scanner) Name() string { return EngineName }
+
+// Exact reports that a scan returns every true result.
+func (s *Scanner) Exact() bool { return true }
+
+// MaxTau returns the largest accepted threshold; a scan has no
+// build-time bound, so any threshold up to the dimensionality works.
+func (s *Scanner) MaxTau() int { return s.dims }
+
+// Vector returns the indexed vector with id ∈ [0, Len()). The vector
+// shares storage with the scanner and must not be modified.
+func (s *Scanner) Vector(id int32) bitvec.Vector { return s.data[id] }
+
+// SizeBytes reports resident size: the packed vectors (a scan keeps no
+// derived structures).
+func (s *Scanner) SizeBytes() int64 {
+	if len(s.data) == 0 {
+		return 0
+	}
+	return int64(len(s.data)) * int64(8*len(s.data[0].Words()))
+}
+
 // Search returns ids of all vectors within distance tau of q, in
 // ascending id order.
 func (s *Scanner) Search(q bitvec.Vector, tau int) ([]int32, error) {
-	if q.Dims() != s.dims {
-		return nil, fmt.Errorf("linscan: query has %d dims, index has %d", q.Dims(), s.dims)
-	}
-	if tau < 0 {
-		return nil, fmt.Errorf("linscan: negative threshold %d", tau)
+	ids, _, err := s.search(q, tau, false)
+	return ids, err
+}
+
+// SearchStats is Search with candidate accounting: a scan verifies
+// the whole collection, so Candidates is always Len.
+func (s *Scanner) SearchStats(q bitvec.Vector, tau int) ([]int32, *engine.Stats, error) {
+	return s.search(q, tau, true)
+}
+
+func (s *Scanner) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *engine.Stats, error) {
+	if err := engine.CheckQuery(q, s.dims, tau); err != nil {
+		return nil, nil, fmt.Errorf("linscan: %w", err)
 	}
 	var out []int32
 	for id, v := range s.data {
@@ -51,5 +99,74 @@ func (s *Scanner) Search(q bitvec.Vector, tau int) ([]int32, error) {
 			out = append(out, int32(id))
 		}
 	}
-	return out, nil
+	if !wantStats {
+		return out, nil, nil
+	}
+	return out, &engine.Stats{Candidates: len(s.data), Results: len(out), Scanned: true}, nil
+}
+
+// SearchKNN returns the exact k nearest neighbours of q by direct
+// selection over the full distance profile, ties broken by ascending
+// id. Being independent of the range-growing reduction the other
+// engines share, it doubles as the kNN oracle in conformance tests.
+func (s *Scanner) SearchKNN(q bitvec.Vector, k int) ([]engine.Neighbor, error) {
+	if err := engine.CheckKNN(q, s.dims, k); err != nil {
+		return nil, fmt.Errorf("linscan: %w", err)
+	}
+	if k > len(s.data) {
+		k = len(s.data)
+	}
+	all := make([]engine.Neighbor, len(s.data))
+	for id, v := range s.data {
+		all[id] = engine.Neighbor{ID: int32(id), Distance: q.Hamming(v)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Distance != all[b].Distance {
+			return all[a].Distance < all[b].Distance
+		}
+		return all[a].ID < all[b].ID
+	})
+	return all[:k], nil
+}
+
+// SearchBatch answers many queries concurrently; see
+// engine.BatchSearch for the contract.
+func (s *Scanner) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return s.Search(q, tau)
+	})
+}
+
+// Save serializes the scanner: magic plus the raw collection.
+func (s *Scanner) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(scannerMagic)
+	engine.WriteVectors(bw, s.dims, s.data)
+	return bw.Flush()
+}
+
+// Load reads a scanner written by Save.
+func Load(r io.Reader) (*Scanner, error) {
+	br := binio.NewReader(r)
+	br.Magic(scannerMagic)
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("linscan: %w", err)
+	}
+	_, data, err := engine.ReadVectors(br)
+	if err != nil {
+		return nil, fmt.Errorf("linscan: %w", err)
+	}
+	return New(data)
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:  EngineName,
+		Exact: true,
+		Magic: scannerMagic,
+		Build: func(data []bitvec.Vector, _ engine.BuildOptions) (engine.Engine, error) {
+			return New(data)
+		},
+		Load: func(r io.Reader) (engine.Engine, error) { return Load(r) },
+	})
 }

@@ -5,18 +5,34 @@
 // repeated across l tables sized for a target recall. LSH is
 // approximate — it can miss results — and, as the paper shows, its
 // selectivity collapses on highly skewed data because the hash
-// functions sample skewed, correlated dimensions.
+// functions sample skewed, correlated dimensions. The index
+// implements the full engine contract and is the one registered
+// engine with Exact() == false.
 package lsh
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
-	"slices"
+	"sync"
 
+	"gph/internal/binio"
 	"gph/internal/bitvec"
+	"gph/internal/engine"
 	"gph/internal/invindex"
 )
+
+// Index implements the engine contract.
+var _ engine.Engine = (*Index)(nil)
+
+// EngineName is the registry name of the MinHash LSH engine.
+const EngineName = "lsh"
+
+// indexMagic identifies the persisted form: build threshold, options
+// and the raw collection; the hash tables are rebuilt
+// deterministically from the persisted seed on Load.
+const indexMagic = "GPHLH01\n"
 
 // Options configures Build.
 type Options struct {
@@ -55,15 +71,16 @@ type Index struct {
 	ha, hb []uint64
 	// jaccardT is the converted threshold; exposed for tests/EXPERIMENTS
 	jaccardT float64
+
+	// scratch pools per-query working memory (seen bitmap, candidate
+	// slice, signature buffer) so steady-state searches allocate only
+	// the returned result slice.
+	scratch sync.Pool
 }
 
-// Stats mirrors core.Stats for the comparison harness.
-type Stats struct {
-	Signatures  int
-	SumPostings int64
-	Candidates  int
-	Results     int
-}
+// Stats is the shared per-query accounting type; LSH fills the
+// candidate-accounting subset.
+type Stats = engine.Stats
 
 const hashPrime = (1 << 31) - 1 // Mersenne prime for universal hashing
 
@@ -148,6 +165,24 @@ func (ix *Index) signature(v bitvec.Vector, ti int, buf []byte) {
 // Tau returns the threshold the index was built for.
 func (ix *Index) Tau() int { return ix.tau }
 
+// Dims returns the dimensionality.
+func (ix *Index) Dims() int { return ix.dims }
+
+// Name returns the registry name "lsh".
+func (ix *Index) Name() string { return EngineName }
+
+// Exact reports false: LSH can miss true results (recall is tuned by
+// Options.Recall).
+func (ix *Index) Exact() bool { return false }
+
+// MaxTau returns the build threshold: the Hamming→Jaccard conversion
+// and table sizing target it, so larger query thresholds are rejected.
+func (ix *Index) MaxTau() int { return ix.tau }
+
+// Vector returns the indexed vector with id ∈ [0, Len()). The vector
+// shares storage with the index and must not be modified.
+func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
+
 // Tables returns l, the number of hash tables.
 func (ix *Index) Tables() int { return len(ix.tables) }
 
@@ -166,48 +201,143 @@ func (ix *Index) SizeBytes() int64 {
 	return s + int64(len(ix.ha)+len(ix.hb))*8
 }
 
+// searchScratch is every buffer one query needs; instances are pooled
+// on the Index so the steady-state probe path allocates nothing beyond
+// the returned result slice.
+type searchScratch struct {
+	col engine.Collector
+	sig []byte
+}
+
+func (ix *Index) getScratch() *searchScratch {
+	s, _ := ix.scratch.Get().(*searchScratch)
+	if s == nil {
+		s = &searchScratch{}
+	}
+	s.col.Reset(len(ix.data))
+	if cap(s.sig) < 4*ix.opts.K {
+		s.sig = make([]byte, 4*ix.opts.K)
+	} else {
+		s.sig = s.sig[:4*ix.opts.K]
+	}
+	return s
+}
+
 // Search returns ids within distance tau of q found by the hash
 // tables, in ascending order. Being LSH, recall is probabilistic:
 // roughly Options.Recall of true results are returned; false positives
 // are always verified away.
 func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
-	ids, _, err := ix.SearchStats(q, tau)
+	ids, _, err := ix.search(q, tau, false)
 	return ids, err
 }
 
 // SearchStats is Search with candidate accounting.
 func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
-	if q.Dims() != ix.dims {
-		return nil, nil, fmt.Errorf("lsh: query has %d dims, index has %d", q.Dims(), ix.dims)
+	return ix.search(q, tau, true)
+}
+
+func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
+	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+		return nil, nil, fmt.Errorf("lsh: %w", err)
 	}
-	if tau < 0 {
-		return nil, nil, fmt.Errorf("lsh: negative threshold %d", tau)
+	if err := engine.CheckTauBound(tau, ix.tau); err != nil {
+		return nil, nil, fmt.Errorf("lsh: %w", err)
 	}
-	stats := &Stats{}
-	seen := make([]uint64, (len(ix.data)+63)/64)
-	cands := make([]int32, 0, 256)
-	sig := make([]byte, 4*ix.opts.K)
+	s := ix.getScratch()
+	defer ix.scratch.Put(s)
+	sigs := 0
+	var sumPost int64
 	for ti, table := range ix.tables {
-		ix.signature(q, ti, sig)
-		stats.Signatures++
-		postings := table.Postings(string(sig))
-		stats.SumPostings += int64(len(postings))
+		ix.signature(q, ti, s.sig)
+		sigs++
+		postings := table.PostingsBytes(s.sig)
+		sumPost += int64(len(postings))
 		for _, id := range postings {
-			w, b := id/64, uint(id)%64
-			if seen[w]>>b&1 == 0 {
-				seen[w] |= 1 << b
-				cands = append(cands, id)
-			}
+			s.col.Collect(id)
 		}
 	}
-	stats.Candidates = len(cands)
-	results := cands[:0]
-	for _, id := range cands {
-		if q.HammingWithin(ix.data[id], tau) {
-			results = append(results, id)
-		}
+	candidates := s.col.Candidates()
+	out := s.col.FinishVerified(q, tau, ix.data)
+	if !wantStats {
+		return out, nil, nil
 	}
-	slices.Sort(results)
-	stats.Results = len(results)
-	return results, stats, nil
+	return out, &Stats{
+		Signatures:  sigs,
+		SumPostings: sumPost,
+		Candidates:  candidates,
+		Results:     len(out),
+	}, nil
+}
+
+// SearchKNN returns (approximately) the k nearest neighbours of q by
+// progressive range expansion capped at the build threshold; being
+// LSH, neighbours beyond the tables' recall can be missed (see
+// engine.GrowKNN).
+func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]engine.Neighbor, error) {
+	return engine.GrowKNN(ix, q, k)
+}
+
+// SearchBatch answers many queries concurrently; see
+// engine.BatchSearch for the contract.
+func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return ix.Search(q, tau)
+	})
+}
+
+// Save serializes the index: magic, build threshold, the resolved
+// options and the raw collection. Load rebuilds the hash tables from
+// the persisted seed, reproducing the original tables exactly.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(indexMagic)
+	bw.Int(ix.tau)
+	bw.Int(ix.opts.K)
+	bw.Uint64(math.Float64bits(ix.opts.Recall))
+	bw.Int(ix.opts.MaxTables)
+	bw.Int64(ix.opts.Seed)
+	engine.WriteVectors(bw, ix.dims, ix.data)
+	return bw.Flush()
+}
+
+// Load reads an index written by Save. Construction is deterministic
+// given the persisted options, so the rebuilt tables match the
+// original index.
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(indexMagic)
+	tau := br.Int()
+	opts := Options{}
+	opts.K = br.Int()
+	opts.Recall = math.Float64frombits(br.Uint64())
+	opts.MaxTables = br.Int()
+	opts.Seed = br.Int64()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("lsh: %w", err)
+	}
+	if tau < 0 || tau > 1<<20 {
+		return nil, fmt.Errorf("lsh: implausible build threshold %d", tau)
+	}
+	if opts.K <= 0 || opts.K > 64 {
+		return nil, fmt.Errorf("lsh: implausible band size %d", opts.K)
+	}
+	_, data, err := engine.ReadVectors(br)
+	if err != nil {
+		return nil, fmt.Errorf("lsh: %w", err)
+	}
+	return Build(data, tau, opts)
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:       EngineName,
+		Exact:      false,
+		TauBounded: true,
+		Magic:      indexMagic,
+		Build: func(data []bitvec.Vector, opts engine.BuildOptions) (engine.Engine, error) {
+			return Build(data, opts.MaxTau, Options{Seed: opts.Seed})
+		},
+		Load: func(r io.Reader) (engine.Engine, error) { return Load(r) },
+	})
 }

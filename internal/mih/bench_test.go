@@ -1,0 +1,57 @@
+package mih
+
+import (
+	"testing"
+
+	"gph/internal/dataset"
+)
+
+// BenchmarkSearchStats measures the per-query cost of the MIH probe
+// path; run with -benchmem to see the effect of the pooled scratch.
+func BenchmarkSearchStats(b *testing.B) {
+	ds := dataset.GISTLike(10000, 42)
+	ix, err := Build(ds.Vectors, Options{NumPartitions: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := dataset.PerturbQueries(ds, 16, 4, 43)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.SearchStats(queries[i%len(queries)], 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestScanGuardPerPartition pins the budget semantics: EnumBudget
+// caps each partition's ball individually, so a query whose per-
+// partition balls all fit must enumerate (not scan) even when their
+// sum exceeds the budget, and must scan once any single ball
+// overflows it.
+func TestScanGuardPerPartition(t *testing.T) {
+	ds := dataset.Synthetic(200, 32, 0.3, 5)
+	build := func(budget int64) *Index {
+		ix, err := Build(ds.Vectors, Options{NumPartitions: 2, EnumBudget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	// tau=9, m=2 → sub=4; ball(16, 4) = 2517 signatures per partition.
+	const perPartBall = 2517
+	_, st, err := build(perPartBall+1).SearchStats(ds.Vectors[0], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scanned {
+		t.Fatalf("scanned although every partition ball (%d) fits the budget", perPartBall)
+	}
+	_, st, err = build(perPartBall-1).SearchStats(ds.Vectors[0], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Scanned {
+		t.Fatal("must fall back to scan when a partition ball exceeds the budget")
+	}
+}

@@ -2,18 +2,34 @@
 // — CVPR 2012, reference [25] of the GPH paper): the strongest of the
 // basic-pigeonhole baselines. Vectors are split into m equi-width
 // partitions; a query enumerates, in each partition, all signatures
-// within ⌊τ/m⌋ and probes a per-partition inverted index.
+// within ⌊τ/m⌋ and probes a per-partition inverted index. The index
+// implements the full engine contract (kNN, batch, persistence), so it
+// can be served and sharded interchangeably with GPH.
 package mih
 
 import (
 	"fmt"
-	"slices"
+	"io"
+	"sync"
 
+	"gph/internal/binio"
 	"gph/internal/bitvec"
+	"gph/internal/engine"
 	"gph/internal/hamming"
 	"gph/internal/invindex"
 	"gph/internal/partition"
 )
+
+// Index implements the engine contract.
+var _ engine.Engine = (*Index)(nil)
+
+// EngineName is the registry name of the MIH engine.
+const EngineName = "mih"
+
+// indexMagic identifies the persisted form: enumeration budget,
+// arrangement and the raw collection; the per-partition inverted
+// indexes are rebuilt deterministically on Load.
+const indexMagic = "GPHMH01\n"
 
 // Options configures an MIH index.
 type Options struct {
@@ -31,20 +47,21 @@ type Options struct {
 
 // Index is an immutable MIH index.
 type Index struct {
-	dims  int
-	data  []bitvec.Vector
-	parts *partition.Partitioning
-	inv   []*invindex.Index
-	buget int64
+	dims   int
+	data   []bitvec.Vector
+	parts  *partition.Partitioning
+	inv    []*invindex.Index
+	budget int64
+
+	// scratch pools per-query working memory (seen bitmap, key buffer,
+	// candidate slice, projection, enumerator) so steady-state searches
+	// allocate only the returned result slice.
+	scratch sync.Pool
 }
 
-// Stats mirrors core.Stats for the comparison harness.
-type Stats struct {
-	Signatures  int
-	SumPostings int64
-	Candidates  int
-	Results     int
-}
+// Stats is the shared per-query accounting type; MIH fills the
+// candidate-accounting subset.
+type Stats = engine.Stats
 
 // Build constructs the index.
 func Build(data []bitvec.Vector, opts Options) (*Index, error) {
@@ -74,24 +91,35 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	if err := parts.Validate(); err != nil {
 		return nil, fmt.Errorf("mih: invalid arrangement: %w", err)
 	}
+	if parts.Dims != dims {
+		return nil, fmt.Errorf("mih: arrangement covers %d dims, data has %d", parts.Dims, dims)
+	}
 	budget := opts.EnumBudget
 	if budget == 0 {
 		budget = 1 << 20
 	}
-	ix := &Index{dims: dims, data: data, parts: parts, buget: budget}
-	ix.inv = make([]*invindex.Index, parts.NumParts())
+	ix := &Index{dims: dims, data: data, parts: parts, budget: budget}
+	ix.inv = buildInverted(data, parts)
+	return ix, nil
+}
+
+// buildInverted constructs the per-partition inverted indexes; it is
+// shared by Build and Load (which rebuilds them from the persisted
+// collection instead of serializing posting lists).
+func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invindex.Index {
+	inv := make([]*invindex.Index, parts.NumParts())
 	for i, dimsI := range parts.Parts {
-		inv := invindex.New()
+		ii := invindex.New()
 		scratch := bitvec.New(len(dimsI))
 		var keyBuf []byte
 		for id, v := range data {
 			v.ProjectInto(dimsI, scratch)
 			keyBuf = scratch.AppendKey(keyBuf[:0])
-			inv.Add(string(keyBuf), int32(id))
+			ii.Add(string(keyBuf), int32(id))
 		}
-		ix.inv[i] = inv
+		inv[i] = ii
 	}
-	return ix, nil
+	return inv
 }
 
 // Dims returns the dimensionality.
@@ -99,6 +127,21 @@ func (ix *Index) Dims() int { return ix.dims }
 
 // Len returns the collection size.
 func (ix *Index) Len() int { return len(ix.data) }
+
+// Name returns the registry name "mih".
+func (ix *Index) Name() string { return EngineName }
+
+// Exact reports that MIH returns every true result.
+func (ix *Index) Exact() bool { return true }
+
+// MaxTau returns the largest accepted threshold; MIH's structure does
+// not depend on a build-time τ, so any threshold up to the
+// dimensionality is answerable.
+func (ix *Index) MaxTau() int { return ix.dims }
+
+// Vector returns the indexed vector with id ∈ [0, Len()). The vector
+// shares storage with the index and must not be modified.
+func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
 
 // SizeBytes reports posting-list memory (Fig. 6 accounting).
 func (ix *Index) SizeBytes() int64 {
@@ -109,55 +152,180 @@ func (ix *Index) SizeBytes() int64 {
 	return s
 }
 
+// searchScratch is every buffer one query needs; instances are pooled
+// on the Index so the steady-state probe path allocates nothing beyond
+// the returned result slice.
+type searchScratch struct {
+	col    engine.Collector
+	keyBuf []byte
+	proj   bitvec.Vector
+	enum   hamming.Enumerator
+
+	// probe-loop state: probeFn is the enumeration callback bound once
+	// per scratch (a method value allocates on every binding).
+	inv     *invindex.Index
+	sigs    int
+	sumPost int64
+	probeFn func(bitvec.Vector) bool
+}
+
+// probe consumes one enumerated signature: build its packed key and
+// merge the matching posting list into the candidate set.
+func (s *searchScratch) probe(v bitvec.Vector) bool {
+	s.keyBuf = v.AppendKey(s.keyBuf[:0])
+	postings := s.inv.PostingsBytes(s.keyBuf)
+	s.sigs++
+	s.sumPost += int64(len(postings))
+	for _, id := range postings {
+		s.col.Collect(id)
+	}
+	return true
+}
+
+func (ix *Index) getScratch() *searchScratch {
+	s, _ := ix.scratch.Get().(*searchScratch)
+	if s == nil {
+		s = &searchScratch{}
+		s.probeFn = s.probe
+	}
+	s.col.Reset(len(ix.data))
+	s.sigs = 0
+	s.sumPost = 0
+	return s
+}
+
+func (ix *Index) putScratch(s *searchScratch) {
+	s.inv = nil
+	ix.scratch.Put(s)
+}
+
 // Search returns ids within distance tau of q in ascending order.
 func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
-	ids, _, err := ix.SearchStats(q, tau)
+	ids, _, err := ix.search(q, tau, false)
 	return ids, err
 }
 
 // SearchStats is Search with candidate accounting.
 func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
-	if q.Dims() != ix.dims {
-		return nil, nil, fmt.Errorf("mih: query has %d dims, index has %d", q.Dims(), ix.dims)
+	return ix.search(q, tau, true)
+}
+
+func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
+	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+		return nil, nil, fmt.Errorf("mih: %w", err)
 	}
-	if tau < 0 {
-		return nil, nil, fmt.Errorf("mih: negative threshold %d", tau)
-	}
-	stats := &Stats{}
+	s := ix.getScratch()
+	defer ix.putScratch(s)
 	m := ix.parts.NumParts()
 	sub := tau / m // ⌊τ/m⌋, the basic pigeonhole threshold
-	seen := make([]uint64, (len(ix.data)+63)/64)
-	cands := make([]int32, 0, 256)
-	var keyBuf []byte
-	for i, dimsI := range ix.parts.Parts {
-		proj := q.Project(dimsI)
-		inv := ix.inv[i]
-		err := hamming.EnumerateBall(proj, sub, ix.buget, func(v bitvec.Vector) bool {
-			keyBuf = v.AppendKey(keyBuf[:0])
-			stats.Signatures++
-			postings := inv.Postings(string(keyBuf))
-			stats.SumPostings += int64(len(postings))
-			for _, id := range postings {
-				w, b := id/64, uint(id)%64
-				if seen[w]>>b&1 == 0 {
-					seen[w] |= 1 << b
-					cands = append(cands, id)
+
+	// Scan guard: when any partition's signature ball exceeds the
+	// per-partition enumeration budget (τ/m beyond the index's useful
+	// regime, e.g. during kNN range growth), enumeration would fail —
+	// the honest plan is a verified scan: still exact, never more than
+	// O(n) work.
+	for _, dimsI := range ix.parts.Parts {
+		if size, ok := hamming.BallSize(len(dimsI), sub); !ok || size > uint64(ix.budget) {
+			out := make([]int32, 0, 64)
+			for id, v := range ix.data {
+				if q.HammingWithin(v, tau) {
+					out = append(out, int32(id))
 				}
 			}
-			return true
-		})
-		if err != nil {
+			if !wantStats {
+				return out, nil, nil
+			}
+			return out, &Stats{Candidates: len(ix.data), Results: len(out), Scanned: true}, nil
+		}
+	}
+
+	for i, dimsI := range ix.parts.Parts {
+		s.proj = s.proj.Resized(len(dimsI))
+		q.ProjectInto(dimsI, s.proj)
+		s.inv = ix.inv[i]
+		if err := s.enum.Enumerate(s.proj, sub, ix.budget, s.probeFn); err != nil {
 			return nil, nil, fmt.Errorf("mih: partition %d radius %d: %w", i, sub, err)
 		}
 	}
-	stats.Candidates = len(cands)
-	results := cands[:0]
-	for _, id := range cands {
-		if q.HammingWithin(ix.data[id], tau) {
-			results = append(results, id)
-		}
+	candidates := s.col.Candidates()
+	out := s.col.FinishVerified(q, tau, ix.data)
+	if !wantStats {
+		return out, nil, nil
 	}
-	slices.Sort(results)
-	stats.Results = len(results)
-	return results, stats, nil
+	return out, &Stats{
+		Signatures:  s.sigs,
+		SumPostings: s.sumPost,
+		Candidates:  candidates,
+		Results:     len(out),
+	}, nil
+}
+
+// SearchKNN returns the k nearest neighbours of q by progressive range
+// expansion; see engine.GrowKNN.
+func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]engine.Neighbor, error) {
+	return engine.GrowKNN(ix, q, k)
+}
+
+// SearchBatch answers many queries concurrently; see
+// engine.BatchSearch for the contract.
+func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return ix.Search(q, tau)
+	})
+}
+
+// Save serializes the index: magic, enumeration budget, arrangement
+// and the raw collection. Load rebuilds the inverted indexes, which is
+// cheap relative to serializing every posting list.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(indexMagic)
+	bw.Int64(ix.budget)
+	engine.WritePartitioning(bw, ix.parts)
+	engine.WriteVectors(bw, ix.dims, ix.data)
+	return bw.Flush()
+}
+
+// Load reads an index written by Save, rebuilding the per-partition
+// inverted indexes from the persisted collection.
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(indexMagic)
+	budget := br.Int64()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("mih: %w", err)
+	}
+	parts, err := engine.ReadPartitioning(br)
+	if err != nil {
+		return nil, fmt.Errorf("mih: %w", err)
+	}
+	dims, data, err := engine.ReadVectors(br)
+	if err != nil {
+		return nil, fmt.Errorf("mih: %w", err)
+	}
+	if parts.Dims != dims {
+		return nil, fmt.Errorf("mih: arrangement covers %d dims, vectors have %d", parts.Dims, dims)
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("mih: implausible enumeration budget %d", budget)
+	}
+	ix := &Index{dims: dims, data: data, parts: parts, budget: budget}
+	ix.inv = buildInverted(data, parts)
+	return ix, nil
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:  EngineName,
+		Exact: true,
+		Magic: indexMagic,
+		Build: func(data []bitvec.Vector, opts engine.BuildOptions) (engine.Engine, error) {
+			return Build(data, Options{
+				NumPartitions: opts.NumPartitions,
+				Arrangement:   opts.Arrangement,
+				EnumBudget:    opts.EnumBudget,
+			})
+		},
+		Load: func(r io.Reader) (engine.Engine, error) { return Load(r) },
+	})
 }

@@ -7,18 +7,34 @@
 // a greedy allocator chooses which partitions to skip (−1) and which
 // to probe at radius 1, trading posting sizes; radius-1 probes are
 // answered with data-side deletion variants; and a positional
-// (popcount) filter prunes candidates before verification.
+// (popcount) filter prunes candidates before verification. The index
+// implements the full engine contract with MaxTau bounded by the
+// build-time τ.
 package partalloc
 
 import (
 	"fmt"
+	"io"
 	"slices"
 	"sort"
 
+	"gph/internal/binio"
 	"gph/internal/bitvec"
+	"gph/internal/engine"
 	"gph/internal/invindex"
 	"gph/internal/partition"
 )
+
+// Index implements the engine contract.
+var _ engine.Engine = (*Index)(nil)
+
+// EngineName is the registry name of the PartAlloc engine.
+const EngineName = "partalloc"
+
+// indexMagic identifies the persisted form: build threshold,
+// arrangement and the raw collection; the deletion-variant indexes
+// are rebuilt deterministically on Load.
+const indexMagic = "GPHPA01\n"
 
 // Options configures Build.
 type Options struct {
@@ -36,14 +52,9 @@ type Index struct {
 	inv   []*invindex.Index
 }
 
-// Stats mirrors core.Stats for the comparison harness.
-type Stats struct {
-	Signatures  int
-	SumPostings int64
-	Candidates  int
-	Results     int
-	Thresholds  []int
-}
+// Stats is the shared per-query accounting type; PartAlloc fills the
+// candidate-accounting subset plus its allocated threshold vector.
+type Stats = engine.Stats
 
 // NumPartitions returns PartAlloc's partition count for tau.
 func NumPartitions(dims, tau int) int {
@@ -81,6 +92,9 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 	}
 	if err := parts.Validate(); err != nil {
 		return nil, fmt.Errorf("partalloc: invalid arrangement: %w", err)
+	}
+	if parts.Dims != dims {
+		return nil, fmt.Errorf("partalloc: arrangement covers %d dims, data has %d", parts.Dims, dims)
 	}
 	ix := &Index{dims: dims, tau: tau, data: data, parts: parts}
 	ix.pops = make([]int32, len(data))
@@ -123,14 +137,11 @@ func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
 
 // SearchStats is Search with candidate accounting.
 func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
-	if q.Dims() != ix.dims {
-		return nil, nil, fmt.Errorf("partalloc: query has %d dims, index has %d", q.Dims(), ix.dims)
+	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+		return nil, nil, fmt.Errorf("partalloc: %w", err)
 	}
-	if tau < 0 {
-		return nil, nil, fmt.Errorf("partalloc: negative threshold %d", tau)
-	}
-	if tau > ix.tau {
-		return nil, nil, fmt.Errorf("partalloc: query τ=%d exceeds build τ=%d", tau, ix.tau)
+	if err := engine.CheckTauBound(tau, ix.tau); err != nil {
+		return nil, nil, fmt.Errorf("partalloc: %w", err)
 	}
 	stats := &Stats{}
 	m := ix.parts.NumParts()
@@ -251,4 +262,86 @@ func (ix *Index) allocate(projs []bitvec.Vector, tau int) []int {
 		T[bestUp] = 1
 	}
 	return T
+}
+
+// Dims returns the dimensionality.
+func (ix *Index) Dims() int { return ix.dims }
+
+// Name returns the registry name "partalloc".
+func (ix *Index) Name() string { return EngineName }
+
+// Exact reports that PartAlloc returns every true result (within its
+// build threshold).
+func (ix *Index) Exact() bool { return true }
+
+// MaxTau returns the build threshold: the partitioning depends on it,
+// so larger query thresholds are rejected.
+func (ix *Index) MaxTau() int { return ix.tau }
+
+// Vector returns the indexed vector with id ∈ [0, Len()). The vector
+// shares storage with the index and must not be modified.
+func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
+
+// SearchKNN returns the k nearest neighbours of q by progressive range
+// expansion capped at the build threshold; past MaxTau the answer is
+// best-effort (see engine.GrowKNN).
+func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]engine.Neighbor, error) {
+	return engine.GrowKNN(ix, q, k)
+}
+
+// SearchBatch answers many queries concurrently; see
+// engine.BatchSearch for the contract.
+func (ix *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return ix.Search(q, tau)
+	})
+}
+
+// Save serializes the index: magic, build threshold, arrangement and
+// the raw collection. Load rebuilds the deletion-variant indexes and
+// the popcount filter.
+func (ix *Index) Save(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(indexMagic)
+	bw.Int(ix.tau)
+	engine.WritePartitioning(bw, ix.parts)
+	engine.WriteVectors(bw, ix.dims, ix.data)
+	return bw.Flush()
+}
+
+// Load reads an index written by Save. Construction is deterministic
+// given the persisted arrangement, so the rebuilt index matches the
+// original.
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	br.Magic(indexMagic)
+	tau := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("partalloc: %w", err)
+	}
+	if tau < 0 || tau > 1<<20 {
+		return nil, fmt.Errorf("partalloc: implausible build threshold %d", tau)
+	}
+	parts, err := engine.ReadPartitioning(br)
+	if err != nil {
+		return nil, fmt.Errorf("partalloc: %w", err)
+	}
+	_, data, err := engine.ReadVectors(br)
+	if err != nil {
+		return nil, fmt.Errorf("partalloc: %w", err)
+	}
+	return Build(data, tau, Options{Arrangement: parts})
+}
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:       EngineName,
+		Exact:      true,
+		TauBounded: true,
+		Magic:      indexMagic,
+		Build: func(data []bitvec.Vector, opts engine.BuildOptions) (engine.Engine, error) {
+			return Build(data, opts.MaxTau, Options{Arrangement: opts.Arrangement})
+		},
+		Load: func(r io.Reader) (engine.Engine, error) { return Load(r) },
+	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"gph/internal/dataset"
 	"gph/internal/linscan"
+	"gph/internal/partition"
 )
 
 func TestNumPartitions(t *testing.T) {
@@ -75,5 +76,17 @@ func TestErrors(t *testing.T) {
 	}
 	if ix.Tau() != 4 || ix.Len() != 100 || ix.SizeBytes() <= 0 {
 		t.Fatal("accessors")
+	}
+}
+
+// TestBuildRejectsDimsMismatchArrangement: an arrangement that is
+// internally valid but covers a different dimensionality than the
+// data (possible in a corrupt index file) must error, not panic at
+// query time.
+func TestBuildRejectsDimsMismatchArrangement(t *testing.T) {
+	ds := dataset.Synthetic(20, 16, 0.2, 1)
+	arr := partition.EquiWidth(32, NumPartitions(16, 3))
+	if _, err := Build(ds.Vectors, 3, Options{Arrangement: arr}); err == nil {
+		t.Fatal("arrangement over 32 dims accepted for 16-dim data")
 	}
 }

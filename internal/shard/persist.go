@@ -9,17 +9,22 @@ import (
 	"gph/internal/bitvec"
 	"gph/internal/candest"
 	"gph/internal/core"
+	"gph/internal/engine"
 )
 
-// shardMagic identifies the sharded container format. GPHSH01 wraps
-// one length-prefixed GPHIX02 blob per built shard, together with the
-// id mappings and update buffers the blobs do not know about.
-const shardMagic = "GPHSH01\n"
+// shardMagic identifies the sharded container format. GPHSH02 wraps
+// one length-prefixed engine blob per built shard (each carrying its
+// own engine magic), together with the engine name, the id mappings
+// and the update buffers the blobs do not know about. GPHSH02
+// superseded GPHSH01 when the shard layer was generalized from GPH-
+// only to any registered engine: the container now records which
+// engine its shards are, so Load can dispatch and Compact can rebuild.
+const shardMagic = "GPHSH02\n"
 
 // Save serializes the sharded index: the container header (dims,
-// shard count, id counter, raw build options), then per shard its
-// global-id mapping, its built core index as a nested GPHIX02 blob,
-// its tombstone set (sorted) and its delta buffer (insertion order).
+// shard count, id counter, engine name, raw build options), then per
+// shard its global-id mapping, its built engine as a nested blob, its
+// tombstone set (sorted) and its delta buffer (insertion order).
 // Output is byte-reproducible: saving a loaded index reproduces the
 // original bytes.
 //
@@ -37,6 +42,7 @@ func (s *Index) Save(w io.Writer) error {
 	bw.Int(s.dims)
 	bw.Int(s.numShards)
 	bw.Int(int(s.nextID))
+	bw.String(s.engine)
 	writeOptions(bw, s.opts)
 	for i, sh := range s.shards {
 		bw.Int32s(sh.builtIDs)
@@ -164,6 +170,10 @@ func Load(r io.Reader) (*Index, error) {
 		// through and panic later searches.
 		return nil, fmt.Errorf("shard: container has no dimensionality but id counter %d", nextID)
 	}
+	engineName := br.String()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("shard: reading engine name: %w", err)
+	}
 	opts := readOptions(br)
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("shard: reading options: %w", err)
@@ -177,7 +187,7 @@ func Load(r io.Reader) (*Index, error) {
 	if opts.Estimator < core.EstimatorExact || opts.Estimator > core.EstimatorMLP {
 		return nil, fmt.Errorf("shard: persisted estimator kind %d unknown", int(opts.Estimator))
 	}
-	s, err := New(numShards, opts)
+	s, err := NewEngine(engineName, numShards, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -205,9 +215,12 @@ func Load(r io.Reader) (*Index, error) {
 			if err := br.Err(); err != nil {
 				return nil, fmt.Errorf("shard: reading shard %d index blob: %w", i, err)
 			}
-			built, err := core.Load(bytes.NewReader(blob))
+			built, err := engine.LoadAny(bytes.NewReader(blob))
 			if err != nil {
 				return nil, fmt.Errorf("shard: loading shard %d index: %w", i, err)
+			}
+			if built.Name() != engineName {
+				return nil, fmt.Errorf("shard: shard %d blob is a %s index, container says %s", i, built.Name(), engineName)
 			}
 			if built.Len() != len(sh.builtIDs) {
 				return nil, fmt.Errorf("shard: shard %d blob has %d vectors, id map has %d", i, built.Len(), len(sh.builtIDs))

@@ -1,15 +1,16 @@
 // Package shard implements the horizontally sharded, incrementally
-// updatable layer over the core GPH index. An Index hash-partitions
-// vectors by content across S independently built core indexes (the
-// same decomposition Faiss's IndexShards applies to billion-scale
-// collections), fans queries out across shards concurrently, and
-// merges per-shard results deterministically. Updates are absorbed by
-// a small per-shard delta buffer (inserts are linearly scanned at
-// query time, deletes are tombstoned) and folded into the built
-// indexes by an explicit Compact. The paper's machinery (partitioning,
-// allocation, enumeration — §IV–V) is untouched: every shard is a
-// complete GPH index over its slice of the collection, so sharded
-// answers are exact, matching a single index over the same live set.
+// updatable layer over any registered search engine. An Index
+// hash-partitions vectors by content across S independently built
+// engines (the same decomposition Faiss's IndexShards applies to
+// billion-scale collections), fans queries out across shards
+// concurrently, and merges per-shard results deterministically.
+// Updates are absorbed by a small per-shard delta buffer (inserts are
+// linearly scanned at query time, deletes are tombstoned) and folded
+// into the built indexes by an explicit Compact. Each shard is a
+// complete index over its slice of the collection, so for exact
+// engines sharded answers match a single index over the same live
+// set. The default engine is GPH, whose paper machinery
+// (partitioning, allocation, enumeration — §IV–V) is untouched.
 package shard
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"gph/internal/bitvec"
 	"gph/internal/core"
+	"gph/internal/engine"
 )
 
 // ErrNotFound reports a Delete of an id that is not live (never
@@ -33,10 +35,10 @@ type deltaEntry struct {
 	vec bitvec.Vector
 }
 
-// state is one shard: a built core index over its indexed vectors
-// plus the update buffers layered on top.
+// state is one shard: a built engine over its indexed vectors plus
+// the update buffers layered on top.
 type state struct {
-	built    *core.Index     // nil when the shard has no indexed vectors
+	built    engine.Engine   // nil when the shard has no indexed vectors
 	builtIDs []int32         // local id → global id, strictly ascending
 	builtPos map[int32]int32 // global id → local id (inverse of builtIDs)
 	dead     map[int32]bool  // tombstoned global ids within built
@@ -48,34 +50,57 @@ func (sh *state) live() int {
 	return len(sh.builtIDs) - len(sh.dead) + len(sh.delta)
 }
 
-// Index is a sharded, updatable GPH index. Vectors carry stable
-// global ids: Build assigns 0..n-1, Insert continues from there, and
-// ids survive Compact. All methods are safe for concurrent use —
-// searches run under a read lock and proceed concurrently with each
-// other; Insert, Delete and Compact serialize behind a write lock.
+// Index is a sharded, updatable index over any registered engine
+// (GPH by default). Vectors carry stable global ids: Build assigns
+// 0..n-1, Insert continues from there, and ids survive Compact. All
+// methods are safe for concurrent use — searches run under a read
+// lock and proceed concurrently with each other; Insert, Delete and
+// Compact serialize behind a write lock.
 type Index struct {
 	mu        sync.RWMutex
 	dims      int // 0 until the first vector arrives
 	numShards int
+	engine    string       // registry name of the per-shard engine
+	maxTau    int          // resolved τ bound for τ-bounded engines; 0 = unbounded
 	opts      core.Options // raw (pre-default) build options, reused by Compact
 	nextID    int32
 	shards    []*state
 	owner     map[int32]int32 // global id → shard; exactly the live ids
 }
 
-// New returns an empty sharded index with numShards shards; the
+// New returns an empty sharded GPH index with numShards shards; the
 // dimensionality is adopted from the first inserted vector. opts
 // configures every per-shard build (Compact applies it as Build
 // would).
 func New(numShards int, opts core.Options) (*Index, error) {
+	return NewEngine(core.EngineName, numShards, opts)
+}
+
+// NewEngine is New with an explicit registered engine name; every
+// shard is built (by Compact) as that engine. For engines other than
+// GPH, the applicable subset of opts (NumPartitions, MaxTau,
+// EnumBudget, Seed) configures the builds.
+func NewEngine(engineName string, numShards int, opts core.Options) (*Index, error) {
 	if numShards < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", numShards)
 	}
+	reg, ok := engine.Lookup(engineName)
+	if !ok || reg.Build == nil {
+		return nil, fmt.Errorf("shard: unknown engine %q (registered: %v)", engineName, engine.Names())
+	}
 	s := &Index{
 		numShards: numShards,
+		engine:    engineName,
 		opts:      opts,
 		shards:    make([]*state, numShards),
 		owner:     make(map[int32]int32),
+	}
+	if reg.TauBounded {
+		// Resolve the bound the built shards will carry, so queries are
+		// validated identically whether they hit built indexes or delta
+		// buffers (a single index over the same live set would reject
+		// over-threshold queries regardless of compaction state).
+		s.maxTau = engine.BuildOptions{MaxTau: opts.MaxTau}.WithDefaults().MaxTau
 	}
 	for i := range s.shards {
 		s.shards[i] = &state{builtPos: map[int32]int32{}, dead: map[int32]bool{}}
@@ -83,13 +108,18 @@ func New(numShards int, opts core.Options) (*Index, error) {
 	return s, nil
 }
 
-// Build constructs a sharded index over data, assigning global ids
-// 0..len(data)-1. Vectors are routed to shards by a content hash, and
-// the per-shard builds fan out over a worker pool bounded by
+// Build constructs a sharded GPH index over data, assigning global
+// ids 0..len(data)-1. Vectors are routed to shards by a content hash,
+// and the per-shard builds fan out over a worker pool bounded by
 // opts.BuildParallelism (each inner build runs serially, so the
 // result is deterministic for every parallelism setting).
 func Build(data []bitvec.Vector, numShards int, opts core.Options) (*Index, error) {
-	s, err := New(numShards, opts)
+	return BuildEngine(core.EngineName, data, numShards, opts)
+}
+
+// BuildEngine is Build with an explicit registered engine name.
+func BuildEngine(engineName string, data []bitvec.Vector, numShards int, opts core.Options) (*Index, error) {
+	s, err := NewEngine(engineName, numShards, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +152,7 @@ func Build(data []bitvec.Vector, numShards int, opts core.Options) (*Index, erro
 			local[j] = data[gid]
 			sh.builtPos[gid] = int32(j)
 		}
-		built, err := core.Build(local, s.innerOpts())
+		built, err := s.buildInner(local)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -142,6 +172,24 @@ func (s *Index) innerOpts() core.Options {
 	o := s.opts
 	o.BuildParallelism = 1
 	return o
+}
+
+// buildInner constructs one shard's engine over its local vectors.
+// GPH shards use the full core.Options (Refine, Learned, Workload…);
+// other engines receive the engine-independent subset through the
+// registry.
+func (s *Index) buildInner(local []bitvec.Vector) (engine.Engine, error) {
+	if s.engine == core.EngineName {
+		return core.Build(local, s.innerOpts())
+	}
+	o := s.innerOpts()
+	return engine.Build(s.engine, local, engine.BuildOptions{
+		NumPartitions:    o.NumPartitions,
+		MaxTau:           o.MaxTau,
+		EnumBudget:       o.EnumBudget,
+		Seed:             o.Seed,
+		BuildParallelism: o.BuildParallelism,
+	})
 }
 
 // route hash-partitions a vector by content (FNV-1a over the packed
@@ -180,6 +228,9 @@ func (s *Index) Len() int {
 
 // NumShards returns the shard count.
 func (s *Index) NumShards() int { return s.numShards }
+
+// Engine returns the registry name of the per-shard engine.
+func (s *Index) Engine() string { return s.engine }
 
 // Options returns the build options applied to every shard.
 func (s *Index) Options() core.Options { return s.opts }
@@ -294,7 +345,7 @@ func (s *Index) Compact() error {
 			next.builtPos[gid] = int32(j)
 		}
 		if len(vecs) > 0 {
-			built, err := core.Build(vecs, s.innerOpts())
+			built, err := s.buildInner(vecs)
 			if err != nil {
 				return fmt.Errorf("shard %d: compact: %w", dirty[di], err)
 			}
@@ -383,7 +434,10 @@ func (sh *state) search(q bitvec.Vector, tau int) ([]int32, error) {
 // index's SearchKNN over the same live set. Each shard contributes
 // its local top k (requesting k plus its tombstone count from the
 // built index so filtered entries cannot displace true neighbours);
-// the per-shard lists merge through a max-heap bounded at k.
+// the per-shard lists merge through a max-heap bounded at k. For
+// τ-bounded engines the answer is best-effort within the build
+// threshold, exactly like a single such index: neighbours beyond it
+// are never reported, whether indexed or delta-buffered.
 func (s *Index) SearchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -392,6 +446,12 @@ func (s *Index) SearchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("shard: k must be positive, got %d: %w", k, core.ErrInvalidQuery)
+	}
+	// Clamp to the live count before sizing any buffer: k is caller-
+	// (and, through /knn, remote-) controlled, and the bounded heap
+	// preallocates k slots.
+	if live := len(s.owner); k > live {
+		k = live
 	}
 	perShard := make([][]core.Neighbor, s.numShards)
 	errs := make([]error, s.numShards)
@@ -403,7 +463,7 @@ func (s *Index) SearchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 		wg.Add(1)
 		go func(i int, sh *state) {
 			defer wg.Done()
-			perShard[i], errs[i] = sh.searchKNN(q, k)
+			perShard[i], errs[i] = sh.searchKNN(q, k, s.maxTau)
 		}(i, sh)
 	}
 	wg.Wait()
@@ -419,8 +479,12 @@ func (s *Index) SearchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 	return h.sorted(), nil
 }
 
-// searchKNN answers one shard's share of a kNN query.
-func (sh *state) searchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
+// searchKNN answers one shard's share of a kNN query. maxTau > 0
+// means the shard engine is τ-bounded: its built index answers kNN
+// best-effort within that radius, so delta entries beyond it are
+// excluded too — otherwise the same live vector would appear in
+// results while buffered and vanish after Compact.
+func (sh *state) searchKNN(q bitvec.Vector, k, maxTau int) ([]core.Neighbor, error) {
 	var out []core.Neighbor
 	if sh.built != nil {
 		local, err := sh.built.SearchKNN(q, k+len(sh.dead))
@@ -438,7 +502,11 @@ func (sh *state) searchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 		}
 	}
 	for _, e := range sh.delta {
-		out = append(out, core.Neighbor{ID: e.id, Distance: q.Hamming(e.vec)})
+		d := q.Hamming(e.vec)
+		if maxTau > 0 && d > maxTau {
+			continue
+		}
+		out = append(out, core.Neighbor{ID: e.id, Distance: d})
 	}
 	return out, nil
 }
@@ -449,7 +517,7 @@ func (sh *state) searchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 // query nils only its own slot and the returned error joins every
 // per-query failure, mirroring the single-index SearchBatch contract.
 func (s *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
-	return core.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
 		return s.Search(q, tau)
 	})
 }
@@ -460,10 +528,19 @@ func (s *Index) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) (
 // dimensionality (and answers with no results).
 func (s *Index) validateQuery(q bitvec.Vector, tau int) error {
 	if tau < 0 {
-		return fmt.Errorf("shard: negative threshold %d: %w", tau, core.ErrInvalidQuery)
+		return fmt.Errorf("shard: threshold %d: %w", tau, engine.ErrNegativeTau)
+	}
+	if s.maxTau > 0 {
+		// τ-bounded engines reject over-threshold queries; enforcing the
+		// bound here keeps delta-buffered and built vectors behaving
+		// identically (a single index would reject regardless of
+		// compaction state).
+		if err := engine.CheckTauBound(tau, s.maxTau); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
 	}
 	if s.dims != 0 && q.Dims() != s.dims {
-		return fmt.Errorf("shard: query has %d dims, index has %d: %w", q.Dims(), s.dims, core.ErrInvalidQuery)
+		return fmt.Errorf("shard: query has %d dims, index has %d: %w", q.Dims(), s.dims, engine.ErrDimMismatch)
 	}
 	return nil
 }
