@@ -39,6 +39,7 @@ func BenchmarkExpFig8Dimensions(b *testing.B)     { runExp(b, "fig8ac") }
 func BenchmarkExpFig8dSkewness(b *testing.B)      { runExp(b, "fig8d") }
 func BenchmarkExpFig8efRobustness(b *testing.B)   { runExp(b, "fig8ef") }
 func BenchmarkExpSharded(b *testing.B)            { runExp(b, "sharded") }
+func BenchmarkExpMixed(b *testing.B)              { runExp(b, "mixed") }
 
 // --- micro-benchmarks ---
 

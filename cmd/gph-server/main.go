@@ -5,15 +5,18 @@
 //	GET  /search?q=0101...&tau=3            → results for one query
 //	POST /search {"queries":[...],"tau":3}  → batch results
 //	GET  /knn?q=0101...&k=10                → k nearest neighbours
-//	GET  /stats                             → index (and per-shard) statistics
+//	GET  /stats                             → index, shard and compaction statistics
+//	GET  /metrics                           → Prometheus text-format metrics
 //	POST /insert {"vector":"0101..."}       → insert one vector (-shards mode)
-//	POST /compact                           → fold update buffers (-shards mode)
+//	POST /delete {"id":123}                 → delete one vector (-shards mode)
+//	POST /compact                           → start background compaction, 202 (-shards mode)
+//	POST /save                              → checkpoint to -snapshot, truncate WAL (-shards mode)
 //
 // Usage:
 //
 //	gph-server -data corpus.ds -addr :8080
 //	gph-server -gen uqvideo -n 20000 -engine mih -addr :8080
-//	gph-server -gen uqvideo -n 20000 -shards 4 -addr :8080
+//	gph-server -gen uqvideo -n 20000 -shards 4 -wal /var/lib/gph/index.wal -addr :8080
 //
 // -engine selects the backend (gph by default; mih, hmsearch,
 // partalloc, linscan, lsh) — every engine serves the same API, with
@@ -21,11 +24,20 @@
 // out-of-bound τ) answered 400 uniformly. With -shards N the
 // collection is hash-partitioned across N independently built shards
 // of that engine and queries fan out concurrently; this mode also
-// accepts live updates through /insert, buffered per shard until
-// /compact folds them in. Without -shards the index is single and
+// accepts live updates through /insert and /delete. Searches never
+// stall on maintenance: POST /compact starts a background fold and
+// returns 202 immediately (poll /stats for completion), and
+// -auto-compact N folds a shard automatically once it buffers N
+// pending updates. With -wal every acknowledged update is appended
+// and fsynced to a write-ahead log before the response, and replayed
+// over the freshly built collection on restart — a kill -9 loses no
+// acknowledged write. -snapshot PATH bounds the log: POST /save (and
+// graceful shutdown) atomically checkpoints the index there and
+// truncates the WAL, and a later start loads the snapshot instead of
+// rebuilding from -data/-gen. Without -shards the index is single and
 // immutable. The server carries read/write timeouts, caps POST batch
 // sizes (-max-batch, oversize → 413), and shuts down gracefully on
-// SIGINT or SIGTERM, draining in-flight requests.
+// SIGINT or SIGTERM, draining in-flight requests and syncing the WAL.
 package main
 
 import (
@@ -53,7 +65,13 @@ type server struct {
 	engine   gph.Engine        // single-engine mode
 	sharded  *gph.ShardedIndex // sharded mode; nil without -shards
 	maxBatch int
+	snapPath string // -snapshot: POST /save checkpoints here; "" disables
+	metrics  *metrics
 }
+
+// handlerNames fixes the /metrics label set (and its rendering
+// order); every routed endpoint is instrumented under one of these.
+var handlerNames = []string{"healthz", "search", "knn", "stats", "insert", "delete", "compact", "save"}
 
 func (s *server) vectors() int {
 	if s.sharded != nil {
@@ -119,26 +137,77 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		buildPar = flag.Int("build-parallelism", 0, "index-build worker count (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 1024, "maximum queries per POST /search batch")
-		shards   = flag.Int("shards", 0, "shard count; 0 = single immutable index, >0 enables /insert and /compact")
+		shards   = flag.Int("shards", 0, "shard count; 0 = single immutable index, >0 enables /insert, /delete and /compact")
 		engName  = flag.String("engine", "gph", fmt.Sprintf("search engine to serve %v", gph.Engines()))
 		maxTau   = flag.Int("max-tau", 0, "largest query threshold τ-bounded engines build for (0 = default 64)")
+		walPath  = flag.String("wal", "", "write-ahead log path: replay on start, fsync every update (-shards mode)")
+		autoComp = flag.Int("auto-compact", 0, "fold a shard automatically once it buffers this many pending updates; 0 = explicit /compact only")
+		snapPath = flag.String("snapshot", "", "snapshot path: loaded on start if present (instead of rebuilding from -data/-gen), written by POST /save and on graceful shutdown; checkpointing truncates the WAL (-shards mode)")
 	)
 	flag.Parse()
 
-	ds, err := loadOrGenerate(*dataPath, *gen, *n, *seed)
-	if err != nil {
-		log.Fatalf("gph-server: %v", err)
-	}
 	start := time.Now()
-	s := &server{maxBatch: *maxBatch}
+	s := &server{maxBatch: *maxBatch, snapPath: *snapPath, metrics: newMetrics(handlerNames...)}
 	if *shards > 0 {
-		opts := gph.Options{NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar}
-		sharded, err := gph.BuildShardedEngine(*engName, ds.Vectors, *shards, opts)
-		if err != nil {
-			log.Fatalf("gph-server: building sharded index: %v", err)
+		var sharded *gph.ShardedIndex
+		snapExists := false
+		if *snapPath != "" {
+			if _, err := os.Stat(*snapPath); err == nil {
+				snapExists = true
+			} else if !os.IsNotExist(err) {
+				log.Fatalf("gph-server: snapshot: %v", err)
+			}
+		}
+		if snapExists {
+			f, err := os.Open(*snapPath)
+			if err != nil {
+				log.Fatalf("gph-server: snapshot: %v", err)
+			}
+			sharded, err = gph.LoadSharded(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("gph-server: loading snapshot: %v", err)
+			}
+			sharded.SetAutoCompact(*autoComp)
+			log.Printf("loaded snapshot %s (%s, %d vectors); -data/-gen ignored", *snapPath, sharded.Engine(), sharded.Len())
+		} else {
+			ds, err := loadOrGenerate(*dataPath, *gen, *n, *seed)
+			if err != nil {
+				log.Fatalf("gph-server: %v", err)
+			}
+			opts := gph.Options{
+				NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar,
+				AutoCompactDelta: *autoComp,
+			}
+			sharded, err = gph.BuildShardedEngine(*engName, ds.Vectors, *shards, opts)
+			if err != nil {
+				log.Fatalf("gph-server: building sharded index: %v", err)
+			}
+		}
+		if *walPath != "" {
+			replayed, err := sharded.OpenWAL(*walPath)
+			if err != nil {
+				log.Fatalf("gph-server: opening wal: %v", err)
+			}
+			if replayed > 0 {
+				log.Printf("replayed %d wal records from %s", replayed, *walPath)
+			}
 		}
 		s.sharded = sharded
 	} else {
+		if *walPath != "" {
+			log.Fatalf("gph-server: -wal requires -shards (a single index is immutable)")
+		}
+		if *autoComp != 0 {
+			log.Fatalf("gph-server: -auto-compact requires -shards (a single index is immutable)")
+		}
+		if *snapPath != "" {
+			log.Fatalf("gph-server: -snapshot requires -shards (a single index is immutable)")
+		}
+		ds, err := loadOrGenerate(*dataPath, *gen, *n, *seed)
+		if err != nil {
+			log.Fatalf("gph-server: %v", err)
+		}
 		eng, err := gph.BuildEngine(*engName, ds.Vectors, gph.EngineOptions{
 			NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar,
 		})
@@ -156,12 +225,15 @@ func main() {
 		float64(s.sizeBytes())/(1<<20))
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/knn", s.handleKNN)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/insert", s.handleInsert)
-	mux.HandleFunc("/compact", s.handleCompact)
+	mux.HandleFunc("/healthz", s.metrics.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("/search", s.metrics.instrument("search", s.handleSearch))
+	mux.HandleFunc("/knn", s.metrics.instrument("knn", s.handleKNN))
+	mux.HandleFunc("/stats", s.metrics.instrument("stats", s.handleStats))
+	mux.HandleFunc("/insert", s.metrics.instrument("insert", s.handleInsert))
+	mux.HandleFunc("/delete", s.metrics.instrument("delete", s.handleDelete))
+	mux.HandleFunc("/compact", s.metrics.instrument("compact", s.handleCompact))
+	mux.HandleFunc("/save", s.metrics.instrument("save", s.handleSave))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -188,6 +260,24 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatalf("gph-server: shutdown: %v", err)
+		}
+		// Every in-flight request has drained. Checkpoint if configured
+		// (snapshot replaced atomically, WAL truncated — the next start
+		// loads the snapshot instead of rebuilding and replaying), then
+		// release the index: waits out any background compaction and
+		// syncs and closes the WAL, so the log ends on a record
+		// boundary either way.
+		if s.sharded != nil {
+			if s.snapPath != "" {
+				if err := s.sharded.SaveFile(s.snapPath); err != nil {
+					log.Printf("gph-server: checkpoint on shutdown: %v", err)
+				} else {
+					log.Printf("checkpointed to %s", s.snapPath)
+				}
+			}
+			if err := s.sharded.Close(); err != nil {
+				log.Fatalf("gph-server: closing index: %v", err)
+			}
 		}
 		log.Printf("shutdown complete")
 	}
@@ -235,6 +325,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.sharded != nil {
 		resp["num_shards"] = s.sharded.NumShards()
 		resp["shards"] = s.sharded.ShardStats()
+		resp["compaction"] = s.sharded.CompactionStatus()
+		resp["wal_bytes"] = s.sharded.WALSizeBytes()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -284,9 +376,13 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id})
 }
 
-// handleCompact folds every shard's delta buffer and tombstones into
-// its built index. Rebuilds block searches, so this is an explicit
-// operator action rather than an automatic background step.
+// handleCompact starts folding every shard's delta buffer and
+// tombstones into its built index, in the background: the rebuild
+// never blocks searches or updates, so the response is 202 Accepted
+// immediately. Poll GET /stats ("compaction": running, runs,
+// last_millis, last_error) for completion. A request while a run is
+// already pending is answered 202 too, without starting another —
+// the pending run folds those updates as well.
 func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
@@ -296,14 +392,78 @@ func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotImplemented, "compaction requires a sharded index: restart with -shards")
 		return
 	}
+	status := "started"
+	if !s.sharded.CompactAsync() {
+		status = "already_running"
+	}
+	writeJSON(w, http.StatusAccepted, map[string]interface{}{
+		"status": status,
+		"poll":   "/stats",
+	})
+}
+
+// handleSave checkpoints the sharded index to the -snapshot path:
+// the container is atomically replaced and the WAL truncated, so the
+// log stops growing and the next start loads the snapshot instead of
+// rebuilding and replaying history. Updates wait while the snapshot
+// serializes; searches do not.
+func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.sharded == nil {
+		httpError(w, http.StatusNotImplemented, "checkpointing requires a sharded index: restart with -shards")
+		return
+	}
+	if s.snapPath == "" {
+		httpError(w, http.StatusNotImplemented, "no snapshot path configured: restart with -snapshot")
+		return
+	}
 	start := time.Now()
-	if err := s.sharded.Compact(); err != nil {
-		httpError(w, http.StatusInternalServerError, "compact: %v", err)
+	if err := s.sharded.SaveFile(s.snapPath); err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"millis": time.Since(start).Milliseconds(),
+		"path":      s.snapPath,
+		"millis":    time.Since(start).Milliseconds(),
+		"wal_bytes": s.sharded.WALSizeBytes(),
 	})
+}
+
+type deleteRequest struct {
+	ID int32 `json:"id"`
+}
+
+// handleDelete removes one vector by global id from a sharded index:
+// tombstoned immediately (invisible to every subsequent search),
+// physically dropped by the next compaction. Deleting an id that is
+// not live answers 404.
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.sharded == nil {
+		httpError(w, http.StatusNotImplemented, "updates require a sharded index: restart with -shards")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 4096)
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if err := s.sharded.Delete(req.ID); err != nil {
+		if errors.Is(err, gph.ErrNotFound) {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": req.ID})
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {

@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"gph"
 	"gph/datagen"
@@ -276,13 +280,167 @@ func TestInsertCompactStats(t *testing.T) {
 	if d := statsDelta(); d != 1 {
 		t.Fatalf("pending delta %d, want 1", d)
 	}
+	// Compaction is asynchronous: 202 immediately, completion via the
+	// /stats compaction block.
 	rec = httptest.NewRecorder()
 	s.handleCompact(rec, httptest.NewRequest(http.MethodPost, "/compact", nil))
-	if rec.Code != http.StatusOK {
-		t.Fatalf("compact → %d: %s", rec.Code, rec.Body.String())
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("compact → %d, want 202: %s", rec.Code, rec.Body.String())
 	}
-	if d := statsDelta(); d != 0 {
-		t.Fatalf("pending delta after compact %d, want 0", d)
+	deadline := time.Now().Add(30 * time.Second)
+	for statsDelta() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never folded the delta")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	status := s.sharded.CompactionStatus()
+	if status.Runs == 0 || status.LastError != "" {
+		t.Fatalf("compaction status after fold: %+v", status)
+	}
+}
+
+// TestDelete drives the delete lifecycle over HTTP: a deleted vector
+// vanishes from searches immediately, a second delete of the same id
+// answers 404, and single-index mode answers 501.
+func TestDelete(t *testing.T) {
+	s := testShardedServer(t)
+	v, _ := s.sharded.Vector(3)
+	q := v.Clone()
+
+	del := func() *httptest.ResponseRecorder {
+		body, _ := json.Marshal(deleteRequest{ID: 3})
+		rec := httptest.NewRecorder()
+		s.handleDelete(rec, httptest.NewRequest(http.MethodPost, "/delete", bytes.NewReader(body)))
+		return rec
+	}
+	if rec := del(); rec.Code != http.StatusOK {
+		t.Fatalf("delete → %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := httptest.NewRecorder()
+	s.handleSearch(rec, httptest.NewRequest(http.MethodGet, "/search?q="+q.String()+"&tau=0", nil))
+	var sr searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sr.Results {
+		if id == 3 {
+			t.Fatal("deleted vector still searchable")
+		}
+	}
+	if rec := del(); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete → %d, want 404", rec.Code)
+	}
+	// Method and mode errors.
+	rec = httptest.NewRecorder()
+	s.handleDelete(rec, httptest.NewRequest(http.MethodGet, "/delete", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /delete → %d, want 405", rec.Code)
+	}
+	single := testServer(t)
+	rec = httptest.NewRecorder()
+	single.handleDelete(rec, httptest.NewRequest(http.MethodPost, "/delete", bytes.NewReader([]byte(`{"id":1}`))))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("delete on single index → %d, want 501", rec.Code)
+	}
+}
+
+// TestMetrics: the Prometheus endpoint exposes request counters,
+// latency histograms and the sharded lifecycle gauges, and the
+// instrumentation wrapper actually feeds them.
+func TestMetrics(t *testing.T) {
+	s := testShardedServer(t)
+	s.metrics = newMetrics(handlerNames...)
+	search := s.metrics.instrument("search", s.handleSearch)
+
+	v, _ := s.sharded.Vector(0)
+	rec := httptest.NewRecorder()
+	search(rec, httptest.NewRequest(http.MethodGet, "/search?q="+v.String()+"&tau=2", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search → %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	search(rec, httptest.NewRequest(http.MethodGet, "/search?q=01&tau=2", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad search → %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics → %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`gph_requests_total{handler="search"} 2`,
+		`gph_request_errors_total{handler="search"} 1`,
+		`gph_request_duration_seconds_count{handler="search"} 2`,
+		`gph_request_duration_seconds_bucket{handler="search",le="+Inf"} 2`,
+		"gph_vectors 800",
+		`gph_shard_delta{shard="0"}`,
+		"gph_compactions_total 0",
+		"gph_compaction_running 0",
+		"gph_wal_bytes 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	rec = httptest.NewRecorder()
+	s.handleMetrics(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics → %d, want 405", rec.Code)
+	}
+}
+
+// TestSave: POST /save checkpoints to the configured snapshot path
+// and truncates the WAL; without -snapshot (or without -shards) it
+// answers 501.
+func TestSave(t *testing.T) {
+	s := testShardedServer(t)
+	dir := t.TempDir()
+	s.snapPath = filepath.Join(dir, "index.gph")
+	if _, err := s.sharded.OpenWAL(filepath.Join(dir, "index.wal")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.sharded.Vector(0)
+	q := v.Clone()
+	q.Flip(2)
+	body, _ := json.Marshal(insertRequest{Vector: q.String()})
+	rec := httptest.NewRecorder()
+	s.handleInsert(rec, httptest.NewRequest(http.MethodPost, "/insert", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert → %d", rec.Code)
+	}
+	if s.sharded.WALSizeBytes() <= 8 {
+		t.Fatal("wal empty after acknowledged insert")
+	}
+	rec = httptest.NewRecorder()
+	s.handleSave(rec, httptest.NewRequest(http.MethodPost, "/save", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("save → %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.sharded.WALSizeBytes(); got != 8 {
+		t.Fatalf("wal %d bytes after checkpoint, want header only", got)
+	}
+	if _, err := os.Stat(s.snapPath); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	// No snapshot path configured → 501.
+	s.snapPath = ""
+	rec = httptest.NewRecorder()
+	s.handleSave(rec, httptest.NewRequest(http.MethodPost, "/save", nil))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("save without -snapshot → %d, want 501", rec.Code)
+	}
+	single := testServer(t)
+	rec = httptest.NewRecorder()
+	single.handleSave(rec, httptest.NewRequest(http.MethodPost, "/save", nil))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("save on single index → %d, want 501", rec.Code)
 	}
 }
 

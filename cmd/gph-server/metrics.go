@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond point lookups to multi-second worst cases; the
+// implicit final bucket is +Inf. Cumulative counts per Prometheus
+// histogram convention.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// handlerMetrics accumulates one endpoint's counters: requests,
+// error responses (status ≥ 400), and a latency histogram. All
+// fields are atomics — observation never takes a lock.
+type handlerMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	buckets  [len(latencyBuckets) + 1]atomic.Int64 // +Inf last
+	sumNanos atomic.Int64
+}
+
+func (h *handlerMetrics) observe(d time.Duration, status int) {
+	h.requests.Add(1)
+	if status >= 400 {
+		h.errors.Add(1)
+	}
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], secs)
+	h.buckets[i].Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+}
+
+// metrics is the server's observability state, rendered by /metrics
+// in the Prometheus text exposition format. Request-path counters
+// live here; index-level gauges (shard buffer depth, compaction runs,
+// WAL size) are read from the backend at scrape time, so a scrape
+// always reflects current state rather than sampled counters.
+type metrics struct {
+	names    []string
+	handlers map[string]*handlerMetrics
+}
+
+func newMetrics(names ...string) *metrics {
+	m := &metrics{names: names, handlers: make(map[string]*handlerMetrics, len(names))}
+	for _, n := range names {
+		m.handlers[n] = &handlerMetrics{}
+	}
+	return m
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request, error and
+// latency accounting.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	hm := m.handlers[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		hm.observe(time.Since(start), rec.status)
+	}
+}
+
+// handleMetrics renders every counter in the Prometheus text format
+// (version 0.0.4): request counts, error counts and latency
+// histograms per handler, then the index gauges — vector count,
+// resident size, per-shard delta and tombstone depth, compaction
+// totals and the WAL size.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP gph_requests_total Requests served, by handler.\n")
+	fmt.Fprintf(w, "# TYPE gph_requests_total counter\n")
+	for _, n := range s.metrics.names {
+		fmt.Fprintf(w, "gph_requests_total{handler=%q} %d\n", n, s.metrics.handlers[n].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP gph_request_errors_total Responses with status >= 400, by handler.\n")
+	fmt.Fprintf(w, "# TYPE gph_request_errors_total counter\n")
+	for _, n := range s.metrics.names {
+		fmt.Fprintf(w, "gph_request_errors_total{handler=%q} %d\n", n, s.metrics.handlers[n].errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP gph_request_duration_seconds Request latency, by handler.\n")
+	fmt.Fprintf(w, "# TYPE gph_request_duration_seconds histogram\n")
+	for _, n := range s.metrics.names {
+		hm := s.metrics.handlers[n]
+		var cum int64
+		for i, le := range latencyBuckets[:] {
+			cum += hm.buckets[i].Load()
+			fmt.Fprintf(w, "gph_request_duration_seconds_bucket{handler=%q,le=%q} %d\n",
+				n, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += hm.buckets[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "gph_request_duration_seconds_bucket{handler=%q,le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "gph_request_duration_seconds_sum{handler=%q} %g\n",
+			n, float64(hm.sumNanos.Load())/1e9)
+		fmt.Fprintf(w, "gph_request_duration_seconds_count{handler=%q} %d\n", n, cum)
+	}
+
+	fmt.Fprintf(w, "# HELP gph_vectors Live vectors in the index.\n")
+	fmt.Fprintf(w, "# TYPE gph_vectors gauge\n")
+	fmt.Fprintf(w, "gph_vectors %d\n", s.vectors())
+	fmt.Fprintf(w, "# HELP gph_index_bytes Resident index size in bytes.\n")
+	fmt.Fprintf(w, "# TYPE gph_index_bytes gauge\n")
+	fmt.Fprintf(w, "gph_index_bytes %d\n", s.sizeBytes())
+
+	if s.sharded == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP gph_shard_delta Unindexed inserts pending compaction, by shard.\n")
+	fmt.Fprintf(w, "# TYPE gph_shard_delta gauge\n")
+	stats := s.sharded.ShardStats()
+	for i, sh := range stats {
+		fmt.Fprintf(w, "gph_shard_delta{shard=\"%d\"} %d\n", i, sh.Delta)
+	}
+	fmt.Fprintf(w, "# HELP gph_shard_tombstones Deletes pending compaction, by shard.\n")
+	fmt.Fprintf(w, "# TYPE gph_shard_tombstones gauge\n")
+	for i, sh := range stats {
+		fmt.Fprintf(w, "gph_shard_tombstones{shard=\"%d\"} %d\n", i, sh.Tombstones)
+	}
+	cs := s.sharded.CompactionStatus()
+	fmt.Fprintf(w, "# HELP gph_compactions_total Completed compaction runs.\n")
+	fmt.Fprintf(w, "# TYPE gph_compactions_total counter\n")
+	fmt.Fprintf(w, "gph_compactions_total %d\n", cs.Runs)
+	fmt.Fprintf(w, "# HELP gph_compaction_running Whether a compaction is in flight.\n")
+	fmt.Fprintf(w, "# TYPE gph_compaction_running gauge\n")
+	fmt.Fprintf(w, "gph_compaction_running %d\n", boolGauge(cs.Running))
+	fmt.Fprintf(w, "# HELP gph_compaction_last_millis Duration of the last compaction run.\n")
+	fmt.Fprintf(w, "# TYPE gph_compaction_last_millis gauge\n")
+	fmt.Fprintf(w, "gph_compaction_last_millis %d\n", cs.LastMillis)
+	fmt.Fprintf(w, "# HELP gph_wal_bytes Write-ahead log size (0 when no WAL is attached).\n")
+	fmt.Fprintf(w, "# TYPE gph_wal_bytes gauge\n")
+	fmt.Fprintf(w, "gph_wal_bytes %d\n", s.sharded.WALSizeBytes())
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

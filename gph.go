@@ -36,6 +36,7 @@ package gph
 
 import (
 	"io"
+	"os"
 
 	"gph/internal/bitvec"
 	"gph/internal/core"
@@ -142,13 +143,30 @@ func TanimotoSearch(index *Index, q Vector, t float64) ([]int32, error) {
 }
 
 // ShardedIndex hash-partitions a collection across independently
-// built GPH shards and fans every query out across them, merging
-// per-shard results deterministically. Unlike Index it is updatable:
-// Insert and Delete take effect immediately through small per-shard
-// delta buffers, and Compact folds the buffers into the built shards.
-// Search results are exact and identical to a single Index over the
-// same live vectors. All methods are safe for concurrent use.
+// built GPH shards and fans every query out across them over a
+// bounded worker pool, merging per-shard results deterministically.
+// Unlike Index it is updatable: Insert and Delete take effect
+// immediately through small per-shard delta buffers, and compaction
+// (explicit Compact/CompactAsync, or automatic once a shard's buffer
+// crosses Options.AutoCompactDelta) folds the buffers into the built
+// shards. Search results are exact and identical to a single Index
+// over the same live vectors.
+//
+// All methods are safe for concurrent use, and searches never block
+// on writers or compaction: each shard publishes an immutable
+// snapshot through an atomic pointer, queries read the snapshots
+// lock-free, and compaction rebuilds off-lock before a brief swap.
+// With a write-ahead log attached (OpenSharded with Options.WALPath,
+// or OpenWAL), every acknowledged update is durable: a kill -9
+// between an Insert and the next SaveFile loses nothing — reopening
+// replays the log. Close the index when done to release the fan-out
+// workers and the WAL.
 type ShardedIndex = shard.Index
+
+// CompactionStatus reports a ShardedIndex's compaction subsystem for
+// operator polling after CompactAsync: whether a run is in flight,
+// how many completed, and how the last one went.
+type CompactionStatus = shard.CompactionStatus
 
 // ShardStats describes one shard of a ShardedIndex: indexed vector
 // count, pending delta-buffer and tombstone depth, and resident size.
@@ -177,6 +195,53 @@ func NewSharded(numShards int, opts Options) (*ShardedIndex, error) {
 // LoadSharded reads a sharded index previously written with
 // ShardedIndex.Save.
 func LoadSharded(r io.Reader) (*ShardedIndex, error) { return shard.Load(r) }
+
+// OpenSharded opens a durable sharded GPH index: the snapshot at
+// path is loaded if it exists (numShards and the engine then come
+// from the container), otherwise an empty index with numShards
+// shards is created. If opts.WALPath is non-empty the write-ahead
+// log there is replayed on top of the snapshot — recovering every
+// update acknowledged before a crash, tolerating a torn final record
+// — and attached, so every subsequent acknowledged Insert and Delete
+// is durable. Checkpoint with ShardedIndex.SaveFile(path), which
+// atomically replaces the snapshot and truncates the log; Close the
+// index when done.
+func OpenSharded(path string, numShards int, opts Options) (*ShardedIndex, error) {
+	return OpenShardedEngine("gph", path, numShards, opts)
+}
+
+// OpenShardedEngine is OpenSharded with an explicit registered engine
+// name for the empty-index case (an existing snapshot's engine always
+// wins — the container records it).
+func OpenShardedEngine(name, path string, numShards int, opts Options) (*ShardedIndex, error) {
+	var s *ShardedIndex
+	f, err := os.Open(path)
+	switch {
+	case err == nil:
+		s, err = shard.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		// Lifecycle policy is runtime configuration, not persisted
+		// state: the caller's threshold applies to the loaded index.
+		s.SetAutoCompact(opts.AutoCompactDelta)
+	case os.IsNotExist(err):
+		s, err = shard.NewEngine(name, numShards, opts)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	if opts.WALPath != "" {
+		if _, err := s.OpenWAL(opts.WALPath); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
 
 // Engine is the uniform search contract every index in this module
 // serves — GPH and the paper's baselines alike: range search with

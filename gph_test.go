@@ -2,6 +2,7 @@ package gph_test
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 
 	"gph"
@@ -98,6 +99,68 @@ func TestPublicBatch(t *testing.T) {
 		if len(single) != len(batch[i]) {
 			t.Fatalf("batch result %d differs from sequential", i)
 		}
+	}
+}
+
+// TestPublicOpenSharded drives the durable lifecycle end to end
+// through the public API: create empty with a WAL, insert, crash
+// (abandon without saving), reopen and recover, checkpoint with
+// SaveFile, reopen from snapshot + truncated log.
+func TestPublicOpenSharded(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "index.gph")
+	opts := gph.Options{
+		NumPartitions: 4, MaxTau: 12, Seed: 5, SampleSize: 200, WorkloadSize: 8,
+		WALPath: filepath.Join(dir, "index.wal"),
+	}
+	ds := datagen.SIFTLike(60, 9)
+
+	s, err := gph.OpenSharded(snap, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ds.Vectors {
+		if _, err := s.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no SaveFile, no Close — acknowledged updates must still
+	// be on disk.
+	s2, err := gph.OpenSharded(snap, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(ds.Vectors)-1 {
+		t.Fatalf("recovered %d vectors, want %d", s2.Len(), len(ds.Vectors)-1)
+	}
+	if _, ok := s2.Vector(5); ok {
+		t.Fatal("deleted vector resurrected by replay")
+	}
+	got, err := s2.Search(ds.Vectors[7], 0)
+	if err != nil || len(got) == 0 {
+		t.Fatalf("recovered search: %v %v", got, err)
+	}
+	if err := s2.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen from the checkpoint: snapshot carries everything, log is
+	// empty.
+	s3, err := gph.OpenSharded(snap, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != len(ds.Vectors)-1 {
+		t.Fatalf("checkpoint reopened with %d vectors, want %d", s3.Len(), len(ds.Vectors)-1)
+	}
+	if s3.Engine() != "gph" || s3.NumShards() != 2 {
+		t.Fatalf("checkpoint lost identity: %s/%d", s3.Engine(), s3.NumShards())
 	}
 }
 

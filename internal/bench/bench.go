@@ -84,6 +84,7 @@ func Experiments() []Experiment {
 		{"fig8ef", "Fig. 8(e-f): workload-mismatch robustness", (*Runner).Fig8ef},
 		{"ablation", "Ablation: each GPH design choice removed in turn", (*Runner).Ablation},
 		{"sharded", "Sharded vs single-index GPH: build, fan-out query, agreement", (*Runner).Sharded},
+		{"mixed", "Mixed update-heavy workload: search p50/p99 during background compaction", (*Runner).Mixed},
 	}
 }
 

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gph/internal/core"
+	"gph/internal/shard"
+)
+
+// Mixed measures the snapshot lifecycle's headline property: search
+// latency is unaffected by a concurrent compaction. The workload is
+// update-heavy — a sharded index absorbs a large insert burst, then
+// searches hammer it through three phases: idle (buffers pending, no
+// maintenance), during (a background compaction rebuilding every
+// shard), and after (buffers folded). Before the snapshot refactor
+// the "during" phase was a multi-second full stop — Compact held the
+// write lock across the rebuild; now the during-compaction p99 must
+// stay within small factors of idle. The run fails if any search
+// result diverges from the pre-computed truth, so the phases also
+// re-assert the update-equivalence invariant under concurrency.
+func (r *Runner) Mixed() error {
+	c := r.load("uqvideo")
+	const tau = 8
+	opts := core.Options{
+		NumPartitions: c.spec.m, MaxTau: 16, Seed: r.cfg.Seed,
+		BuildParallelism: r.cfg.BuildParallelism,
+	}
+	// Build over two thirds, insert the rest: every shard ends up with
+	// a deep delta buffer, so the compaction rebuilds all of them.
+	n := len(c.data.Vectors)
+	s, err := shard.Build(c.data.Vectors[:2*n/3], 4, opts)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	for _, v := range c.data.Vectors[2*n/3:] {
+		if _, err := s.Insert(v); err != nil {
+			return err
+		}
+	}
+	// Ground truth once, against the post-insert live set; every phase
+	// must reproduce it exactly.
+	truth := make([][]int32, len(c.queries))
+	for i, q := range c.queries {
+		if truth[i], err = s.Search(q, tau); err != nil {
+			return err
+		}
+	}
+
+	measure := func(stop func() bool) ([]time.Duration, error) {
+		var lat []time.Duration
+		for i := 0; !stop(); i = (i + 1) % len(c.queries) {
+			start := time.Now()
+			got, err := s.Search(c.queries[i], tau)
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(start))
+			if !sameIDs(truth[i], got) {
+				return nil, fmt.Errorf("bench: mixed: query %d diverged from live-set truth", i)
+			}
+		}
+		return lat, nil
+	}
+	countdown := func(iters int) func() bool {
+		left := iters
+		return func() bool { left--; return left < 0 }
+	}
+
+	t := newTable(r.cfg.Out, "phase", "searches", "p50(us)", "p99(us)", "compact(ms)")
+
+	// Phase 1 — idle, buffers pending.
+	idleIters := 4 * len(c.queries)
+	idle, err := measure(countdown(idleIters))
+	if err != nil {
+		return err
+	}
+	t.row("idle", len(idle), us(pct(idle, 50)), us(pct(idle, 99)), "-")
+
+	// Phase 2 — searches racing a background compaction of every
+	// shard. A sibling goroutine runs the synchronous Compact; the
+	// measuring loop stops when it finishes.
+	var compactNanos atomic.Int64
+	var compactErr error
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		start := time.Now()
+		compactErr = s.Compact()
+		compactNanos.Store(time.Since(start).Nanoseconds())
+	}()
+	during, err := measure(func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	if compactErr != nil {
+		return compactErr
+	}
+	if len(during) == 0 {
+		return fmt.Errorf("bench: mixed: no searches completed during compaction — searches blocked")
+	}
+	t.row("during-compact", len(during), us(pct(during, 50)), us(pct(during, 99)),
+		ms(compactNanos.Load()))
+
+	// Phase 3 — after the fold: buffers empty, searches hit only built
+	// engines.
+	for _, sh := range s.ShardStats() {
+		if sh.Delta != 0 {
+			return fmt.Errorf("bench: mixed: compaction left %d delta entries", sh.Delta)
+		}
+	}
+	after, err := measure(countdown(idleIters))
+	if err != nil {
+		return err
+	}
+	t.row("after-compact", len(after), us(pct(after, 50)), us(pct(after, 99)), "-")
+	t.flush()
+
+	fmt.Fprintf(r.cfg.Out, "searches completed during the rebuild: %d (pre-refactor: 0 — Compact held the write lock)\n", len(during))
+	return nil
+}
+
+// pct returns the p-th percentile (nearest-rank) of the samples.
+func pct(lat []time.Duration, p int) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// us renders a duration as fractional microseconds.
+func us(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3) }
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -158,6 +158,19 @@ type Options struct {
 	// index is identical for every setting — partitions are
 	// independent, so only wall-clock time changes.
 	BuildParallelism int
+	// WALPath names the write-ahead log file for durable sharded
+	// indexes: gph.OpenSharded replays and attaches it so every
+	// acknowledged Insert/Delete survives a crash. Empty disables
+	// durability. Runtime-only — a single immutable Index ignores it,
+	// and it is not persisted in saved containers.
+	WALPath string
+	// AutoCompactDelta is the sharded layer's auto-compaction
+	// threshold: when a shard's pending updates (delta inserts plus
+	// tombstones) reach this count, a background compaction starts
+	// folding them into the built indexes. 0 disables the policy
+	// (compaction is explicit). Runtime-only — ignored by a single
+	// immutable Index and not persisted in saved containers.
+	AutoCompactDelta int
 }
 
 func (o Options) withDefaults(n int) Options {

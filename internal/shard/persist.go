@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"gph/internal/binio"
 	"gph/internal/bitvec"
@@ -28,23 +30,36 @@ const shardMagic = "GPHSH02\n"
 // Output is byte-reproducible: saving a loaded index reproduces the
 // original bytes.
 //
-// The full build configuration is persisted — Compact after Load
-// rebuilds shards exactly as the original index would — with two
-// exceptions: a caller-supplied Options.Workload (a pointer the
-// container cannot capture; post-Load compactions fall back to the
-// surrogate workload) and BuildParallelism (wall-clock only; resets
-// to GOMAXPROCS).
+// Save holds the writer lock — updates wait for the duration, while
+// searches proceed against the published snapshots. It does not touch
+// an attached WAL: use SaveFile for the durable checkpoint sequence
+// (atomic snapshot replace, then WAL truncation).
+//
+// The full build configuration is persisted — a compaction after Load
+// rebuilds shards exactly as the original index would — with the
+// exception of runtime-only fields: a caller-supplied
+// Options.Workload (a pointer the container cannot capture;
+// post-Load compactions fall back to the surrogate workload),
+// BuildParallelism (wall-clock only; resets to GOMAXPROCS), and the
+// lifecycle fields WALPath and AutoCompactDelta (reattach and
+// reconfigure on open).
 func (s *Index) Save(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveLocked(w)
+}
+
+// saveLocked serializes the container; the caller holds s.mu.
+func (s *Index) saveLocked(w io.Writer) error {
 	bw := binio.NewWriter(w)
 	bw.Magic(shardMagic)
-	bw.Int(s.dims)
+	bw.Int(int(s.dims.Load()))
 	bw.Int(s.numShards)
 	bw.Int(int(s.nextID))
 	bw.String(s.engine)
 	writeOptions(bw, s.opts)
-	for i, sh := range s.shards {
+	for i := range s.shards {
+		sh := s.shards[i].Load()
 		bw.Int32s(sh.builtIDs)
 		if sh.built != nil {
 			var blob bytes.Buffer
@@ -63,6 +78,63 @@ func (s *Index) Save(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// SaveFile checkpoints the index to path with crash-safe ordering:
+// the container is written to a temporary sibling file, fsynced, and
+// atomically renamed over path (the directory entry fsynced too);
+// only then is an attached WAL truncated. The writer lock spans the
+// whole sequence, and updates write their WAL records under that
+// same lock (fsyncing outside it), so every record physically in the
+// log at truncation time belongs to an update the snapshot captured
+// — a crash at any point leaves a recoverable pair: either the old
+// snapshot with the full log, or the new snapshot (which contains
+// every acknowledged update) with the truncated log. In-flight
+// fsync waiters whose records the truncation discarded complete
+// successfully (wal.Log.Reset's epoch handling), acknowledged
+// against the snapshot. Updates wait while the checkpoint runs;
+// searches do not.
+func (s *Index) SaveFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if err := s.saveLocked(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	// The rename's directory entry must be durable before the log
+	// truncates: otherwise a power loss could replay the filesystem to
+	// the old snapshot while the truncation persisted — old snapshot +
+	// empty log loses every update since the previous checkpoint.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		serr := dir.Sync()
+		dir.Close()
+		if serr != nil {
+			return fmt.Errorf("shard: checkpoint: syncing directory: %w", serr)
+		}
+	} else {
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	if s.wal != nil {
+		if err := s.wal.Reset(); err != nil {
+			return fmt.Errorf("shard: checkpointing wal: %w", err)
+		}
+	}
+	return nil
 }
 
 // writeOptions persists every Options field Compact needs to rebuild
@@ -191,11 +263,11 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.dims = dims
+	s.dims.Store(int32(dims))
 	s.nextID = int32(nextID)
 	words := (dims + 63) / 64
 	for i := int32(0); i < int32(numShards); i++ {
-		sh := s.shards[i]
+		sh := &state{builtPos: map[int32]int32{}, dead: map[int32]bool{}}
 		sh.builtIDs = br.Int32s()
 		if err := br.Err(); err != nil {
 			return nil, fmt.Errorf("shard: reading shard %d ids: %w", i, err)
@@ -262,9 +334,11 @@ func Load(r io.Reader) (*Index, error) {
 			sh.delta = append(sh.delta, deltaEntry{id: gid, vec: bitvec.FromWords(dims, ws)})
 			s.owner[gid] = i
 		}
+		s.shards[i].Store(sh)
 	}
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("shard: reading container: %w", err)
 	}
+	s.live.Store(int64(len(s.owner)))
 	return s, nil
 }

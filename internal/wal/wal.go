@@ -1,0 +1,374 @@
+// Package wal implements the write-ahead log that makes sharded-index
+// updates durable before they are acknowledged. The log is an
+// append-only file of CRC-framed Insert/Delete records: an update is
+// appended and fsynced before the caller's Insert/Delete returns, so
+// a crash between an acknowledged update and the next snapshot Save
+// loses nothing — Open replays the tail onto the reloaded snapshot.
+// Appends batch their fsyncs (group commit): concurrent appenders
+// share one Sync call instead of queueing one each, so durability
+// costs one disk flush per batch rather than per record. A torn final
+// record — the expected artifact of a crash mid-append — is detected
+// by its CRC or short frame and truncated away on Open; everything
+// before it replays. ShardedIndex.Save persists the full state, after
+// which Reset discards the replayed prefix and the log starts over.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// magic identifies the log format, following the repository's 8-byte
+// tag convention.
+const magic = "GPHWL01\n"
+
+// maxPayload bounds one record's payload: a corrupt length field must
+// fail the frame check instead of driving a huge allocation. The
+// largest legal record is an insert of a 2^20-dimension vector
+// (~128 KiB of words), comfortably below this.
+const maxPayload = 1 << 24
+
+// Operation codes. The zero value is invalid so an all-zero torn
+// frame cannot masquerade as a record.
+const (
+	// OpInsert records an acknowledged Insert: id, dims and the packed
+	// vector words.
+	OpInsert byte = 1
+	// OpDelete records an acknowledged Delete: the id alone.
+	OpDelete byte = 2
+)
+
+// Record is one logged update. Insert records carry the vector
+// (Dims and its packed Words); Delete records carry only the ID.
+type Record struct {
+	// Op is OpInsert or OpDelete.
+	Op byte
+	// ID is the update's global vector id.
+	ID int32
+	// Dims is the vector dimensionality (insert records only).
+	Dims int
+	// Words is the packed vector, ⌈Dims/64⌉ words (insert records only).
+	Words []uint64
+}
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64 and
+// arm64, and a different polynomial from the zip default, so frames
+// are not fooled by common all-zero corruption patterns.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open write-ahead log positioned for appending. Append is
+// safe for concurrent use; Reset and Close must not race with it.
+type Log struct {
+	mu   sync.Mutex // serializes file writes and Reset/Close
+	f    *os.File
+	size atomic.Int64 // bytes written (header included); not yet necessarily synced
+
+	// Group commit: the first appender to need durability performs the
+	// Sync covering every byte written so far; appenders whose bytes an
+	// in-flight Sync already covers just wait for it.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	synced   int64 // bytes known durable
+	syncing  bool  // a Sync call is in flight
+	epoch    int64 // incremented by Reset; invalidates in-flight sync targets
+	err      error // sticky: the log is unusable after a write/sync failure
+}
+
+// Open opens (creating if absent) the log at path, replays every
+// intact record, truncates a torn tail if the previous process died
+// mid-append, and returns the log positioned for appending together
+// with the replayed records in append order.
+func Open(path string) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{f: f}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	recs, good, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good < 0 {
+		// Empty (or header-less newborn) file: write the header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: writing header: %w", err)
+		}
+		good = int64(len(magic))
+	}
+	// Drop the torn tail (no-op when the file ends cleanly) so the
+	// next append starts at a record boundary.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l.size.Store(good)
+	l.synced = good
+	return l, recs, nil
+}
+
+// replay scans the log from the start, returning every intact record
+// and the offset just past the last one. A short frame, oversized
+// length, CRC mismatch or undecodable payload ends the scan there —
+// that is the torn tail Open truncates. good is -1 for a file with no
+// (or a partial) header, which Open treats as newly created.
+func replay(f *os.File) (recs []Record, good int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	header := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, header); err != nil {
+		return nil, -1, nil // empty or torn-mid-header: rewrite
+	}
+	if string(header) != magic {
+		return nil, 0, fmt.Errorf("wal: bad magic %q, want %q", header, magic)
+	}
+	good = int64(len(magic))
+	var frame [8]byte
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			return recs, good, nil // clean EOF or torn frame header
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxPayload {
+			return recs, good, nil // corrupt length: treat as torn
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return recs, good, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, good, nil // torn or bit-rotted record
+		}
+		rec, ok := decode(payload)
+		if !ok {
+			return recs, good, nil
+		}
+		recs = append(recs, rec)
+		good += 8 + int64(length)
+	}
+}
+
+// encode serializes a record payload (the CRC-framed part).
+func encode(rec Record) []byte {
+	switch rec.Op {
+	case OpInsert:
+		buf := make([]byte, 1+4+4+8*len(rec.Words))
+		buf[0] = OpInsert
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(rec.ID))
+		binary.LittleEndian.PutUint32(buf[5:9], uint32(rec.Dims))
+		for i, w := range rec.Words {
+			binary.LittleEndian.PutUint64(buf[9+8*i:], w)
+		}
+		return buf
+	case OpDelete:
+		buf := make([]byte, 1+4)
+		buf[0] = OpDelete
+		binary.LittleEndian.PutUint32(buf[1:5], uint32(rec.ID))
+		return buf
+	}
+	panic(fmt.Sprintf("wal: encoding unknown op %d", rec.Op))
+}
+
+// decode parses a payload written by encode, reporting false on any
+// structural mismatch (unknown op, wrong length for the op, word
+// count disagreeing with dims).
+func decode(payload []byte) (Record, bool) {
+	switch payload[0] {
+	case OpInsert:
+		if len(payload) < 9 {
+			return Record{}, false
+		}
+		rec := Record{
+			Op:   OpInsert,
+			ID:   int32(binary.LittleEndian.Uint32(payload[1:5])),
+			Dims: int(int32(binary.LittleEndian.Uint32(payload[5:9]))),
+		}
+		if rec.Dims <= 0 || rec.Dims > 1<<20 {
+			return Record{}, false
+		}
+		words := (rec.Dims + 63) / 64
+		if len(payload) != 9+8*words {
+			return Record{}, false
+		}
+		rec.Words = make([]uint64, words)
+		for i := range rec.Words {
+			rec.Words[i] = binary.LittleEndian.Uint64(payload[9+8*i:])
+		}
+		return rec, true
+	case OpDelete:
+		if len(payload) != 5 {
+			return Record{}, false
+		}
+		return Record{Op: OpDelete, ID: int32(binary.LittleEndian.Uint32(payload[1:5]))}, true
+	}
+	return Record{}, false
+}
+
+// Write appends one record to the file without waiting for
+// durability, returning the offset the log must be synced through
+// before the record's update may be acknowledged (pass it to Sync).
+// Callers that interleave Write with Reset-based checkpoints should
+// issue Write under the same lock that serializes the checkpoint, so
+// a record can never land in the log after a checkpoint that already
+// captured its update.
+func (l *Log) Write(rec Record) (int64, error) {
+	payload := encode(rec)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.stickyErr(); err != nil {
+		return 0, err
+	}
+	if _, err := l.f.Write(frame[:]); err != nil {
+		l.fail(err)
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		l.fail(err)
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	return l.size.Add(int64(8 + len(payload))), nil
+}
+
+// Sync blocks until the log is durable through offset target (as
+// returned by Write).
+func (l *Log) Sync(target int64) error { return l.syncTo(target) }
+
+// Append writes one record and returns only once it is durable (the
+// covering fsync completed). Concurrent appenders group-commit: one
+// Sync call covers every record written before it started.
+func (l *Log) Append(rec Record) error {
+	target, err := l.Write(rec)
+	if err != nil {
+		return err
+	}
+	return l.syncTo(target)
+}
+
+// syncTo blocks until the log is durable through offset target. The
+// first waiter with undurable bytes performs the Sync; later arrivals
+// covered by it just wait. A Reset while waiting (epoch bump) ends
+// the wait successfully: a checkpoint only truncates records whose
+// updates the saved snapshot already contains — the caller published
+// to memory before appending, and Save freezes writers first.
+func (l *Log) syncTo(target int64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	start := l.epoch
+	for l.epoch == start && l.synced < target && l.err == nil {
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		l.syncing = true
+		// Everything written before Sync starts is covered by it;
+		// capture the goal first so bytes appended mid-flush are not
+		// marked durable prematurely.
+		goal := l.size.Load()
+		l.syncMu.Unlock()
+		err := l.f.Sync()
+		l.syncMu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.err = fmt.Errorf("wal: fsync: %w", err)
+		} else if l.epoch == start && goal > l.synced {
+			l.synced = goal
+		}
+		l.syncCond.Broadcast()
+	}
+	return l.err
+}
+
+// fail records the first fatal error; every later call fails with it.
+func (l *Log) fail(err error) {
+	l.syncMu.Lock()
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: %w", err)
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
+func (l *Log) stickyErr() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.err
+}
+
+// Size returns the current log size in bytes (header included).
+func (l *Log) Size() int64 { return l.size.Load() }
+
+// Reset truncates the log back to its header — the checkpoint step
+// after a successful snapshot Save, whose persisted state already
+// contains every logged update (callers publish an update to memory
+// before appending it, and Save freezes writers before snapshotting,
+// so no record can be appended for an update the snapshot missed).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.epoch++
+	if err := l.f.Truncate(int64(len(magic))); err != nil {
+		l.err = fmt.Errorf("wal: reset: %w", err)
+		return l.err
+	}
+	if _, err := l.f.Seek(int64(len(magic)), io.SeekStart); err != nil {
+		l.err = fmt.Errorf("wal: reset: %w", err)
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: reset: %w", err)
+		return l.err
+	}
+	l.size.Store(int64(len(magic)))
+	l.synced = int64(len(magic))
+	l.syncCond.Broadcast()
+	return nil
+}
+
+// Close syncs and closes the file. The log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncMu.Lock()
+	sticky := l.err
+	l.err = fmt.Errorf("wal: closed")
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	if sticky != nil {
+		l.f.Close()
+		return sticky
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Op: OpInsert, ID: 0, Dims: 128, Words: []uint64{0xdeadbeef, 42}},
+		{Op: OpInsert, ID: 1, Dims: 128, Words: []uint64{7, 0xffffffffffffffff}},
+		{Op: OpDelete, ID: 0},
+		{Op: OpInsert, ID: 2, Dims: 128, Words: []uint64{1, 2}},
+	}
+}
+
+func equalRecords(a, b Record) bool {
+	if a.Op != b.Op || a.ID != b.ID || a.Dims != b.Dims || len(a.Words) != len(b.Words) {
+		return false
+	}
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAppendReplayRoundTrip: records written by one Log come back in
+// order from a fresh Open.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := testRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !equalRecords(got[i], want[i]) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Appending after replay continues the log.
+	if err := l2.Append(Record{Op: OpDelete, ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, got, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want)+1 || got[len(got)-1].Op != OpDelete || got[len(got)-1].ID != 2 {
+		t.Fatalf("appended record lost: %+v", got)
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial final
+// record; Open must recover every record before it and position the
+// log so new appends work.
+func TestTornTailTruncated(t *testing.T) {
+	want := testRecords()
+	// Try every possible torn length from "frame header cut" to "one
+	// byte short of complete": all must recover the prefix.
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := l.Size()
+	if err := l.Append(Record{Op: OpInsert, ID: 3, Dims: 128, Words: []uint64{9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	withLast := l.Size()
+	l.Close()
+
+	for cut := full + 1; cut < withLast; cut += 3 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := filepath.Join(t.TempDir(), "cut.wal")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, got, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), len(want))
+		}
+		if l2.Size() != full {
+			t.Fatalf("cut at %d: size %d after truncation, want %d", cut, l2.Size(), full)
+		}
+		// The log keeps working after recovery.
+		if err := l2.Append(Record{Op: OpDelete, ID: 1}); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		l2.Close()
+		_, got, err = Open(torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want)+1 {
+			t.Fatalf("cut at %d: %d records after recovery append", cut, len(got))
+		}
+	}
+}
+
+// TestCorruptRecordStopsReplay: a bit flip in the middle of the file
+// fails that record's CRC; replay surfaces only the prefix.
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := []int64{l.Size()}
+	for _, r := range testRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, l.Size())
+	}
+	l.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the third record's payload.
+	data[offsets[2]+10] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(got))
+	}
+}
+
+// TestReset: after a checkpoint the log is empty and appendable.
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reset.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != int64(len(magic)) {
+		t.Fatalf("size %d after reset", l.Size())
+	}
+	if err := l.Append(Record{Op: OpDelete, ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 9 {
+		t.Fatalf("post-reset replay: %+v", got)
+	}
+}
+
+// TestBadMagicRejected: a file that is not a WAL fails Open instead
+// of replaying garbage.
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL!withsomebytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestConcurrentAppend: group commit under contention — every record
+// appended from racing goroutines must replay, with no duplicates.
+func TestConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conc.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = l.Append(Record{Op: OpInsert, ID: int32(i), Dims: 64, Words: []uint64{uint64(i)}})
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, r := range got {
+		if seen[r.ID] {
+			t.Fatalf("id %d replayed twice", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("replayed %d distinct records, want %d", len(seen), n)
+	}
+}
