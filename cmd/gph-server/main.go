@@ -508,7 +508,12 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad q: %v", err)
 		return
 	}
-	tau, err := strconv.Atoi(r.URL.Query().Get("tau"))
+	tauStr := r.URL.Query().Get("tau")
+	if tauStr == "" {
+		httpError(w, http.StatusBadRequest, "missing required parameter: tau")
+		return
+	}
+	tau, err := strconv.Atoi(tauStr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad tau: %v", err)
 		return
@@ -560,7 +565,12 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad q: %v", err)
 		return
 	}
-	k, err := strconv.Atoi(r.URL.Query().Get("k"))
+	kStr := r.URL.Query().Get("k")
+	if kStr == "" {
+		httpError(w, http.StatusBadRequest, "missing required parameter: k")
+		return
+	}
+	k, err := strconv.Atoi(kStr)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad k: %v", err)
 		return

@@ -86,6 +86,32 @@ func TestSearchGetErrors(t *testing.T) {
 	}
 }
 
+// TestMissingParams pins the 400s for absent required query
+// parameters: the response must name the parameter rather than
+// surface strconv.Atoi's parse of the empty string.
+func TestMissingParams(t *testing.T) {
+	s := testServer(t)
+	q := s.engine.Vector(0).String()
+	cases := []struct {
+		url     string
+		handler func(http.ResponseWriter, *http.Request)
+		param   string
+	}{
+		{"/search?q=" + q, s.handleSearch, "tau"},
+		{"/knn?q=" + q, s.handleKNN, "k"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		c.handler(rec, httptest.NewRequest(http.MethodGet, c.url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s → %d, want 400", c.url, rec.Code)
+		}
+		if body := rec.Body.String(); !strings.Contains(body, "missing required parameter: "+c.param) {
+			t.Fatalf("%s error %q does not name parameter %q", c.url, body, c.param)
+		}
+	}
+}
+
 func TestSearchBatchPost(t *testing.T) {
 	s := testServer(t)
 	req := batchRequest{

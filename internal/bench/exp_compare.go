@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -16,11 +17,23 @@ import (
 )
 
 // Fig6 reproduces Fig. 6: index sizes of all algorithms across the
-// five datasets and τ settings. The paper's shape: GPH ≳ MIH (the
-// estimator state is the difference) and both well below HmSearch /
-// PartAlloc (deletion variants) with LSH varying by τ.
+// five datasets and τ settings. Every number is exact arena
+// accounting on the frozen substrate — arithmetic over real backing
+// arrays, not a per-key guess at Go map overhead. The paper's shape:
+// GPH ≳ MIH (the estimator state is the difference) and both well
+// below HmSearch / PartAlloc (deletion variants) with LSH varying by
+// τ. A second table reports the substrate before/after per dataset:
+// frozen posting bytes vs the superseded map-resident estimate, and
+// GPHIX03 arena load time vs the GPHIX02 map-rebuild load at equal n.
 func (r *Runner) Fig6() error {
 	t := newTable(r.cfg.Out, "dataset", "tau", "GPH(MB)", "MIH(MB)", "HmSearch(MB)", "PartAlloc(MB)", "LSH(MB)")
+	type substrateRow struct {
+		name                string
+		frozenMB, mapMB     string
+		v3ms, v2ms, v3size  string
+		shrink, loadSpeedup string
+	}
+	var subRows []substrateRow
 	for _, spec := range specs() {
 		c := r.load(spec.name)
 		gphIx, err := r.buildGPH(c, 0)
@@ -43,9 +56,67 @@ func (r *Runner) Fig6() error {
 			}
 			t.row(cells...)
 		}
+
+		frozen, mapEst := gphIx.PostingsFootprint()
+		v3Bytes, v3Nanos, v2Nanos, err := measureLoads(gphIx)
+		if err != nil {
+			return err
+		}
+		subRows = append(subRows, substrateRow{
+			name:        spec.name,
+			frozenMB:    mb(frozen),
+			mapMB:       mb(mapEst),
+			shrink:      fmt.Sprintf("%.2fx", float64(mapEst)/float64(frozen)),
+			v3size:      mb(v3Bytes),
+			v3ms:        ms(v3Nanos),
+			v2ms:        ms(v2Nanos),
+			loadSpeedup: fmt.Sprintf("%.1fx", float64(v2Nanos)/float64(v3Nanos)),
+		})
 	}
 	t.flush()
+
+	fmt.Fprintln(r.cfg.Out, "[substrate: frozen arenas vs superseded map form]")
+	st := newTable(r.cfg.Out, "dataset", "postings-frozen(MB)", "postings-map(MB)", "shrink",
+		"file(MB)", "load-GPHIX03(ms)", "load-GPHIX02(ms)", "load-speedup")
+	for _, row := range subRows {
+		st.row(row.name, row.frozenMB, row.mapMB, row.shrink, row.v3size, row.v3ms, row.v2ms, row.loadSpeedup)
+	}
+	st.flush()
 	return nil
+}
+
+// measureLoads serializes ix in both container formats and times a
+// load of each: the GPHIX03 arena path against the GPHIX02 map
+// rebuild over the same index. It returns the GPHIX03 file size and
+// the best-of-three load time for each format.
+func measureLoads(ix *core.Index) (v3Bytes int64, v3Nanos, v2Nanos int64, err error) {
+	var v3, v2 bytes.Buffer
+	if err := ix.Save(&v3); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := ix.SaveLegacy(&v2); err != nil {
+		return 0, 0, 0, err
+	}
+	timeLoad := func(raw []byte) (int64, error) {
+		best := int64(0)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			if _, err := core.Load(bytes.NewReader(raw)); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start).Nanoseconds(); trial == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	if v3Nanos, err = timeLoad(v3.Bytes()); err != nil {
+		return 0, 0, 0, err
+	}
+	if v2Nanos, err = timeLoad(v2.Bytes()); err != nil {
+		return 0, 0, 0, err
+	}
+	return int64(v3.Len()), v3Nanos, v2Nanos, nil
 }
 
 // Table4 reproduces Table IV: index construction time on the

@@ -89,6 +89,15 @@ func (w *Writer) ByteSlice(b []byte) {
 	w.Bytes(b)
 }
 
+// Uint32s writes a length-prefixed []uint32; the frozen inverted
+// index persists its offset and count arrays with it.
+func (w *Writer) Uint32s(vs []uint32) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.Uint32(v)
+	}
+}
+
 // Uint64s writes a length-prefixed []uint64.
 func (w *Writer) Uint64s(vs []uint64) {
 	w.Int(len(vs))
@@ -144,6 +153,27 @@ func (r *Reader) Magic(tag string) {
 	if string(buf) != tag {
 		r.fail(fmt.Errorf("binio: bad magic %q, want %q", buf, tag))
 	}
+}
+
+// MagicAny consumes one format tag and returns whichever of tags
+// matched (all tags must share a length); no match is an error.
+// Formats that still read superseded versions dispatch on it.
+func (r *Reader) MagicAny(tags ...string) string {
+	if r.err != nil {
+		return ""
+	}
+	buf := make([]byte, len(tags[0]))
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.fail(fmt.Errorf("binio: reading magic: %w", err))
+		return ""
+	}
+	for _, tag := range tags {
+		if string(buf) == tag {
+			return tag
+		}
+	}
+	r.fail(fmt.Errorf("binio: bad magic %q, want one of %q", buf, tags))
+	return ""
 }
 
 // Uint64 reads a fixed 8-byte value.
@@ -218,6 +248,19 @@ func (r *Reader) ByteSlice() []byte {
 		return nil
 	}
 	return buf
+}
+
+// Uint32s reads a length-prefixed []uint32.
+func (r *Reader) Uint32s() []uint32 {
+	n := r.sliceLen("uint32 slice")
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.Uint32()
+	}
+	return out
 }
 
 // Uint64s reads a length-prefixed []uint64.

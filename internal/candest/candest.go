@@ -9,6 +9,7 @@ package candest
 
 import (
 	"fmt"
+	"sort"
 
 	"gph/internal/bitvec"
 )
@@ -42,7 +43,10 @@ type Exact struct {
 	total    int64
 }
 
-// NewExact builds the estimator from the data collection.
+// NewExact builds the estimator from the data collection. The
+// distinct projections are stored in sorted key order, so two builds
+// over the same data produce identical estimators — persistence
+// (which serializes this state verbatim) stays byte-reproducible.
 func NewExact(data []bitvec.Vector, dims []int) *Exact {
 	byKey := make(map[string]int32, len(data)/4+1)
 	scratch := bitvec.New(len(dims))
@@ -50,17 +54,55 @@ func NewExact(data []bitvec.Vector, dims []int) *Exact {
 		v.ProjectInto(dims, scratch)
 		byKey[scratch.Key()]++
 	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	e := &Exact{
 		dims:     dims,
 		distinct: make([]bitvec.Vector, 0, len(byKey)),
 		counts:   make([]int32, 0, len(byKey)),
 		total:    int64(len(data)),
 	}
-	for k, c := range byKey {
+	for _, k := range keys {
 		e.distinct = append(e.distinct, vectorFromKey(k, len(dims)))
-		e.counts = append(e.counts, c)
+		e.counts = append(e.counts, byKey[k])
 	}
 	return e
+}
+
+// ExactFromState rebuilds an Exact estimator from persisted state:
+// the distinct projections of the data onto dims with their
+// multiplicities, and the collection size. It is the load-side
+// counterpart of State — reconstructing from state skips the
+// projection pass and the dedup map entirely.
+func ExactFromState(dims []int, distinct []bitvec.Vector, counts []int32, total int64) (*Exact, error) {
+	if len(distinct) != len(counts) {
+		return nil, fmt.Errorf("candest: %d distinct projections with %d counts", len(distinct), len(counts))
+	}
+	var sum int64
+	for i, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("candest: non-positive count %d at %d", c, i)
+		}
+		if distinct[i].Dims() != len(dims) {
+			return nil, fmt.Errorf("candest: projection %d has %d dims, partition has %d", i, distinct[i].Dims(), len(dims))
+		}
+		sum += int64(c)
+	}
+	if sum != total {
+		return nil, fmt.Errorf("candest: counts sum to %d, total says %d", sum, total)
+	}
+	return &Exact{dims: dims, distinct: distinct, counts: counts, total: total}, nil
+}
+
+// State exposes the estimator's persistable form: the distinct
+// projections (in the deterministic sorted order NewExact produces)
+// and their multiplicities. Both slices are owned by the estimator
+// and must not be modified.
+func (e *Exact) State() (distinct []bitvec.Vector, counts []int32) {
+	return e.distinct, e.counts
 }
 
 func vectorFromKey(key string, n int) bitvec.Vector {

@@ -226,6 +226,43 @@ func TestLearnedAccuracyAtSaturation(t *testing.T) {
 	}
 }
 
+// TestLearnedClampsBeyondTrainedTau is the out-of-range regression
+// test: thresholds past the trained maxTau must saturate at the
+// trained-bound prediction instead of extrapolating the τ feature
+// outside the training range. Before the clamp, a KRR model asked at
+// e = 3·maxTau fed the RBF kernel a feature three times beyond any
+// training point and returned whatever the kernel tail produced.
+func TestLearnedClampsBeyondTrainedTau(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	data := randData(rng, 300, 14, 0.3)
+	dims := make([]int, 14)
+	for i := range dims {
+		dims[i] = i
+	}
+	const trainedTau = 8
+	for _, mk := range []ModelKind{ModelKRR, ModelForest, ModelMLP} {
+		l, err := NewLearned(data, dims, trainedTau, LearnedConfig{Model: mk, TrainN: 20, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", mk, err)
+		}
+		q := data[0]
+		atBound := l.Predict(q, trainedTau)
+		for _, e := range []int{trainedTau + 1, trainedTau * 2, trainedTau * 3} {
+			if got := l.Predict(q, e); got != atBound {
+				t.Fatalf("%v: Predict(τ=%d) = %d, want trained-bound value %d", mk, e, got, atBound)
+			}
+		}
+		// CNAll asked past the trained range: every entry beyond the
+		// bound saturates at the bound's (monotone-corrected) value.
+		all := l.CNAll(q, trainedTau*3)
+		for e := trainedTau; e <= trainedTau*3; e++ {
+			if all[e+1] != all[trainedTau+1] {
+				t.Fatalf("%v: CNAll τ=%d is %d, want saturated %d", mk, e, all[e+1], all[trainedTau+1])
+			}
+		}
+	}
+}
+
 func TestModelKindString(t *testing.T) {
 	if ModelKRR.String() != "SVM" || ModelForest.String() != "RF" || ModelMLP.String() != "DNN" {
 		t.Fatal("ModelKind labels drifted from the paper's")

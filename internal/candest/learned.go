@@ -162,8 +162,23 @@ func maxDim(dims []int) int {
 // Dims implements Estimator.
 func (l *Learned) Dims() []int { return l.dims }
 
+// tauFeature returns the model input for threshold e, clamped at the
+// trained bound: queries can legally ask about e beyond the training
+// grid (τ up to the dimensionality vs. the build-time MaxTau), and an
+// unclamped feature would push distance-based models outside the
+// region they ever saw — silent extrapolation with arbitrary output.
+// At the clamp the prediction saturates at the trained-bound value,
+// and the monotone pass keeps the DP's invariants intact.
+func (l *Learned) tauFeature(e int) float64 {
+	if e > l.maxTau {
+		e = l.maxTau
+	}
+	return tauFeatureScale * float64(e) / float64(l.maxTau+1)
+}
+
 // CNAll implements Estimator. Predictions are clamped to [0, N] and
-// made monotone in e, restoring the invariants the DP relies on.
+// made monotone in e, restoring the invariants the DP relies on; the
+// threshold feature is clamped at the trained maxTau (see tauFeature).
 func (l *Learned) CNAll(q bitvec.Vector, maxTau int) []int64 {
 	w := len(l.dims)
 	proj := q.Project(l.dims)
@@ -173,7 +188,7 @@ func (l *Learned) CNAll(q bitvec.Vector, maxTau int) []int64 {
 	}
 	out := make([]int64, maxTau+2)
 	for e := 0; e <= maxTau; e++ {
-		x[w] = tauFeatureScale * float64(e) / float64(l.maxTau+1)
+		x[w] = l.tauFeature(e)
 		v := int64(math.Exp(l.model.Predict(x)) - 1 + 0.5)
 		if v < 0 {
 			v = 0
@@ -190,7 +205,8 @@ func (l *Learned) CNAll(q bitvec.Vector, maxTau int) []int64 {
 }
 
 // Predict exposes a single-point estimate (used by the Table III
-// error measurements).
+// error measurements). Thresholds beyond the trained maxTau saturate
+// at the trained bound instead of extrapolating (see tauFeature).
 func (l *Learned) Predict(q bitvec.Vector, e int) int64 {
 	if e < 0 {
 		return 0
@@ -201,7 +217,7 @@ func (l *Learned) Predict(q bitvec.Vector, e int) int64 {
 	for j := 0; j < w; j++ {
 		x[j] = float64(proj.Bit(j))
 	}
-	x[w] = tauFeatureScale * float64(e) / float64(l.maxTau+1)
+	x[w] = l.tauFeature(e)
 	v := int64(math.Exp(l.model.Predict(x)) - 1 + 0.5)
 	if v < 0 {
 		v = 0

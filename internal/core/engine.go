@@ -30,9 +30,10 @@ func (ix *Index) MaxTau() int { return ix.dims }
 
 func init() {
 	engine.Register(engine.Registration{
-		Name:  EngineName,
-		Exact: true,
-		Magic: indexMagic,
+		Name:         EngineName,
+		Exact:        true,
+		Magic:        indexMagic,
+		LegacyMagics: []string{legacyIndexMagic},
 		Build: func(data []bitvec.Vector, opts engine.BuildOptions) (engine.Engine, error) {
 			return Build(data, Options{
 				NumPartitions:    opts.NumPartitions,

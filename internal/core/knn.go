@@ -1,9 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-
 	"gph/internal/bitvec"
 	"gph/internal/engine"
 )
@@ -13,41 +10,12 @@ import (
 type Neighbor = engine.Neighbor
 
 // SearchKNN returns the k nearest neighbours of q by Hamming distance,
-// ties broken by ascending id. It answers by progressive range
-// expansion — the standard reduction from kNN to range search (and the
-// original use of multi-index hashing): run range queries at doubling
-// radii until at least k results exist, then trim. Every probe reuses
-// the cost-aware machinery, so expansion stays cheap on selective
-// data.
+// ties broken by ascending id. It delegates to engine.GrowKNN — the
+// shared progressive range expansion every engine uses (doubling radii
+// capped at MaxTau, then rank by (distance, id) and trim) — so GPH's
+// kNN semantics cannot drift from the conformance-tested contract.
+// (An earlier inline copy re-implemented the expansion and the
+// ranking by hand and never capped the radius.)
 func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]Neighbor, error) {
-	if err := engine.CheckKNN(q, ix.dims, k); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if k > len(ix.data) {
-		k = len(ix.data)
-	}
-	tau := 1
-	for {
-		ids, err := ix.Search(q, tau)
-		if err != nil {
-			return nil, err
-		}
-		if len(ids) >= k || tau >= ix.dims {
-			out := make([]Neighbor, len(ids))
-			for i, id := range ids {
-				out[i] = Neighbor{ID: id, Distance: q.Hamming(ix.data[id])}
-			}
-			sort.Slice(out, func(a, b int) bool {
-				if out[a].Distance != out[b].Distance {
-					return out[a].Distance < out[b].Distance
-				}
-				return out[a].ID < out[b].ID
-			})
-			if len(out) > k {
-				out = out[:k]
-			}
-			return out, nil
-		}
-		tau *= 2
-	}
+	return engine.GrowKNN(ix, q, k)
 }

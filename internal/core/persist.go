@@ -12,19 +12,73 @@ import (
 )
 
 // indexMagic identifies the index container format; bump the digit on
-// incompatible changes. GPHIX02 added Init and Allocator to the
-// persisted options — GPHIX01 dropped them, so a round-tripped index
-// built with AllocRR silently answered queries with the DP allocator.
-const indexMagic = "GPHIX02\n"
+// incompatible changes. GPHIX03 replaced the per-key posting records
+// of GPHIX02 with the frozen arena layout written verbatim (load is
+// O(bytes) slicing instead of millions of map inserts) and added
+// persisted Exact-estimator state so default-configuration loads
+// rebuild nothing. GPHIX02 added Init and Allocator to the persisted
+// options — GPHIX01 dropped them, so a round-tripped index built with
+// AllocRR silently answered queries with the DP allocator.
+const indexMagic = "GPHIX03\n"
+
+// legacyIndexMagic is the superseded GPHIX02 tag. Old files load
+// forever: Load accepts both magics, and the engine registry routes
+// the legacy magic here too.
+const legacyIndexMagic = "GPHIX02\n"
 
 // Save serializes the index: data vectors, partitioning, resolved
-// options, and every posting list (sorted keys, so output is
-// byte-reproducible). Exact and sub-partition estimators are rebuilt
-// on Load from the persisted data (cheap); learned estimators are
-// retrained, which Load documents.
+// options, each partition's frozen posting arenas (written verbatim,
+// in lexicographic key order, so output is byte-reproducible), and —
+// when the index uses the default Exact estimator — each partition's
+// estimator state (distinct projections + multiplicities), which
+// makes Load pure deserialization. Sub-partition estimators are
+// rebuilt on Load from the persisted data (cheap); learned estimators
+// are retrained, which Load documents.
 func (ix *Index) Save(w io.Writer) error {
 	bw := binio.NewWriter(w)
 	bw.Magic(indexMagic)
+	ix.saveHeader(bw)
+	for _, inv := range ix.inv {
+		inv.WriteTo(bw)
+	}
+	if estimatorStatePersisted(ix.opts) {
+		for _, est := range ix.ests {
+			exact := est.(*candest.Exact)
+			distinct, counts := exact.State()
+			bw.Int(len(distinct))
+			for _, v := range distinct {
+				for _, word := range v.Words() {
+					bw.Uint64(word)
+				}
+			}
+			bw.Int32s(counts)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveLegacy writes the superseded GPHIX02 form: per-key posting
+// records and no estimator state. It exists so compatibility tests
+// and the Fig. 6 load-time comparison can produce old-format files on
+// demand; new code persists with Save.
+func (ix *Index) SaveLegacy(w io.Writer) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(legacyIndexMagic)
+	ix.saveHeader(bw)
+	for _, inv := range ix.inv {
+		bw.Int(inv.NumKeys())
+		inv.Range(func(key []byte, ids []int32) bool {
+			bw.String(string(key))
+			bw.Int32s(ids)
+			return true
+		})
+	}
+	return bw.Flush()
+}
+
+// saveHeader writes the sections both format versions share: vectors,
+// partitioning, and the options that affect query behaviour.
+func (ix *Index) saveHeader(bw *binio.Writer) {
 	bw.Int(ix.dims)
 	bw.Int(len(ix.data))
 	for _, v := range ix.data {
@@ -32,12 +86,10 @@ func (ix *Index) Save(w io.Writer) error {
 			bw.Uint64(word)
 		}
 	}
-	// Partitioning.
 	bw.Int(ix.parts.NumParts())
 	for _, part := range ix.parts.Parts {
 		bw.Ints(part)
 	}
-	// Options (the fields that affect query behaviour).
 	bw.Int(int(ix.opts.Init))
 	bw.Int(int(ix.opts.Allocator))
 	bw.Int(int(ix.opts.Estimator))
@@ -45,25 +97,29 @@ func (ix *Index) Save(w io.Writer) error {
 	bw.Int(ix.opts.MaxTau)
 	bw.Int64(ix.opts.EnumBudget)
 	bw.Int64(ix.opts.Seed)
-	// Posting lists.
-	for _, inv := range ix.inv {
-		keys := inv.SortedKeys()
-		bw.Int(len(keys))
-		for _, k := range keys {
-			bw.String(k)
-			bw.Int32s(inv.Postings(k))
-		}
-	}
-	return bw.Flush()
 }
 
-// Load reads an index written by Save. Estimator state is
-// reconstructed: exact and sub-partition estimators are rebuilt from
-// the persisted vectors; learned estimators are retrained with the
-// persisted seed, reproducing the original model.
+// estimatorStatePersisted reports whether the format carries
+// estimator state for these options: only the Exact estimator's state
+// is persisted (it is the default and the only one whose state is a
+// plain histogram; sub-partition estimators rebuild cheaply and
+// learned ones retrain from the persisted seed).
+func estimatorStatePersisted(opts Options) bool {
+	return opts.Estimator == EstimatorExact
+}
+
+// Load reads an index written by Save (GPHIX03) or by the superseded
+// GPHIX02 writer. For GPHIX03 the posting arenas are adopted directly
+// from the stream and Exact-estimator state is deserialized, so
+// loading is O(bytes); for GPHIX02 the per-key records are replayed
+// into build-time maps and frozen, reproducing the index an old file
+// described. Estimators without persisted state are reconstructed:
+// exact and sub-partition estimators are rebuilt from the persisted
+// vectors; learned estimators are retrained with the persisted seed,
+// reproducing the original model.
 func Load(r io.Reader) (*Index, error) {
 	br := binio.NewReader(r)
-	br.Magic(indexMagic)
+	version := br.MagicAny(indexMagic, legacyIndexMagic)
 	dims := br.Int()
 	count := br.Int()
 	if err := br.Err(); err != nil {
@@ -129,45 +185,100 @@ func Load(r io.Reader) (*Index, error) {
 	opts = opts.withDefaults(dims)
 
 	ix := &Index{dims: dims, data: data, parts: parts, opts: opts}
-	ix.inv = make([]*invindex.Index, numParts)
+	ix.inv = make([]*invindex.Frozen, numParts)
 	for i := 0; i < numParts; i++ {
-		keyCount := br.Int()
-		if err := br.Err(); err != nil {
-			return nil, fmt.Errorf("core: reading partition %d key count: %w", i, err)
+		var (
+			inv *invindex.Frozen
+			err error
+		)
+		if version == indexMagic {
+			inv, err = invindex.ReadFrozen(br, int32(count))
+		} else {
+			inv, err = loadLegacyPostings(br, count)
 		}
-		if keyCount < 0 || keyCount > count {
-			return nil, fmt.Errorf("core: partition %d has implausible key count %d", i, keyCount)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading partition %d postings: %w", i, err)
 		}
-		inv := invindex.New()
 		wantKeyLen := 8 * ((len(parts.Parts[i]) + 63) / 64)
-		for k := 0; k < keyCount; k++ {
-			key := br.String()
-			ids := br.Int32s()
-			if err := br.Err(); err != nil {
-				return nil, fmt.Errorf("core: reading partition %d posting %d: %w", i, k, err)
-			}
-			if len(key) != wantKeyLen {
-				return nil, fmt.Errorf("core: partition %d key %d has %d bytes, want %d", i, k, len(key), wantKeyLen)
-			}
-			for _, id := range ids {
-				if id < 0 || int(id) >= count {
-					return nil, fmt.Errorf("core: partition %d posting references vector %d of %d", i, id, count)
-				}
-				inv.Add(key, id)
-			}
+		if minLen, maxLen := inv.KeyLenRange(); inv.NumKeys() > 0 && (minLen != wantKeyLen || maxLen != wantKeyLen) {
+			return nil, fmt.Errorf("core: partition %d keys span %d..%d bytes, want %d", i, minLen, maxLen, wantKeyLen)
 		}
 		ix.inv[i] = inv
+	}
+	ix.ests = make([]candest.Estimator, numParts)
+	if version == indexMagic && estimatorStatePersisted(opts) {
+		for i, dimsI := range parts.Parts {
+			est, err := loadExactEstimator(br, dimsI, count)
+			if err != nil {
+				return nil, fmt.Errorf("core: reading partition %d estimator: %w", i, err)
+			}
+			ix.ests[i] = est
+		}
+	} else {
+		for i, dimsI := range parts.Parts {
+			est, err := buildEstimator(data, dimsI, opts, int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("core: rebuilding estimator %d: %w", i, err)
+			}
+			ix.ests[i] = est
+		}
 	}
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("core: reading index: %w", err)
 	}
-	ix.ests = make([]candest.Estimator, numParts)
-	for i, dimsI := range parts.Parts {
-		est, err := buildEstimator(data, dimsI, opts, int64(i))
-		if err != nil {
-			return nil, fmt.Errorf("core: rebuilding estimator %d: %w", i, err)
-		}
-		ix.ests[i] = est
-	}
 	return ix, nil
+}
+
+// loadLegacyPostings replays one partition's GPHIX02 per-key records
+// into a build-time map and freezes it.
+func loadLegacyPostings(br *binio.Reader, count int) (*invindex.Frozen, error) {
+	keyCount := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("reading key count: %w", err)
+	}
+	if keyCount < 0 || keyCount > count {
+		return nil, fmt.Errorf("implausible key count %d", keyCount)
+	}
+	inv := invindex.New()
+	for k := 0; k < keyCount; k++ {
+		key := br.String()
+		ids := br.Int32s()
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("reading posting %d: %w", k, err)
+		}
+		for _, id := range ids {
+			if id < 0 || int(id) >= count {
+				return nil, fmt.Errorf("posting references vector %d of %d", id, count)
+			}
+			inv.Add(key, id)
+		}
+	}
+	return inv.Freeze(), nil
+}
+
+// loadExactEstimator reads one partition's persisted Exact-estimator
+// state (distinct projections and multiplicities).
+func loadExactEstimator(br *binio.Reader, dimsI []int, count int) (*candest.Exact, error) {
+	numDistinct := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	if numDistinct < 0 || numDistinct > count {
+		return nil, fmt.Errorf("implausible distinct count %d", numDistinct)
+	}
+	w := len(dimsI)
+	projWords := (w + 63) / 64
+	distinct := make([]bitvec.Vector, numDistinct)
+	for i := range distinct {
+		ws := make([]uint64, projWords)
+		for j := range ws {
+			ws[j] = br.Uint64()
+		}
+		distinct[i] = bitvec.FromWords(w, ws)
+	}
+	counts := br.Int32s()
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return candest.ExactFromState(dimsI, distinct, counts, int64(count))
 }

@@ -27,6 +27,7 @@ type Stats = engine.Stats
 type searchScratch struct {
 	seen   []uint64      // candidate-dedup bitmap, one bit per data vector
 	keyBuf []byte        // packed signature key, rebuilt per signature
+	post   []int32       // decoded posting list, rebuilt per signature
 	cands  []int32       // distinct candidate ids in probe order
 	proj   bitvec.Vector // query projection, resized per partition
 	enum   hamming.Enumerator
@@ -37,21 +38,23 @@ type searchScratch struct {
 	// probe-loop state: probeFn is the enumeration callback bound
 	// once per scratch (a method value allocates on every binding, so
 	// rebinding per partition would defeat the pool).
-	inv     *invindex.Index
+	inv     *invindex.Frozen
 	sigs    int
 	sumPost int64
 	probeFn func(bitvec.Vector) bool
 }
 
-// probe consumes one enumerated signature: build its packed key and
-// merge the matching posting list into the candidate set. The map
-// lookup via string(keyBuf) inside PostingsBytes is allocation-free.
+// probe consumes one enumerated signature: build its packed key,
+// decode the matching delta-varint posting list into the pooled
+// scratch, and merge it into the candidate set. The frozen lookup
+// hashes and compares the byte key against the arena directly, so the
+// whole step is allocation-free after warm-up.
 func (s *searchScratch) probe(v bitvec.Vector) bool {
 	s.keyBuf = v.AppendKey(s.keyBuf[:0])
-	postings := s.inv.PostingsBytes(s.keyBuf)
+	s.post = s.inv.AppendPostingsBytes(s.keyBuf, s.post[:0])
 	s.sigs++
-	s.sumPost += int64(len(postings))
-	for _, id := range postings {
+	s.sumPost += int64(len(s.post))
+	for _, id := range s.post {
 		w, b := id/64, uint(id)%64
 		if s.seen[w]>>b&1 == 0 {
 			s.seen[w] |= 1 << b

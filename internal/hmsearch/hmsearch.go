@@ -48,7 +48,7 @@ type Index struct {
 	tau   int
 	data  []bitvec.Vector
 	parts *partition.Partitioning
-	inv   []*invindex.Index
+	inv   []*invindex.Frozen
 
 	// scratch pools per-query working memory (seen bitmap, candidate
 	// slice, projection, radius-1 key buffers) so steady-state searches
@@ -105,10 +105,11 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-// buildInverted constructs the per-partition deletion-variant indexes;
-// shared by Build and Load.
-func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invindex.Index {
-	inv := make([]*invindex.Index, parts.NumParts())
+// buildInverted constructs the per-partition deletion-variant
+// indexes, frozen into the compact arena layout; shared by Build and
+// Load.
+func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invindex.Frozen {
+	inv := make([]*invindex.Frozen, parts.NumParts())
 	for i, dimsI := range parts.Parts {
 		ii := invindex.New()
 		scratch := bitvec.New(len(dimsI))
@@ -116,7 +117,7 @@ func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invin
 			v.ProjectInto(dimsI, scratch)
 			ii.AddWithDeletionVariants(scratch, int32(id))
 		}
-		inv[i] = ii
+		inv[i] = ii.Freeze()
 	}
 	return inv
 }
@@ -145,7 +146,8 @@ func (ix *Index) MaxTau() int { return ix.tau }
 // shares storage with the index and must not be modified.
 func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
 
-// SizeBytes reports posting-list memory including deletion variants.
+// SizeBytes reports posting-list memory including deletion variants —
+// exact arena accounting on the frozen layout (Fig. 6).
 func (ix *Index) SizeBytes() int64 {
 	var s int64
 	for _, inv := range ix.inv {

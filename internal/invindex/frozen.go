@@ -1,0 +1,542 @@
+package invindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"gph/internal/binio"
+	"gph/internal/bitvec"
+)
+
+// Frozen is the immutable, compact form of an Index: the post-build
+// query substrate every filter-and-refine engine probes. Where the
+// map form pays Go-runtime overhead per key (map buckets, string and
+// slice headers) and 4 bytes per posting, the frozen form stores
+//
+//   - every distinct key concatenated, in lexicographic order, in one
+//     byte arena (offsets are pure arithmetic when all keys share one
+//     width — the common case — and an explicit array otherwise);
+//   - every posting list delta-varint encoded — ids are ascending, so
+//     gaps are small and most postings cost 1–2 bytes — in a second
+//     arena (offsets in postOffs, lengths in counts);
+//   - an open-addressed hash table of entry indexes for O(1) probes.
+//
+// Lookups are allocation-free (byte keys hash and compare against the
+// arena directly), SizeBytes is exact arithmetic over the backing
+// slices rather than an estimate, and the arenas serialize as-is, so
+// loading a persisted frozen index is O(bytes) slicing plus one
+// hashing pass instead of millions of map inserts.
+//
+// A Frozen is immutable and safe for concurrent use.
+type Frozen struct {
+	keyArena []byte // distinct keys, concatenated in sorted order
+	// keyLen > 0 marks the uniform-width fast path: every key is
+	// keyLen bytes and key e starts at e*keyLen, so no per-key offset
+	// array exists at all. Plain signature indexes (one fixed packed
+	// width per partition) always take it; only deletion-variant
+	// indexes mix widths and fall back to keyOffs.
+	keyLen    int
+	keyOffs   []uint32 // variable widths only: key e = keyArena[keyOffs[e]:keyOffs[e+1]]
+	postArena []byte   // delta-varint posting lists, in key order
+	postOffs  []uint32 // len = keys+1; list e = postArena[postOffs[e]:postOffs[e+1]]
+	counts    []uint32 // postings per key, so PostingLen needs no decode
+	slots     []int32  // open-addressed table of entry indexes; −1 empty
+	postings  int64    // total postings across all keys
+}
+
+// arenaLimit bounds each arena to what persistence can read back
+// (binio caps decoded slice lengths at MaxSliceLen, which is also
+// comfortably within what the uint32 offsets address) — an arena
+// Freeze accepts must never produce a file ReadFrozen rejects.
+const arenaLimit = binio.MaxSliceLen
+
+// Freeze converts the build-time map into its frozen form. Keys are
+// laid out in lexicographic order, so the result is deterministic
+// regardless of map iteration order; posting lists are sorted
+// ascending (build paths insert ids in ascending order already, so
+// this is normally a no-op pass) to maximize delta compression.
+func (ix *Index) Freeze() *Frozen {
+	keys := ix.SortedKeys()
+	f := &Frozen{
+		keyArena: make([]byte, 0, ix.keyBytes),
+		postOffs: make([]uint32, 1, len(keys)+1),
+		counts:   make([]uint32, 0, len(keys)),
+		postings: ix.postings,
+	}
+	// Uniform-width detection: one fixed key width means key offsets
+	// are pure arithmetic and the per-key offset array is dropped.
+	uniform := len(keys) > 0
+	for _, k := range keys {
+		if len(k) != len(keys[0]) || len(k) == 0 {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		f.keyLen = len(keys[0])
+	} else {
+		f.keyOffs = make([]uint32, 1, len(keys)+1)
+	}
+	// Most deltas fit one varint byte; reserve accordingly and let
+	// append grow the arena on the outliers.
+	f.postArena = make([]byte, 0, ix.postings+int64(len(keys))*2)
+	var sorted []int32
+	for _, k := range keys {
+		f.keyArena = append(f.keyArena, k...)
+		ids := ix.post[k]
+		if !sort.SliceIsSorted(ids, func(a, b int) bool { return ids[a] < ids[b] }) {
+			sorted = append(sorted[:0], ids...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+			ids = sorted
+		}
+		prev := int32(0)
+		for _, id := range ids {
+			f.postArena = binary.AppendUvarint(f.postArena, uint64(uint32(id-prev)))
+			prev = id
+		}
+		if int64(len(f.keyArena)) >= arenaLimit || int64(len(f.postArena)) >= arenaLimit {
+			panic("invindex: arena exceeds 2 GiB; shard the collection instead")
+		}
+		if !uniform {
+			f.keyOffs = append(f.keyOffs, uint32(len(f.keyArena)))
+		}
+		f.postOffs = append(f.postOffs, uint32(len(f.postArena)))
+		f.counts = append(f.counts, uint32(len(ids)))
+	}
+	f.buildSlots()
+	return f
+}
+
+// fnvOffset and fnvPrime are the FNV-1a constants; the hash is
+// deterministic so the slot table can be rebuilt identically on load.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashBytes(key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashString(key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// buildSlots sizes the open-addressed table to the next power of two
+// holding the keys at ≤ 50% load and inserts every entry by linear
+// probing.
+func (f *Frozen) buildSlots() {
+	n := f.NumKeys()
+	size := 2
+	for size < 2*n {
+		size *= 2
+	}
+	f.slots = make([]int32, size)
+	for i := range f.slots {
+		f.slots[i] = -1
+	}
+	mask := uint64(size - 1)
+	for e := 0; e < n; e++ {
+		h := hashBytes(f.key(e)) & mask
+		for f.slots[h] >= 0 {
+			h = (h + 1) & mask
+		}
+		f.slots[h] = int32(e)
+	}
+}
+
+func (f *Frozen) key(e int) []byte {
+	if f.keyLen > 0 {
+		return f.keyArena[e*f.keyLen : (e+1)*f.keyLen]
+	}
+	return f.keyArena[f.keyOffs[e]:f.keyOffs[e+1]]
+}
+
+// lookupBytes returns the entry index for key, or −1.
+func (f *Frozen) lookupBytes(key []byte) int {
+	mask := uint64(len(f.slots) - 1)
+	for h := hashBytes(key) & mask; ; h = (h + 1) & mask {
+		e := f.slots[h]
+		if e < 0 {
+			return -1
+		}
+		if bytes.Equal(f.key(int(e)), key) {
+			return int(e)
+		}
+	}
+}
+
+// lookupString is lookupBytes for string keys, kept separate so
+// neither form converts (and therefore allocates).
+func (f *Frozen) lookupString(key string) int {
+	mask := uint64(len(f.slots) - 1)
+	for h := hashString(key) & mask; ; h = (h + 1) & mask {
+		e := f.slots[h]
+		if e < 0 {
+			return -1
+		}
+		if k := f.key(int(e)); len(k) == len(key) && eqString(k, key) {
+			return int(e)
+		}
+	}
+}
+
+func eqString(a []byte, b string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumKeys returns the number of distinct keys (the map form's
+// DistinctKeys).
+func (f *Frozen) NumKeys() int { return len(f.counts) }
+
+// KeyLenRange returns the smallest and largest key length present
+// (0, 0 when the index is empty). Loaders use it to validate that a
+// deserialized index's keys match the partition's packed-key width.
+func (f *Frozen) KeyLenRange() (minLen, maxLen int) {
+	if f.NumKeys() == 0 {
+		return 0, 0
+	}
+	if f.keyLen > 0 {
+		return f.keyLen, f.keyLen
+	}
+	for e := 0; e < f.NumKeys(); e++ {
+		l := int(f.keyOffs[e+1] - f.keyOffs[e])
+		if e == 0 || l < minLen {
+			minLen = l
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	return minLen, maxLen
+}
+
+// TotalPostings returns the total number of (key, id) pairs.
+func (f *Frozen) TotalPostings() int64 { return f.postings }
+
+// PostingLen returns the length of key's posting list without
+// decoding it; this is the |I_s| term of the paper's cost model.
+func (f *Frozen) PostingLen(key string) int {
+	e := f.lookupString(key)
+	if e < 0 {
+		return 0
+	}
+	return int(f.counts[e])
+}
+
+// PostingLenBytes is PostingLen for a packed byte key.
+func (f *Frozen) PostingLenBytes(key []byte) int {
+	e := f.lookupBytes(key)
+	if e < 0 {
+		return 0
+	}
+	return int(f.counts[e])
+}
+
+// AppendPostingsBytes decodes the posting list for the packed byte
+// key into dst and returns the extended slice (dst unchanged when the
+// key is absent). Probing with a reused key buffer and a reused dst
+// allocates nothing after warm-up — the form query hot paths use.
+func (f *Frozen) AppendPostingsBytes(key []byte, dst []int32) []int32 {
+	e := f.lookupBytes(key)
+	if e < 0 {
+		return dst
+	}
+	return f.appendList(e, dst)
+}
+
+// Postings returns the decoded posting list for key (nil when
+// absent). The slice is freshly allocated; hot paths use
+// AppendPostingsBytes instead.
+func (f *Frozen) Postings(key string) []int32 {
+	e := f.lookupString(key)
+	if e < 0 {
+		return nil
+	}
+	return f.appendList(e, make([]int32, 0, f.counts[e]))
+}
+
+// appendList decodes entry e's delta-varint list into dst.
+func (f *Frozen) appendList(e int, dst []int32) []int32 {
+	b := f.postArena[f.postOffs[e]:f.postOffs[e+1]]
+	var prev int32
+	for i := 0; i < len(b); {
+		var v uint32
+		var shift uint
+		for {
+			c := b[i]
+			i++
+			v |= uint32(c&0x7f) << shift
+			if c < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		prev += int32(v)
+		dst = append(dst, prev)
+	}
+	return dst
+}
+
+// forEachPosting decodes entry e calling fn per id, materializing
+// nothing.
+func (f *Frozen) forEachPosting(e int, fn func(id int32)) {
+	b := f.postArena[f.postOffs[e]:f.postOffs[e+1]]
+	var prev int32
+	for i := 0; i < len(b); {
+		var v uint32
+		var shift uint
+		for {
+			c := b[i]
+			i++
+			v |= uint32(c&0x7f) << shift
+			if c < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		prev += int32(v)
+		fn(prev)
+	}
+}
+
+// ForEachPosting calls fn for every id in key's posting list (no-op
+// when the key is absent), allocating nothing.
+func (f *Frozen) ForEachPosting(key string, fn func(id int32)) {
+	if e := f.lookupString(key); e >= 0 {
+		f.forEachPosting(e, fn)
+	}
+}
+
+// Range calls fn for every (key, postings) pair in lexicographic key
+// order until fn returns false. Both arguments are backed by reused
+// buffers owned by the iteration — callers must copy what they keep.
+func (f *Frozen) Range(fn func(key []byte, ids []int32) bool) {
+	var ids []int32
+	for e := 0; e < f.NumKeys(); e++ {
+		ids = f.appendList(e, ids[:0])
+		if !fn(f.key(e), ids) {
+			return
+		}
+	}
+}
+
+// CollectRadius1 gathers the ids of all indexed signatures within
+// Hamming distance 1 of sig, assuming the index was built with
+// AddWithDeletionVariants; see Index.CollectRadius1.
+func (f *Frozen) CollectRadius1(sig bitvec.Vector, fn func(id int32)) {
+	var s Radius1Scratch
+	f.CollectRadius1Scratch(sig, &s, fn)
+}
+
+// CollectRadius1Scratch is CollectRadius1 with caller-provided
+// scratch: variant keys build into the reused buffer, probe through
+// the allocation-free byte-key lookup, and decode straight into fn.
+func (f *Frozen) CollectRadius1Scratch(sig bitvec.Vector, s *Radius1Scratch, fn func(id int32)) {
+	s.keyBuf = sig.AppendKey(s.keyBuf[:0])
+	if e := f.lookupBytes(s.keyBuf); e >= 0 {
+		f.forEachPosting(e, fn)
+	}
+	s.masked = sig.CloneInto(s.masked)
+	for j := 0; j < sig.Dims(); j++ {
+		set := sig.Bit(j) == 1
+		if set {
+			s.masked.Clear(j)
+		}
+		s.keyBuf = append(s.keyBuf[:0], byte(j))
+		s.keyBuf = s.masked.AppendKey(s.keyBuf)
+		if e := f.lookupBytes(s.keyBuf); e >= 0 {
+			f.forEachPosting(e, fn)
+		}
+		if set {
+			s.masked.Set(j)
+		}
+	}
+}
+
+// frozenStructBytes is the fixed overhead SizeBytes charges for the
+// Frozen struct itself: six slice headers (24 bytes each) plus the
+// key-length and postings fields.
+const frozenStructBytes = 6*24 + 16
+
+// SizeBytes reports the exact resident size of the frozen index: the
+// two arenas, the offset/count/slot arrays, and the struct header.
+// Unlike the retired map-form estimate (48 bytes of assumed runtime
+// overhead per key), every term is the length of a real backing array,
+// so Fig. 6 reports a property of the index rather than a guess.
+func (f *Frozen) SizeBytes() int64 {
+	return int64(len(f.keyArena)) + int64(len(f.postArena)) +
+		4*int64(len(f.keyOffs)+len(f.postOffs)+len(f.counts)+len(f.slots)) +
+		frozenStructBytes
+}
+
+// EstimatedMapBytes reports what the same index resident as
+// map[string][]int32 was previously accounted at: key bytes, 4 bytes
+// per posting, and a flat 48-byte per-key overhead (map bucket share
+// plus string and slice headers). Fig. 6's before/after comparison
+// uses it as the "map form" column.
+func (f *Frozen) EstimatedMapBytes() int64 {
+	const perKeyOverhead = 48
+	return int64(len(f.keyArena)) + 4*f.postings + int64(f.NumKeys())*perKeyOverhead
+}
+
+// WriteTo serializes the frozen index as its arenas and offset
+// arrays, verbatim; the slot table is rebuilt on read (one hashing
+// pass) rather than stored, and uniform-width indexes persist the
+// single key length instead of an offset array. Output is
+// deterministic for a given logical index.
+func (f *Frozen) WriteTo(bw *binio.Writer) {
+	bw.Int(f.NumKeys())
+	bw.Int64(f.postings)
+	bw.Int(f.keyLen)
+	bw.ByteSlice(f.keyArena)
+	if f.keyLen == 0 {
+		bw.Uint32s(f.keyOffs)
+	}
+	bw.ByteSlice(f.postArena)
+	bw.Uint32s(f.postOffs)
+	bw.Uint32s(f.counts)
+}
+
+// ReadFrozen reads an index written by WriteTo, validating structural
+// invariants (offset monotonicity, count totals, varint framing) and
+// that every decoded id lies in [0, maxID). The arenas are adopted
+// directly from the decoded buffers — loading is O(bytes) — and only
+// the slot table is rebuilt.
+func ReadFrozen(br *binio.Reader, maxID int32) (*Frozen, error) {
+	numKeys := br.Int()
+	postings := br.Int64()
+	keyLen := br.Int()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("invindex: reading frozen header: %w", err)
+	}
+	if numKeys < 0 || numKeys > binio.MaxSliceLen {
+		return nil, fmt.Errorf("invindex: implausible key count %d", numKeys)
+	}
+	if postings < 0 {
+		return nil, fmt.Errorf("invindex: negative posting count %d", postings)
+	}
+	if keyLen < 0 || (numKeys > 0 && int64(keyLen)*int64(numKeys) >= arenaLimit) {
+		return nil, fmt.Errorf("invindex: implausible key length %d", keyLen)
+	}
+	f := &Frozen{keyLen: keyLen, postings: postings}
+	f.keyArena = br.ByteSlice()
+	if keyLen == 0 {
+		f.keyOffs = br.Uint32s()
+	}
+	f.postArena = br.ByteSlice()
+	f.postOffs = br.Uint32s()
+	f.counts = br.Uint32s()
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("invindex: reading frozen arenas: %w", err)
+	}
+	if len(f.postOffs) != numKeys+1 || len(f.counts) != numKeys {
+		return nil, fmt.Errorf("invindex: frozen offsets disagree with key count %d", numKeys)
+	}
+	if keyLen > 0 {
+		if len(f.keyArena) != keyLen*numKeys {
+			return nil, fmt.Errorf("invindex: key arena holds %d bytes, %d keys × %d need %d",
+				len(f.keyArena), numKeys, keyLen, keyLen*numKeys)
+		}
+	} else {
+		if len(f.keyOffs) != numKeys+1 {
+			return nil, fmt.Errorf("invindex: frozen key offsets disagree with key count %d", numKeys)
+		}
+		if f.keyOffs[0] != 0 || f.keyOffs[numKeys] != uint32(len(f.keyArena)) {
+			return nil, fmt.Errorf("invindex: frozen key offsets do not span the arena")
+		}
+	}
+	if f.postOffs[0] != 0 || f.postOffs[numKeys] != uint32(len(f.postArena)) {
+		return nil, fmt.Errorf("invindex: frozen offsets do not span the arenas")
+	}
+	// The offset arrays must be fully monotone before any entry is
+	// sliced — a corrupted middle offset would otherwise index past
+	// the arena while earlier entries still look consistent.
+	for e := 0; e < numKeys; e++ {
+		if keyLen == 0 && f.keyOffs[e] > f.keyOffs[e+1] {
+			return nil, fmt.Errorf("invindex: frozen key offsets not monotone at entry %d", e)
+		}
+		if f.postOffs[e] > f.postOffs[e+1] {
+			return nil, fmt.Errorf("invindex: frozen offsets not monotone at entry %d", e)
+		}
+	}
+	var total int64
+	prevKey := []byte(nil)
+	for e := 0; e < numKeys; e++ {
+		k := f.key(e)
+		if prevKey != nil && bytes.Compare(prevKey, k) >= 0 {
+			return nil, fmt.Errorf("invindex: frozen keys not strictly sorted at entry %d", e)
+		}
+		prevKey = k
+		n, err := validateList(f.postArena[f.postOffs[e]:f.postOffs[e+1]], maxID)
+		if err != nil {
+			return nil, fmt.Errorf("invindex: frozen entry %d: %w", e, err)
+		}
+		if n != int(f.counts[e]) {
+			return nil, fmt.Errorf("invindex: frozen entry %d decodes %d postings, count says %d", e, n, f.counts[e])
+		}
+		total += int64(n)
+	}
+	if total != postings {
+		return nil, fmt.Errorf("invindex: frozen lists hold %d postings, header says %d", total, postings)
+	}
+	f.buildSlots()
+	return f, nil
+}
+
+// validateList walks one delta-varint list, checking framing and that
+// every id lies in [0, maxID); it returns the decoded count.
+func validateList(b []byte, maxID int32) (int, error) {
+	var prev int64
+	n := 0
+	for i := 0; i < len(b); {
+		var v uint64
+		var shift uint
+		for {
+			if i >= len(b) {
+				return 0, fmt.Errorf("truncated varint")
+			}
+			c := b[i]
+			i++
+			v |= uint64(c&0x7f) << shift
+			if c < 0x80 {
+				break
+			}
+			shift += 7
+			if shift > 28 {
+				return 0, fmt.Errorf("varint overflows 32 bits")
+			}
+		}
+		prev += int64(v)
+		if prev >= int64(maxID) {
+			return 0, fmt.Errorf("posting id %d outside [0,%d)", prev, maxID)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// ArenaBreakdown reports the byte size of each backing component
+// (key arena, postings arena, offset+count arrays, slot table); the
+// size experiments use it to attribute the footprint.
+func (f *Frozen) ArenaBreakdown() (keyBytes, postBytes, offsetBytes, slotBytes int64) {
+	return int64(len(f.keyArena)), int64(len(f.postArena)),
+		4 * int64(len(f.keyOffs)+len(f.postOffs)+len(f.counts)), 4 * int64(len(f.slots))
+}

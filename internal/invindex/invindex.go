@@ -3,7 +3,9 @@
 // keyed by partition-projection signatures, optional deletion-variant
 // keys (used by HmSearch and PartAlloc to answer radius-1 probes from
 // the data side), and byte-exact size accounting for the index-size
-// experiments (paper Fig. 6).
+// experiments (paper Fig. 6). Indexes are built as maps (Index) and
+// frozen into a compact arena layout (Frozen) that every query path
+// probes.
 package invindex
 
 import (
@@ -13,8 +15,10 @@ import (
 )
 
 // Index maps projection signatures (bitvec keys) to posting lists of
-// vector ids. It is append-only during build and immutable afterwards;
-// concurrent reads are safe once building completes.
+// vector ids. It is the append-only build-time form; once building
+// completes, Freeze converts it into the compact immutable Frozen
+// layout that queries probe and persistence serializes. Concurrent
+// reads of an Index are safe once building completes.
 type Index struct {
 	post     map[string][]int32
 	keyBytes int64 // total bytes across distinct keys
@@ -76,15 +80,6 @@ func (ix *Index) SortedKeys() []string {
 	}
 	sort.Strings(keys)
 	return keys
-}
-
-// SizeBytes estimates the resident size of the index: key bytes,
-// posting entries (4 bytes each), and a fixed per-entry overhead for
-// the map header and slice headers. The same accounting is applied to
-// every algorithm so Fig. 6 comparisons are apples-to-apples.
-func (ix *Index) SizeBytes() int64 {
-	const perKeyOverhead = 48 // map bucket share + string & slice headers
-	return ix.keyBytes + 4*ix.postings + int64(len(ix.post))*perKeyOverhead
 }
 
 // DeletionVariantKey builds the key for signature sig with dimension j

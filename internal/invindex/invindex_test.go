@@ -38,13 +38,16 @@ func TestSortedKeys(t *testing.T) {
 
 func TestSizeBytesGrows(t *testing.T) {
 	ix := New()
-	prev := ix.SizeBytes()
+	prev := ix.Freeze().SizeBytes()
 	for i := int32(0); i < 100; i++ {
 		ix.Add(string(rune('a'+i%26))+"key", i)
-		if s := ix.SizeBytes(); s <= prev && i%26 == 0 {
-			t.Fatal("SizeBytes did not grow with a fresh key")
+		if i%26 == 0 {
+			if s := ix.Freeze().SizeBytes(); s <= prev {
+				t.Fatal("SizeBytes did not grow with a fresh key")
+			} else {
+				prev = s
+			}
 		}
-		prev = ix.SizeBytes()
 	}
 }
 
@@ -140,8 +143,8 @@ func TestDeletionVariantIndexSizeLarger(t *testing.T) {
 		plain.Add(v.Key(), i)
 		variant.AddWithDeletionVariants(v, i)
 	}
-	if variant.SizeBytes() <= plain.SizeBytes()*5 {
-		t.Fatalf("deletion-variant index should be ~width× larger: %d vs %d",
-			variant.SizeBytes(), plain.SizeBytes())
+	vb, pb := variant.Freeze().SizeBytes(), plain.Freeze().SizeBytes()
+	if vb <= pb*5 {
+		t.Fatalf("deletion-variant index should be ~width× larger: %d vs %d", vb, pb)
 	}
 }

@@ -66,7 +66,7 @@ type Index struct {
 	tau    int
 	data   []bitvec.Vector
 	opts   Options
-	tables []*invindex.Index
+	tables []*invindex.Frozen
 	// hash function parameters, one (a, b) pair per table per row
 	ha, hb []uint64
 	// jaccardT is the converted threshold; exposed for tests/EXPERIMENTS
@@ -124,7 +124,7 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 		ix.ha[i] = uint64(rng.Int63n(hashPrime-1) + 1)
 		ix.hb[i] = uint64(rng.Int63n(hashPrime))
 	}
-	ix.tables = make([]*invindex.Index, l)
+	ix.tables = make([]*invindex.Frozen, l)
 	sig := make([]byte, 4*opts.K)
 	for ti := 0; ti < l; ti++ {
 		table := invindex.New()
@@ -132,7 +132,7 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 			ix.signature(v, ti, sig)
 			table.Add(string(sig), int32(id))
 		}
-		ix.tables[ti] = table
+		ix.tables[ti] = table.Freeze()
 	}
 	return ix, nil
 }
@@ -192,7 +192,8 @@ func (ix *Index) JaccardThreshold() float64 { return ix.jaccardT }
 // Len returns the collection size.
 func (ix *Index) Len() int { return len(ix.data) }
 
-// SizeBytes reports hash-table memory.
+// SizeBytes reports hash-table memory — exact arena accounting on the
+// frozen layout (Fig. 6).
 func (ix *Index) SizeBytes() int64 {
 	var s int64
 	for _, t := range ix.tables {
@@ -205,8 +206,9 @@ func (ix *Index) SizeBytes() int64 {
 // on the Index so the steady-state probe path allocates nothing beyond
 // the returned result slice.
 type searchScratch struct {
-	col engine.Collector
-	sig []byte
+	col  engine.Collector
+	sig  []byte
+	post []int32
 }
 
 func (ix *Index) getScratch() *searchScratch {
@@ -251,9 +253,9 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	for ti, table := range ix.tables {
 		ix.signature(q, ti, s.sig)
 		sigs++
-		postings := table.PostingsBytes(s.sig)
-		sumPost += int64(len(postings))
-		for _, id := range postings {
+		s.post = table.AppendPostingsBytes(s.sig, s.post[:0])
+		sumPost += int64(len(s.post))
+		for _, id := range s.post {
 			s.col.Collect(id)
 		}
 	}

@@ -50,7 +50,7 @@ type Index struct {
 	dims   int
 	data   []bitvec.Vector
 	parts  *partition.Partitioning
-	inv    []*invindex.Index
+	inv    []*invindex.Frozen
 	budget int64
 
 	// scratch pools per-query working memory (seen bitmap, key buffer,
@@ -103,11 +103,12 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-// buildInverted constructs the per-partition inverted indexes; it is
-// shared by Build and Load (which rebuilds them from the persisted
-// collection instead of serializing posting lists).
-func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invindex.Index {
-	inv := make([]*invindex.Index, parts.NumParts())
+// buildInverted constructs the per-partition inverted indexes, frozen
+// into the compact arena layout; it is shared by Build and Load
+// (which rebuilds them from the persisted collection instead of
+// serializing posting lists).
+func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invindex.Frozen {
+	inv := make([]*invindex.Frozen, parts.NumParts())
 	for i, dimsI := range parts.Parts {
 		ii := invindex.New()
 		scratch := bitvec.New(len(dimsI))
@@ -117,7 +118,7 @@ func buildInverted(data []bitvec.Vector, parts *partition.Partitioning) []*invin
 			keyBuf = scratch.AppendKey(keyBuf[:0])
 			ii.Add(string(keyBuf), int32(id))
 		}
-		inv[i] = ii
+		inv[i] = ii.Freeze()
 	}
 	return inv
 }
@@ -143,7 +144,8 @@ func (ix *Index) MaxTau() int { return ix.dims }
 // shares storage with the index and must not be modified.
 func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
 
-// SizeBytes reports posting-list memory (Fig. 6 accounting).
+// SizeBytes reports posting-list memory — exact arena accounting on
+// the frozen layout (Fig. 6).
 func (ix *Index) SizeBytes() int64 {
 	var s int64
 	for _, inv := range ix.inv {
@@ -158,25 +160,27 @@ func (ix *Index) SizeBytes() int64 {
 type searchScratch struct {
 	col    engine.Collector
 	keyBuf []byte
+	post   []int32
 	proj   bitvec.Vector
 	enum   hamming.Enumerator
 
 	// probe-loop state: probeFn is the enumeration callback bound once
 	// per scratch (a method value allocates on every binding).
-	inv     *invindex.Index
+	inv     *invindex.Frozen
 	sigs    int
 	sumPost int64
 	probeFn func(bitvec.Vector) bool
 }
 
-// probe consumes one enumerated signature: build its packed key and
-// merge the matching posting list into the candidate set.
+// probe consumes one enumerated signature: build its packed key,
+// decode the matching posting list into the pooled scratch, and merge
+// it into the candidate set.
 func (s *searchScratch) probe(v bitvec.Vector) bool {
 	s.keyBuf = v.AppendKey(s.keyBuf[:0])
-	postings := s.inv.PostingsBytes(s.keyBuf)
+	s.post = s.inv.AppendPostingsBytes(s.keyBuf, s.post[:0])
 	s.sigs++
-	s.sumPost += int64(len(postings))
-	for _, id := range postings {
+	s.sumPost += int64(len(s.post))
+	for _, id := range s.post {
 		s.col.Collect(id)
 	}
 	return true

@@ -49,7 +49,7 @@ type Index struct {
 	data  []bitvec.Vector
 	pops  []int32 // popcount per data vector, for the positional filter
 	parts *partition.Partitioning
-	inv   []*invindex.Index
+	inv   []*invindex.Frozen
 }
 
 // Stats is the shared per-query accounting type; PartAlloc fills the
@@ -101,7 +101,7 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 	for id, v := range data {
 		ix.pops[id] = int32(v.PopCount())
 	}
-	ix.inv = make([]*invindex.Index, m)
+	ix.inv = make([]*invindex.Frozen, m)
 	for i, dimsI := range parts.Parts {
 		inv := invindex.New()
 		scratch := bitvec.New(len(dimsI))
@@ -109,7 +109,7 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 			v.ProjectInto(dimsI, scratch)
 			inv.AddWithDeletionVariants(scratch, int32(id))
 		}
-		ix.inv[i] = inv
+		ix.inv[i] = inv.Freeze()
 	}
 	return ix, nil
 }
@@ -120,7 +120,8 @@ func (ix *Index) Tau() int { return ix.tau }
 // Len returns the collection size.
 func (ix *Index) Len() int { return len(ix.data) }
 
-// SizeBytes reports posting-list memory including deletion variants.
+// SizeBytes reports posting-list memory including deletion variants —
+// exact arena accounting on the frozen layout (Fig. 6).
 func (ix *Index) SizeBytes() int64 {
 	var s int64
 	for _, inv := range ix.inv {
@@ -168,9 +169,7 @@ func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) 
 			// skipped
 		case 0:
 			stats.Signatures++
-			for _, id := range ix.inv[i].Postings(projs[i].Key()) {
-				collect(id)
-			}
+			ix.inv[i].ForEachPosting(projs[i].Key(), collect)
 		case 1:
 			stats.Signatures += 1 + projs[i].Dims()
 			ix.inv[i].CollectRadius1(projs[i], collect)

@@ -21,6 +21,10 @@ import (
 // superseded GPHSH01 when the shard layer was generalized from GPH-
 // only to any registered engine: the container now records which
 // engine its shards are, so Load can dispatch and Compact can rebuild.
+// The nested blobs follow whatever format their engine currently
+// writes (GPH shards saved today carry GPHIX03 arenas; containers
+// holding older GPHIX02 blobs still load, because the per-blob
+// dispatch goes through the registry's legacy-magic table).
 const shardMagic = "GPHSH02\n"
 
 // Save serializes the sharded index: the container header (dims,
