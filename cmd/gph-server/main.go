@@ -370,7 +370,10 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.sharded.Insert(v)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		// Dimension mismatches wrap gph.ErrInvalidQuery (→ 400);
+		// anything else — a WAL append failure, say — is a server
+		// fault and must not masquerade as a client error.
+		httpError(w, searchStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"id": id})

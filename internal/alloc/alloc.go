@@ -238,7 +238,9 @@ func allocate(cn Table, p Params, enumBudget int64, s *Scratch) (Result, bool) {
 	for i := range cost {
 		costRowInto(cost[i], cn[i], p.Widths[i], tau, enumBudget, weight)
 	}
+	//gphlint:ignore hotpath non-escaping closure: only called directly below, so it stays on the stack
 	feasible := func(i, e int) bool { return cost[i][e+1] < infeasible }
+	//gphlint:ignore hotpath non-escaping closure: only called directly below, so it stays on the stack
 	cnAt := func(i, e int) int64 {
 		if e < -1 {
 			return infeasible

@@ -49,6 +49,8 @@ type searchScratch struct {
 // scratch, and merge it into the candidate set. The frozen lookup
 // hashes and compares the byte key against the arena directly, so the
 // whole step is allocation-free after warm-up.
+//
+//gph:hotpath
 func (s *searchScratch) probe(v bitvec.Vector) bool {
 	s.keyBuf = v.AppendKey(s.keyBuf[:0])
 	s.post = s.inv.AppendPostingsBytes(s.keyBuf, s.post[:0])
@@ -68,6 +70,7 @@ func (ix *Index) getScratch() *searchScratch {
 	s, _ := ix.scratch.Get().(*searchScratch)
 	if s == nil {
 		s = &searchScratch{}
+		//gphlint:ignore hotpath one-time binding on pool miss; rebinding per query would allocate
 		s.probeFn = s.probe
 	}
 	words := (len(ix.data) + 63) / 64
@@ -115,6 +118,12 @@ func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) 
 // identical across every registered engine.
 var ErrInvalidQuery = engine.ErrInvalidQuery
 
+// search is the GPH query pipeline: threshold allocation, signature
+// enumeration with fused probing, then verification. It is the
+// engine's per-query hot path — after warm-up the only allocation is
+// the caller-owned result slice.
+//
+//gph:hotpath
 func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
 	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
@@ -131,8 +140,10 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		return out, stats, nil
 	}
 
+	// The scratch is returned to the pool explicitly on every exit
+	// (not deferred: this function is the hot path, and defer adds
+	// per-call overhead the benchmarks would charge to every query).
 	s := ix.getScratch()
-	defer ix.putScratch(s)
 
 	// Phase 1: threshold allocation (Algorithm 1) over estimated CNs.
 	// The RR baseline skips estimation entirely — that is the point of
@@ -185,6 +196,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		stats.Candidates = len(ix.data)
 		stats.Results = len(out)
 		stats.Scanned = true
+		ix.putScratch(s)
 		return out, stats, nil
 	}
 	enumBudget := res.EffectiveBudget // 0 (unlimited) for RR and unbudgeted configs
@@ -204,6 +216,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		q.ProjectInto(dimsI, s.proj)
 		s.inv = ix.inv[i]
 		if err := s.enum.Enumerate(s.proj, ti, enumBudget, s.probeFn); err != nil {
+			ix.putScratch(s)
 			return nil, nil, fmt.Errorf("core: partition %d with threshold %d: %w", i, ti, err)
 		}
 	}
@@ -229,6 +242,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	copy(out, results)
 	stats.VerifyNanos = time.Since(start).Nanoseconds()
 	stats.Results = k
+	ix.putScratch(s)
 	if !wantStats {
 		return out, nil, nil
 	}

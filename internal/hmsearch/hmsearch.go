@@ -78,12 +78,12 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 		return nil, fmt.Errorf("hmsearch: empty data collection")
 	}
 	if tau < 0 {
-		return nil, fmt.Errorf("hmsearch: negative threshold %d", tau)
+		return nil, fmt.Errorf("hmsearch: threshold %d: %w", tau, engine.ErrNegativeTau)
 	}
 	dims := data[0].Dims()
 	for i, v := range data {
 		if v.Dims() != dims {
-			return nil, fmt.Errorf("hmsearch: vector %d has %d dims, want %d", i, v.Dims(), dims)
+			return nil, fmt.Errorf("hmsearch: vector %d has %d dims, want %d: %w", i, v.Dims(), dims, engine.ErrDimMismatch)
 		}
 	}
 	m := NumPartitions(dims, tau)
@@ -170,6 +170,8 @@ type searchScratch struct {
 }
 
 // collect merges one posting into the deduplicated candidate set.
+//
+//gph:hotpath
 func (s *searchScratch) collect(id int32) {
 	s.sumPost++
 	s.col.Collect(id)
@@ -179,6 +181,7 @@ func (ix *Index) getScratch() *searchScratch {
 	s, _ := ix.scratch.Get().(*searchScratch)
 	if s == nil {
 		s = &searchScratch{}
+		//gphlint:ignore hotpath one-time binding on pool miss; rebinding per query would allocate
 		s.collectFn = s.collect
 	}
 	s.col.Reset(len(ix.data))
@@ -198,6 +201,12 @@ func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) 
 	return ix.search(q, tau, true)
 }
 
+// search is HmSearch's per-query hot path: probe each partition's
+// frozen index at radius 1 via deletion variants, then verify. The
+// scratch goes back to the pool explicitly (not deferred — defer adds
+// per-call overhead on the hot path).
+//
+//gph:hotpath
 func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
 	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
 		return nil, nil, fmt.Errorf("hmsearch: %w", err)
@@ -206,7 +215,6 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		return nil, nil, fmt.Errorf("hmsearch: %w", err)
 	}
 	s := ix.getScratch()
-	defer ix.scratch.Put(s)
 	sigs := 0
 	for i, dimsI := range ix.parts.Parts {
 		s.proj = s.proj.Resized(len(dimsI))
@@ -216,12 +224,14 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	}
 	candidates := s.col.Candidates()
 	out := s.col.FinishVerified(q, tau, ix.data)
+	sumPost := s.sumPost
+	ix.scratch.Put(s)
 	if !wantStats {
 		return out, nil, nil
 	}
 	return out, &Stats{
 		Signatures:  sigs,
-		SumPostings: s.sumPost,
+		SumPostings: sumPost,
 		Candidates:  candidates,
 		Results:     len(out),
 	}, nil

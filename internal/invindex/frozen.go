@@ -254,6 +254,8 @@ func (f *Frozen) PostingLenBytes(key []byte) int {
 // key into dst and returns the extended slice (dst unchanged when the
 // key is absent). Probing with a reused key buffer and a reused dst
 // allocates nothing after warm-up — the form query hot paths use.
+//
+//gph:hotpath
 func (f *Frozen) AppendPostingsBytes(key []byte, dst []int32) []int32 {
 	e := f.lookupBytes(key)
 	if e < 0 {
@@ -349,6 +351,8 @@ func (f *Frozen) CollectRadius1(sig bitvec.Vector, fn func(id int32)) {
 // CollectRadius1Scratch is CollectRadius1 with caller-provided
 // scratch: variant keys build into the reused buffer, probe through
 // the allocation-free byte-key lookup, and decode straight into fn.
+//
+//gph:hotpath
 func (f *Frozen) CollectRadius1Scratch(sig bitvec.Vector, s *Radius1Scratch, fn func(id int32)) {
 	s.keyBuf = sig.AppendKey(s.keyBuf[:0])
 	if e := f.lookupBytes(s.keyBuf); e >= 0 {

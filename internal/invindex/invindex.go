@@ -64,6 +64,7 @@ func (ix *Index) TotalPostings() int64 { return ix.postings }
 // Range calls fn for every (key, postings) pair until fn returns
 // false. Iteration order is unspecified.
 func (ix *Index) Range(fn func(key string, ids []int32) bool) {
+	//gphlint:ignore persistdet order-agnostic visitor; the persistence codec iterates via SortedKeys
 	for k, v := range ix.post {
 		if !fn(k, v) {
 			return

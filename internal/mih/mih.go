@@ -71,7 +71,7 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	dims := data[0].Dims()
 	for i, v := range data {
 		if v.Dims() != dims {
-			return nil, fmt.Errorf("mih: vector %d has %d dims, want %d", i, v.Dims(), dims)
+			return nil, fmt.Errorf("mih: vector %d has %d dims, want %d: %w", i, v.Dims(), dims, engine.ErrDimMismatch)
 		}
 	}
 	m := opts.NumPartitions
@@ -175,6 +175,8 @@ type searchScratch struct {
 // probe consumes one enumerated signature: build its packed key,
 // decode the matching posting list into the pooled scratch, and merge
 // it into the candidate set.
+//
+//gph:hotpath
 func (s *searchScratch) probe(v bitvec.Vector) bool {
 	s.keyBuf = v.AppendKey(s.keyBuf[:0])
 	s.post = s.inv.AppendPostingsBytes(s.keyBuf, s.post[:0])
@@ -190,6 +192,7 @@ func (ix *Index) getScratch() *searchScratch {
 	s, _ := ix.scratch.Get().(*searchScratch)
 	if s == nil {
 		s = &searchScratch{}
+		//gphlint:ignore hotpath one-time binding on pool miss; rebinding per query would allocate
 		s.probeFn = s.probe
 	}
 	s.col.Reset(len(ix.data))
@@ -214,12 +217,17 @@ func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) 
 	return ix.search(q, tau, true)
 }
 
+// search is MIH's per-query hot path: enumerate each partition's
+// signature ball at radius ⌊τ/m⌋ and probe the frozen inverted
+// indexes. The scratch goes back to the pool explicitly on every exit
+// (not deferred — defer adds per-call overhead on the hot path).
+//
+//gph:hotpath
 func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
 	if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
 		return nil, nil, fmt.Errorf("mih: %w", err)
 	}
 	s := ix.getScratch()
-	defer ix.putScratch(s)
 	m := ix.parts.NumParts()
 	sub := tau / m // ⌊τ/m⌋, the basic pigeonhole threshold
 
@@ -236,6 +244,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 					out = append(out, int32(id))
 				}
 			}
+			ix.putScratch(s)
 			if !wantStats {
 				return out, nil, nil
 			}
@@ -248,17 +257,20 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		q.ProjectInto(dimsI, s.proj)
 		s.inv = ix.inv[i]
 		if err := s.enum.Enumerate(s.proj, sub, ix.budget, s.probeFn); err != nil {
+			ix.putScratch(s)
 			return nil, nil, fmt.Errorf("mih: partition %d radius %d: %w", i, sub, err)
 		}
 	}
 	candidates := s.col.Candidates()
 	out := s.col.FinishVerified(q, tau, ix.data)
+	sigs, sumPost := s.sigs, s.sumPost
+	ix.putScratch(s)
 	if !wantStats {
 		return out, nil, nil
 	}
 	return out, &Stats{
-		Signatures:  s.sigs,
-		SumPostings: s.sumPost,
+		Signatures:  sigs,
+		SumPostings: sumPost,
 		Candidates:  candidates,
 		Results:     len(out),
 	}, nil

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 
 	"gph/internal/binio"
 	"gph/internal/bitvec"
@@ -209,18 +210,18 @@ func sortedIDs(set map[int32]bool) []int32 {
 	for id := range set {
 		out = append(out, id)
 	}
-	for i := 1; i < len(out); i++ { // insertion sort; tombstone sets are small
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.Sort(out)
 	return out
 }
 
 // Load reads a sharded index written by Save, validating the id
 // mappings against the nested per-shard indexes (every global id
 // unique and below the id counter, tombstones subset of the built
-// ids, delta dimensionality consistent).
+// ids, delta dimensionality consistent). It assembles each shard's
+// state before the index is visible to anyone, which is why it is a
+// designated snapshot writer.
+//
+//gph:snapshotwriter
 func Load(r io.Reader) (*Index, error) {
 	br := binio.NewReader(r)
 	br.Magic(shardMagic)

@@ -25,7 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +53,8 @@ type deltaEntry struct {
 // writers never mutate it, they copy-on-write a successor — so a
 // search that loaded it reads a consistent shard for the query's
 // whole lifetime, concurrently with any writer or compaction.
+//
+//gph:snapshot
 type state struct {
 	built    engine.Engine   // nil when the shard has no indexed vectors
 	builtIDs []int32         // local id → global id, strictly ascending
@@ -86,6 +88,8 @@ func (sh *state) populated() bool {
 // array, abandoning the old one before the chain could branch.
 // Amortized O(1), so an insert burst between compactions costs O(n)
 // total rather than the O(n²) a full copy per insert would.
+//
+//gph:snapshotwriter
 func (sh *state) withInsert(e deltaEntry) *state {
 	next := *sh
 	next.delta = append(sh.delta, e)
@@ -93,6 +97,8 @@ func (sh *state) withInsert(e deltaEntry) *state {
 }
 
 // withDead returns a successor state with id tombstoned.
+//
+//gph:snapshotwriter
 func (sh *state) withDead(id int32) *state {
 	next := *sh
 	next.dead = make(map[int32]bool, len(sh.dead)+1)
@@ -105,6 +111,8 @@ func (sh *state) withDead(id int32) *state {
 
 // withoutDelta returns a successor state with the delta entry for id
 // removed, plus the removed entry (for WAL-failure rollback).
+//
+//gph:snapshotwriter
 func (sh *state) withoutDelta(id int32) (*state, deltaEntry) {
 	next := *sh
 	var removed deltaEntry
@@ -121,6 +129,8 @@ func (sh *state) withoutDelta(id int32) (*state, deltaEntry) {
 
 // withoutDead returns a successor state with id's tombstone removed
 // (WAL-failure rollback of a built-vector delete).
+//
+//gph:snapshotwriter
 func (sh *state) withoutDead(id int32) *state {
 	next := *sh
 	next.dead = make(map[int32]bool, len(sh.dead))
@@ -255,7 +265,11 @@ func Build(data []bitvec.Vector, numShards int, opts core.Options) (*Index, erro
 	return BuildEngine(core.EngineName, data, numShards, opts)
 }
 
-// BuildEngine is Build with an explicit registered engine name.
+// BuildEngine is Build with an explicit registered engine name. It
+// assembles each shard's initial state before anything is published,
+// which is why it is a designated snapshot writer.
+//
+//gph:snapshotwriter
 func BuildEngine(engineName string, data []bitvec.Vector, numShards int, opts core.Options) (*Index, error) {
 	s, err := NewEngine(engineName, numShards, opts)
 	if err != nil {
@@ -423,7 +437,7 @@ func (s *Index) Insert(v bitvec.Vector) (int32, error) {
 		s.dims.Store(int32(v.Dims()))
 	} else if v.Dims() != int(d) {
 		s.mu.Unlock()
-		return 0, fmt.Errorf("shard: vector has %d dims, index has %d", v.Dims(), d)
+		return 0, fmt.Errorf("shard: vector has %d dims, index has %d: %w", v.Dims(), d, engine.ErrDimMismatch)
 	}
 	id := s.nextID
 	s.nextID++
@@ -621,7 +635,11 @@ func (s *Index) startBackgroundCompact() bool {
 // compactLocked is the rebuild pipeline; the caller holds compactMu.
 // It captures the dirty shards' current snapshots, rebuilds each off
 // the writer lock, then swaps the results in under one brief critical
-// section, reconciling updates that raced the rebuild.
+// section, reconciling updates that raced the rebuild. The successor
+// states it fills in are unpublished until the final Store, which is
+// why it is a designated snapshot writer.
+//
+//gph:snapshotwriter
 func (s *Index) compactLocked() error {
 	type captured struct {
 		i  int
@@ -704,12 +722,14 @@ func (s *Index) compactLocked() error {
 // ensureWorkers lazily starts the fan-out pool: min(GOMAXPROCS,
 // numShards) workers shared by every query. They exit on Close.
 func (s *Index) ensureWorkers() {
+	//gphlint:ignore hotpath one-time pool startup behind workerOnce
 	s.workerOnce.Do(func() {
 		n := runtime.GOMAXPROCS(0)
 		if n > s.numShards {
 			n = s.numShards
 		}
 		for i := 0; i < n; i++ {
+			//gphlint:ignore hotpath worker goroutines start once per index lifetime
 			go func() {
 				for {
 					select {
@@ -737,7 +757,9 @@ func (s *Index) fanOut(tasks []func()) {
 		wg.Add(last)
 		for _, t := range tasks[:last] {
 			t := t
+			//gphlint:ignore hotpath one wrapper per off-loaded shard task; the defer guards the WaitGroup if the task panics
 			wrapped := func() {
+				//gphlint:ignore hotpath see wrapper note above
 				defer wg.Done()
 				t()
 			}
@@ -762,6 +784,8 @@ func (s *Index) fanOut(tasks []func()) {
 // from their current snapshots (tombstones filtered, delta buffers
 // linearly scanned) concurrently over the fan-out pool, or inline
 // when at most one shard is populated.
+//
+//gph:hotpath
 func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
 	// Snapshots load before validation: an insert publishes its shard
 	// state after storing the adopted dimensionality, so any state
@@ -780,6 +804,7 @@ func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
 			continue
 		}
 		i, sh := i, sh
+		//gphlint:ignore hotpath one task closure per populated shard, bounded by shard count
 		tasks = append(tasks, func() {
 			perShard[i], errs[i] = sh.search(q, tau)
 		})
@@ -796,7 +821,7 @@ func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
 	for _, ids := range perShard {
 		out = append(out, ids...)
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out, nil
 }
 

@@ -1,0 +1,65 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"gph/tools/gphlint/analyzers"
+	"gph/tools/gphlint/internal/testkit"
+)
+
+// Each analyzer gets a fixture package seeded with violations (the
+// // want comments inside) and a compliant package the analyzer must
+// stay silent on — a fixture with no want comments asserts exactly
+// zero diagnostics.
+
+func TestHotpath(t *testing.T) {
+	testkit.Run(t, analyzers.Hotpath, "gph/hotpath/a")
+}
+
+func TestHotpathClean(t *testing.T) {
+	testkit.Run(t, analyzers.Hotpath, "gph/hotpath/clean")
+}
+
+func TestSnapshotSafety(t *testing.T) {
+	testkit.Run(t, analyzers.SnapshotSafety, "gph/snaptest/internal/shard")
+}
+
+func TestSnapshotSafetyClean(t *testing.T) {
+	testkit.Run(t, analyzers.SnapshotSafety, "gph/snapclean/internal/shard")
+}
+
+func TestErrSentinel(t *testing.T) {
+	testkit.Run(t, analyzers.ErrSentinel, "gph/errsent/a")
+}
+
+func TestErrSentinelClean(t *testing.T) {
+	testkit.Run(t, analyzers.ErrSentinel, "gph/errsent/clean")
+}
+
+func TestPersistDet(t *testing.T) {
+	testkit.Run(t, analyzers.PersistDet, "gph/persistdet/a")
+}
+
+func TestPersistDetWholePackageScope(t *testing.T) {
+	testkit.Run(t, analyzers.PersistDet, "gph/persistdet/invindex")
+}
+
+func TestMagicReg(t *testing.T) {
+	testkit.Run(t, analyzers.MagicReg, "gph/magic/a")
+}
+
+func TestMagicRegClean(t *testing.T) {
+	testkit.Run(t, analyzers.MagicReg, "gph/magic/clean")
+}
+
+func TestDocCheckPublicPackage(t *testing.T) {
+	testkit.Run(t, analyzers.DocCheck, "gph")
+}
+
+func TestDocCheckMissingPackageComment(t *testing.T) {
+	testkit.Run(t, analyzers.DocCheck, "gph/doccheck/nopkgdoc")
+}
+
+func TestDocCheckClean(t *testing.T) {
+	testkit.Run(t, analyzers.DocCheck, "gph/doccheck/clean")
+}

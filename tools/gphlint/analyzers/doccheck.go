@@ -1,0 +1,120 @@
+package analyzers
+
+import (
+	"go/ast"
+	"path/filepath"
+	"sort"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// DocCheck is the documentation gate, folded into the vettool from
+// the old tools/doccheck command so CI runs a single analysis pass.
+// Rules, unchanged from that tool:
+//
+//  1. Every package in the module has a package comment.
+//  2. Every exported top-level identifier in the public packages (the
+//     root gph package and datagen) has a doc comment; an identifier
+//     inside a documented const/var/type block counts as documented,
+//     and methods on unexported types are exempt.
+//
+// Test files never count (go vet compiles them into the unit, the
+// old tool skipped them).
+var DocCheck = &lint.Analyzer{
+	Name: "doccheck",
+	Doc:  "packages have package comments; public API symbols have doc comments",
+	Run:  runDocCheck,
+}
+
+// publicPkgPaths are the packages rule 2 applies to.
+var publicPkgPaths = map[string]bool{"gph": true, "gph/datagen": true}
+
+func runDocCheck(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	var files []*ast.File
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if pass.IsTestFile(f.Pos()) || name == "_testmain.go" {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil // external test package: only _test.go files
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Pos()).Filename < pass.Fset.Position(files[j].Pos()).Filename
+	})
+
+	hasPkgDoc := false
+	for _, f := range files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		pass.Reportf(files[0].Name.Pos(), "package %s has no package comment", pass.Pkg.Name())
+	}
+
+	if !publicPkgPaths[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			checkDocDecl(pass, decl)
+		}
+	}
+	return nil
+}
+
+// checkDocDecl reports exported top-level identifiers lacking docs.
+func checkDocDecl(pass *lint.Pass, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return // method on an unexported type
+		}
+		what := "function"
+		if d.Recv != nil {
+			what = "method"
+		}
+		pass.Reportf(d.Name.Pos(), "exported %s %s has no doc comment", what, d.Name.Name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && sp.Doc == nil && d.Doc == nil {
+					pass.Reportf(sp.Name.Pos(), "exported type %s has no doc comment", sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range sp.Names {
+					if n.IsExported() && sp.Doc == nil && d.Doc == nil {
+						pass.Reportf(n.Pos(), "exported value %s has no doc comment", n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method receiver names an exported
+// type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}

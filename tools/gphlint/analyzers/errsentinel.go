@@ -1,0 +1,118 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// ErrSentinel checks that errors constructed on engine query entry
+// points wrap a sentinel. Servers classify failures with
+// errors.Is(err, engine.ErrInvalidQuery): a validation error built
+// with a plain fmt.Errorf (no %w verb) or errors.New on a Search
+// path is unmatchable and surfaces as HTTP 500 instead of 400 — the
+// exact drift PR 3 fixed once by hand and this analyzer now pins.
+//
+// Entry points are methods named Search, SearchStats, SearchKNN or
+// SearchBatch whose last result is error; the check propagates
+// through same-package functions they call (engines route entry
+// points through unexported helpers like (*Index).search).
+var ErrSentinel = &lint.Analyzer{
+	Name: "errsentinel",
+	Doc:  "errors on Search/KNN/Batch paths wrap a sentinel (%w), so servers can classify them",
+	Run:  runErrSentinel,
+}
+
+// entryMethodNames are the engine-contract query methods whose error
+// returns servers classify.
+var entryMethodNames = map[string]bool{
+	"Search": true, "SearchStats": true, "SearchKNN": true, "SearchBatch": true,
+}
+
+func runErrSentinel(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+
+	// Index every function declaration in the package by qualified
+	// name, then walk the same-package call graph from the entry
+	// methods.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if q := declQName(pass.TypesInfo, fn); q != "" {
+					decls[q] = fn
+				}
+			}
+		}
+	}
+
+	reachable := map[string]bool{}
+	var mark func(q string)
+	mark = func(q string) {
+		if reachable[q] {
+			return
+		}
+		fn, ok := decls[q]
+		if !ok {
+			return
+		}
+		reachable[q] = true
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pass.TypesInfo, call)
+			if callee == nil || calleePkgPath(callee) != pass.Pkg.Path() {
+				return true
+			}
+			mark(funcQName(callee))
+			return true
+		})
+	}
+	for q, fn := range decls {
+		if fn.Recv != nil && entryMethodNames[fn.Name.Name] && returnsError(fn) {
+			mark(q)
+		}
+	}
+
+	for q := range reachable {
+		fn := decls[q]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch callFullName(pass.TypesInfo, call) {
+			case "fmt.Errorf":
+				if len(call.Args) == 0 {
+					return true
+				}
+				format, known := constString(pass.TypesInfo, call.Args[0])
+				if known && !strings.Contains(format, "%w") {
+					pass.Reportf(call.Pos(), "fmt.Errorf without %%w on a query path; wrap an engine.Err* sentinel so servers answer 400, not 500")
+				}
+			case "errors.New":
+				pass.Reportf(call.Pos(), "errors.New on a query path; wrap an engine.Err* sentinel so servers answer 400, not 500")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the function's last result is error.
+func returnsError(fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil || len(fn.Type.Results.List) == 0 {
+		return false
+	}
+	last := fn.Type.Results.List[len(fn.Type.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}

@@ -1,0 +1,365 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// AllocFacts is the package fact hotpath exports: a per-function
+// summary of banned constructs and module-local callees, so a query
+// path annotated in one package is checked through the helpers it
+// calls in another (core probing into invindex, shard fanning out
+// into core).
+type AllocFacts struct {
+	// Fns lists the package's function summaries sorted by qualified
+	// name (a sorted slice, not a map, so the gob bytes are stable
+	// for the build cache).
+	Fns []FnEntry
+}
+
+// AFact marks AllocFacts as a lint fact.
+func (*AllocFacts) AFact() {}
+
+// FnEntry pairs a function's qualified name with its summary.
+type FnEntry struct {
+	// QName is the module-wide qualified name, as funcQName renders
+	// it.
+	QName string
+	// Summary is the function's banned constructs and callees.
+	Summary FnSummary
+}
+
+// FnSummary is what hotpath records about one function.
+type FnSummary struct {
+	// Viols lists the banned constructs in the function body.
+	Viols []Viol
+	// Callees lists the module-local functions it statically calls.
+	Callees []CalleeRef
+}
+
+// Viol is one banned construct.
+type Viol struct {
+	// What names the construct ("defer", "closure capturing ...").
+	What string
+	// Pos is its site, "file:line" with the file base name.
+	Pos string
+}
+
+// CalleeRef is one static call to a module-local function.
+type CalleeRef struct {
+	// QName is the callee's qualified name.
+	QName string
+	// Pos is the call site, "file:line".
+	Pos string
+}
+
+// Hotpath checks that functions annotated //gph:hotpath — the
+// per-query search paths whose allocs/op the benchmarks pin at zero —
+// avoid constructs that allocate or add per-call overhead, in the
+// function itself and transitively through every module-local
+// function it statically calls. Banned: fmt.* calls (except directly
+// inside a return statement — the error-exit idiom), string<->[]byte
+// conversions, map allocation (make or literal), defer, closures
+// capturing enclosing variables, and method values not immediately
+// called. Dynamic calls (interface methods, function values) are not
+// followed.
+var Hotpath = &lint.Analyzer{
+	Name:      "hotpath",
+	Doc:       "//gph:hotpath functions and their module-local callees avoid allocating constructs",
+	FactTypes: []lint.Fact{(*AllocFacts)(nil)},
+	Run:       runHotpath,
+}
+
+// localFn is the in-package view of a function summary, with real
+// token positions for reporting.
+type localFn struct {
+	viols     []localViol
+	callees   []localCallee
+	annotated bool
+}
+
+type localViol struct {
+	pos  token.Pos
+	what string
+}
+
+type localCallee struct {
+	qname string
+	pos   token.Pos
+}
+
+func runHotpath(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+
+	// Pass 1: summarize every function in the package.
+	locals := map[string]*localFn{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			q := declQName(pass.TypesInfo, fn)
+			if q == "" {
+				continue
+			}
+			lf := summarizeFn(pass, fn)
+			lf.annotated = lint.HasAnnotation(fn.Doc, "gph:hotpath")
+			locals[q] = lf
+		}
+	}
+
+	// Pass 2: pull in the summaries of imported module packages.
+	remote := map[string]FnSummary{}
+	for _, pf := range pass.AllPackageFacts() {
+		af, ok := pf.Fact.(*AllocFacts)
+		if !ok || pf.Path == pass.Pkg.Path() {
+			continue
+		}
+		for _, e := range af.Fns {
+			remote[e.QName] = e.Summary
+		}
+	}
+
+	// Pass 3: from each annotated root, report local violations at
+	// their own positions and remote ones at the local call site.
+	resolve := newRemoteResolver(remote)
+	visited := map[string]bool{}
+	var visit func(q string)
+	visit = func(q string) {
+		if visited[q] {
+			return
+		}
+		visited[q] = true
+		lf, ok := locals[q]
+		if !ok {
+			return
+		}
+		for _, v := range lf.viols {
+			pass.Reportf(v.pos, "hot path: %s", v.what)
+		}
+		for _, c := range lf.callees {
+			if _, local := locals[c.qname]; local {
+				visit(c.qname)
+				continue
+			}
+			if desc := resolve(c.qname); desc != "" {
+				pass.Reportf(c.pos, "hot path: call to %s reaches %s", c.qname, desc)
+			}
+		}
+	}
+	for q, lf := range locals {
+		if lf.annotated {
+			visit(q)
+		}
+	}
+
+	// Export this package's summaries for downstream packages. Clean
+	// leaf functions (no violations, no module callees) carry no
+	// information and are omitted.
+	fact := &AllocFacts{}
+	for q, lf := range locals {
+		if len(lf.viols) == 0 && len(lf.callees) == 0 {
+			continue
+		}
+		s := FnSummary{}
+		for _, v := range lf.viols {
+			p := pass.Fset.Position(v.pos)
+			s.Viols = append(s.Viols, Viol{What: v.what, Pos: shortPos(p.Filename, p.Line)})
+		}
+		for _, c := range lf.callees {
+			p := pass.Fset.Position(c.pos)
+			s.Callees = append(s.Callees, CalleeRef{QName: c.qname, Pos: shortPos(p.Filename, p.Line)})
+		}
+		fact.Fns = append(fact.Fns, FnEntry{QName: q, Summary: s})
+	}
+	if len(fact.Fns) > 0 {
+		sort.Slice(fact.Fns, func(i, j int) bool { return fact.Fns[i].QName < fact.Fns[j].QName })
+		pass.ExportPackageFact(fact)
+	}
+	return nil
+}
+
+// newRemoteResolver returns a memoized, cycle-safe lookup that
+// describes the first banned construct reachable from a remote
+// function, or "" if its transitive closure is clean. Functions with
+// no summary (standard library, clean leaves) are clean by
+// definition.
+func newRemoteResolver(remote map[string]FnSummary) func(qname string) string {
+	memo := map[string]string{}
+	visiting := map[string]bool{}
+	var resolve func(q string) string
+	resolve = func(q string) string {
+		if d, ok := memo[q]; ok {
+			return d
+		}
+		if visiting[q] {
+			return "" // cycle: judged by its other paths
+		}
+		visiting[q] = true
+		defer delete(visiting, q)
+		s, ok := remote[q]
+		desc := ""
+		if ok {
+			if len(s.Viols) > 0 {
+				desc = fmt.Sprintf("%s (%s)", s.Viols[0].What, s.Viols[0].Pos)
+			} else {
+				for _, c := range s.Callees {
+					if d := resolve(c.QName); d != "" {
+						desc = fmt.Sprintf("%s: %s", c.QName, d)
+						break
+					}
+				}
+			}
+		}
+		memo[q] = desc
+		return desc
+	}
+	return resolve
+}
+
+// summarizeFn walks one function body collecting banned constructs
+// and module-local static callees. Suppressed sites (a
+// //gphlint:ignore hotpath comment) are dropped here, before fact
+// export, so they cannot resurface in a downstream package.
+func summarizeFn(pass *lint.Pass, fn *ast.FuncDecl) *localFn {
+	lf := &localFn{}
+	addViol := func(pos token.Pos, what string) {
+		if !pass.Suppressed(pos) {
+			lf.viols = append(lf.viols, localViol{pos, what})
+		}
+	}
+	modPrefix := pass.ModulePath + "/"
+
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			addViol(n.Pos(), "defer (per-call scheduling overhead; release resources explicitly)")
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					addViol(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if capturesEnclosing(pass.TypesInfo, fn, n) {
+				addViol(n.Pos(), "closure capturing enclosing variables allocates")
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if !immediatelyCalled(stack) {
+					addViol(n.Pos(), "method value allocates; call the method directly or bind once at setup")
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				src := pass.TypesInfo.TypeOf(n.Args[0])
+				dst := tv.Type
+				if src != nil && (isString(dst) && isByteSlice(src) || isByteSlice(dst) && isString(src)) {
+					addViol(n.Pos(), "string<->[]byte conversion allocates and copies")
+				}
+				return true
+			}
+			callee := staticCallee(pass.TypesInfo, n)
+			if callee == nil {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						if t := pass.TypesInfo.TypeOf(n); t != nil {
+							if _, isMap := t.Underlying().(*types.Map); isMap {
+								addViol(n.Pos(), "make(map) allocates")
+							}
+						}
+					}
+				}
+				return true
+			}
+			switch path := calleePkgPath(callee); {
+			case path == "fmt":
+				if !onErrorExit(stack) {
+					addViol(n.Pos(), "fmt."+callee.Name()+" allocates (allowed only inside a return statement or a panic argument)")
+				}
+			case path == pass.ModulePath || strings.HasPrefix(path, modPrefix):
+				lf.callees = append(lf.callees, localCallee{funcQName(callee), n.Pos()})
+			}
+		}
+		return true
+	})
+	return lf
+}
+
+// capturesEnclosing reports whether the function literal references a
+// variable declared in the enclosing function (parameters included)
+// outside the literal itself — the case where the closure's
+// environment is heap-allocated.
+func capturesEnclosing(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= enclosing.Pos() && v.Pos() < enclosing.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// immediatelyCalled reports whether the node at the top of the stack
+// is the function operand of a call expression (allowing parentheses
+// in between).
+func immediatelyCalled(stack []ast.Node) bool {
+	node := stack[len(stack)-1].(ast.Expr)
+	i := len(stack) - 2
+	for i >= 0 {
+		p, ok := stack[i].(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		node = p
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	return ok && call.Fun == node
+}
+
+// onErrorExit reports whether any open ancestor is a return statement
+// or a call to the panic builtin — the error-exit idioms where a
+// fmt.Errorf or fmt.Sprintf runs only on failure, never on the warm
+// path the benchmarks measure.
+func onErrorExit(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// MagicsFact is the package fact magicreg exports: every persistence
+// magic literal the package defines, so downstream packages can
+// check module-wide uniqueness.
+type MagicsFact struct {
+	// Magics lists the package's magic definitions in source order.
+	Magics []MagicDef
+}
+
+// AFact marks MagicsFact as a lint fact.
+func (*MagicsFact) AFact() {}
+
+// MagicDef is one magic literal definition site.
+type MagicDef struct {
+	// Value is the decoded string value.
+	Value string
+	// Pos is the definition position, "file:line" with the file
+	// base name.
+	Pos string
+}
+
+// MagicReg checks persistence magic literals: every magic must be
+// exactly engine.MagicLen (8) bytes, and no two definition sites in
+// the module may claim the same value — the registry's byte-dispatch
+// (engine.LoadAny) and the WAL/shard container formats all depend on
+// magics being unambiguous. Definitions are found in constants and
+// variables whose name contains "magic" and in string literals given
+// for the Magic/LegacyMagics fields of engine.Registration literals.
+// Cross-package duplicates are detected through package facts: a
+// collision is reported by the first analyzed package whose import
+// closure contains both sites.
+var MagicReg = &lint.Analyzer{
+	Name:      "magicreg",
+	Doc:       "persistence magics are 8 bytes and unique module-wide",
+	FactTypes: []lint.Fact{(*MagicsFact)(nil)},
+	Run:       runMagicReg,
+}
+
+// magicLen mirrors engine.MagicLen; the analyzer cannot import the
+// engine package (it must also check fixture code that does not).
+const magicLen = 8
+
+func runMagicReg(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	type localDef struct {
+		MagicDef
+		pos token.Pos
+	}
+	var defs []localDef
+	add := func(lit *ast.BasicLit) {
+		if lit.Kind != token.STRING {
+			return
+		}
+		val, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return
+		}
+		p := pass.Fset.Position(lit.Pos())
+		defs = append(defs, localDef{MagicDef{Value: val, Pos: shortPos(p.Filename, p.Line)}, lit.Pos()})
+	}
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if !strings.Contains(strings.ToLower(name.Name), "magic") || i >= len(n.Values) {
+						continue
+					}
+					if lit, ok := n.Values[i].(*ast.BasicLit); ok {
+						add(lit)
+					}
+				}
+			case *ast.CompositeLit:
+				if !isRegistrationLit(pass, n) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					switch key.Name {
+					case "Magic":
+						if lit, ok := kv.Value.(*ast.BasicLit); ok {
+							add(lit)
+						}
+					case "LegacyMagics":
+						if list, ok := kv.Value.(*ast.CompositeLit); ok {
+							for _, e := range list.Elts {
+								if lit, ok := e.(*ast.BasicLit); ok {
+									add(lit)
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Rule 1: exactly magicLen bytes.
+	for _, d := range defs {
+		if len(d.Value) != magicLen {
+			pass.Reportf(d.pos, "magic %q is %d bytes, want %d", d.Value, len(d.Value), magicLen)
+		}
+	}
+
+	// Rule 2: unique within the package.
+	firstByValue := map[string]localDef{}
+	for _, d := range defs {
+		if prev, dup := firstByValue[d.Value]; dup {
+			pass.Reportf(d.pos, "magic %q already defined at %s", d.Value, prev.Pos)
+			continue
+		}
+		firstByValue[d.Value] = d
+	}
+
+	// Rule 3: unique across the import closure.
+	imported := map[string][]string{} // value → "pkg (pos)" sites
+	for _, pf := range pass.AllPackageFacts() {
+		mf, ok := pf.Fact.(*MagicsFact)
+		if !ok || pf.Path == pass.Pkg.Path() {
+			continue
+		}
+		for _, m := range mf.Magics {
+			imported[m.Value] = append(imported[m.Value], fmt.Sprintf("%s (%s)", pf.Path, m.Pos))
+		}
+	}
+	for _, d := range defs {
+		if prev, dup := firstByValue[d.Value]; dup && prev.pos != d.pos {
+			continue // already reported as an in-package duplicate
+		}
+		if sites := imported[d.Value]; len(sites) > 0 {
+			sort.Strings(sites)
+			pass.Reportf(d.pos, "magic %q already claimed by %s", d.Value, strings.Join(sites, ", "))
+		}
+	}
+
+	// Export the fact, deduplicated (a constant referenced by a
+	// Registration literal defines one magic, not two).
+	fact := &MagicsFact{}
+	for _, d := range defs {
+		if firstByValue[d.Value].pos == d.pos {
+			fact.Magics = append(fact.Magics, d.MagicDef)
+		}
+	}
+	if len(fact.Magics) > 0 {
+		pass.ExportPackageFact(fact)
+	}
+	return nil
+}
+
+// isRegistrationLit reports whether the composite literal has a named
+// type called Registration (the engine registry's descriptor; the
+// name match keeps fixtures importable without the real package).
+func isRegistrationLit(pass *lint.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	name := tv.Type.String()
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name == "Registration"
+}
+
+// shortPos renders a stable "file:line" with the path's base name
+// (full build paths would differ between CI and local runs).
+func shortPos(filename string, line int) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		filename = filename[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", filename, line)
+}

@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// PersistDet checks that persistence code is deterministic: the
+// serialized form of an index must be byte-stable across processes
+// (save→load→save equality is pinned by tests, and the WAL/snapshot
+// protocols compare file hashes). Inside persistence scope — any
+// file named persist.go, plus the whole invindex package (the frozen
+// arena writer) — it flags:
+//
+//   - iteration over a map that is not followed by an explicit sort
+//     in the same function (map order would leak into the bytes);
+//   - time.Now / time.Since (wall-clock in serialized state);
+//   - the global math/rand generators (seeded process-wide, not from
+//     build options).
+var PersistDet = &lint.Analyzer{
+	Name: "persistdet",
+	Doc:  "persistence code is deterministic: no unsorted map ranges, wall-clock or global rand",
+	Run:  runPersistDet,
+}
+
+func runPersistDet(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	wholePkg := pkgPathHasSuffix(pass.Pkg.Path(), "internal/invindex") || pkgPathHasSuffix(pass.Pkg.Path(), "invindex")
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !wholePkg && name != "persist.go" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPersistFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkPersistFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	// Gather the end offsets of sort calls first: a map range is
+	// acceptable when the function establishes an explicit order
+	// after it (collect keys, sort, then iterate sorted).
+	var sortEnds []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && sortCallNames[callFullName(pass.TypesInfo, call)] {
+			sortEnds = append(sortEnds, call)
+		}
+		return true
+	})
+	sortedAfter := func(n ast.Node) bool {
+		for _, s := range sortEnds {
+			if s.Pos() > n.Pos() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap && !sortedAfter(n) {
+				pass.Reportf(n.Pos(), "map iteration feeds persistence without an intervening sort; serialized bytes would depend on map order")
+			}
+		case *ast.CallExpr:
+			switch full := callFullName(pass.TypesInfo, n); full {
+			case "time.Now", "time.Since":
+				pass.Reportf(n.Pos(), "%s in persistence code; serialized state must not depend on wall-clock time", full)
+			default:
+				if isGlobalRandCall(full) {
+					pass.Reportf(n.Pos(), "global %s in persistence code; route randomness through a seeded rand.New(rand.NewSource(...)) carried in options", full)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isGlobalRandCall reports whether full names a package-level
+// math/rand (or math/rand/v2) function that draws from the global,
+// process-seeded source. Constructors for explicitly seeded
+// generators are the sanctioned alternative and stay allowed.
+func isGlobalRandCall(full string) bool {
+	var rest string
+	switch {
+	case strings.HasPrefix(full, "math/rand/v2."):
+		rest = strings.TrimPrefix(full, "math/rand/v2.")
+	case strings.HasPrefix(full, "math/rand."):
+		rest = strings.TrimPrefix(full, "math/rand.")
+	default:
+		return false
+	}
+	switch rest {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}

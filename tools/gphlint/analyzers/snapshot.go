@@ -1,0 +1,219 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// SnapshotSafety checks the shard package's copy-on-write discipline.
+// A shard's index state is published as an immutable snapshot behind
+// an atomic.Pointer; readers load it once and may then use it without
+// locks, which is only sound if (a) every access to the pointer cell
+// goes through its atomic methods and (b) nothing mutates a snapshot
+// after publication. Within packages whose import path ends in
+// internal/shard it enforces, for every struct type annotated
+// //gph:snapshot:
+//
+//   - an atomic.Pointer[snapshot] value may only appear as the
+//     receiver of an immediate Load/Store/Swap/CompareAndSwap call
+//     (no copying the cell, no passing its address around);
+//   - fields reachable through a snapshot value may only be assigned
+//     inside functions annotated //gph:snapshotwriter — the builders
+//     that assemble a fresh, not-yet-published state. Constructing a
+//     snapshot with a composite literal is always allowed.
+var SnapshotSafety = &lint.Analyzer{
+	Name: "snapshotsafety",
+	Doc:  "shard snapshots: atomic.Pointer access only via Load/Store; writes only in annotated writers",
+	Run:  runSnapshotSafety,
+}
+
+// atomicPtrMethods are the accessors under which touching the pointer
+// cell is sound.
+var atomicPtrMethods = map[string]bool{
+	"Load": true, "Store": true, "Swap": true, "CompareAndSwap": true,
+}
+
+func runSnapshotSafety(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	if !pkgPathHasSuffix(pass.Pkg.Path(), "internal/shard") {
+		return nil
+	}
+
+	snapTypes := collectSnapshotTypes(pass)
+	if len(snapTypes) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkAtomicCells(pass, fn, snapTypes)
+			if !lint.HasAnnotation(fn.Doc, "gph:snapshotwriter") {
+				checkSnapshotWrites(pass, fn, snapTypes)
+			}
+		}
+	}
+	return nil
+}
+
+// collectSnapshotTypes resolves every //gph:snapshot-annotated struct
+// declaration to its named type.
+func collectSnapshotTypes(pass *lint.Pass) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !lint.HasAnnotation(ts.Doc, "gph:snapshot") && !lint.HasAnnotation(gd.Doc, "gph:snapshot") {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				if named, ok := obj.Type().(*types.Named); ok {
+					out[named] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkAtomicCells flags every atomic.Pointer[snapshot]-typed value
+// expression that is not the receiver of an immediate atomic method
+// call.
+func checkAtomicCells(pass *lint.Pass, fn *ast.FuncDecl, snapTypes map[*types.Named]bool) {
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[expr]
+		if !ok || tv.IsType() {
+			return true
+		}
+		if !isAtomicSnapshotPtr(tv.Type, snapTypes) {
+			return true
+		}
+		// Walk up through parentheses to the meaningful parent.
+		i := len(stack) - 2
+		for i >= 0 {
+			if _, paren := stack[i].(*ast.ParenExpr); !paren {
+				break
+			}
+			i--
+		}
+		if i >= 1 {
+			if sel, ok := stack[i].(*ast.SelectorExpr); ok && sel.X != nil && atomicPtrMethods[sel.Sel.Name] {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == sel {
+					return true // ix.shards[i].Load() and friends
+				}
+			}
+		}
+		pass.Reportf(expr.Pos(), "atomic snapshot cell used outside Load/Store/Swap/CompareAndSwap; lock-free readers require atomic access")
+		return true
+	})
+}
+
+// checkSnapshotWrites flags assignments (and delete calls) whose
+// target is a field reached through a snapshot value, in functions not
+// annotated as writers.
+func checkSnapshotWrites(pass *lint.Pass, fn *ast.FuncDecl, snapTypes map[*types.Named]bool) {
+	report := func(pos ast.Node) {
+		pass.Reportf(pos.Pos(), "write to a snapshot field outside a //gph:snapshotwriter function; published snapshots are immutable")
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if writesThroughSnapshot(pass.TypesInfo, lhs, snapTypes) {
+					report(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if writesThroughSnapshot(pass.TypesInfo, n.X, snapTypes) {
+				report(n.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin &&
+					writesThroughSnapshot(pass.TypesInfo, n.Args[0], snapTypes) {
+					report(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// writesThroughSnapshot reports whether expr denotes a location
+// reached through a snapshot-typed base: st.field, st.field[i],
+// (*st).field, st.inner.field, and so on.
+func writesThroughSnapshot(info *types.Info, expr ast.Expr, snapTypes map[*types.Named]bool) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if isSnapshotType(info.TypeOf(e.X), snapTypes) {
+				return true
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// isSnapshotType reports whether t (possibly behind a pointer) is one
+// of the annotated snapshot types.
+func isSnapshotType(t types.Type, snapTypes map[*types.Named]bool) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && snapTypes[named]
+}
+
+// isAtomicSnapshotPtr reports whether t is sync/atomic.Pointer[S] for
+// an annotated snapshot type S.
+func isAtomicSnapshotPtr(t types.Type, snapTypes map[*types.Named]bool) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync/atomic" || named.Obj().Name() != "Pointer" {
+		return false
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return false
+	}
+	return isSnapshotType(args.At(0), snapTypes)
+}

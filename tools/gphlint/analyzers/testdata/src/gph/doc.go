@@ -1,0 +1,36 @@
+// Package gph is the doccheck fixture posing as the module's public
+// root package, where every exported symbol must carry a doc comment.
+package gph
+
+// Documented has a doc comment, so it is fine.
+func Documented() {}
+
+func Undocumented() {} // want "exported function Undocumented has no doc comment"
+
+// Config is documented.
+type Config struct{}
+
+type Bare struct{} // want "exported type Bare has no doc comment"
+
+// Limit is documented.
+const Limit = 8
+
+const Naked = 9 // want "exported value Naked has no doc comment"
+
+// Grouped constants count as documented through the block comment.
+const (
+	GroupA = 1
+	GroupB = 2
+)
+
+// Apply needs its own doc comment because Config is exported.
+func (Config) Apply() {}
+
+func (Config) Reset() {} // want "exported method Reset has no doc comment"
+
+type hidden struct{}
+
+// Exported methods on unexported types are exempt from rule 2.
+func (hidden) Exported() {}
+
+var _ = hidden{}

@@ -1,0 +1,12 @@
+// Package clean has a package comment and, being outside the public
+// API packages, no per-symbol obligations: the analyzer must stay
+// silent.
+package clean
+
+// Exported symbols outside the public packages need no doc comments,
+// though this one has one anyway.
+func Exported() {}
+
+func alsoFine() {}
+
+var _ = alsoFine

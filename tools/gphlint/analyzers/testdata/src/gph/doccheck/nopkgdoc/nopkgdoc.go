@@ -1,0 +1,5 @@
+package nopkgdoc // want "package nopkgdoc has no package comment"
+
+func internalOnly() {}
+
+var _ = internalOnly

@@ -1,0 +1,44 @@
+// Package a exercises the errsentinel analyzer: errors on query
+// entry paths must wrap a sentinel with %w.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errBadQuery is the sentinel queries are expected to wrap.
+var errBadQuery = errors.New("bad query")
+
+// Index is a fixture engine.
+type Index struct{ dims int }
+
+// Search is an entry point; its validation runs through check, which
+// is therefore in scope too.
+func (ix *Index) Search(q []byte, tau int) ([]int32, error) {
+	if err := ix.check(q, tau); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// check is reached from Search, so raw error construction here is
+// flagged.
+func (ix *Index) check(q []byte, tau int) error {
+	if len(q) != ix.dims {
+		return fmt.Errorf("got %d dims, want %d", len(q), ix.dims) // want "fmt.Errorf without"
+	}
+	if tau < 0 {
+		return errors.New("negative tau") // want "errors.New"
+	}
+	if tau > 64 {
+		return fmt.Errorf("tau %d exceeds build bound: %w", tau, errBadQuery)
+	}
+	return nil
+}
+
+// Rebuild is not a query entry point, so plain errors stay legal
+// here.
+func (ix *Index) Rebuild() error {
+	return fmt.Errorf("rebuild not supported")
+}

@@ -1,0 +1,22 @@
+// Package clean is the compliant errsentinel fixture: every query
+// error wraps the sentinel, so the analyzer must stay silent.
+package clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid is the sentinel.
+var ErrInvalid = errors.New("invalid query")
+
+// Index is a fixture engine.
+type Index struct{ dims int }
+
+// Search validates inline and wraps correctly.
+func (ix *Index) Search(q []byte) ([]int32, error) {
+	if len(q) != ix.dims {
+		return nil, fmt.Errorf("got %d dims, want %d: %w", len(q), ix.dims, ErrInvalid)
+	}
+	return nil, nil
+}

@@ -1,0 +1,85 @@
+// Package a exercises the hotpath analyzer: functions annotated
+// gph:hotpath and everything they call module-locally must avoid
+// allocating constructs.
+package a
+
+import (
+	"fmt"
+
+	"gph/hotpath/dep"
+)
+
+// hot is an annotated root with one of each banned construct.
+//
+//gph:hotpath
+func hot(b []byte) string {
+	defer release()        // want "hot path: defer"
+	m := make(map[int]int) // want "hot path: make"
+	_ = m
+	s := string(b) // want "conversion allocates"
+	fmt.Println(s) // want "fmt.Println allocates"
+	helperLocal()
+	bindMethod(&counter{})
+	dep.Helper() // want "call to gph/hotpath/dep.Helper reaches defer"
+	return s
+}
+
+func release() {}
+
+// helperLocal is reached from hot, so its violation is reported at
+// its own site.
+func helperLocal() {
+	x := 0
+	f := func() { x++ } // want "closure capturing enclosing variables"
+	f()
+}
+
+// counter gives the method-value check something to bind.
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+// bindMethod is reached from hot and binds a method value without
+// calling it.
+func bindMethod(c *counter) {
+	f := c.inc // want "method value allocates"
+	f()
+}
+
+// ok is annotated and clean: error exits go through return
+// statements, methods are called directly, only slices are made.
+//
+//gph:hotpath
+func ok(c *counter, vals []int) error {
+	c.inc()
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	if total < 0 {
+		return fmt.Errorf("negative total %d", total)
+	}
+	out := make([]int, 0, len(vals))
+	_ = out
+	return nil
+}
+
+// suppressed is annotated; the ignore comment silences the defer and
+// keeps it out of the exported facts too.
+//
+//gph:hotpath
+func suppressed() {
+	//gphlint:ignore hotpath fixture exercises the suppression path
+	defer release()
+}
+
+// coldPath is neither annotated nor reachable from a root, so its
+// allocations are out of scope.
+func coldPath() []string {
+	m := map[string]bool{"a": true}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

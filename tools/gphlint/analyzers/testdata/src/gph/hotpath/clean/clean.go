@@ -1,0 +1,14 @@
+// Package clean is a compliant hotpath fixture: the analyzer must
+// stay silent on it.
+package clean
+
+// Sum is annotated and allocation-free.
+//
+//gph:hotpath
+func Sum(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package dep is a fixture dependency: its helper carries a banned
+// construct so the cross-package fact flow of the hotpath analyzer
+// can be exercised from the fixture package that imports it.
+package dep
+
+// Helper is called from an annotated hot path in the importing
+// fixture; the defer here must be reported at that call site.
+func Helper() {
+	defer cleanup()
+}
+
+func cleanup() {}

@@ -1,0 +1,36 @@
+// Package a exercises the magicreg analyzer: magics must be exactly
+// eight bytes and unique module-wide.
+package a
+
+import "gph/magic/dep"
+
+// Registration mirrors the engine registry's descriptor shape; the
+// analyzer matches composite literals of any type with this name.
+type Registration struct {
+	Name         string
+	Magic        string
+	LegacyMagics []string
+}
+
+const (
+	goodMagic  = "GPHAA01\n"
+	shortMagic = "GPH1"      // want "is 4 bytes, want 8"
+	dupMagic   = "GPHAA01\n" // want "already defined at"
+	depMagic   = "GPHZZ01\n" // want "already claimed by gph/magic/dep"
+)
+
+// Reg registers fixture magics through the descriptor fields.
+var Reg = Registration{
+	Name:  "fixture",
+	Magic: "GPHBB01\n",
+	LegacyMagics: []string{
+		"GPHCC01\n",
+		"toolong magic", // want "is 13 bytes, want 8"
+	},
+}
+
+var _ = dep.DepMagic
+var _ = goodMagic
+var _ = shortMagic
+var _ = dupMagic
+var _ = depMagic

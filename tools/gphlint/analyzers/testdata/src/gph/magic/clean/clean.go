@@ -1,0 +1,8 @@
+// Package clean defines a single well-formed magic: the analyzer
+// must stay silent.
+package clean
+
+// Magic is the container magic.
+const Magic = "GPHOK01\n"
+
+var _ = Magic

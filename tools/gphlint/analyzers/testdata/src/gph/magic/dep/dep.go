@@ -1,0 +1,6 @@
+// Package dep defines a magic that the importing fixture package
+// duplicates, exercising the cross-package fact check.
+package dep
+
+// DepMagic is this package's container magic.
+const DepMagic = "GPHZZ01\n"

@@ -1,0 +1,13 @@
+// Package a is the persistdet fixture: persist.go is in scope, this
+// file is not.
+package a
+
+// Keys iterates a map outside persistence scope; not this analyzer's
+// concern.
+func Keys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}

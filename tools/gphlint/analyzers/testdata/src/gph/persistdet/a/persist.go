@@ -1,0 +1,42 @@
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Save iterates a map straight into the output: nondeterministic.
+func Save(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set { // want "map iteration feeds persistence"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SaveSorted collects then sorts before the bytes leave, which is the
+// sanctioned pattern.
+func SaveSorted(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stamp leaks wall-clock time and global randomness into the
+// serialized form.
+func Stamp() (int64, int) {
+	now := time.Now().UnixNano() // want "time.Now in persistence code"
+	r := rand.Intn(10)           // want "global math/rand.Intn"
+	return now, r
+}
+
+// SeededFine routes randomness through an explicitly seeded
+// generator, which stays legal.
+func SeededFine(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,14 @@
+// Package invindex is a persistdet fixture whose import path ends in
+// invindex: the whole package is persistence scope, whatever the file
+// is called.
+package invindex
+
+// Walk iterates the postings map in a file not named persist.go; the
+// package-wide scope still catches it.
+func Walk(post map[string][]int32) int {
+	n := 0
+	for _, ids := range post { // want "map iteration feeds persistence"
+		n += len(ids)
+	}
+	return n
+}

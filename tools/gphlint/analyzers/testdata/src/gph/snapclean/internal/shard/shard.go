@@ -1,0 +1,32 @@
+// Package shard is the compliant snapshotsafety fixture: in scope by
+// path, but every access follows the rules, so the analyzer must stay
+// silent.
+package shard
+
+import "sync/atomic"
+
+// state is the published snapshot.
+//
+//gph:snapshot
+type state struct {
+	ids []int32
+}
+
+// Index owns the snapshot cell.
+type Index struct {
+	cur atomic.Pointer[state]
+}
+
+// Len reads through Load.
+func (ix *Index) Len() int {
+	return len(ix.cur.Load().ids)
+}
+
+// Append publishes a fresh successor from a designated writer.
+//
+//gph:snapshotwriter
+func (ix *Index) Append(id int32) {
+	old := ix.cur.Load()
+	next := &state{ids: append(append([]int32(nil), old.ids...), id)}
+	ix.cur.Store(next)
+}

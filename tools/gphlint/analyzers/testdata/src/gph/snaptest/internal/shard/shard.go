@@ -1,0 +1,54 @@
+// Package shard is a snapshotsafety fixture: its import path ends in
+// internal/shard, so the analyzer treats it as the real shard
+// package.
+package shard
+
+import "sync/atomic"
+
+// state is the published snapshot.
+//
+//gph:snapshot
+type state struct {
+	ids  []int32
+	dead map[int32]bool
+}
+
+// Index owns the snapshot cell.
+type Index struct {
+	cur atomic.Pointer[state]
+}
+
+// goodRead goes through Load, the only sanctioned read.
+func goodRead(ix *Index) int {
+	st := ix.cur.Load()
+	return len(st.ids)
+}
+
+// badCopy hands the cell itself out, bypassing the atomic API.
+func badCopy(ix *Index) *atomic.Pointer[state] {
+	return &ix.cur // want "used outside Load"
+}
+
+// badWrite mutates a loaded snapshot in place from a non-writer.
+func badWrite(ix *Index) {
+	st := ix.cur.Load()
+	st.ids = nil       // want "write to a snapshot field"
+	st.dead[1] = true  // want "write to a snapshot field"
+	delete(st.dead, 2) // want "write to a snapshot field"
+}
+
+// goodWriter is annotated, so building and publishing a successor
+// snapshot here is allowed.
+//
+//gph:snapshotwriter
+func goodWriter(ix *Index) {
+	next := &state{dead: map[int32]bool{}}
+	next.dead[1] = true
+	ix.cur.Store(next)
+}
+
+// freshLiteral constructs a snapshot without touching a cell; always
+// fine.
+func freshLiteral() *state {
+	return &state{ids: []int32{1}}
+}

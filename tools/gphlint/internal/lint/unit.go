@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+)
+
+// Config mirrors the JSON compilation-unit description "go vet"
+// hands to a -vettool (the same schema x/tools' unitchecker
+// consumes); only the fields gphlint uses are declared.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxPayload is the on-disk fact format: every (package, fact type)
+// entry this unit knows, own facts and imported ones alike. Facts are
+// re-exported transitively because go vet supplies only the .vetx
+// files of *direct* vet dependencies.
+type vetxPayload struct {
+	Entries []vetxEntry
+}
+
+type vetxEntry struct {
+	Path     string
+	FactType string
+	Data     []byte
+}
+
+// RunUnit executes the analyzers on the compilation unit described
+// by the vet.cfg file at cfgPath, printing diagnostics to stderr in
+// file:line:col format. It returns the number of diagnostics.
+func RunUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode vet config %s: %w", cfgPath, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	RegisterFactTypes(analyzers)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil // the compiler reports the real error
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  unitImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	store := NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		if err := readVetx(store, vetx); err != nil {
+			return 0, fmt.Errorf("reading facts of %s: %w", path, err)
+		}
+	}
+
+	unit := &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info, ModulePath: cfg.ModulePath}
+	diags, err := RunAnalyzers(unit, analyzers, store)
+	if err != nil {
+		return 0, err
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := writeVetx(store, cfg.VetxOutput); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return len(diags), nil
+}
+
+// unitImporter resolves imports through the export data the build
+// system already produced (cfg.PackageFile), exactly as the compiler
+// would — no source re-typechecking, no network.
+func unitImporter(cfg *Config, fset *token.FileSet) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func readVetx(store *FactStore, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	var payload vetxPayload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return err
+	}
+	for _, e := range payload.Entries {
+		store.entries[factKey{e.Path, e.FactType}] = e.Data
+	}
+	return nil
+}
+
+func writeVetx(store *FactStore, path string) error {
+	payload := vetxPayload{}
+	for key, data := range store.entries {
+		payload.Entries = append(payload.Entries, vetxEntry{Path: key.path, FactType: key.factType, Data: data})
+	}
+	// Deterministic order keeps the build cache's content hashing
+	// stable across runs.
+	sort.Slice(payload.Entries, func(i, j int) bool {
+		a, b := payload.Entries[i], payload.Entries[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		return a.FactType < b.FactType
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}

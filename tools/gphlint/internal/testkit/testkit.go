@@ -1,0 +1,227 @@
+// Package testkit runs gphlint analyzers over fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// offline build cannot depend on): fixtures live under
+// testdata/src/<import path>/, expectations are "// want" comments,
+// and fixture imports of other fixture packages are analyzed first so
+// package facts flow exactly as they do under go vet.
+package testkit
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// stdFset and stdImporter are shared across every test in the
+// process: the source importer re-typechecks standard-library
+// packages from GOROOT source (there are no export-data archives to
+// load in a source-only toolchain), which is far too slow to repeat
+// per test.
+var (
+	stdFset     = token.NewFileSet()
+	stdImporter = importer.ForCompiler(stdFset, "source", nil)
+)
+
+// Run loads the fixture package at testdata/src/<path> (plus,
+// recursively, any fixture packages it imports), runs the analyzer
+// over all of them with a shared fact store, and diffs the
+// diagnostics reported in the named package against its // want
+// comments. Dependency fixtures contribute facts only, mirroring go
+// vet's fact-only runs over dependencies.
+func Run(t *testing.T, a *lint.Analyzer, path string) {
+	t.Helper()
+	lint.RegisterFactTypes([]*lint.Analyzer{a})
+	l := &loader{
+		t:        t,
+		analyzer: a,
+		store:    lint.NewFactStore(),
+		pkgs:     map[string]*fixturePkg{},
+	}
+	target := l.load(path)
+	if target == nil {
+		t.Fatalf("fixture package %s did not load", path)
+	}
+	checkWants(t, a, target)
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	unit  *lint.Unit
+	diags []lint.Diagnostic
+}
+
+type loader struct {
+	t        *testing.T
+	analyzer *lint.Analyzer
+	store    *lint.FactStore
+	pkgs     map[string]*fixturePkg
+	loading  []string // cycle detection, in order
+}
+
+// Import resolves an import inside a fixture: fixture packages win
+// over the standard library, so fixtures can shadow paths if a test
+// ever needs to.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fixtureDir(path) != "" {
+		if p := l.load(path); p != nil {
+			return p.unit.Pkg, nil
+		}
+	}
+	return stdImporter.Import(path)
+}
+
+// fixtureDir returns the on-disk directory for a fixture import path,
+// or "" when no such fixture exists.
+func fixtureDir(path string) string {
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// load parses, typechecks and analyzes one fixture package,
+// memoized.
+func (l *loader) load(path string) *fixturePkg {
+	l.t.Helper()
+	if p, ok := l.pkgs[path]; ok {
+		return p
+	}
+	for _, open := range l.loading {
+		if open == path {
+			l.t.Fatalf("fixture import cycle through %s", path)
+		}
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := fixtureDir(path)
+	if dir == "" {
+		l.t.Fatalf("no fixture directory for %s", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(stdFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("parsing fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.t.Fatalf("fixture %s has no Go files", path)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return stdFset.Position(files[i].Pos()).Filename < stdFset.Position(files[j].Pos()).Filename
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, stdFset, files, info)
+	if err != nil {
+		l.t.Fatalf("typechecking fixture %s: %v", path, err)
+	}
+
+	unit := &lint.Unit{
+		Fset:       stdFset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		ModulePath: "gph", // fixtures pose as repo-module packages
+	}
+	diags, err := lint.RunAnalyzers(unit, []*lint.Analyzer{l.analyzer}, l.store)
+	if err != nil {
+		l.t.Fatalf("running %s on fixture %s: %v", l.analyzer.Name, path, err)
+	}
+	p := &fixturePkg{unit: unit, diags: diags}
+	l.pkgs[path] = p
+	return p
+}
+
+// wantRE matches one quoted expectation in a // want comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want entry: a regexp the message of a
+// diagnostic on that line must match.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants diffs the diagnostics of the package under test against
+// its // want comments, analysistest-style: every diagnostic must
+// match an expectation on its line, and every expectation must be
+// consumed by exactly one diagnostic.
+func checkWants(t *testing.T, a *lint.Analyzer, p *fixturePkg) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range p.unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 || !strings.HasPrefix(strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t"), "want ") {
+					continue
+				}
+				pos := p.unit.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[i:], -1) {
+					pat, err := strconv.Unquote(`"` + m[1] + `"`)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range p.diags {
+		pos := p.unit.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", pos.Filename, pos.Line, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command gphlint is the repository's custom static-analysis suite:
+// a go vet -vettool multichecker whose analyzers machine-check the
+// invariants the codebase is built on — allocation-free hot paths,
+// immutable published snapshots, sentinel-wrapped validation errors,
+// deterministic persistence, unique 8-byte persistence magics, and
+// the documentation rules the old tools/doccheck enforced.
+//
+// Usage (CI runs exactly this):
+//
+//	go build -o /tmp/gphlint ./tools/gphlint
+//	go vet -vettool=/tmp/gphlint ./...
+//
+// The tool implements the -vettool command-line protocol: it answers
+// -V=full (build-cache identity), -flags (supported flags as JSON)
+// and then analyzes one compilation unit per vet.cfg file that "go
+// vet" hands it. Findings are suppressed line-by-line with
+//
+//	//gphlint:ignore <analyzer> <reason>
+//
+// placed on, or directly above, the offending line (see DESIGN.md
+// §11). The framework is self-contained on the standard library; the
+// repo deliberately takes no dependency on golang.org/x/tools.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gph/tools/gphlint/analyzers"
+	"gph/tools/gphlint/internal/lint"
+)
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit (the go vet build-cache protocol)")
+	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (the go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...\n\nAnalyzers:\n", progname)
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *printFlags {
+		// go vet matches its own command line against this list; an
+		// empty list means gphlint takes no pass-through flags.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+	}
+	n, err := lint.RunUnit(args[0], analyzers.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// versionFlag answers -V=full with a content hash of the executable,
+// the identity "go vet" folds into its build cache so results are
+// invalidated when the tool changes.
+type versionFlag struct{}
+
+// IsBoolFlag lets -V appear without a value in usage listings.
+func (versionFlag) IsBoolFlag() bool { return true }
+
+// String renders the zero flag value.
+func (versionFlag) String() string { return "" }
+
+// Set implements the -V=full protocol and exits.
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", filepath.Base(os.Args[0]), string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
