@@ -3,6 +3,7 @@
 //
 //	GET  /healthz                           → {"status":"ok", ...}
 //	GET  /search?q=0101...&tau=3            → results for one query
+//	GET  /search/stream?q=0101...&tau=3     → results streamed as NDJSON lines
 //	POST /search {"queries":[...],"tau":3}  → batch results
 //	GET  /knn?q=0101...&k=10                → k nearest neighbours
 //	GET  /stats                             → index, shard and compaction statistics
@@ -46,6 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"iter"
 	"log"
 	"net/http"
 	"os"
@@ -71,7 +73,7 @@ type server struct {
 
 // handlerNames fixes the /metrics label set (and its rendering
 // order); every routed endpoint is instrumented under one of these.
-var handlerNames = []string{"healthz", "search", "knn", "stats", "insert", "delete", "compact", "save"}
+var handlerNames = []string{"healthz", "search", "stream", "knn", "stats", "insert", "delete", "compact", "save"}
 
 func (s *server) vectors() int {
 	if s.sharded != nil {
@@ -227,6 +229,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.metrics.instrument("healthz", s.handleHealth))
 	mux.HandleFunc("/search", s.metrics.instrument("search", s.handleSearch))
+	mux.HandleFunc("/search/stream", s.metrics.instrument("stream", s.handleSearchStream))
 	mux.HandleFunc("/knn", s.metrics.instrument("knn", s.handleKNN))
 	mux.HandleFunc("/stats", s.metrics.instrument("stats", s.handleStats))
 	mux.HandleFunc("/insert", s.metrics.instrument("insert", s.handleInsert))
@@ -552,6 +555,81 @@ func (s *server) searchOne(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamResult is one NDJSON line of a /search/stream response.
+type streamResult struct {
+	ID       int32 `json:"id"`
+	Distance int   `json:"distance"`
+}
+
+// handleSearchStream answers GET /search/stream?q=...&tau=N with
+// newline-delimited JSON: one {"id":N,"distance":D} object per line,
+// in ascending id order, flushed as each result is verified — a
+// client reads its first neighbour while the index is still probing,
+// rather than after the full result set is assembled. Framing: the
+// body is `application/x-ndjson`; every line is a streamResult except
+// possibly the last, which is {"error":"..."} if the search failed
+// after results were already on the wire (the 200 status line cannot
+// be taken back, so mid-stream failures are reported in-band). A
+// query rejected before any result is answered with a plain JSON
+// error and the usual status (400 for invalid queries).
+func (s *server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q, err := gph.VectorFromString(r.URL.Query().Get("q"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad q: %v", err)
+		return
+	}
+	tauStr := r.URL.Query().Get("tau")
+	if tauStr == "" {
+		httpError(w, http.StatusBadRequest, "missing required parameter: tau")
+		return
+	}
+	tau, err := strconv.Atoi(tauStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad tau: %v", err)
+		return
+	}
+	var seq iter.Seq2[gph.Neighbor, error]
+	if s.sharded != nil {
+		seq = s.sharded.SearchIter(q, tau)
+	} else {
+		seq = gph.SearchStream(s.engine, q, tau)
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	started := false
+	for nb, err := range seq {
+		if err != nil {
+			if !started {
+				httpError(w, searchStatus(err), "%v", err)
+				return
+			}
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		if err := enc.Encode(streamResult{ID: nb.ID, Distance: nb.Distance}); err != nil {
+			// Client went away; returning cancels the per-shard streams.
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if !started {
+		// Empty result set: a well-formed, zero-line NDJSON body.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
 }
 
 // handleKNN answers GET /knn?q=...&k=N with the k nearest neighbours

@@ -68,6 +68,15 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so streaming handlers
+// (/search/stream) keep per-line flushing through the
+// instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a handler with per-endpoint request, error and
 // latency accounting.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {

@@ -36,6 +36,7 @@ package gph
 
 import (
 	"io"
+	"iter"
 	"os"
 
 	"gph/internal/bitvec"
@@ -283,6 +284,30 @@ func BuildEngine(name string, data []Vector, opts EngineOptions) (Engine, error)
 // (including Index.Save), dispatching on the stream's leading magic
 // bytes.
 func LoadAny(r io.Reader) (Engine, error) { return engine.LoadAny(r) }
+
+// Streamer is optionally implemented by engines whose search yields
+// results incrementally as verification blocks complete (Index,
+// linscan, MIH, HmSearch natively; ShardedIndex streams through its
+// own SearchIter). See SearchStream.
+type Streamer = engine.Streamer
+
+// SearchStream returns a streaming view of e's range search: results
+// arrive as (Neighbor, error) pairs in ascending id order, each with
+// its exact Hamming distance, and draining the stream yields exactly
+// the ids e.Search returns. Engines implementing Streamer stream
+// natively — the first result arrives after candidate generation plus
+// one verification block, independent of result-set size; other
+// engines fall back to an eager Search replay. On failure the
+// sequence yields a single (Neighbor{}, err) and stops. The sequence
+// is single-use.
+//
+//	for nb, err := range gph.SearchStream(e, q, 8) {
+//		if err != nil { ... }
+//		fmt.Println(nb.ID, nb.Distance)
+//	}
+func SearchStream(e Engine, q Vector, tau int) iter.Seq2[Neighbor, error] {
+	return engine.Stream(e, q, tau)
+}
 
 // BuildShardedEngine is BuildSharded with an explicit engine name:
 // every shard is built as that engine, and Compact rebuilds shards

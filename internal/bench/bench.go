@@ -33,6 +33,10 @@ type Config struct {
 	Out io.Writer
 	// Verbose adds per-query progress.
 	Verbose bool
+	// JSONPath, when set, is where experiments with machine-readable
+	// output (currently "verify" → BENCH_verify.json) write their
+	// report; empty disables the artifact.
+	JSONPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +89,7 @@ func Experiments() []Experiment {
 		{"ablation", "Ablation: each GPH design choice removed in turn", (*Runner).Ablation},
 		{"sharded", "Sharded vs single-index GPH: build, fan-out query, agreement", (*Runner).Sharded},
 		{"mixed", "Mixed update-heavy workload: search p50/p99 during background compaction", (*Runner).Mixed},
+		{"verify", "Verification kernels: batch vs scalar throughput, first-result latency, allocs/op", (*Runner).Verify},
 	}
 }
 

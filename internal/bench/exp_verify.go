@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gph/internal/engine"
+	"gph/internal/verify"
+)
+
+// VerifyReport is the machine-readable artifact of the verify
+// experiment, serialized to BENCH_verify.json when Config.JSONPath is
+// set. It seeds the repository's perf trajectory: future PRs compare
+// their kernel and latency numbers against the checked-in baseline
+// instead of log archaeology.
+type VerifyReport struct {
+	Scale   float64             `json:"scale"`
+	Queries int                 `json:"queries"`
+	Kernel  []VerifyKernelPoint `json:"kernel"`
+	Engines []VerifyEnginePoint `json:"engines"`
+}
+
+// VerifyKernelPoint compares the batched verification kernel against
+// the per-candidate scalar path (the pre-batch implementation:
+// HammingWithin over []bitvec.Vector) on one dataset.
+type VerifyKernelPoint struct {
+	Dataset          string  `json:"dataset"`
+	Dims             int     `json:"dims"`
+	Tau              int     `json:"tau"`
+	Candidates       int     `json:"candidates_per_pass"`
+	ScalarCandPerSec float64 `json:"scalar_candidates_per_sec"`
+	BatchCandPerSec  float64 `json:"batch_candidates_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	BatchGBPerSec    float64 `json:"batch_gb_per_sec"`
+}
+
+// VerifyEnginePoint records one engine's streaming and allocation
+// behaviour on one dataset: time to the first streamed result against
+// the full Search, and steady-state allocations per query.
+type VerifyEnginePoint struct {
+	Engine        string  `json:"engine"`
+	Dataset       string  `json:"dataset"`
+	Tau           int     `json:"tau"`
+	FirstP50Us    float64 `json:"first_result_p50_us"`
+	FirstP99Us    float64 `json:"first_result_p99_us"`
+	FullP50Us     float64 `json:"full_search_p50_us"`
+	FullP99Us     float64 `json:"full_search_p99_us"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	MeanNeighbors float64 `json:"mean_neighbors"`
+}
+
+// benchSink defeats dead-code elimination in the measurement loops.
+var benchSink int32
+
+// measureThroughput repeats pass (which reports how many candidates
+// it processed) until enough wall time has accumulated for a stable
+// rate, returning candidates per second.
+func measureThroughput(pass func() int) float64 {
+	const minDur = 60 * time.Millisecond
+	total := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		total += pass()
+	}
+	return float64(total) / time.Since(start).Seconds()
+}
+
+// allocsPerOp reports the steady-state heap allocations of one call
+// to f, after warming any pools f draws from.
+func allocsPerOp(runs int, f func()) float64 {
+	for i := 0; i < 3; i++ {
+		f()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// Verify benchmarks the batched verification layer (internal/verify)
+// and the streaming search path built on it. The kernel table feeds
+// every engine's refine phase the same candidate load both ways —
+// per-candidate scalar HammingWithin (the pre-batch implementation)
+// and the cache-blocked FilterWithin kernel — so the speedup column
+// is the refine-phase win in isolation. The engine table measures
+// what streaming buys end to end: time to first result vs the full
+// search, plus steady-state allocs per query (the PR-6 pinned
+// budgets: GPH 4, MIH and HmSearch 2).
+func (r *Runner) Verify() error {
+	rep := VerifyReport{Scale: r.cfg.Scale, Queries: r.cfg.Queries}
+
+	kt := newTable(r.cfg.Out, "dataset", "dims", "tau", "cands/pass", "scalar Mc/s", "batch Mc/s", "speedup", "batch GB/s")
+	for _, name := range []string{"sift", "gist", "pubchem", "uqvideo"} {
+		c := r.load(name)
+		data := c.data.Vectors
+		codes := verify.Pack(data)
+		n := len(data)
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		scratch := make([]int32, n)
+		tau := c.spec.taus[len(c.spec.taus)/2]
+
+		scalar := measureThroughput(func() int {
+			for _, q := range c.queries {
+				k := 0
+				for _, id := range ids {
+					if q.HammingWithin(data[id], tau) {
+						k++
+					}
+				}
+				benchSink += int32(k)
+			}
+			return n * len(c.queries)
+		})
+		batch := measureThroughput(func() int {
+			for _, q := range c.queries {
+				copy(scratch, ids)
+				out := codes.FilterWithin(q, tau, scratch)
+				benchSink += int32(len(out))
+			}
+			return n * len(c.queries)
+		})
+		words := (c.data.Dims + 63) / 64
+		gbps := batch * float64(8*words) / 1e9
+		speedup := batch / scalar
+		kt.row(name, c.data.Dims, tau, n,
+			fmt.Sprintf("%.1f", scalar/1e6), fmt.Sprintf("%.1f", batch/1e6),
+			fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%.2f", gbps))
+		rep.Kernel = append(rep.Kernel, VerifyKernelPoint{
+			Dataset: name, Dims: c.data.Dims, Tau: tau, Candidates: n,
+			ScalarCandPerSec: scalar, BatchCandPerSec: batch,
+			Speedup: speedup, BatchGBPerSec: gbps,
+		})
+	}
+	kt.flush()
+
+	et := newTable(r.cfg.Out, "engine", "dataset", "tau", "first p50(us)", "first p99(us)", "full p50(us)", "full p99(us)", "allocs/op", "results")
+	for _, name := range []string{"sift", "uqvideo"} {
+		c := r.load(name)
+		tau := c.spec.taus[len(c.spec.taus)/2]
+		maxTau := maxOf(c.spec.taus)
+		for _, engName := range []string{"gph", "mih", "hmsearch", "linscan"} {
+			e, err := engine.Build(engName, c.data.Vectors, engine.BuildOptions{
+				NumPartitions: c.spec.m, MaxTau: maxTau, Seed: r.cfg.Seed,
+				BuildParallelism: r.cfg.BuildParallelism,
+			})
+			if err != nil {
+				return err
+			}
+			var first, full []time.Duration
+			var neighbors int64
+			rounds := 1 + 60/len(c.queries)
+			for round := 0; round < rounds; round++ {
+				for _, q := range c.queries {
+					start := time.Now()
+					for nb, err := range engine.Stream(e, q, tau) {
+						if err != nil {
+							return err
+						}
+						benchSink += nb.ID
+						first = append(first, time.Since(start))
+						break
+					}
+					start = time.Now()
+					ids, err := e.Search(q, tau)
+					if err != nil {
+						return err
+					}
+					full = append(full, time.Since(start))
+					neighbors += int64(len(ids))
+				}
+			}
+			q := c.queries[0]
+			allocs := allocsPerOp(50, func() {
+				out, err := e.Search(q, tau)
+				if err != nil {
+					panic(err)
+				}
+				benchSink += int32(len(out))
+			})
+			meanNb := float64(neighbors) / float64(rounds*len(c.queries))
+			et.row(engName, name, tau,
+				us(pct(first, 50)), us(pct(first, 99)),
+				us(pct(full, 50)), us(pct(full, 99)),
+				fmt.Sprintf("%.1f", allocs), fmt.Sprintf("%.1f", meanNb))
+			rep.Engines = append(rep.Engines, VerifyEnginePoint{
+				Engine: engName, Dataset: name, Tau: tau,
+				FirstP50Us:  float64(pct(first, 50).Nanoseconds()) / 1e3,
+				FirstP99Us:  float64(pct(first, 99).Nanoseconds()) / 1e3,
+				FullP50Us:   float64(pct(full, 50).Nanoseconds()) / 1e3,
+				FullP99Us:   float64(pct(full, 99).Nanoseconds()) / 1e3,
+				AllocsPerOp: allocs, MeanNeighbors: meanNb,
+			})
+		}
+	}
+	et.flush()
+
+	if r.cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(r.cfg.JSONPath, buf, 0o644); err != nil {
+			return fmt.Errorf("bench: writing %s: %w", r.cfg.JSONPath, err)
+		}
+		fmt.Fprintf(r.cfg.Out, "wrote %s\n", r.cfg.JSONPath)
+	}
+	return nil
+}

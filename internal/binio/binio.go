@@ -10,11 +10,20 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 )
 
 // MaxSliceLen bounds decoded slice lengths; a corrupt length field
 // must fail cleanly instead of attempting a multi-gigabyte allocation.
 const MaxSliceLen = 1 << 31
+
+// allocChunk caps how much a reader allocates ahead of the bytes it
+// has actually consumed. A length prefix is untrusted input — a
+// corrupt file can claim MaxSliceLen elements in 8 bytes — so slice
+// buffers grow chunk by chunk as data arrives and a lying prefix
+// fails at EOF after at most one chunk, instead of reserving
+// gigabytes up front.
+const allocChunk = 1 << 20
 
 // Writer serializes fixed-width little-endian values.
 type Writer struct {
@@ -221,18 +230,28 @@ func (r *Reader) sliceLen(what string) int {
 	return n
 }
 
+// readBytes reads exactly n bytes, growing the buffer as data arrives
+// (see allocChunk).
+func (r *Reader) readBytes(n int, what string) []byte {
+	buf := make([]byte, 0, min(n, allocChunk))
+	for len(buf) < n {
+		m := min(n-len(buf), allocChunk)
+		buf = slices.Grow(buf, m)[:len(buf)+m]
+		if _, err := io.ReadFull(r.r, buf[len(buf)-m:]); err != nil {
+			r.fail(fmt.Errorf("binio: reading %s body: %w", what, err))
+			return nil
+		}
+	}
+	return buf
+}
+
 // String reads a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.sliceLen("string")
 	if r.err != nil || n == 0 {
 		return ""
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		r.fail(fmt.Errorf("binio: reading string body: %w", err))
-		return ""
-	}
-	return string(buf)
+	return string(r.readBytes(n, "string"))
 }
 
 // ByteSlice reads a length-prefixed byte slice written by
@@ -242,12 +261,7 @@ func (r *Reader) ByteSlice() []byte {
 	if r.err != nil {
 		return nil
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		r.fail(fmt.Errorf("binio: reading byte slice body: %w", err))
-		return nil
-	}
-	return buf
+	return r.readBytes(n, "byte slice")
 }
 
 // Uint32s reads a length-prefixed []uint32.
@@ -256,9 +270,12 @@ func (r *Reader) Uint32s() []uint32 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]uint32, n)
-	for i := range out {
-		out[i] = r.Uint32()
+	out := make([]uint32, 0, min(n, allocChunk/4))
+	for i := 0; i < n; i++ {
+		out = append(out, r.Uint32())
+		if r.err != nil {
+			return nil
+		}
 	}
 	return out
 }
@@ -269,9 +286,12 @@ func (r *Reader) Uint64s() []uint64 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]uint64, n)
-	for i := range out {
-		out[i] = r.Uint64()
+	out := make([]uint64, 0, min(n, allocChunk/8))
+	for i := 0; i < n; i++ {
+		out = append(out, r.Uint64())
+		if r.err != nil {
+			return nil
+		}
 	}
 	return out
 }
@@ -282,9 +302,12 @@ func (r *Reader) Int32s() []int32 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(r.Uint32())
+	out := make([]int32, 0, min(n, allocChunk/4))
+	for i := 0; i < n; i++ {
+		out = append(out, int32(r.Uint32()))
+		if r.err != nil {
+			return nil
+		}
 	}
 	return out
 }
@@ -295,9 +318,12 @@ func (r *Reader) Ints() []int {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = r.Int()
+	out := make([]int, 0, min(n, allocChunk/8))
+	for i := 0; i < n; i++ {
+		out = append(out, r.Int())
+		if r.err != nil {
+			return nil
+		}
 	}
 	return out
 }

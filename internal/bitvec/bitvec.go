@@ -182,14 +182,22 @@ func (v Vector) Hamming(u Vector) int {
 }
 
 // HammingWithin reports whether H(v, u) ≤ t, short-circuiting as soon
-// as the running distance exceeds t. This is the verification kernel:
-// on non-matching candidates it typically inspects one or two words.
+// as the running distance exceeds t. This is the scalar verification
+// kernel: on non-matching candidates it typically inspects one or two
+// words. Boundary thresholds are part of the contract shared with the
+// batch kernels in internal/verify: t < 0 admits nothing (the
+// short-circuit never gets to fire) and t ≥ Dims admits everything
+// (H ≤ Dims always, so the short-circuit can never fire either) —
+// both cases return without touching the words.
 func (v Vector) HammingWithin(u Vector, t int) bool {
 	if v.n != u.n {
 		panic(fmt.Sprintf("bitvec: HammingWithin between %d-dim and %d-dim vectors", v.n, u.n))
 	}
 	if t < 0 {
 		return false
+	}
+	if t >= v.n {
+		return true
 	}
 	d := 0
 	for i, w := range v.words {

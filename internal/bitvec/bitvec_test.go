@@ -322,3 +322,42 @@ func TestResizedThenProjectInto(t *testing.T) {
 		t.Fatalf("Resized(512) has %d dims", grown.Dims())
 	}
 }
+
+// TestHammingWithinBoundaryTaus pins the threshold contract at the
+// boundaries shared with the batch kernels in internal/verify:
+// t < 0 admits nothing, t >= dims admits everything, and every t in
+// between equals the exact-distance comparison — including on
+// dimensionalities that are not multiples of the word size, where a
+// forgotten tail mask would flip the t >= dims case.
+func TestHammingWithinBoundaryTaus(t *testing.T) {
+	for _, dims := range []int{1, 63, 64, 65, 100, 128, 129} {
+		zero := New(dims)
+		full := New(dims)
+		for i := 0; i < dims; i++ {
+			full.Set(i)
+		}
+		one := New(dims)
+		one.Set(dims - 1)
+		vectors := []Vector{zero, full, one}
+		for _, v := range vectors {
+			for _, u := range vectors {
+				d := v.Hamming(u)
+				for _, tau := range []int{-2, -1, 0, 1, dims - 1, dims, dims + 1, dims + 64} {
+					want := tau >= 0 && d <= tau
+					if got := v.HammingWithin(u, tau); got != want {
+						t.Fatalf("dims=%d d=%d tau=%d: HammingWithin=%v want %v", dims, d, tau, got, want)
+					}
+				}
+			}
+		}
+		// H(zero, full) = dims exactly: the largest possible distance
+		// must be admitted at t = dims and rejected at t = dims-1
+		// (unless dims = 1, where t = 0 rejects it already).
+		if !zero.HammingWithin(full, dims) {
+			t.Fatalf("dims=%d: distance dims not within t=dims", dims)
+		}
+		if dims > 1 && zero.HammingWithin(full, dims-1) {
+			t.Fatalf("dims=%d: distance dims within t=dims-1", dims)
+		}
+	}
+}

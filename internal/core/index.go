@@ -12,6 +12,7 @@ import (
 	"gph/internal/candest"
 	"gph/internal/invindex"
 	"gph/internal/partition"
+	"gph/internal/verify"
 )
 
 // Index is an immutable GPH index over a vector collection. Build it
@@ -19,6 +20,7 @@ import (
 type Index struct {
 	dims  int
 	data  []bitvec.Vector
+	codes *verify.Codes // packed row-major copy of data for batch verification
 	parts *partition.Partitioning
 	inv   []*invindex.Frozen
 	ests  []candest.Estimator
@@ -57,7 +59,7 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	}
 	opts = opts.withDefaults(dims)
 
-	ix := &Index{dims: dims, data: data, opts: opts}
+	ix := &Index{dims: dims, data: data, codes: verify.Pack(data), opts: opts}
 
 	// Offline phase 1: dimension partitioning (§V).
 	start := time.Now()

@@ -9,6 +9,7 @@ import (
 	"gph/internal/candest"
 	"gph/internal/invindex"
 	"gph/internal/partition"
+	"gph/internal/verify"
 )
 
 // indexMagic identifies the index container format; bump the digit on
@@ -184,7 +185,7 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	opts = opts.withDefaults(dims)
 
-	ix := &Index{dims: dims, data: data, parts: parts, opts: opts}
+	ix := &Index{dims: dims, data: data, codes: verify.Pack(data), parts: parts, opts: opts}
 	ix.inv = make([]*invindex.Frozen, numParts)
 	for i := 0; i < numParts; i++ {
 		var (

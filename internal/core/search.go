@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"iter"
 	"slices"
 	"time"
 
@@ -119,9 +120,9 @@ func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) 
 var ErrInvalidQuery = engine.ErrInvalidQuery
 
 // search is the GPH query pipeline: threshold allocation, signature
-// enumeration with fused probing, then verification. It is the
-// engine's per-query hot path — after warm-up the only allocation is
-// the caller-owned result slice.
+// enumeration with fused probing (gather), then batch verification
+// over the packed arena. It is the engine's per-query hot path —
+// after warm-up the only allocation is the caller-owned result slice.
 //
 //gph:hotpath
 func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Stats, error) {
@@ -144,10 +145,50 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	// (not deferred: this function is the hot path, and defer adds
 	// per-call overhead the benchmarks would charge to every query).
 	s := ix.getScratch()
+	scanned, err := ix.gather(q, tau, s, stats)
+	if err != nil {
+		ix.putScratch(s)
+		return nil, nil, err
+	}
+	if scanned {
+		start := time.Now()
+		out := ix.codes.AppendWithin(q, tau, make([]int32, 0, 64))
+		stats.VerifyNanos = time.Since(start).Nanoseconds()
+		stats.Candidates = len(ix.data)
+		stats.Results = len(out)
+		stats.Scanned = true
+		ix.putScratch(s)
+		return out, stats, nil
+	}
 
-	// Phase 1: threshold allocation (Algorithm 1) over estimated CNs.
-	// The RR baseline skips estimation entirely — that is the point of
-	// the comparison in Fig. 3.
+	// Phase 4: batch verification on the packed arena, in place over
+	// the pooled candidate slice; survivors are sorted and copied into
+	// an exact-size result the caller owns.
+	start := time.Now()
+	results := ix.codes.FilterWithin(q, tau, s.cands)
+	slices.Sort(results)
+	out := make([]int32, len(results))
+	copy(out, results)
+	stats.VerifyNanos = time.Since(start).Nanoseconds()
+	stats.Results = len(out)
+	ix.putScratch(s)
+	if !wantStats {
+		return out, nil, nil
+	}
+	return out, stats, nil
+}
+
+// gather runs phases 1–3 of the pipeline into s: threshold allocation
+// (Algorithm 1) over estimated CNs, the scan-guard decision, and the
+// fused enumerate+probe loop that fills s.cands with deduplicated
+// candidate ids. It reports scanned=true (with no candidates
+// generated) when every valid allocation costs more than verifying
+// the whole collection. Shared by Search and SearchIter.
+//
+//gph:hotpath
+func (ix *Index) gather(q bitvec.Vector, tau int, s *searchScratch, stats *Stats) (scanned bool, err error) {
+	// Phase 1: threshold allocation. The RR baseline skips estimation
+	// entirely — that is the point of the comparison in Fig. 3.
 	start := time.Now()
 	m := ix.parts.NumParts()
 	var res alloc.Result
@@ -185,19 +226,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	// Eq. 1 with verification ≈ 4 posting accesses.
 	scanCost := int64(len(ix.data)) * 4
 	if res.Fallback || (res.Thresholds != nil && ix.opts.Allocator == AllocDP && res.Objective > scanCost) {
-		start = time.Now()
-		out := make([]int32, 0, 64)
-		for id, v := range ix.data {
-			if q.HammingWithin(v, tau) {
-				out = append(out, int32(id))
-			}
-		}
-		stats.VerifyNanos = time.Since(start).Nanoseconds()
-		stats.Candidates = len(ix.data)
-		stats.Results = len(out)
-		stats.Scanned = true
-		ix.putScratch(s)
-		return out, stats, nil
+		return true, nil
 	}
 	enumBudget := res.EffectiveBudget // 0 (unlimited) for RR and unbudgeted configs
 
@@ -216,37 +245,50 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		q.ProjectInto(dimsI, s.proj)
 		s.inv = ix.inv[i]
 		if err := s.enum.Enumerate(s.proj, ti, enumBudget, s.probeFn); err != nil {
-			ix.putScratch(s)
-			return nil, nil, fmt.Errorf("core: partition %d with threshold %d: %w", i, ti, err)
+			return false, fmt.Errorf("core: partition %d with threshold %d: %w", i, ti, err)
 		}
 	}
 	stats.ProbeNanos = time.Since(start).Nanoseconds()
 	stats.Signatures = s.sigs
 	stats.SumPostings = s.sumPost
 	stats.Candidates = len(s.cands)
+	return false, nil
+}
 
-	// Phase 4: verification, in place over the pooled candidate
-	// slice; survivors are copied into an exact-size result the
-	// caller owns.
-	start = time.Now()
-	k := 0
-	for _, id := range s.cands {
-		if q.HammingWithin(ix.data[id], tau) {
-			s.cands[k] = id
-			k++
+// SearchIter implements engine.Streamer: the same pipeline as Search,
+// but results are yielded in ascending id order as their verification
+// blocks complete, so the first result arrives after candidate
+// generation plus one block of batch verification instead of after
+// the full refine phase. Draining the stream yields exactly the ids
+// Search returns; see engine.Streamer for the sequence contract.
+func (ix *Index) SearchIter(q bitvec.Vector, tau int) iter.Seq2[engine.Neighbor, error] {
+	return func(yield func(engine.Neighbor, error) bool) {
+		if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+			yield(engine.Neighbor{}, fmt.Errorf("core: %w", err))
+			return
 		}
+		if tau >= ix.dims {
+			// The ball covers the whole space: stream the scan (every
+			// row matches, distances come from the arena).
+			engine.StreamScan(ix.codes, q, tau, yield)
+			return
+		}
+		s := ix.getScratch()
+		stats := &Stats{}
+		scanned, err := ix.gather(q, tau, s, stats)
+		if err != nil {
+			ix.putScratch(s)
+			yield(engine.Neighbor{}, err)
+			return
+		}
+		if scanned {
+			ix.putScratch(s)
+			engine.StreamScan(ix.codes, q, tau, yield)
+			return
+		}
+		engine.StreamVerified(ix.codes, q, tau, s.cands, yield)
+		ix.putScratch(s)
 	}
-	results := s.cands[:k]
-	slices.Sort(results)
-	out := make([]int32, k)
-	copy(out, results)
-	stats.VerifyNanos = time.Since(start).Nanoseconds()
-	stats.Results = k
-	ix.putScratch(s)
-	if !wantStats {
-		return out, nil, nil
-	}
-	return out, stats, nil
 }
 
 // SearchBatch answers many queries concurrently using up to

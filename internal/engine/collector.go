@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"gph/internal/bitvec"
+	"gph/internal/verify"
 )
 
 // Collector is the filter-and-refine candidate pipeline every probing
@@ -44,9 +45,17 @@ func (c *Collector) Collect(id int32) {
 // Candidates returns the number of distinct candidates collected.
 func (c *Collector) Candidates() int { return len(c.cands) }
 
+// CandidateIDs returns the collected candidate ids in probe order.
+// The slice aliases the collector's pooled scratch: it is valid until
+// the next Reset and must not be retained past it. Streaming searches
+// hand it to StreamVerified, which sorts and verifies it in place.
+func (c *Collector) CandidateIDs() []int32 { return c.cands }
+
 // FinishVerified verifies every candidate against the true Hamming
 // distance (in place, over the pooled list), sorts the survivors by
-// id and copies them into an exact-size slice the caller owns.
+// id and copies them into an exact-size slice the caller owns. It is
+// the scalar tail; engines holding a packed verify.Codes arena use
+// FinishVerifiedCodes instead.
 func (c *Collector) FinishVerified(q bitvec.Vector, tau int, data []bitvec.Vector) []int32 {
 	k := 0
 	for _, id := range c.cands {
@@ -58,6 +67,20 @@ func (c *Collector) FinishVerified(q bitvec.Vector, tau int, data []bitvec.Vecto
 	results := c.cands[:k]
 	slices.Sort(results)
 	out := make([]int32, k)
+	copy(out, results)
+	return out
+}
+
+// FinishVerifiedCodes is FinishVerified with the refine phase running
+// on the batch kernels over a packed arena: candidates are filtered in
+// place by verify.Codes.FilterWithin (unrolled popcounts, early
+// abort), then sorted and copied out exactly like the scalar tail, so
+// the two are drop-in interchangeable and allocate identically (only
+// the returned slice).
+func (c *Collector) FinishVerifiedCodes(q bitvec.Vector, tau int, codes *verify.Codes) []int32 {
+	results := codes.FilterWithin(q, tau, c.cands)
+	slices.Sort(results)
+	out := make([]int32, len(results))
 	copy(out, results)
 	return out
 }

@@ -8,8 +8,8 @@
 // init-time Register call.
 //
 // The package sits below every implementation: it may import only the
-// substrate packages (bitvec, binio, partition), never an engine
-// implementation. Implementations import it for the contract, the
+// substrate packages (bitvec, binio, partition, verify), never an
+// engine implementation. Implementations import it for the contract, the
 // shared error sentinels, and the kNN/batch/persistence helpers that
 // keep the five index types from carrying five copies of the same
 // glue.

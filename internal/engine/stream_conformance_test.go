@@ -1,0 +1,148 @@
+package engine_test
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"gph/internal/bitvec"
+	"gph/internal/engine"
+)
+
+// collectStream drains a search stream into ids and distances,
+// failing the test on any mid-stream error.
+func collectStream(t *testing.T, e engine.Engine, q bitvec.Vector, tau int) ([]int32, []int) {
+	t.Helper()
+	var ids []int32
+	var dists []int
+	for nb, err := range engine.Stream(e, q, tau) {
+		if err != nil {
+			t.Fatalf("stream error after %d results: %v", len(ids), err)
+		}
+		ids = append(ids, nb.ID)
+		dists = append(dists, nb.Distance)
+	}
+	return ids, dists
+}
+
+// TestConformanceStream pins the streaming contract for every
+// registered engine: drained streams equal Search exactly (same ids,
+// same order), every yielded distance is the true Hamming distance
+// within tau, and the full-ball and empty-result edges stream
+// correctly. Engines without native SearchIter are covered through
+// the engine.Stream fallback.
+func TestConformanceStream(t *testing.T) {
+	data, queries, _ := confData(t)
+	far := allOnes()
+	for _, info := range engine.Infos() {
+		t.Run(info.Name, func(t *testing.T) {
+			e := confBuild(t, info.Name, data)
+			for _, q := range queries {
+				for _, tau := range []int{0, 1, 3, 8, confDims} {
+					want, err := e.Search(q, tau)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ids, dists := collectStream(t, e, q, tau)
+					if !slices.Equal(ids, want) {
+						t.Fatalf("tau=%d: stream %v, Search %v", tau, ids, want)
+					}
+					if !slices.IsSorted(ids) {
+						t.Fatalf("tau=%d: stream ids not ascending: %v", tau, ids)
+					}
+					for i, id := range ids {
+						if d := q.Hamming(e.Vector(id)); dists[i] != d || d > tau {
+							t.Fatalf("tau=%d id=%d: distance %d, want %d (≤ %d)", tau, id, dists[i], d, tau)
+						}
+					}
+				}
+			}
+			// Guaranteed-empty stream.
+			if ids, _ := collectStream(t, e, far, 0); len(ids) != 0 {
+				t.Fatalf("far query streamed %d results", len(ids))
+			}
+		})
+	}
+}
+
+// TestConformanceStreamEarlyStop verifies that breaking out of a
+// stream after the first result is safe and leaves the engine fully
+// usable (pooled scratch must be recycled correctly).
+func TestConformanceStreamEarlyStop(t *testing.T) {
+	data, queries, _ := confData(t)
+	for _, info := range engine.Infos() {
+		t.Run(info.Name, func(t *testing.T) {
+			e := confBuild(t, info.Name, data)
+			q := queries[0]
+			got := 0
+			for _, err := range engine.Stream(e, q, confDims) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				got++
+				break
+			}
+			if got != 1 {
+				t.Fatalf("early stop consumed %d results", got)
+			}
+			// The engine must still answer correctly after the abandoned
+			// iteration, for both Search and a fresh full drain.
+			want, err := e.Search(q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids, _ := collectStream(t, e, q, 8)
+			if !slices.Equal(ids, want) {
+				t.Fatalf("after early stop: stream %v, Search %v", ids, want)
+			}
+		})
+	}
+}
+
+// TestConformanceStreamErrors pins the error half of the sequence
+// contract: an invalid query yields exactly one (Neighbor{}, err)
+// pair wrapping ErrInvalidQuery, and nothing after it.
+func TestConformanceStreamErrors(t *testing.T) {
+	data, _, _ := confData(t)
+	q := data[0]
+	for _, info := range engine.Infos() {
+		t.Run(info.Name, func(t *testing.T) {
+			e := confBuild(t, info.Name, data)
+			for name, run := range map[string]struct {
+				q   bitvec.Vector
+				tau int
+			}{
+				"dim-mismatch": {bitvec.New(confDims / 2), 3},
+				"negative-tau": {q, -1},
+			} {
+				entries, errCount := 0, 0
+				for _, err := range engine.Stream(e, run.q, run.tau) {
+					entries++
+					if err == nil {
+						t.Fatalf("%s: stream yielded a result before failing", name)
+					}
+					if !errors.Is(err, engine.ErrInvalidQuery) {
+						t.Fatalf("%s: error %v does not wrap ErrInvalidQuery", name, err)
+					}
+					errCount++
+				}
+				if entries != 1 || errCount != 1 {
+					t.Fatalf("%s: %d entries (%d errors), want exactly 1 error", name, entries, errCount)
+				}
+			}
+		})
+	}
+}
+
+// TestNativeStreamers pins which engines provide a native SearchIter:
+// the batched pipeline engines must not silently fall back to the
+// eager replay path.
+func TestNativeStreamers(t *testing.T) {
+	data, _, _ := confData(t)
+	for _, name := range []string{"gph", "linscan", "mih", "hmsearch"} {
+		e := confBuild(t, name, data)
+		if _, ok := e.(engine.Streamer); !ok {
+			t.Fatalf("%s must implement engine.Streamer natively", name)
+		}
+	}
+}

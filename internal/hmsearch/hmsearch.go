@@ -15,6 +15,7 @@ package hmsearch
 import (
 	"fmt"
 	"io"
+	"iter"
 	"sync"
 
 	"gph/internal/binio"
@@ -22,6 +23,7 @@ import (
 	"gph/internal/engine"
 	"gph/internal/invindex"
 	"gph/internal/partition"
+	"gph/internal/verify"
 )
 
 // Index implements the engine contract.
@@ -47,6 +49,7 @@ type Index struct {
 	dims  int
 	tau   int
 	data  []bitvec.Vector
+	codes *verify.Codes // packed row-major copy of data for batch verification
 	parts *partition.Partitioning
 	inv   []*invindex.Frozen
 
@@ -100,7 +103,7 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 	if parts.Dims != dims {
 		return nil, fmt.Errorf("hmsearch: arrangement covers %d dims, data has %d", parts.Dims, dims)
 	}
-	ix := &Index{dims: dims, tau: tau, data: data, parts: parts}
+	ix := &Index{dims: dims, tau: tau, data: data, codes: verify.Pack(data), parts: parts}
 	ix.inv = buildInverted(data, parts)
 	return ix, nil
 }
@@ -215,15 +218,9 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		return nil, nil, fmt.Errorf("hmsearch: %w", err)
 	}
 	s := ix.getScratch()
-	sigs := 0
-	for i, dimsI := range ix.parts.Parts {
-		s.proj = s.proj.Resized(len(dimsI))
-		q.ProjectInto(dimsI, s.proj)
-		sigs += 1 + len(dimsI) // exact key + deletion variants
-		ix.inv[i].CollectRadius1Scratch(s.proj, &s.r1, s.collectFn)
-	}
+	sigs := ix.gather(q, s)
 	candidates := s.col.Candidates()
-	out := s.col.FinishVerified(q, tau, ix.data)
+	out := s.col.FinishVerifiedCodes(q, tau, ix.codes)
 	sumPost := s.sumPost
 	ix.scratch.Put(s)
 	if !wantStats {
@@ -235,6 +232,42 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		Candidates:  candidates,
 		Results:     len(out),
 	}, nil
+}
+
+// gather probes each partition's frozen index at radius 1 via
+// deletion variants into s's collector, returning the signature
+// count. Shared by Search and SearchIter.
+//
+//gph:hotpath
+func (ix *Index) gather(q bitvec.Vector, s *searchScratch) (sigs int) {
+	for i, dimsI := range ix.parts.Parts {
+		s.proj = s.proj.Resized(len(dimsI))
+		q.ProjectInto(dimsI, s.proj)
+		sigs += 1 + len(dimsI) // exact key + deletion variants
+		ix.inv[i].CollectRadius1Scratch(s.proj, &s.r1, s.collectFn)
+	}
+	return sigs
+}
+
+// SearchIter implements engine.Streamer: candidates are gathered as
+// in Search, then streamed out in ascending id order as verification
+// blocks complete. Draining the stream yields exactly the ids Search
+// returns; see engine.Streamer for the sequence contract.
+func (ix *Index) SearchIter(q bitvec.Vector, tau int) iter.Seq2[engine.Neighbor, error] {
+	return func(yield func(engine.Neighbor, error) bool) {
+		if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+			yield(engine.Neighbor{}, fmt.Errorf("hmsearch: %w", err))
+			return
+		}
+		if err := engine.CheckTauBound(tau, ix.tau); err != nil {
+			yield(engine.Neighbor{}, fmt.Errorf("hmsearch: %w", err))
+			return
+		}
+		s := ix.getScratch()
+		ix.gather(q, s)
+		engine.StreamVerified(ix.codes, q, tau, s.col.CandidateIDs(), yield)
+		ix.scratch.Put(s)
+	}
 }
 
 // SearchKNN returns the k nearest neighbours of q by progressive range
@@ -290,7 +323,7 @@ func Load(r io.Reader) (*Index, error) {
 	if parts.NumParts() != NumPartitions(dims, tau) {
 		return nil, fmt.Errorf("hmsearch: arrangement has %d parts, τ=%d needs %d", parts.NumParts(), tau, NumPartitions(dims, tau))
 	}
-	ix := &Index{dims: dims, tau: tau, data: data, parts: parts}
+	ix := &Index{dims: dims, tau: tau, data: data, codes: verify.Pack(data), parts: parts}
 	ix.inv = buildInverted(data, parts)
 	return ix, nil
 }

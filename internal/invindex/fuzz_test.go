@@ -1,0 +1,113 @@
+package invindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gph/internal/binio"
+	"gph/internal/bitvec"
+)
+
+// fuzzCorpusIndex serializes a small frozen index for the seed
+// corpus: n random w-dim signatures, uniform or deletion-variant
+// keys, written exactly as the persistence path writes them.
+func fuzzCorpusIndex(seed int64, n, w int, variants bool) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	ix := New()
+	for i := 0; i < n; i++ {
+		v := bitvec.New(w)
+		for d := 0; d < w; d++ {
+			if rng.Intn(2) == 1 {
+				v.Set(d)
+			}
+		}
+		if variants {
+			ix.AddWithDeletionVariants(v, int32(i))
+		} else {
+			ix.Add(v.Key(), int32(i))
+		}
+	}
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	ix.Freeze().WriteTo(bw)
+	if err := bw.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrozen hammers the frozen-postings decoder with corrupt
+// bytes: it must never panic, and any input it accepts must be a
+// self-consistent index — ids in range, delta lists nondecreasing,
+// every key findable, counts honest — whose canonical
+// re-serialization round-trips byte-identically.
+func FuzzReadFrozen(f *testing.F) {
+	f.Add([]byte{}, int32(0))
+	f.Add(fuzzCorpusIndex(1, 40, 8, false), int32(40))
+	f.Add(fuzzCorpusIndex(2, 30, 9, true), int32(30))
+	f.Add(fuzzCorpusIndex(3, 1, 1, false), int32(1))
+	// A valid stream judged against the wrong collection size: every
+	// posting is suddenly out of range.
+	f.Add(fuzzCorpusIndex(4, 25, 6, false), int32(5))
+	// Truncated and bit-flipped variants of a valid stream.
+	whole := fuzzCorpusIndex(5, 20, 7, false)
+	f.Add(whole[:len(whole)/2], int32(20))
+	flipped := append([]byte(nil), whole...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped, int32(20))
+
+	f.Fuzz(func(t *testing.T, data []byte, maxID int32) {
+		fr, err := ReadFrozen(binio.NewReader(bytes.NewReader(data)), maxID)
+		if err != nil {
+			return
+		}
+		var total int64
+		var prevKey []byte
+		fr.Range(func(key []byte, ids []int32) bool {
+			if prevKey != nil && bytes.Compare(prevKey, key) >= 0 {
+				t.Fatalf("accepted keys not strictly sorted: %q after %q", key, prevKey)
+			}
+			prevKey = append(prevKey[:0], key...)
+			prev := int32(-1)
+			for _, id := range ids {
+				if id < 0 || id >= maxID {
+					t.Fatalf("accepted posting %d outside [0,%d)", id, maxID)
+				}
+				if id < prev {
+					t.Fatalf("accepted list not nondecreasing: %d after %d", id, prev)
+				}
+				prev = id
+			}
+			if got := fr.PostingLenBytes(key); got != len(ids) {
+				t.Fatalf("key %q: lookup sees %d postings, Range yielded %d", key, got, len(ids))
+			}
+			total += int64(len(ids))
+			return true
+		})
+		if total != fr.TotalPostings() {
+			t.Fatalf("lists hold %d postings, TotalPostings says %d", total, fr.TotalPostings())
+		}
+		// An accepted index must survive its own canonical
+		// serialization, and that form must be a fixed point.
+		var first bytes.Buffer
+		bw := binio.NewWriter(&first)
+		fr.WriteTo(bw)
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := ReadFrozen(binio.NewReader(bytes.NewReader(first.Bytes())), maxID)
+		if err != nil {
+			t.Fatalf("re-serialized accepted index rejected: %v", err)
+		}
+		var second bytes.Buffer
+		bw = binio.NewWriter(&second)
+		re.WriteTo(bw)
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("re-serialization is not a fixed point")
+		}
+	})
+}

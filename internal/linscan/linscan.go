@@ -10,11 +10,13 @@ package linscan
 import (
 	"fmt"
 	"io"
+	"iter"
 	"sort"
 
 	"gph/internal/binio"
 	"gph/internal/bitvec"
 	"gph/internal/engine"
+	"gph/internal/verify"
 )
 
 // Scanner implements the engine contract by exhaustive scan.
@@ -29,8 +31,9 @@ const scannerMagic = "GPHLN01\n"
 
 // Scanner answers Hamming distance searches by exhaustive scan.
 type Scanner struct {
-	dims int
-	data []bitvec.Vector
+	dims  int
+	data  []bitvec.Vector
+	codes *verify.Codes // packed row-major copy of data for batch verification
 }
 
 // New builds a scanner over data.
@@ -44,7 +47,7 @@ func New(data []bitvec.Vector) (*Scanner, error) {
 			return nil, fmt.Errorf("linscan: vector %d has %d dims, want %d", i, v.Dims(), dims)
 		}
 	}
-	return &Scanner{dims: dims, data: data}, nil
+	return &Scanner{dims: dims, data: data, codes: verify.Pack(data)}, nil
 }
 
 // Len returns the collection size.
@@ -93,16 +96,24 @@ func (s *Scanner) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *en
 	if err := engine.CheckQuery(q, s.dims, tau); err != nil {
 		return nil, nil, fmt.Errorf("linscan: %w", err)
 	}
-	var out []int32
-	for id, v := range s.data {
-		if q.HammingWithin(v, tau) {
-			out = append(out, int32(id))
-		}
-	}
+	out := s.codes.AppendWithin(q, tau, nil)
 	if !wantStats {
 		return out, nil, nil
 	}
 	return out, &engine.Stats{Candidates: len(s.data), Results: len(out), Scanned: true}, nil
+}
+
+// SearchIter implements engine.Streamer: the scan streams matches in
+// ascending id order as each verification block completes. Draining
+// the stream yields exactly the ids Search returns.
+func (s *Scanner) SearchIter(q bitvec.Vector, tau int) iter.Seq2[engine.Neighbor, error] {
+	return func(yield func(engine.Neighbor, error) bool) {
+		if err := engine.CheckQuery(q, s.dims, tau); err != nil {
+			yield(engine.Neighbor{}, fmt.Errorf("linscan: %w", err))
+			return
+		}
+		engine.StreamScan(s.codes, q, tau, yield)
+	}
 }
 
 // SearchKNN returns the exact k nearest neighbours of q by direct

@@ -21,6 +21,7 @@ import (
 	"gph/internal/bitvec"
 	"gph/internal/engine"
 	"gph/internal/invindex"
+	"gph/internal/verify"
 )
 
 // Index implements the engine contract.
@@ -65,6 +66,7 @@ type Index struct {
 	dims   int
 	tau    int
 	data   []bitvec.Vector
+	codes  *verify.Codes // packed row-major copy of data for batch verification
 	opts   Options
 	tables []*invindex.Frozen
 	// hash function parameters, one (a, b) pair per table per row
@@ -116,7 +118,7 @@ func Build(data []bitvec.Vector, tau int, opts Options) (*Index, error) {
 		l = opts.MaxTables
 	}
 
-	ix := &Index{dims: dims, tau: tau, data: data, opts: opts, jaccardT: t}
+	ix := &Index{dims: dims, tau: tau, data: data, codes: verify.Pack(data), opts: opts, jaccardT: t}
 	rng := rand.New(rand.NewSource(opts.Seed ^ 0x15a4))
 	ix.ha = make([]uint64, l*opts.K)
 	ix.hb = make([]uint64, l*opts.K)
@@ -260,7 +262,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		}
 	}
 	candidates := s.col.Candidates()
-	out := s.col.FinishVerified(q, tau, ix.data)
+	out := s.col.FinishVerifiedCodes(q, tau, ix.codes)
 	if !wantStats {
 		return out, nil, nil
 	}

@@ -10,6 +10,7 @@ package mih
 import (
 	"fmt"
 	"io"
+	"iter"
 	"sync"
 
 	"gph/internal/binio"
@@ -18,6 +19,7 @@ import (
 	"gph/internal/hamming"
 	"gph/internal/invindex"
 	"gph/internal/partition"
+	"gph/internal/verify"
 )
 
 // Index implements the engine contract.
@@ -49,6 +51,7 @@ type Options struct {
 type Index struct {
 	dims   int
 	data   []bitvec.Vector
+	codes  *verify.Codes // packed row-major copy of data for batch verification
 	parts  *partition.Partitioning
 	inv    []*invindex.Frozen
 	budget int64
@@ -98,7 +101,7 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	if budget == 0 {
 		budget = 1 << 20
 	}
-	ix := &Index{dims: dims, data: data, parts: parts, budget: budget}
+	ix := &Index{dims: dims, data: data, codes: verify.Pack(data), parts: parts, budget: budget}
 	ix.inv = buildInverted(data, parts)
 	return ix, nil
 }
@@ -228,41 +231,21 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		return nil, nil, fmt.Errorf("mih: %w", err)
 	}
 	s := ix.getScratch()
-	m := ix.parts.NumParts()
-	sub := tau / m // ⌊τ/m⌋, the basic pigeonhole threshold
-
-	// Scan guard: when any partition's signature ball exceeds the
-	// per-partition enumeration budget (τ/m beyond the index's useful
-	// regime, e.g. during kNN range growth), enumeration would fail —
-	// the honest plan is a verified scan: still exact, never more than
-	// O(n) work.
-	for _, dimsI := range ix.parts.Parts {
-		if size, ok := hamming.BallSize(len(dimsI), sub); !ok || size > uint64(ix.budget) {
-			out := make([]int32, 0, 64)
-			for id, v := range ix.data {
-				if q.HammingWithin(v, tau) {
-					out = append(out, int32(id))
-				}
-			}
-			ix.putScratch(s)
-			if !wantStats {
-				return out, nil, nil
-			}
-			return out, &Stats{Candidates: len(ix.data), Results: len(out), Scanned: true}, nil
-		}
+	scanned, err := ix.gather(q, tau, s)
+	if err != nil {
+		ix.putScratch(s)
+		return nil, nil, err
 	}
-
-	for i, dimsI := range ix.parts.Parts {
-		s.proj = s.proj.Resized(len(dimsI))
-		q.ProjectInto(dimsI, s.proj)
-		s.inv = ix.inv[i]
-		if err := s.enum.Enumerate(s.proj, sub, ix.budget, s.probeFn); err != nil {
-			ix.putScratch(s)
-			return nil, nil, fmt.Errorf("mih: partition %d radius %d: %w", i, sub, err)
+	if scanned {
+		out := ix.codes.AppendWithin(q, tau, make([]int32, 0, 64))
+		ix.putScratch(s)
+		if !wantStats {
+			return out, nil, nil
 		}
+		return out, &Stats{Candidates: len(ix.data), Results: len(out), Scanned: true}, nil
 	}
 	candidates := s.col.Candidates()
-	out := s.col.FinishVerified(q, tau, ix.data)
+	out := s.col.FinishVerifiedCodes(q, tau, ix.codes)
 	sigs, sumPost := s.sigs, s.sumPost
 	ix.putScratch(s)
 	if !wantStats {
@@ -274,6 +257,61 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		Candidates:  candidates,
 		Results:     len(out),
 	}, nil
+}
+
+// gather enumerates each partition's signature ball and probes the
+// frozen indexes into s's collector; it reports scanned=true (with no
+// candidates generated) when any partition's ball exceeds the
+// per-partition enumeration budget (τ/m beyond the index's useful
+// regime, e.g. during kNN range growth), where enumeration would fail
+// and the honest plan is a verified scan: still exact, never more
+// than O(n) work. Shared by Search and SearchIter.
+//
+//gph:hotpath
+func (ix *Index) gather(q bitvec.Vector, tau int, s *searchScratch) (scanned bool, err error) {
+	m := ix.parts.NumParts()
+	sub := tau / m // ⌊τ/m⌋, the basic pigeonhole threshold
+	for _, dimsI := range ix.parts.Parts {
+		if size, ok := hamming.BallSize(len(dimsI), sub); !ok || size > uint64(ix.budget) {
+			return true, nil
+		}
+	}
+	for i, dimsI := range ix.parts.Parts {
+		s.proj = s.proj.Resized(len(dimsI))
+		q.ProjectInto(dimsI, s.proj)
+		s.inv = ix.inv[i]
+		if err := s.enum.Enumerate(s.proj, sub, ix.budget, s.probeFn); err != nil {
+			return false, fmt.Errorf("mih: partition %d radius %d: %w", i, sub, err)
+		}
+	}
+	return false, nil
+}
+
+// SearchIter implements engine.Streamer: candidates are gathered as
+// in Search, then streamed out in ascending id order as verification
+// blocks complete. Draining the stream yields exactly the ids Search
+// returns; see engine.Streamer for the sequence contract.
+func (ix *Index) SearchIter(q bitvec.Vector, tau int) iter.Seq2[engine.Neighbor, error] {
+	return func(yield func(engine.Neighbor, error) bool) {
+		if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
+			yield(engine.Neighbor{}, fmt.Errorf("mih: %w", err))
+			return
+		}
+		s := ix.getScratch()
+		scanned, err := ix.gather(q, tau, s)
+		if err != nil {
+			ix.putScratch(s)
+			yield(engine.Neighbor{}, err)
+			return
+		}
+		if scanned {
+			ix.putScratch(s)
+			engine.StreamScan(ix.codes, q, tau, yield)
+			return
+		}
+		engine.StreamVerified(ix.codes, q, tau, s.col.CandidateIDs(), yield)
+		ix.putScratch(s)
+	}
 }
 
 // SearchKNN returns the k nearest neighbours of q by progressive range
@@ -325,7 +363,7 @@ func Load(r io.Reader) (*Index, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("mih: implausible enumeration budget %d", budget)
 	}
-	ix := &Index{dims: dims, data: data, parts: parts, budget: budget}
+	ix := &Index{dims: dims, data: data, codes: verify.Pack(data), parts: parts, budget: budget}
 	ix.inv = buildInverted(data, parts)
 	return ix, nil
 }

@@ -1,0 +1,130 @@
+// Streaming search across shards: each shard produces an ascending
+// per-shard result stream (its built engine's stream with tombstones
+// filtered and local ids mapped to global, two-way merged with its
+// delta matches), and the fan-in is an incremental k-way merge by
+// global id — results leave the index as soon as every shard's head
+// is known to be larger, so first-result latency tracks candidate
+// generation, not result-set size, and the order is deterministic
+// regardless of scheduling.
+package shard
+
+import (
+	"iter"
+	"slices"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+	"gph/internal/engine"
+)
+
+// SearchIter streams the global ids of all live vectors within
+// Hamming distance tau of q, in ascending id order — exactly the ids
+// Search returns, with their distances. The sequence follows the
+// engine.Streamer contract: on failure it yields a single
+// (Neighbor{}, err) and stops, and it is single-use. Shards are
+// consumed lazily: breaking out early cancels the remaining per-shard
+// streams.
+func (s *Index) SearchIter(q bitvec.Vector, tau int) iter.Seq2[core.Neighbor, error] {
+	return func(yield func(core.Neighbor, error) bool) {
+		// Load before validate — see Search for the first-insert race.
+		states := s.loadStates()
+		if err := s.validateQuery(q, tau); err != nil {
+			yield(core.Neighbor{}, err)
+			return
+		}
+		var pulls []func() (core.Neighbor, error, bool)
+		var stops []func()
+		defer func() {
+			for _, stop := range stops {
+				stop()
+			}
+		}()
+		for _, sh := range states {
+			if !sh.populated() {
+				continue
+			}
+			next, stop := iter.Pull2(sh.stream(q, tau))
+			pulls = append(pulls, next)
+			stops = append(stops, stop)
+		}
+		// Incremental k-way merge by global id. Shard counts are small,
+		// so a linear min-scan per emitted result beats heap upkeep.
+		heads := make([]core.Neighbor, len(pulls))
+		alive := make([]bool, len(pulls))
+		for i, next := range pulls {
+			nb, err, ok := next()
+			if ok && err != nil {
+				yield(core.Neighbor{}, err)
+				return
+			}
+			heads[i], alive[i] = nb, ok
+		}
+		for {
+			best := -1
+			for i := range heads {
+				if alive[i] && (best < 0 || heads[i].ID < heads[best].ID) {
+					best = i
+				}
+			}
+			if best < 0 {
+				return
+			}
+			if !yield(heads[best], nil) {
+				return
+			}
+			nb, err, ok := pulls[best]()
+			if ok && err != nil {
+				yield(core.Neighbor{}, err)
+				return
+			}
+			heads[best], alive[best] = nb, ok
+		}
+	}
+}
+
+// stream yields one shard's share of a range query in ascending
+// global id order: the built engine's stream (tombstones dropped,
+// local ids mapped through builtIDs, which is ascending so order is
+// preserved) merged two-way with the shard's delta matches. The delta
+// buffer is scanned eagerly up front — it is small by design (bounded
+// by the compaction policy) and a WAL-failure rollback can re-buffer
+// an old id out of append order, so the matches are sorted before the
+// merge rather than trusted to be ascending.
+func (sh *state) stream(q bitvec.Vector, tau int) iter.Seq2[core.Neighbor, error] {
+	return func(yield func(core.Neighbor, error) bool) {
+		var deltaHits []core.Neighbor
+		for _, e := range sh.delta {
+			if d := q.Hamming(e.vec); d <= tau {
+				deltaHits = append(deltaHits, core.Neighbor{ID: e.id, Distance: d})
+			}
+		}
+		slices.SortFunc(deltaHits, func(a, b core.Neighbor) int { return int(a.ID - b.ID) })
+		di := 0
+		if sh.built != nil {
+			for nb, err := range engine.Stream(sh.built, q, tau) {
+				if err != nil {
+					yield(core.Neighbor{}, err)
+					return
+				}
+				gid := sh.builtIDs[nb.ID]
+				if sh.dead[gid] {
+					continue
+				}
+				for di < len(deltaHits) && deltaHits[di].ID < gid {
+					if !yield(deltaHits[di], nil) {
+						return
+					}
+					di++
+				}
+				if !yield(core.Neighbor{ID: gid, Distance: nb.Distance}, nil) {
+					return
+				}
+			}
+		}
+		for ; di < len(deltaHits); di++ {
+			if !yield(deltaHits[di], nil) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,34 @@
+//go:build !gph_simd
+
+// Default kernel binding: the portable unrolled loops. The gph_simd
+// build tag selects kernel_simd.go instead; both bindings must pass
+// the same differential suite.
+package verify
+
+// kernelFilter binds FilterWithin to the portable implementation.
+//
+//gph:hotpath
+func kernelFilter(c *Codes, qw []uint64, tau int, ids []int32) []int32 {
+	return filterPortable(c, qw, tau, ids)
+}
+
+// kernelScan binds AppendWithin to the portable implementation.
+//
+//gph:hotpath
+func kernelScan(c *Codes, qw []uint64, tau int, dst []int32) []int32 {
+	return scanPortable(c, qw, tau, dst)
+}
+
+// kernelGather binds DistancesInto to the portable implementation.
+//
+//gph:hotpath
+func kernelGather(c *Codes, qw []uint64, ids []int32, dst []int32) {
+	gatherPortable(c, qw, ids, dst)
+}
+
+// kernelSeq binds DistancesSeqInto to the portable implementation.
+//
+//gph:hotpath
+func kernelSeq(c *Codes, qw []uint64, base int, dst []int32) {
+	seqPortable(c, qw, base, dst)
+}

@@ -1,0 +1,41 @@
+//go:build gph_simd
+
+// SIMD kernel slot. A platform-intrinsic variant (AVX2/AVX-512
+// VPOPCNTQ, NEON CNT) plugs in here by replacing these bindings with
+// assembly-backed loops; until one lands, the tag builds the portable
+// loops so `go build -tags gph_simd ./...` always compiles and the
+// differential suite exercises the seam. Keeping the slot compiling is
+// what CI's tag-build check gates.
+package verify
+
+// kernelFilter is the SIMD slot for FilterWithin; currently the
+// portable loops.
+//
+//gph:hotpath
+func kernelFilter(c *Codes, qw []uint64, tau int, ids []int32) []int32 {
+	return filterPortable(c, qw, tau, ids)
+}
+
+// kernelScan is the SIMD slot for AppendWithin; currently the
+// portable loops.
+//
+//gph:hotpath
+func kernelScan(c *Codes, qw []uint64, tau int, dst []int32) []int32 {
+	return scanPortable(c, qw, tau, dst)
+}
+
+// kernelGather is the SIMD slot for DistancesInto; currently the
+// portable loops.
+//
+//gph:hotpath
+func kernelGather(c *Codes, qw []uint64, ids []int32, dst []int32) {
+	gatherPortable(c, qw, ids, dst)
+}
+
+// kernelSeq is the SIMD slot for DistancesSeqInto; currently the
+// portable loops.
+//
+//gph:hotpath
+func kernelSeq(c *Codes, qw []uint64, base int, dst []int32) {
+	seqPortable(c, qw, base, dst)
+}

@@ -1,0 +1,139 @@
+// Package verify implements the batched verification layer shared by
+// every engine's refine phase: candidate vectors are laid out in a
+// single contiguous row-major arena (Codes) and verified in batches
+// with unrolled math/bits.OnesCount64 loops instead of one
+// bitvec.Hamming call per candidate. The kernels early-abort each
+// distance accumulation once tau is exceeded, keep candidate order,
+// and allocate nothing, so the engines' pooled-scratch discipline is
+// preserved.
+//
+// Threshold semantics match bitvec.Vector.HammingWithin exactly:
+// tau < 0 admits nothing and tau >= dims admits everything; the
+// differential tests in this package pin the agreement at those
+// boundaries for every batch size and block offset.
+//
+// The word-at-a-time path (Distance) is the reference implementation;
+// the unrolled kernels live behind a build-tag seam (kernel_generic.go
+// vs kernel_simd.go) that reserves a slot for a future SIMD variant.
+package verify
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gph/internal/bitvec"
+)
+
+// BlockSize is the number of candidates a streaming consumer should
+// hand to the block kernels at a time: large enough to amortize the
+// dispatch and keep the unrolled loops fed, small enough that a block
+// of distances fits in a stack buffer.
+const BlockSize = 256
+
+// Codes is an immutable packed copy of a vector collection: all
+// vectors' words in one contiguous arena, row-major, so batch
+// verification streams through memory instead of chasing one slice
+// header per candidate. Row i occupies words[i*w : (i+1)*w].
+type Codes struct {
+	n     int
+	dims  int
+	w     int // words per vector
+	words []uint64
+}
+
+// Pack copies data into a fresh arena. All vectors must share one
+// dimensionality (engines validate this at build time; Pack panics
+// otherwise, matching bitvec's precondition style).
+func Pack(data []bitvec.Vector) *Codes {
+	if len(data) == 0 {
+		return &Codes{}
+	}
+	dims := data[0].Dims()
+	w := (dims + bitvec.WordBits - 1) / bitvec.WordBits
+	c := &Codes{n: len(data), dims: dims, w: w, words: make([]uint64, len(data)*w)}
+	for i, v := range data {
+		if v.Dims() != dims {
+			panic(fmt.Sprintf("verify: vector %d has %d dims, want %d", i, v.Dims(), dims))
+		}
+		copy(c.words[i*w:(i+1)*w], v.Words())
+	}
+	return c
+}
+
+// Len returns the number of packed vectors.
+func (c *Codes) Len() int { return c.n }
+
+// Dims returns the dimensionality of the packed vectors.
+func (c *Codes) Dims() int { return c.dims }
+
+// SizeBytes returns the arena size in bytes.
+func (c *Codes) SizeBytes() int64 { return int64(len(c.words)) * 8 }
+
+// Distance returns the Hamming distance between q and row id, one
+// word at a time with no unrolling or early abort. It is the kernels'
+// reference implementation: the differential tests assert every batch
+// kernel agrees with it on every row.
+func (c *Codes) Distance(q bitvec.Vector, id int32) int {
+	qw := q.Words()
+	row := c.words[int(id)*c.w : (int(id)+1)*c.w]
+	d := 0
+	for j, w := range row {
+		d += bits.OnesCount64(w ^ qw[j])
+	}
+	return d
+}
+
+// FilterWithin keeps the ids whose vectors lie within Hamming
+// distance tau of q, filtering ids in place (order preserved) and
+// returning the kept prefix. It allocates nothing. Boundary taus
+// follow HammingWithin: tau < 0 keeps nothing, tau >= Dims keeps
+// everything.
+//
+//gph:hotpath
+func (c *Codes) FilterWithin(q bitvec.Vector, tau int, ids []int32) []int32 {
+	if tau < 0 {
+		return ids[:0]
+	}
+	if tau >= c.dims {
+		return ids
+	}
+	return kernelFilter(c, q.Words(), tau, ids)
+}
+
+// AppendWithin appends the ids of every packed vector within Hamming
+// distance tau of q to dst, in ascending id order, and returns the
+// extended slice. It is the full-scan form of FilterWithin (linscan,
+// scan guards).
+//
+//gph:hotpath
+func (c *Codes) AppendWithin(q bitvec.Vector, tau int, dst []int32) []int32 {
+	if tau < 0 {
+		return dst
+	}
+	if tau >= c.dims {
+		for id := 0; id < c.n; id++ {
+			dst = append(dst, int32(id))
+		}
+		return dst
+	}
+	return kernelScan(c, q.Words(), tau, dst)
+}
+
+// DistancesInto writes the Hamming distance between q and ids[j] into
+// dst[j] (gather form, for scattered candidate blocks). len(dst) must
+// be >= len(ids). No early abort: streaming consumers need the true
+// distance of every survivor anyway.
+//
+//gph:hotpath
+func (c *Codes) DistancesInto(q bitvec.Vector, ids []int32, dst []int32) {
+	kernelGather(c, q.Words(), ids, dst)
+}
+
+// DistancesSeqInto writes the Hamming distance between q and row
+// base+j into dst[j] (sequential form, for full scans). The range
+// [base, base+len(dst)) must lie within [0, Len()).
+//
+//gph:hotpath
+func (c *Codes) DistancesSeqInto(q bitvec.Vector, base int, dst []int32) {
+	kernelSeq(c, q.Words(), base, dst)
+}
