@@ -36,7 +36,12 @@
 // graceful shutdown) atomically checkpoints the index there and
 // truncates the WAL, and a later start loads the snapshot instead of
 // rebuilding from -data/-gen. Without -shards the index is single and
-// immutable. The server carries read/write timeouts, caps POST batch
+// immutable. -plan selects the per-query planner policy (adaptive by
+// default: each query routes between the built index and a verified
+// linear scan on calibrated cost) and -cache-size bounds the result
+// cache that answers repeated queries without re-searching; planner
+// decisions and cache counters surface in /stats and /metrics.
+// The server carries read/write timeouts, caps POST batch
 // sizes (-max-batch, oversize → 413), and shuts down gracefully on
 // SIGINT or SIGTERM, draining in-flight requests and syncing the WAL.
 package main
@@ -105,6 +110,15 @@ func (s *server) engineName() string {
 	return s.engine.Name()
 }
 
+// planStats reports the backend's planner/cache counters; ok=false
+// when planning and caching are both disabled (-plan off -cache-size 0).
+func (s *server) planStats() (gph.PlanStats, bool) {
+	if s.sharded != nil {
+		return s.sharded.PlanStats()
+	}
+	return gph.PlanStatsOf(s.engine)
+}
+
 // vector resolves an id from a search result to its vector for
 // distance reporting.
 func (s *server) vector(id int32) (gph.Vector, bool) {
@@ -145,8 +159,11 @@ func main() {
 		walPath  = flag.String("wal", "", "write-ahead log path: replay on start, fsync every update (-shards mode)")
 		autoComp = flag.Int("auto-compact", 0, "fold a shard automatically once it buffers this many pending updates; 0 = explicit /compact only")
 		snapPath = flag.String("snapshot", "", "snapshot path: loaded on start if present (instead of rebuilding from -data/-gen), written by POST /save and on graceful shutdown; checkpointing truncates the WAL (-shards mode)")
+		planMode = flag.String("plan", "adaptive", "query-planner policy: adaptive|index|scan|off")
+		cacheMB  = flag.Int("cache-size", 64, "result-cache budget in MiB; 0 disables caching")
 	)
 	flag.Parse()
+	cacheBytes := int64(*cacheMB) << 20
 
 	start := time.Now()
 	s := &server{maxBatch: *maxBatch, snapPath: *snapPath, metrics: newMetrics(handlerNames...)}
@@ -171,6 +188,11 @@ func main() {
 				log.Fatalf("gph-server: loading snapshot: %v", err)
 			}
 			sharded.SetAutoCompact(*autoComp)
+			// Planner/cache policy is runtime configuration, not
+			// persisted state: apply the flags to the loaded index.
+			if err := sharded.ConfigurePlan(*planMode, cacheBytes); err != nil {
+				log.Fatalf("gph-server: %v", err)
+			}
 			log.Printf("loaded snapshot %s (%s, %d vectors); -data/-gen ignored", *snapPath, sharded.Engine(), sharded.Len())
 		} else {
 			ds, err := loadOrGenerate(*dataPath, *gen, *n, *seed)
@@ -180,6 +202,7 @@ func main() {
 			opts := gph.Options{
 				NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar,
 				AutoCompactDelta: *autoComp,
+				PlanMode:         *planMode, CacheBytes: cacheBytes,
 			}
 			sharded, err = gph.BuildShardedEngine(*engName, ds.Vectors, *shards, opts)
 			if err != nil {
@@ -215,6 +238,12 @@ func main() {
 		})
 		if err != nil {
 			log.Fatalf("gph-server: building index: %v", err)
+		}
+		// Decorate with the planner and result cache once, at startup
+		// (calibration runs inside WrapPlan).
+		eng, err = gph.WrapPlan(eng, *planMode, cacheBytes)
+		if err != nil {
+			log.Fatalf("gph-server: %v", err)
 		}
 		s.engine = eng
 	}
@@ -330,6 +359,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp["shards"] = s.sharded.ShardStats()
 		resp["compaction"] = s.sharded.CompactionStatus()
 		resp["wal_bytes"] = s.sharded.WALSizeBytes()
+		resp["epoch"] = s.sharded.Epoch()
+	}
+	if ps, ok := s.planStats(); ok {
+		resp["planner"] = ps
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

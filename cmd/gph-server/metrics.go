@@ -135,6 +135,37 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE gph_index_bytes gauge\n")
 	fmt.Fprintf(w, "gph_index_bytes %d\n", s.sizeBytes())
 
+	// Planner routing decisions and result-cache counters, read from
+	// the backend at scrape time like the other index gauges. Absent
+	// entirely when -plan off and -cache-size 0.
+	if ps, ok := s.planStats(); ok {
+		fmt.Fprintf(w, "# HELP gph_plan_routed_total Queries routed by the planner, by route.\n")
+		fmt.Fprintf(w, "# TYPE gph_plan_routed_total counter\n")
+		fmt.Fprintf(w, "gph_plan_routed_total{route=\"index\"} %d\n", ps.RoutedIndex)
+		fmt.Fprintf(w, "gph_plan_routed_total{route=\"scan\"} %d\n", ps.RoutedScan)
+		fmt.Fprintf(w, "# HELP gph_plan_calibrated Whether the planner's cost coefficients are calibrated.\n")
+		fmt.Fprintf(w, "# TYPE gph_plan_calibrated gauge\n")
+		fmt.Fprintf(w, "gph_plan_calibrated %d\n", boolGauge(ps.Calibrated))
+		fmt.Fprintf(w, "# HELP gph_cache_hits_total Result-cache hits.\n")
+		fmt.Fprintf(w, "# TYPE gph_cache_hits_total counter\n")
+		fmt.Fprintf(w, "gph_cache_hits_total %d\n", ps.Cache.Hits)
+		fmt.Fprintf(w, "# HELP gph_cache_misses_total Result-cache misses.\n")
+		fmt.Fprintf(w, "# TYPE gph_cache_misses_total counter\n")
+		fmt.Fprintf(w, "gph_cache_misses_total %d\n", ps.Cache.Misses)
+		fmt.Fprintf(w, "# HELP gph_cache_evictions_total Result-cache LRU evictions.\n")
+		fmt.Fprintf(w, "# TYPE gph_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "gph_cache_evictions_total %d\n", ps.Cache.Evictions)
+		fmt.Fprintf(w, "# HELP gph_cache_entries Result-cache resident entries.\n")
+		fmt.Fprintf(w, "# TYPE gph_cache_entries gauge\n")
+		fmt.Fprintf(w, "gph_cache_entries %d\n", ps.Cache.Entries)
+		fmt.Fprintf(w, "# HELP gph_cache_bytes Result-cache resident bytes (budget gph_cache_bytes_max).\n")
+		fmt.Fprintf(w, "# TYPE gph_cache_bytes gauge\n")
+		fmt.Fprintf(w, "gph_cache_bytes %d\n", ps.Cache.Bytes)
+		fmt.Fprintf(w, "# HELP gph_cache_bytes_max Result-cache byte budget.\n")
+		fmt.Fprintf(w, "# TYPE gph_cache_bytes_max gauge\n")
+		fmt.Fprintf(w, "gph_cache_bytes_max %d\n", ps.Cache.MaxBytes)
+	}
+
 	if s.sharded == nil {
 		return
 	}
@@ -149,6 +180,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, sh := range stats {
 		fmt.Fprintf(w, "gph_shard_tombstones{shard=\"%d\"} %d\n", i, sh.Tombstones)
 	}
+	fmt.Fprintf(w, "# HELP gph_shard_epoch Snapshot epoch (swaps since construction), by shard.\n")
+	fmt.Fprintf(w, "# TYPE gph_shard_epoch gauge\n")
+	for i, sh := range stats {
+		fmt.Fprintf(w, "gph_shard_epoch{shard=\"%d\"} %d\n", i, sh.Epoch)
+	}
+	fmt.Fprintf(w, "# HELP gph_epoch Index-wide snapshot epoch (cache-invalidation counter).\n")
+	fmt.Fprintf(w, "# TYPE gph_epoch counter\n")
+	fmt.Fprintf(w, "gph_epoch %d\n", s.sharded.Epoch())
 	cs := s.sharded.CompactionStatus()
 	fmt.Fprintf(w, "# HELP gph_compactions_total Completed compaction runs.\n")
 	fmt.Fprintf(w, "# TYPE gph_compactions_total counter\n")

@@ -42,6 +42,7 @@ import (
 	"gph/internal/bitvec"
 	"gph/internal/core"
 	"gph/internal/engine"
+	"gph/internal/plan"
 	"gph/internal/shard"
 
 	// The baseline engines register themselves with the engine
@@ -322,3 +323,29 @@ func BuildShardedEngine(name string, data []Vector, numShards int, opts Options)
 func NewShardedEngine(name string, numShards int, opts Options) (*ShardedIndex, error) {
 	return shard.NewEngine(name, numShards, opts)
 }
+
+// PlanStats reports a query planner's routing counters, calibration
+// coefficients and result-cache counters; the struct lives in
+// internal/plan. Obtain one from ShardedIndex.PlanStats or, for a
+// WrapPlan-decorated engine, PlanStatsOf.
+type PlanStats = plan.Stats
+
+// CacheStats is the result cache's counter snapshot (hits, misses,
+// evictions, entries, bytes).
+type CacheStats = plan.CacheStats
+
+// WrapPlan decorates a single immutable engine with the adaptive
+// query planner and a bounded result cache — the single-engine
+// counterpart of ShardedIndex's Options.PlanMode / Options.CacheBytes
+// wiring. mode is "adaptive" (also the empty string), "index",
+// "scan", or "off"; cacheBytes bounds the cache (0 disables it).
+// Mode "off" with no cache returns e unchanged. Calibration runs
+// inside WrapPlan, so wrap at startup, not per query. Cached range
+// hits return the shared cached slice: treat results as read-only.
+func WrapPlan(e Engine, mode string, cacheBytes int64) (Engine, error) {
+	return plan.Wrap(e, mode, cacheBytes)
+}
+
+// PlanStatsOf reports the planner and cache state of an engine
+// returned by WrapPlan; ok=false for any other engine.
+func PlanStatsOf(e Engine) (PlanStats, bool) { return plan.StatsOf(e) }

@@ -7,8 +7,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"time"
 
@@ -34,8 +36,9 @@ type Config struct {
 	// Verbose adds per-query progress.
 	Verbose bool
 	// JSONPath, when set, is where experiments with machine-readable
-	// output (currently "verify" → BENCH_verify.json) write their
-	// report; empty disables the artifact.
+	// output ("fig6", "fig7", "mixed", "verify", "planner" — e.g.
+	// "verify" → BENCH_verify.json, "planner" → BENCH_planner.json)
+	// write their report; empty disables the artifact.
 	JSONPath string
 }
 
@@ -90,6 +93,7 @@ func Experiments() []Experiment {
 		{"sharded", "Sharded vs single-index GPH: build, fan-out query, agreement", (*Runner).Sharded},
 		{"mixed", "Mixed update-heavy workload: search p50/p99 during background compaction", (*Runner).Mixed},
 		{"verify", "Verification kernels: batch vs scalar throughput, first-result latency, allocs/op", (*Runner).Verify},
+		{"planner", "Adaptive planner + result cache vs every fixed engine on a mixed-tau workload", (*Runner).Planner},
 	}
 }
 
@@ -132,6 +136,24 @@ func (r *Runner) Run(id string) error {
 	known := ExperimentIDs()
 	sort.Strings(known)
 	return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, known)
+}
+
+// writeJSON serializes an experiment's machine-readable report to
+// Config.JSONPath; a no-op when no path is configured.
+func (r *Runner) writeJSON(rep interface{}) error {
+	if r.cfg.JSONPath == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(r.cfg.JSONPath, buf, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", r.cfg.JSONPath, err)
+	}
+	fmt.Fprintf(r.cfg.Out, "wrote %s\n", r.cfg.JSONPath)
+	return nil
 }
 
 // RunAll executes every experiment in order.

@@ -16,6 +16,35 @@ import (
 	"gph/internal/partition"
 )
 
+// Fig6Report is the machine-readable artifact of the fig6 experiment
+// (Config.JSONPath): exact per-algorithm index sizes plus the frozen
+// substrate's before/after accounting.
+type Fig6Report struct {
+	Scale     float64              `json:"scale"`
+	Points    []Fig6Point          `json:"points"`
+	Substrate []Fig6SubstratePoint `json:"substrate"`
+}
+
+// Fig6Point is one (dataset, τ, algorithm) index size.
+type Fig6Point struct {
+	Dataset   string `json:"dataset"`
+	Tau       int    `json:"tau"`
+	Algo      string `json:"algo"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+// Fig6SubstratePoint compares the frozen posting arenas against the
+// superseded map-resident form on one dataset, including load times of
+// both container formats.
+type Fig6SubstratePoint struct {
+	Dataset             string `json:"dataset"`
+	PostingsFrozenBytes int64  `json:"postings_frozen_bytes"`
+	PostingsMapBytes    int64  `json:"postings_map_bytes"`
+	FileBytes           int64  `json:"file_bytes"`
+	LoadArenaNanos      int64  `json:"load_arena_nanos"`
+	LoadMapNanos        int64  `json:"load_map_nanos"`
+}
+
 // Fig6 reproduces Fig. 6: index sizes of all algorithms across the
 // five datasets and τ settings. Every number is exact arena
 // accounting on the frozen substrate — arithmetic over real backing
@@ -34,6 +63,7 @@ func (r *Runner) Fig6() error {
 		shrink, loadSpeedup string
 	}
 	var subRows []substrateRow
+	rep := Fig6Report{Scale: r.cfg.Scale}
 	for _, spec := range specs() {
 		c := r.load(spec.name)
 		gphIx, err := r.buildGPH(c, 0)
@@ -47,12 +77,16 @@ func (r *Runner) Fig6() error {
 		}
 		for _, tau := range c.spec.taus {
 			cells := []interface{}{spec.name, tau, mb(gphIx.SizeBytes()), mb(mihIx.SizeBytes())}
+			rep.Points = append(rep.Points,
+				Fig6Point{spec.name, tau, "GPH", gphIx.SizeBytes()},
+				Fig6Point{spec.name, tau, "MIH", mihIx.SizeBytes()})
 			for _, sys := range []system{hmSystem(), paSystem(), lshSystem()} {
 				s, err := sys.build(c.data.Vectors, tau, r.cfg.Seed)
 				if err != nil {
 					return err
 				}
 				cells = append(cells, mb(s.SizeBytes()))
+				rep.Points = append(rep.Points, Fig6Point{spec.name, tau, sys.name, s.SizeBytes()})
 			}
 			t.row(cells...)
 		}
@@ -62,6 +96,10 @@ func (r *Runner) Fig6() error {
 		if err != nil {
 			return err
 		}
+		rep.Substrate = append(rep.Substrate, Fig6SubstratePoint{
+			Dataset: spec.name, PostingsFrozenBytes: frozen, PostingsMapBytes: mapEst,
+			FileBytes: v3Bytes, LoadArenaNanos: v3Nanos, LoadMapNanos: v2Nanos,
+		})
 		subRows = append(subRows, substrateRow{
 			name:        spec.name,
 			frozenMB:    mb(frozen),
@@ -82,7 +120,7 @@ func (r *Runner) Fig6() error {
 		st.row(row.name, row.frozenMB, row.mapMB, row.shrink, row.v3size, row.v3ms, row.v2ms, row.loadSpeedup)
 	}
 	st.flush()
-	return nil
+	return r.writeJSON(rep)
 }
 
 // measureLoads serializes ix in both container formats and times a
@@ -175,6 +213,25 @@ func (r *Runner) Table4() error {
 	return nil
 }
 
+// Fig7Report is the machine-readable artifact of the fig7 experiment
+// (Config.JSONPath): per-algorithm candidates, query time and recall
+// across the datasets and τ sweeps.
+type Fig7Report struct {
+	Scale   float64     `json:"scale"`
+	Queries int         `json:"queries"`
+	Points  []Fig7Point `json:"points"`
+}
+
+// Fig7Point is one (dataset, τ, algorithm) measurement.
+type Fig7Point struct {
+	Dataset       string  `json:"dataset"`
+	Tau           int     `json:"tau"`
+	Algo          string  `json:"algo"`
+	AvgCandidates float64 `json:"avg_candidates"`
+	AvgTimeMs     float64 `json:"avg_time_ms"`
+	Recall        float64 `json:"recall"`
+}
+
 // Fig7 reproduces Fig. 7: candidate numbers and query times of every
 // algorithm on every dataset across the τ sweeps. The paper's shape:
 // GPH has the fewest candidates and the lowest time throughout, with
@@ -182,6 +239,7 @@ func (r *Runner) Table4() error {
 // magnitude on PubChem); LSH collapses on skewed data. LSH rows also
 // report recall, since it is approximate.
 func (r *Runner) Fig7() error {
+	rep := Fig7Report{Scale: r.cfg.Scale, Queries: r.cfg.Queries}
 	for _, spec := range specs() {
 		c := r.load(spec.name)
 		truth, err := linscan.New(c.data.Vectors)
@@ -220,6 +278,12 @@ func (r *Runner) Fig7() error {
 				}
 				t.row(tau, algo, agg.candidates/len(c.queries), ms(avg.Nanoseconds()),
 					fmt.Sprintf("%.2f", recall))
+				rep.Points = append(rep.Points, Fig7Point{
+					Dataset: spec.name, Tau: tau, Algo: algo,
+					AvgCandidates: float64(agg.candidates) / float64(len(c.queries)),
+					AvgTimeMs:     float64(avg.Nanoseconds()) / 1e6,
+					Recall:        recall,
+				})
 				return nil
 			}
 			if err := row("GPH", gphIx); err != nil {
@@ -240,7 +304,7 @@ func (r *Runner) Fig7() error {
 		}
 		t.flush()
 	}
-	return nil
+	return r.writeJSON(rep)
 }
 
 // scanBaselineNanos measures the naive linear scan for context rows.

@@ -11,6 +11,24 @@ import (
 	"gph/internal/shard"
 )
 
+// MixedReport is the machine-readable artifact of the mixed experiment
+// (Config.JSONPath): search latency percentiles per lifecycle phase.
+type MixedReport struct {
+	Scale   float64      `json:"scale"`
+	Queries int          `json:"queries"`
+	Phases  []MixedPhase `json:"phases"`
+}
+
+// MixedPhase is one phase's latency summary; CompactMs is nonzero only
+// for the during-compaction phase.
+type MixedPhase struct {
+	Phase     string  `json:"phase"`
+	Searches  int     `json:"searches"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	CompactMs float64 `json:"compact_ms,omitempty"`
+}
+
 // Mixed measures the snapshot lifecycle's headline property: search
 // latency is unaffected by a concurrent compaction. The workload is
 // update-heavy — a sharded index absorbs a large insert burst, then
@@ -80,6 +98,8 @@ func (r *Runner) Mixed() error {
 		return err
 	}
 	t.row("idle", len(idle), us(pct(idle, 50)), us(pct(idle, 99)), "-")
+	rep := MixedReport{Scale: r.cfg.Scale, Queries: r.cfg.Queries}
+	rep.Phases = append(rep.Phases, mixedPhase("idle", idle, 0))
 
 	// Phase 2 — searches racing a background compaction of every
 	// shard. A sibling goroutine runs the synchronous Compact; the
@@ -116,6 +136,7 @@ func (r *Runner) Mixed() error {
 	}
 	t.row("during-compact", len(during), us(pct(during, 50)), us(pct(during, 99)),
 		ms(compactNanos.Load()))
+	rep.Phases = append(rep.Phases, mixedPhase("during-compact", during, compactNanos.Load()))
 
 	// Phase 3 — after the fold: buffers empty, searches hit only built
 	// engines.
@@ -132,7 +153,18 @@ func (r *Runner) Mixed() error {
 	t.flush()
 
 	fmt.Fprintf(r.cfg.Out, "searches completed during the rebuild: %d (pre-refactor: 0 — Compact held the write lock)\n", len(during))
-	return nil
+	rep.Phases = append(rep.Phases, mixedPhase("after-compact", after, 0))
+	return r.writeJSON(rep)
+}
+
+// mixedPhase summarizes one phase's latencies for the JSON report.
+func mixedPhase(name string, lat []time.Duration, compactNanos int64) MixedPhase {
+	return MixedPhase{
+		Phase: name, Searches: len(lat),
+		P50Us:     float64(pct(lat, 50).Nanoseconds()) / 1e3,
+		P99Us:     float64(pct(lat, 99).Nanoseconds()) / 1e3,
+		CompactMs: float64(compactNanos) / 1e6,
+	}
 }
 
 // pct returns the p-th percentile (nearest-rank) of the samples.

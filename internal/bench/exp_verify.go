@@ -1,9 +1,7 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -203,16 +201,5 @@ func (r *Runner) Verify() error {
 	}
 	et.flush()
 
-	if r.cfg.JSONPath != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(r.cfg.JSONPath, buf, 0o644); err != nil {
-			return fmt.Errorf("bench: writing %s: %w", r.cfg.JSONPath, err)
-		}
-		fmt.Fprintf(r.cfg.Out, "wrote %s\n", r.cfg.JSONPath)
-	}
-	return nil
+	return r.writeJSON(rep)
 }

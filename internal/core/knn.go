@@ -11,11 +11,12 @@ type Neighbor = engine.Neighbor
 
 // SearchKNN returns the k nearest neighbours of q by Hamming distance,
 // ties broken by ascending id. It delegates to engine.GrowKNN — the
-// shared progressive range expansion every engine uses (doubling radii
-// capped at MaxTau, then rank by (distance, id) and trim) — so GPH's
-// kNN semantics cannot drift from the conformance-tested contract.
-// (An earlier inline copy re-implemented the expansion and the
-// ranking by hand and never capped the radius.)
+// shared progressive range expansion every engine uses — which in
+// turn takes the incremental GrowSearcher path (SearchGrow in
+// plancost.go): candidates and distances accumulate across radius
+// rounds instead of being recomputed per radius, so GPH's kNN
+// semantics cannot drift from the conformance-tested contract while
+// paying one search at the final radius, not O(radii × search).
 func (ix *Index) SearchKNN(q bitvec.Vector, k int) ([]Neighbor, error) {
 	return engine.GrowKNN(ix, q, k)
 }

@@ -171,6 +171,16 @@ type Options struct {
 	// (compaction is explicit). Runtime-only — ignored by a single
 	// immutable Index and not persisted in saved containers.
 	AutoCompactDelta int
+	// PlanMode selects the sharded layer's query-planner policy:
+	// "adaptive" (default, also the empty string), "index", "scan", or
+	// "off". Runtime-only — ignored by a single immutable Index (wrap
+	// it with gph.WrapPlan instead) and not persisted in saved
+	// containers.
+	PlanMode string
+	// CacheBytes bounds the sharded layer's query-result cache; 0 (the
+	// default) disables caching. Runtime-only — ignored by a single
+	// immutable Index and not persisted in saved containers.
+	CacheBytes int64
 }
 
 func (o Options) withDefaults(n int) Options {

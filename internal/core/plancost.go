@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gph/internal/alloc"
+	"gph/internal/bitvec"
+	"gph/internal/engine"
+	"gph/internal/verify"
+)
+
+// Codes implements engine.Scannable: the packed verification arena
+// over the indexed vectors, row id == engine id. Shared storage —
+// callers must not modify it.
+func (ix *Index) Codes() *verify.Codes { return ix.codes }
+
+// EstimateSearchCost implements engine.CostEstimator: it runs only
+// phase 1 of the pipeline (the threshold-allocation DP over candest
+// estimates) and returns the allocation objective in the cost units
+// of Eq. 1 — posting accesses, with verification priced at 4 units
+// per candidate. A Fallback allocation (no valid plan under the enum
+// budget) reports alloc.FallbackCost, which prices the index path out
+// of any comparison, as it should: the engine itself would scan.
+// ok=false means no prediction exists (round-robin allocator or an
+// out-of-contract query). When the planner then routes to the index
+// path the DP runs again inside the search — an accepted double cost:
+// allocation is a small fraction of query time (Fig. 2(a)), and
+// keeping the estimate side-effect-free keeps the planner stateless.
+//
+//gph:hotpath
+func (ix *Index) EstimateSearchCost(q bitvec.Vector, tau int) (int64, bool) {
+	if q.Dims() != ix.dims || tau < 0 || tau >= ix.dims || ix.opts.Allocator != AllocDP {
+		return 0, false
+	}
+	s := ix.getScratch()
+	res := ix.allocate(q, tau, s)
+	ix.putScratch(s)
+	if res.Fallback {
+		return alloc.FallbackCost, true
+	}
+	if res.Thresholds == nil {
+		return 0, false
+	}
+	return res.Objective, true
+}
+
+// SearchGrow implements engine.GrowSearcher: kNN by incremental
+// radius growth over one pooled scratch. The candidate-dedup bitmap
+// and candidate list persist across rounds, so each radius pays only
+// for the signatures of its larger ball and the distances of its
+// *new* candidates — not a full re-search plus re-verification per
+// radius, which is what the generic GrowKNN reduction costs. When a
+// round's allocation trips the scan guard (or the radius cap is
+// reached short of k), the query degenerates to direct selection over
+// the full distance profile, exactly like linscan.
+func (ix *Index) SearchGrow(q bitvec.Vector, k int) ([]engine.Neighbor, engine.GrowStats, error) {
+	var gs engine.GrowStats
+	if err := engine.CheckKNN(q, ix.dims, k); err != nil {
+		return nil, gs, fmt.Errorf("core: %w", err)
+	}
+	if k > len(ix.data) {
+		k = len(ix.data)
+	}
+	if k == 0 {
+		return []engine.Neighbor{}, gs, nil
+	}
+	maxTau := ix.dims - 1
+	if maxTau < 1 {
+		gs = engine.GrowStats{Candidates: len(ix.data), Scanned: true}
+		return ix.knnByScan(q, k), gs, nil
+	}
+
+	s := ix.getScratch()
+	stats := &Stats{}
+	var dists []int32 // dists[i] is the exact distance of s.cands[i]
+	done := 0         // prefix of s.cands already distance-ranked
+	tau := 1
+	for {
+		gs.Radii++
+		gs.FinalTau = tau
+		scanned, err := ix.gather(q, tau, s, stats)
+		if err != nil {
+			ix.putScratch(s)
+			return nil, gs, err
+		}
+		if scanned {
+			ix.putScratch(s)
+			gs.Candidates = len(ix.data)
+			gs.Scanned = true
+			return ix.knnByScan(q, k), gs, nil
+		}
+		if add := len(s.cands) - done; add > 0 {
+			if cap(dists) < len(s.cands) {
+				next := make([]int32, len(s.cands))
+				copy(next, dists[:done])
+				dists = next
+			} else {
+				dists = dists[:len(s.cands)]
+			}
+			ix.codes.DistancesInto(q, s.cands[done:], dists[done:])
+			done = len(s.cands)
+		}
+		within := 0
+		for _, d := range dists {
+			if int(d) <= tau {
+				within++
+			}
+		}
+		if within >= k {
+			break
+		}
+		if tau >= maxTau {
+			// Grown to the radius cap and still short of k: only a
+			// verified scan can complete the answer.
+			ix.putScratch(s)
+			gs.Candidates = len(ix.data)
+			gs.Scanned = true
+			return ix.knnByScan(q, k), gs, nil
+		}
+		tau *= 2
+		if tau > maxTau {
+			tau = maxTau
+		}
+	}
+
+	// At least k candidates sit within tau, and the candidate set is a
+	// superset of every vector within tau, so ranking the candidates
+	// by (distance, id) yields the true top-k.
+	gs.Candidates = done
+	out := make([]engine.Neighbor, done)
+	for i := 0; i < done; i++ {
+		out[i] = engine.Neighbor{ID: s.cands[i], Distance: int(dists[i])}
+	}
+	ix.putScratch(s)
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, gs, nil
+}
+
+// knnByScan answers kNN by direct selection over the full distance
+// profile of the packed arena — the scan route's kNN, shared by
+// SearchGrow's fallback paths.
+func (ix *Index) knnByScan(q bitvec.Vector, k int) []engine.Neighbor {
+	n := len(ix.data)
+	dst := make([]int32, n)
+	if n > 0 {
+		ix.codes.DistancesSeqInto(q, 0, dst)
+	}
+	out := make([]engine.Neighbor, n)
+	for i, d := range dst {
+		out[i] = engine.Neighbor{ID: int32(i), Distance: int(d)}
+	}
+	sortNeighbors(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func sortNeighbors(out []engine.Neighbor) {
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].ID < out[b].ID
+	})
+}

@@ -178,6 +178,40 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	return out, stats, nil
 }
 
+// allocate runs the threshold-allocation phase (Algorithm 1) into the
+// pooled scratch: CN estimation per partition, then the allocation DP
+// (or the RR baseline). Shared by gather and by EstimateSearchCost,
+// which exposes the objective to the query planner without running
+// the search.
+//
+//gph:hotpath
+func (ix *Index) allocate(q bitvec.Vector, tau int, s *searchScratch) alloc.Result {
+	m := ix.parts.NumParts()
+	if ix.opts.Allocator == AllocRR {
+		return alloc.Result{Thresholds: alloc.RoundRobin(m, tau), SumCN: -1}
+	}
+	if cap(s.table) < m {
+		s.table = make(alloc.Table, m)
+	}
+	s.table = s.table[:m]
+	for i, est := range ix.ests {
+		if into, ok := est.(cnAllIntoScratch); ok {
+			row := s.table[i]
+			if cap(row) < tau+2 {
+				row = make([]int64, tau+2)
+			}
+			row = row[:tau+2]
+			into.CNAllIntoScratch(q, row, &s.est)
+			s.table[i] = row
+		} else {
+			s.table[i] = est.CNAll(q, tau)
+		}
+	}
+	return alloc.AllocateScratch(s.table, alloc.Params{
+		Tau: tau, Widths: ix.parts.Widths(), EnumBudget: ix.opts.EnumBudget,
+	}, &s.dp)
+}
+
 // gather runs phases 1–3 of the pipeline into s: threshold allocation
 // (Algorithm 1) over estimated CNs, the scan-guard decision, and the
 // fused enumerate+probe loop that fills s.cands with deduplicated
@@ -190,32 +224,7 @@ func (ix *Index) gather(q bitvec.Vector, tau int, s *searchScratch, stats *Stats
 	// Phase 1: threshold allocation. The RR baseline skips estimation
 	// entirely — that is the point of the comparison in Fig. 3.
 	start := time.Now()
-	m := ix.parts.NumParts()
-	var res alloc.Result
-	if ix.opts.Allocator == AllocRR {
-		res = alloc.Result{Thresholds: alloc.RoundRobin(m, tau), SumCN: -1}
-	} else {
-		if cap(s.table) < m {
-			s.table = make(alloc.Table, m)
-		}
-		s.table = s.table[:m]
-		for i, est := range ix.ests {
-			if into, ok := est.(cnAllIntoScratch); ok {
-				row := s.table[i]
-				if cap(row) < tau+2 {
-					row = make([]int64, tau+2)
-				}
-				row = row[:tau+2]
-				into.CNAllIntoScratch(q, row, &s.est)
-				s.table[i] = row
-			} else {
-				s.table[i] = est.CNAll(q, tau)
-			}
-		}
-		res = alloc.AllocateScratch(s.table, alloc.Params{
-			Tau: tau, Widths: ix.parts.Widths(), EnumBudget: ix.opts.EnumBudget,
-		}, &s.dp)
-	}
+	res := ix.allocate(q, tau, s)
 	stats.AllocNanos = time.Since(start).Nanoseconds()
 	stats.Thresholds = res.Thresholds
 	stats.EstimatedCN = res.SumCN

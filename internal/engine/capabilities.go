@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"gph/internal/bitvec"
+	"gph/internal/verify"
+)
+
+// This file defines the optional capability interfaces the query
+// planner (internal/plan) discovers by type assertion. They live here
+// — not in internal/plan — for the same reason Streamer does: engine
+// may import only substrate packages, and every implementation already
+// imports engine for the core contract, so capabilities advertised
+// here introduce no new edges in the package graph.
+
+// Scannable is implemented by engines whose vectors live in a packed
+// verification arena (verify.Codes). The planner's linear-scan route
+// answers range and kNN queries straight off the arena, bypassing the
+// engine's own candidate generation — the always-available fallback
+// path that genuinely wins at high tau and small collections.
+type Scannable interface {
+	// Codes returns the packed arena over the engine's vectors, row id
+	// == engine id. The arena is shared storage and must not be
+	// modified.
+	Codes() *verify.Codes
+}
+
+// CostEstimator is implemented by engines that can predict a query's
+// execution cost before running it. GPH implements it with the
+// threshold-allocation DP over candest estimates: the returned cost is
+// the allocation objective in the units of Eq. 1 (posting accesses,
+// with verification ≈ 4 units per candidate). ok=false means the
+// engine has no prediction for this query (e.g. the round-robin
+// allocator, or an out-of-contract tau) and the planner should fall
+// back to its calibrated crossover heuristic.
+type CostEstimator interface {
+	EstimateSearchCost(q bitvec.Vector, tau int) (cost int64, ok bool)
+}
+
+// GrowStats accounts one progressive-radius kNN query: how many radius
+// rounds ran, the final radius, and how many distinct candidates were
+// distance-ranked. Engines with an incremental grower fill it; the
+// generic GrowKNN reduction cannot (it restarts the search per radius,
+// which is exactly what GrowSearcher exists to avoid).
+type GrowStats struct {
+	// Radii is the number of radius rounds executed.
+	Radii int
+	// FinalTau is the radius at which the search stopped.
+	FinalTau int
+	// Candidates is the number of distinct candidates distance-ranked
+	// across all rounds (Len() when the grower degenerated to a scan).
+	Candidates int
+	// Scanned reports that the grower answered by verified full scan.
+	Scanned bool
+}
+
+// GrowSearcher is implemented by engines that answer kNN by
+// incremental radius growth: candidates and distances accumulate
+// across rounds instead of being recomputed per radius, so the cost is
+// one search at the final radius plus ranking — not O(radii × search).
+// GrowKNN delegates to it when present.
+type GrowSearcher interface {
+	SearchGrow(q bitvec.Vector, k int) ([]Neighbor, GrowStats, error)
+}

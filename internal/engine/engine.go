@@ -44,6 +44,7 @@ type Stats struct {
 	SumPostings int64 // Σ_{s∈S_sig} |I_s| (Fig. 2(b) "sum")
 	Candidates  int   // |S_cand| distinct candidates (Fig. 2(b) "cand")
 	Results     int
+	CacheHit    bool // query answered from the planner's result cache
 }
 
 // TotalNanos returns the summed phase times.

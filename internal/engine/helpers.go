@@ -59,9 +59,15 @@ func BatchSearch(queries []bitvec.Vector, parallelism int, search func(q bitvec.
 // capped at the engine's MaxTau, so τ-bounded engines answer
 // best-effort within their bound and may return fewer than k
 // neighbours. It is the shared implementation behind every baseline's
-// SearchKNN; engines with a native strategy (gph, linscan) override
-// it.
+// SearchKNN; engines with a native strategy (linscan) override it,
+// and engines implementing GrowSearcher (gph) take the incremental
+// path, which carries candidates across rounds instead of re-running
+// the full search at every radius.
 func GrowKNN(e Engine, q bitvec.Vector, k int) ([]Neighbor, error) {
+	if gs, ok := e.(GrowSearcher); ok {
+		nns, _, err := gs.SearchGrow(q, k)
+		return nns, err
+	}
 	if err := CheckKNN(q, e.Dims(), k); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,7 @@
+package linscan
+
+import "gph/internal/verify"
+
+// Codes implements engine.Scannable: the packed verification arena
+// the scanner already searches over (shared storage — do not modify).
+func (s *Scanner) Codes() *verify.Codes { return s.codes }

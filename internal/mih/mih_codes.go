@@ -1,0 +1,8 @@
+package mih
+
+import "gph/internal/verify"
+
+// Codes implements engine.Scannable: the packed verification arena
+// over the indexed vectors (shared storage — do not modify). The
+// query planner's linear-scan route reads it directly.
+func (ix *Index) Codes() *verify.Codes { return ix.codes }

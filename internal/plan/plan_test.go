@@ -1,0 +1,275 @@
+package plan
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gph/internal/bitvec"
+	"gph/internal/engine"
+	"gph/internal/linscan"
+)
+
+func randVectors(n, dims int, seed int64) []bitvec.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bitvec.Vector, n)
+	bits := make([]byte, dims)
+	for i := range out {
+		for j := range bits {
+			bits[j] = byte(rng.Intn(2))
+		}
+		out[i] = bitvec.FromBits(bits)
+	}
+	return out
+}
+
+func TestHashWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 8, 13} {
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		h := HashWords(words, 64)
+		if got := HashWords(words, 64); got != h {
+			t.Fatalf("n=%d: not deterministic: %x vs %x", n, h, got)
+		}
+		if got := HashWords(words, 63); got == h {
+			t.Errorf("n=%d: seed (dims) does not affect the hash", n)
+		}
+		if n > 0 {
+			flipped := append([]uint64(nil), words...)
+			flipped[n-1] ^= 1
+			if got := HashWords(flipped, 64); got == h {
+				t.Errorf("n=%d: single-bit flip does not change the hash", n)
+			}
+		}
+	}
+	// Length is part of the hash: a trailing zero word must matter.
+	if HashWords([]uint64{1, 2}, 0) == HashWords([]uint64{1, 2, 0}, 0) {
+		t.Error("trailing zero word does not change the hash")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{
+		"": ModeAdaptive, "adaptive": ModeAdaptive,
+		"index": ModeIndex, "scan": ModeScan, "off": ModeOff,
+	} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode(bogus) succeeded")
+	}
+}
+
+func TestCacheLRUAndBounds(t *testing.T) {
+	if NewCache(0) != nil || NewCache(-1) != nil {
+		t.Fatal("NewCache(<=0) must return the disabled cache")
+	}
+	var disabled *Cache
+	if _, _, ok := disabled.Get(Key{}); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	disabled.Put(Key{}, []int32{1}, nil) // must not panic
+	if st := disabled.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+
+	// Budget for exactly two small entries per shard; all keys share
+	// Hash so they land in one shard and the LRU order is observable.
+	c := NewCache(cacheShards * (2*entryOverhead + 2*8))
+	key := func(tau int32) Key { return Key{Tau: tau, K: -1} }
+	c.Put(key(1), []int32{1}, nil)
+	c.Put(key(2), []int32{2}, nil)
+	if _, _, ok := c.Get(key(1)); !ok {
+		t.Fatal("entry 1 missing before eviction")
+	}
+	// 1 is now most-recent; inserting 3 must evict 2.
+	c.Put(key(3), []int32{3}, nil)
+	if _, _, ok := c.Get(key(2)); ok {
+		t.Error("LRU victim (2) still cached")
+	}
+	if ids, _, ok := c.Get(key(1)); !ok || len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("promoted entry lost: %v %v", ids, ok)
+	}
+	if _, _, ok := c.Get(key(3)); !ok {
+		t.Error("fresh entry (3) missing")
+	}
+
+	// An entry larger than the whole shard budget is rejected outright.
+	huge := make([]int32, 1024)
+	c.Put(key(4), huge, nil)
+	if _, _, ok := c.Get(key(4)); ok {
+		t.Error("oversize entry cached")
+	}
+
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Bytes <= 0 || st.Bytes > st.MaxBytes {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheEpochMismatch(t *testing.T) {
+	c := NewCache(1 << 20)
+	k0 := Key{Hash: 42, Epoch: 0, Tau: 3, K: -1}
+	c.Put(k0, []int32{1, 2}, nil)
+	k1 := k0
+	k1.Epoch = 1
+	if _, _, ok := c.Get(k1); ok {
+		t.Fatal("entry from epoch 0 served at epoch 1")
+	}
+	if _, _, ok := c.Get(k0); !ok {
+		t.Fatal("entry missing at its own epoch")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				k := Key{Hash: rng.Uint64() & 0xff << 56, Tau: int32(rng.Intn(8)), K: -1}
+				if rng.Intn(2) == 0 {
+					c.Put(k, []int32{int32(i)}, nil)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("accounting went negative: %+v", st)
+	}
+}
+
+func TestWrapConformanceAndCacheHits(t *testing.T) {
+	const dims = 64
+	data := randVectors(400, dims, 1)
+	bare, err := linscan.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := Wrap(bare, "adaptive", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randVectors(5, dims, 2)
+	for _, tau := range []int{0, 4, 16, 40} {
+		for qi, q := range queries {
+			want, err := bare.Search(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass := 0; pass < 2; pass++ {
+				got, st, err := wrapped.SearchStats(q, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("tau=%d q=%d pass=%d: %d results, want %d", tau, qi, pass, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("tau=%d q=%d pass=%d: result %d = %d, want %d", tau, qi, pass, i, got[i], want[i])
+					}
+				}
+				if pass == 1 && !st.CacheHit {
+					t.Fatalf("tau=%d q=%d: second pass was not a cache hit", tau, qi)
+				}
+			}
+		}
+	}
+
+	// kNN conformance through the cache, both passes.
+	q := queries[0]
+	want, err := bare.SearchKNN(q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := wrapped.SearchKNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("kNN pass %d: %d results, want %d", pass, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("kNN pass %d: neighbor %d = %+v, want %+v", pass, i, got[i], want[i])
+			}
+		}
+	}
+
+	if st, ok := StatsOf(wrapped); !ok || st.Cache.Hits == 0 || st.Cache.Misses == 0 {
+		t.Errorf("StatsOf = %+v, %v", st, ok)
+	}
+
+	// Out-of-contract queries pass through to the inner engine's
+	// canonical errors and are never cached.
+	if _, err := wrapped.Search(bitvec.New(dims+1), 3); !errors.Is(err, engine.ErrDimMismatch) {
+		t.Errorf("wrong-dims error = %v", err)
+	}
+	if _, err := wrapped.Search(q, -1); !errors.Is(err, engine.ErrNegativeTau) {
+		t.Errorf("negative-tau error = %v", err)
+	}
+}
+
+func TestWrapCachedHitDoesNotAllocate(t *testing.T) {
+	data := randVectors(300, 64, 3)
+	bare, err := linscan.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := Wrap(bare, "adaptive", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randVectors(1, 64, 4)[0]
+	if _, err := wrapped.Search(q, 8); err != nil { // fill
+		t.Fatal(err)
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := wrapped.Search(q, 8)
+		if err != nil {
+			panic(err)
+		}
+		sink += len(out)
+	})
+	if allocs != 0 {
+		t.Errorf("cached hit allocates %v times per op, want 0", allocs)
+	}
+}
+
+func TestWrapOffIsIdentity(t *testing.T) {
+	data := randVectors(50, 64, 5)
+	bare, err := linscan.New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Wrap(bare, "off", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != engine.Engine(bare) {
+		t.Error("Wrap(off, 0) did not return the engine unchanged")
+	}
+	if _, ok := StatsOf(e); ok {
+		t.Error("StatsOf reported ok for an unwrapped engine")
+	}
+	if _, err := Wrap(bare, "bogus", 0); err == nil {
+		t.Error("Wrap accepted an unknown mode")
+	}
+}

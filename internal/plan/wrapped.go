@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"iter"
+
+	"gph/internal/bitvec"
+	"gph/internal/engine"
+)
+
+// Wrapped decorates a single immutable engine with the planner and
+// the result cache — the single-engine (non-sharded) serving mode.
+// The inner engine never changes, so the cache key's epoch is fixed
+// at zero; the sharded layer does its own wiring because its epoch
+// moves. Wrapped forwards the full Engine contract; range queries and
+// kNN go through the cache, streaming bypasses it (a stream's value
+// is incremental delivery, which a cached slice cannot improve on
+// without buffering).
+type Wrapped struct {
+	engine.Engine
+	pl    *Planner
+	cache *Cache
+	engID uint8
+}
+
+// Wrap decorates e with a planner in the given mode and a result
+// cache bounded by cacheBytes. Mode "off" with no cache returns e
+// unchanged. Calibration runs once, here — Wrap is build-time, not
+// query-time.
+func Wrap(e engine.Engine, mode string, cacheBytes int64) (engine.Engine, error) {
+	m, err := ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	if m == ModeOff && cacheBytes <= 0 {
+		return e, nil
+	}
+	pl := NewPlanner(m)
+	pl.Calibrate(e)
+	return &Wrapped{Engine: e, pl: pl, cache: NewCache(cacheBytes), engID: EngineID(e.Name())}, nil
+}
+
+// Unwrap returns the inner engine.
+func (w *Wrapped) Unwrap() engine.Engine { return w.Engine }
+
+// StatsOf reports the planner and cache state of an engine returned
+// by Wrap; ok=false for any other engine.
+func StatsOf(e engine.Engine) (Stats, bool) {
+	w, ok := e.(*Wrapped)
+	if !ok {
+		return Stats{}, false
+	}
+	st := w.pl.Stats()
+	st.Cache = w.cache.Stats()
+	return st, true
+}
+
+// EngineID folds an engine name to the cache key's engine byte
+// (FNV-1a folded to 8 bits). Distinct engines sharing one cache is
+// not a supported configuration, so 8 bits of separation is plenty —
+// the byte exists to keep an engine swap from replaying another
+// engine's entries.
+func EngineID(name string) uint8 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return uint8(h ^ h>>8 ^ h>>16 ^ h>>24)
+}
+
+// valid reports whether the query is inside the inner engine's
+// contract; out-of-contract queries are delegated to the inner engine
+// so the caller sees its canonical error.
+//
+//gph:hotpath
+func (w *Wrapped) valid(q bitvec.Vector, tau int) bool {
+	return q.Dims() == w.Engine.Dims() && tau >= 0 && tau <= w.Engine.MaxTau()
+}
+
+// Search implements engine.Engine. Cache hits return the shared
+// cached slice (read-only by contract) — the hit path performs no
+// allocations.
+//
+//gph:hotpath
+func (w *Wrapped) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	if !w.valid(q, tau) {
+		return w.Engine.Search(q, tau)
+	}
+	key := Key{Hash: HashWords(q.Words(), uint64(q.Dims())), Tau: int32(tau), K: -1, Eng: w.engID}
+	if ids, _, ok := w.cache.Get(key); ok {
+		return ids, nil
+	}
+	var out []int32
+	var err error
+	if w.pl.Route(w.Engine, q, tau) == RouteScan {
+		out = w.Engine.(engine.Scannable).Codes().AppendWithin(q, tau, nil)
+	} else {
+		out, err = w.Engine.Search(q, tau)
+	}
+	if err == nil {
+		w.cache.Put(key, out, nil)
+	}
+	return out, err
+}
+
+// SearchStats implements engine.Engine; cached hits report only the
+// result count, with CacheHit set.
+func (w *Wrapped) SearchStats(q bitvec.Vector, tau int) ([]int32, *engine.Stats, error) {
+	if !w.valid(q, tau) {
+		return w.Engine.SearchStats(q, tau)
+	}
+	key := Key{Hash: HashWords(q.Words(), uint64(q.Dims())), Tau: int32(tau), K: -1, Eng: w.engID}
+	if ids, _, ok := w.cache.Get(key); ok {
+		return ids, &engine.Stats{Results: len(ids), Candidates: len(ids), CacheHit: true}, nil
+	}
+	if w.pl.Route(w.Engine, q, tau) == RouteScan {
+		out := w.Engine.(engine.Scannable).Codes().AppendWithin(q, tau, nil)
+		st := &engine.Stats{Scanned: true, Candidates: w.Engine.Len(), Results: len(out)}
+		w.cache.Put(key, out, nil)
+		return out, st, nil
+	}
+	out, st, err := w.Engine.SearchStats(q, tau)
+	if err == nil {
+		w.cache.Put(key, out, nil)
+	}
+	return out, st, err
+}
+
+// SearchKNN implements engine.Engine with kNN caching (ids and
+// distances both cached, so a hit re-materializes neighbours without
+// touching the index).
+func (w *Wrapped) SearchKNN(q bitvec.Vector, k int) ([]engine.Neighbor, error) {
+	if q.Dims() != w.Engine.Dims() || k <= 0 {
+		return w.Engine.SearchKNN(q, k)
+	}
+	key := Key{Hash: HashWords(q.Words(), uint64(q.Dims())), Tau: -1, K: int32(k), Eng: w.engID}
+	if ids, dists, ok := w.cache.Get(key); ok {
+		out := make([]engine.Neighbor, len(ids))
+		for i := range ids {
+			out[i] = engine.Neighbor{ID: ids[i], Distance: int(dists[i])}
+		}
+		return out, nil
+	}
+	nns, err := w.Engine.SearchKNN(q, k)
+	if err == nil {
+		ids := make([]int32, len(nns))
+		dists := make([]int32, len(nns))
+		for i, nb := range nns {
+			ids[i] = nb.ID
+			dists[i] = int32(nb.Distance)
+		}
+		w.cache.Put(key, ids, dists)
+	}
+	return nns, err
+}
+
+// SearchBatch implements engine.Engine through the cached Search.
+func (w *Wrapped) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	return engine.BatchSearch(queries, parallelism, func(q bitvec.Vector) ([]int32, error) {
+		return w.Search(q, tau)
+	})
+}
+
+// SearchIter implements engine.Streamer by forwarding to the inner
+// engine (native streaming when it has one, the generic reduction
+// otherwise). Streaming bypasses the planner and cache.
+func (w *Wrapped) SearchIter(q bitvec.Vector, tau int) iter.Seq2[engine.Neighbor, error] {
+	return engine.Stream(w.Engine, q, tau)
+}

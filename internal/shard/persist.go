@@ -345,5 +345,8 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("shard: reading container: %w", err)
 	}
 	s.live.Store(int64(len(s.owner)))
+	// Loaded engines are fresh objects: calibrate the planner against
+	// them before the index serves traffic.
+	s.calibratePlanner()
 	return s, nil
 }

@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"gph/internal/bitvec"
+	"gph/internal/core"
+	"gph/internal/dataset"
+	"gph/internal/plan"
+)
+
+// planOpts enables the planner and a result cache on top of the usual
+// fast test options.
+func planOpts() core.Options {
+	o := testOpts()
+	o.PlanMode = "adaptive"
+	o.CacheBytes = 1 << 20
+	return o
+}
+
+// TestPlannerConformance is the planner's exactness guarantee at the
+// sharded layer: with adaptive routing and the cache enabled, every
+// workload bucket's results are byte-equal to the linear-scan oracle —
+// on the cold pass (planner-routed) and the warm pass (cache hit)
+// alike.
+func TestPlannerConformance(t *testing.T) {
+	ds := dataset.UQVideoLike(1200, 3)
+	s, err := Build(ds.Vectors, 4, planOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	live := make(map[int32]bitvec.Vector, len(ds.Vectors))
+	for i, v := range ds.Vectors {
+		live[int32(i)] = v
+	}
+	queries := dataset.PerturbQueries(ds, 8, 4, 17)
+	for _, tau := range []int{2, 8, 16} { // low / mid / high buckets
+		for qi, q := range queries {
+			want := bruteRange(live, q, tau)
+			for pass := 0; pass < 2; pass++ {
+				got, err := s.Search(q, tau)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalIDs(want, got) {
+					t.Fatalf("tau=%d query=%d pass=%d: got %d ids, want %d (planned path diverged from oracle)",
+						tau, qi, pass, len(got), len(want))
+				}
+			}
+		}
+	}
+	ps, ok := s.PlanStats()
+	if !ok {
+		t.Fatal("PlanStats not ok with planner configured")
+	}
+	if ps.Cache.Hits == 0 {
+		t.Error("second passes produced no cache hits")
+	}
+}
+
+// TestCacheEpochInvalidation plants a deliberately poisoned cache
+// entry at the current epoch — proving lookups really serve it — then
+// shows one Insert's snapshot swap makes it unreachable: the next
+// search recomputes against the new live set instead of serving the
+// stale (now wrong) cached ids.
+func TestCacheEpochInvalidation(t *testing.T) {
+	ds := dataset.UQVideoLike(600, 5)
+	s, err := Build(ds.Vectors, 2, planOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := dataset.PerturbQueries(ds, 1, 4, 23)[0]
+	const tau = 8
+
+	// Ground truth via the uncached path — Search would fill the real
+	// entry first, and Put keeps the incumbent on a duplicate key.
+	honest, err := s.searchUncached(q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the entry the next lookup will consult.
+	poisoned := []int32{-1, -2, -3}
+	key := plan.Key{
+		Hash:  plan.HashWords(q.Words(), uint64(q.Dims())),
+		Epoch: s.Epoch(), Tau: tau, K: -1, Eng: s.engID,
+	}
+	s.cache.Put(key, poisoned, nil)
+	got, err := s.Search(q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, poisoned) {
+		t.Fatalf("planted entry not served: got %v — the epoch test proves nothing if lookups bypass the cache", got)
+	}
+
+	// One insert publishes a new snapshot and bumps the epoch; the
+	// stale entry must never be served again.
+	before := s.Epoch()
+	id, err := s.Insert(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() <= before {
+		t.Fatalf("Insert did not bump the epoch (%d -> %d)", before, s.Epoch())
+	}
+	got, err = s.Search(q, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equalIDs(got, poisoned) {
+		t.Fatal("pre-swap cached result served after the epoch bump")
+	}
+	want := append(append([]int32(nil), honest...), id)
+	if !equalIDs(got, want) {
+		t.Fatalf("post-swap search: got %v, want %v", got, want)
+	}
+}
+
+// TestEpochMonotonic pins the epoch contract: every snapshot-swapping
+// operation (Insert, Delete, Compact) strictly increases the
+// index-wide epoch and the owning shard's Stats().Epoch.
+func TestEpochMonotonic(t *testing.T) {
+	ds := dataset.UQVideoLike(400, 9)
+	s, err := Build(ds.Vectors, 2, planOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sum := func() uint64 {
+		var n uint64
+		for _, st := range s.ShardStats() {
+			n += st.Epoch
+		}
+		return n
+	}
+	last, lastSum := s.Epoch(), sum()
+	step := func(op string) {
+		if e := s.Epoch(); e <= last {
+			t.Fatalf("%s: index epoch not bumped (%d -> %d)", op, last, e)
+		} else {
+			last = e
+		}
+		if n := sum(); n <= lastSum {
+			t.Fatalf("%s: no shard epoch bumped (%d -> %d)", op, lastSum, n)
+		} else {
+			lastSum = n
+		}
+	}
+	if _, err := s.Insert(ds.Vectors[0]); err != nil {
+		t.Fatal(err)
+	}
+	step("Insert")
+	// Delete a built id (not the fresh delta insert) so the shard stays
+	// dirty and Compact below has real folding to do.
+	if err := s.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	step("Delete")
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	step("Compact")
+}
+
+// TestCacheUnderConcurrentChurn races cached searches against
+// Insert/Delete/Compact and asserts every result matches the live set
+// at some moment of the query's execution window — i.e. concurrent
+// swaps never surface a pre-swap cached result as current state. Run
+// under -race this also exercises the lock-free epoch/cache
+// coordination.
+func TestCacheUnderConcurrentChurn(t *testing.T) {
+	ds := dataset.UQVideoLike(800, 11)
+	base := 600
+	s, err := Build(ds.Vectors[:base], 4, planOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	queries := dataset.PerturbQueries(ds, 4, 4, 31)
+	const tau = 8
+
+	// The churn set: vectors inserted and deleted concurrently. Results
+	// for ids below base are stable; churned ids may or may not appear.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := ds.Vectors[base+i%(len(ds.Vectors)-base)]
+			id, err := s.Insert(v)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				if err := s.Delete(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if i%20 == 0 {
+				if err := s.Compact(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	stable := make([]map[int32]bool, len(queries))
+	for qi, q := range queries {
+		stable[qi] = make(map[int32]bool)
+		for id := int32(0); id < int32(base); id++ {
+			if q.HammingWithin(ds.Vectors[id], tau) {
+				stable[qi][id] = true
+			}
+		}
+	}
+	for round := 0; round < 50; round++ {
+		for qi, q := range queries {
+			got, err := s.Search(q, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[int32]bool, len(got))
+			for _, id := range got {
+				seen[id] = true
+				if id < int32(base) && !stable[qi][id] {
+					t.Fatalf("round %d query %d: id %d outside tau returned", round, qi, id)
+				}
+			}
+			for id := range stable[qi] {
+				if !seen[id] {
+					t.Fatalf("round %d query %d: stable id %d missing (stale cached result?)", round, qi, id)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -33,6 +33,7 @@ import (
 	"gph/internal/bitvec"
 	"gph/internal/core"
 	"gph/internal/engine"
+	"gph/internal/plan"
 	"gph/internal/wal"
 )
 
@@ -61,6 +62,12 @@ type state struct {
 	builtPos map[int32]int32 // global id → local id (inverse of builtIDs)
 	dead     map[int32]bool  // tombstoned global ids within built
 	delta    []deltaEntry    // unindexed inserts, ascending global id
+
+	// epoch counts this shard's snapshot swaps: every successor state
+	// carries its predecessor's epoch plus one. Exported per shard in
+	// Stats for observability of snapshot churn; the result cache keys
+	// on the index-wide epoch counter, which the same swaps bump.
+	epoch uint64
 }
 
 // live returns the number of vectors the shard answers for.
@@ -92,6 +99,7 @@ func (sh *state) populated() bool {
 //gph:snapshotwriter
 func (sh *state) withInsert(e deltaEntry) *state {
 	next := *sh
+	next.epoch = sh.epoch + 1
 	next.delta = append(sh.delta, e)
 	return &next
 }
@@ -101,6 +109,7 @@ func (sh *state) withInsert(e deltaEntry) *state {
 //gph:snapshotwriter
 func (sh *state) withDead(id int32) *state {
 	next := *sh
+	next.epoch = sh.epoch + 1
 	next.dead = make(map[int32]bool, len(sh.dead)+1)
 	for k := range sh.dead {
 		next.dead[k] = true
@@ -115,6 +124,7 @@ func (sh *state) withDead(id int32) *state {
 //gph:snapshotwriter
 func (sh *state) withoutDelta(id int32) (*state, deltaEntry) {
 	next := *sh
+	next.epoch = sh.epoch + 1
 	var removed deltaEntry
 	next.delta = make([]deltaEntry, 0, len(sh.delta)-1)
 	for _, e := range sh.delta {
@@ -133,6 +143,7 @@ func (sh *state) withoutDelta(id int32) (*state, deltaEntry) {
 //gph:snapshotwriter
 func (sh *state) withoutDead(id int32) *state {
 	next := *sh
+	next.epoch = sh.epoch + 1
 	next.dead = make(map[int32]bool, len(sh.dead))
 	for k := range sh.dead {
 		if k != id {
@@ -183,6 +194,22 @@ type Index struct {
 	live      atomic.Int64    // len(owner), readable without mu
 
 	wal *wal.Log // nil until OpenWAL; guarded by mu
+
+	// epoch counts snapshot swaps index-wide: writers bump it adjacent
+	// to every shards[i].Store. The result cache keys on it, so a swap
+	// invalidates every cached result with zero coordination — stale
+	// entries can never match a post-swap lookup and age out of the
+	// LRU. Monotonic, never reset (no ABA).
+	epoch atomic.Uint64
+
+	// planner routes queries between the built index path and the
+	// verified-scan path; cache is the bounded LRU over query results.
+	// Both are fixed at construction (ConfigurePlan before serving) and
+	// read lock-free on the search hot path; either may be nil
+	// (disabled).
+	planner *plan.Planner
+	cache   *plan.Cache
+	engID   uint8 // plan.EngineID(engine), baked into cache keys
 
 	// Compaction: compactMu serializes rebuild runs; pending
 	// deduplicates async/auto triggers; autoCompact is the buffer
@@ -241,6 +268,9 @@ func NewEngine(engineName string, numShards int, opts core.Options) (*Index, err
 		s.maxTau = engine.BuildOptions{MaxTau: opts.MaxTau}.WithDefaults().MaxTau
 	}
 	s.autoCompact.Store(int32(opts.AutoCompactDelta))
+	if err := s.ConfigurePlan(opts.PlanMode, opts.CacheBytes); err != nil {
+		return nil, err
+	}
 	empty := &state{builtPos: map[int32]int32{}, dead: map[int32]bool{}}
 	for i := range s.shards {
 		s.shards[i].Store(empty)
@@ -322,6 +352,7 @@ func BuildEngine(engineName string, data []bitvec.Vector, numShards int, opts co
 	for i := range states {
 		s.shards[i].Store(states[i])
 	}
+	s.calibratePlanner()
 	return s, nil
 }
 
@@ -443,6 +474,7 @@ func (s *Index) Insert(v bitvec.Vector) (int32, error) {
 	s.nextID++
 	si := s.route(v)
 	s.shards[si].Store(s.shards[si].Load().withInsert(deltaEntry{id: id, vec: v}))
+	s.epoch.Add(1)
 	s.owner[id] = si
 	s.live.Add(1)
 	// The WAL record is written (buffered, no fsync) while still
@@ -475,6 +507,7 @@ func (s *Index) Insert(v bitvec.Vector) (int32, error) {
 				next, _ := cur.withoutDelta(id)
 				s.shards[si].Store(next)
 			}
+			s.epoch.Add(1)
 			delete(s.owner, id)
 			s.live.Add(-1)
 			s.mu.Unlock()
@@ -507,6 +540,7 @@ func (s *Index) Delete(id int32) error {
 		next, removed = sh.withoutDelta(id)
 		s.shards[si].Store(next)
 	}
+	s.epoch.Add(1)
 	delete(s.owner, id)
 	s.live.Add(-1)
 	// Record written under the writer lock, fsynced outside it — see
@@ -535,6 +569,7 @@ func (s *Index) Delete(id int32) error {
 			} else {
 				s.shards[si].Store(cur.withInsert(removed))
 			}
+			s.epoch.Add(1)
 			s.owner[id] = si
 			s.live.Add(1)
 			s.mu.Unlock()
@@ -702,7 +737,7 @@ func (s *Index) compactLocked() error {
 	for ci, c := range caps {
 		rb := results[ci]
 		cur := s.shards[c.i].Load()
-		next := &state{built: rb.built, builtIDs: rb.ids, builtPos: rb.pos, dead: map[int32]bool{}}
+		next := &state{built: rb.built, builtIDs: rb.ids, builtPos: rb.pos, dead: map[int32]bool{}, epoch: cur.epoch + 1}
 		for _, gid := range rb.ids {
 			if _, alive := s.owner[gid]; !alive {
 				next.dead[gid] = true
@@ -714,8 +749,13 @@ func (s *Index) compactLocked() error {
 			}
 		}
 		s.shards[c.i].Store(next)
+		s.epoch.Add(1)
 	}
 	s.mu.Unlock()
+	// The rebuilt engines may have very different cost profiles (delta
+	// buffers folded in, tombstones dropped): refresh the planner's
+	// coefficients against the new reality, still off the hot path.
+	s.calibratePlanner()
 	return nil
 }
 
@@ -783,10 +823,40 @@ func (s *Index) fanOut(tasks []func()) {
 // core index over the live vectors would return. Shards are probed
 // from their current snapshots (tombstones filtered, delta buffers
 // linearly scanned) concurrently over the fan-out pool, or inline
-// when at most one shard is populated.
+// when at most one shard is populated. With a result cache configured
+// (Options.CacheBytes / ConfigurePlan), repeated queries return the
+// cached slice itself: callers must treat results as read-only. The
+// cached-hit path takes no locks beyond one cache-shard mutex and
+// performs no allocations.
 //
 //gph:hotpath
 func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	var key plan.Key
+	var e1 uint64
+	if s.cache != nil {
+		// Epoch reads before the snapshot loads inside searchUncached:
+		// a result is cached only if no swap was published between this
+		// read and the re-read after the search, so an entry keyed e1
+		// provably reflects every update acknowledged before e1. Only
+		// valid queries are ever stored (Put runs on success), so a hit
+		// cannot bypass validation.
+		e1 = s.epoch.Load()
+		key = plan.Key{Hash: plan.HashWords(q.Words(), uint64(q.Dims())), Epoch: e1, Tau: int32(tau), K: -1, Eng: s.engID}
+		if ids, _, ok := s.cache.Get(key); ok {
+			return ids, nil
+		}
+	}
+	out, err := s.searchUncached(q, tau)
+	if s.cache != nil && err == nil && s.epoch.Load() == e1 {
+		s.cache.Put(key, out, nil)
+	}
+	return out, err
+}
+
+// searchUncached is the fan-out search pipeline behind the cache.
+//
+//gph:hotpath
+func (s *Index) searchUncached(q bitvec.Vector, tau int) ([]int32, error) {
 	// Snapshots load before validation: an insert publishes its shard
 	// state after storing the adopted dimensionality, so any state
 	// these snapshots contain is covered by the dims value validate
@@ -806,7 +876,7 @@ func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
 		i, sh := i, sh
 		//gphlint:ignore hotpath one task closure per populated shard, bounded by shard count
 		tasks = append(tasks, func() {
-			perShard[i], errs[i] = sh.search(q, tau)
+			perShard[i], errs[i] = sh.search(q, tau, s.planner)
 		})
 	}
 	s.fanOut(tasks)
@@ -828,12 +898,22 @@ func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
 // search answers one shard's share of a range query: built-index
 // results mapped to global ids with tombstones dropped, then the
 // delta scan. builtIDs is ascending, so the mapped ids stay sorted.
-func (sh *state) search(q bitvec.Vector, tau int) ([]int32, error) {
+// The planner routes between the engine's own Search and a verified
+// scan of its packed arena (plan.RouteScan is only ever answered for
+// exact engine.Scannable engines, so both routes return the same id
+// set — the scan just wins at high tau and small shards).
+func (sh *state) search(q bitvec.Vector, tau int, pl *plan.Planner) ([]int32, error) {
 	var out []int32
 	if sh.built != nil {
-		local, err := sh.built.Search(q, tau)
-		if err != nil {
-			return nil, err
+		var local []int32
+		if pl.Route(sh.built, q, tau) == plan.RouteScan {
+			local = sh.built.(engine.Scannable).Codes().AppendWithin(q, tau, nil)
+		} else {
+			var err error
+			local, err = sh.built.Search(q, tau)
+			if err != nil {
+				return nil, err
+			}
 		}
 		out = make([]int32, 0, len(local))
 		for _, lid := range local {
@@ -859,8 +939,38 @@ func (sh *state) search(q bitvec.Vector, tau int) ([]int32, error) {
 // the per-shard lists merge through a max-heap bounded at k. For
 // τ-bounded engines the answer is best-effort within the build
 // threshold, exactly like a single such index: neighbours beyond it
-// are never reported, whether indexed or delta-buffered.
+// are never reported, whether indexed or delta-buffered. kNN results
+// cache like range results (ids and distances both), keyed on the
+// requested k.
 func (s *Index) SearchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
+	var key plan.Key
+	var e1 uint64
+	if s.cache != nil && k > 0 {
+		e1 = s.epoch.Load()
+		key = plan.Key{Hash: plan.HashWords(q.Words(), uint64(q.Dims())), Epoch: e1, Tau: -1, K: int32(k), Eng: s.engID}
+		if ids, dists, ok := s.cache.Get(key); ok {
+			out := make([]core.Neighbor, len(ids))
+			for i := range ids {
+				out[i] = core.Neighbor{ID: ids[i], Distance: int(dists[i])}
+			}
+			return out, nil
+		}
+	}
+	out, err := s.searchKNNUncached(q, k)
+	if s.cache != nil && k > 0 && err == nil && s.epoch.Load() == e1 {
+		ids := make([]int32, len(out))
+		dists := make([]int32, len(out))
+		for i, n := range out {
+			ids[i] = n.ID
+			dists[i] = int32(n.Distance)
+		}
+		s.cache.Put(key, ids, dists)
+	}
+	return out, err
+}
+
+// searchKNNUncached is the fan-out kNN pipeline behind the cache.
+func (s *Index) searchKNNUncached(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 	// Load before validate — see Search for the first-insert race.
 	states := s.loadStates()
 	if err := s.validateQuery(q, 0); err != nil {
@@ -1062,6 +1172,7 @@ func (s *Index) applyRecord(r wal.Record) (applied bool, err error) {
 		}
 		si := s.route(v)
 		s.shards[si].Store(s.shards[si].Load().withInsert(deltaEntry{id: r.ID, vec: v}))
+		s.epoch.Add(1)
 		s.owner[r.ID] = si
 		s.live.Add(1)
 		s.nextID = r.ID + 1
@@ -1083,6 +1194,7 @@ func (s *Index) applyRecord(r wal.Record) (applied bool, err error) {
 			next, _ := sh.withoutDelta(r.ID)
 			s.shards[si].Store(next)
 		}
+		s.epoch.Add(1)
 		delete(s.owner, r.ID)
 		s.live.Add(-1)
 		if r.ID >= s.nextID {
@@ -1136,10 +1248,11 @@ func (s *Index) Close() error {
 // accumulated (compaction folds Delta and Tombstones to zero), and
 // its resident size under the repository's shared accounting.
 type Stats struct {
-	Indexed    int   `json:"indexed"`    // vectors in the built index (tombstones included)
-	Delta      int   `json:"delta"`      // unindexed inserts pending compaction
-	Tombstones int   `json:"tombstones"` // deletes pending compaction
-	SizeBytes  int64 `json:"size_bytes"` // built index resident size
+	Indexed    int    `json:"indexed"`    // vectors in the built index (tombstones included)
+	Delta      int    `json:"delta"`      // unindexed inserts pending compaction
+	Tombstones int    `json:"tombstones"` // deletes pending compaction
+	SizeBytes  int64  `json:"size_bytes"` // built index resident size
+	Epoch      uint64 `json:"epoch"`      // snapshot swaps this shard has published
 }
 
 // ShardStats reports per-shard occupancy and buffer depth, indexed by
@@ -1152,6 +1265,7 @@ func (s *Index) ShardStats() []Stats {
 			Indexed:    len(sh.builtIDs),
 			Delta:      len(sh.delta),
 			Tombstones: len(sh.dead),
+			Epoch:      sh.epoch,
 		}
 		if sh.built != nil {
 			out[i].SizeBytes = sh.built.SizeBytes()
