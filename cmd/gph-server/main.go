@@ -18,6 +18,18 @@
 //	gph-server -data corpus.ds -addr :8080
 //	gph-server -gen uqvideo -n 20000 -engine mih -addr :8080
 //	gph-server -gen uqvideo -n 20000 -shards 4 -wal /var/lib/gph/index.wal -addr :8080
+//	gph-server -index corpus.gph -mmap -addr :8080
+//
+// -index serves a saved index file directly (any engine's Save
+// output, dispatched on its magic bytes) instead of building from
+// -data/-gen. -mmap opens index files — -index here, -snapshot in
+// sharded mode — through a read-only memory mapping: startup is O(1)
+// in index size, vectors page in from the kernel page cache on
+// demand, and resident memory tracks the pages queries touch rather
+// than the whole index (out-of-core serving; see DESIGN.md §14). The
+// active mode and mapping size surface as open_mode / mapped_bytes /
+// resident_bytes in /stats and gph_open_mode / gph_mapped_bytes /
+// gph_resident_bytes in /metrics.
 //
 // -engine selects the backend (gph by default; mih, hmsearch,
 // partalloc, linscan, lsh) — every engine serves the same API, with
@@ -63,6 +75,7 @@ import (
 
 	"gph"
 	"gph/datagen"
+	"gph/internal/mmapio"
 )
 
 // server answers requests from exactly one of two backends: a single
@@ -70,7 +83,9 @@ import (
 // the HTTP layer is engine-agnostic: it speaks the engine contract.
 type server struct {
 	engine   gph.Engine        // single-engine mode
+	opened   gph.OpenedEngine  // set when -index opened a file; owns its mapping
 	sharded  *gph.ShardedIndex // sharded mode; nil without -shards
+	openMode gph.OpenMode      // how index files are brought into memory
 	maxBatch int
 	snapPath string // -snapshot: POST /save checkpoints here; "" disables
 	metrics  *metrics
@@ -110,6 +125,34 @@ func (s *server) engineName() string {
 	return s.engine.Name()
 }
 
+// mappedBytes reports the size of the index's backing file mapping
+// (0 when the index lives on the heap).
+func (s *server) mappedBytes() int64 {
+	if s.sharded != nil {
+		return s.sharded.MappedBytes()
+	}
+	if s.opened != nil {
+		return s.opened.MappedBytes()
+	}
+	return 0
+}
+
+// openModeLabel is "mmap" when the index actually serves from a live
+// file mapping, "heap" otherwise — including when -mmap was requested
+// but the platform fell back to a heap read.
+func (s *server) openModeLabel() string {
+	mapped := false
+	if s.sharded != nil {
+		mapped = s.sharded.Mapped()
+	} else if s.opened != nil {
+		mapped = s.opened.Mapped()
+	}
+	if mapped {
+		return "mmap"
+	}
+	return "heap"
+}
+
 // planStats reports the backend's planner/cache counters; ok=false
 // when planning and caching are both disabled (-plan off -cache-size 0).
 func (s *server) planStats() (gph.PlanStats, bool) {
@@ -146,6 +189,8 @@ type batchRequest struct {
 func main() {
 	var (
 		dataPath = flag.String("data", "", "dataset file (from gph-datagen)")
+		idxPath  = flag.String("index", "", "serve a saved index file (any engine's Save output) instead of building from -data/-gen")
+		useMmap  = flag.Bool("mmap", false, "open index files (-index, -snapshot) through a read-only memory mapping: O(1) open, on-demand paging, shared pages across processes")
 		gen      = flag.String("gen", "", "generate a dataset instead: sift|gist|pubchem|fasttext|uqvideo")
 		n        = flag.Int("n", 10000, "vectors to generate with -gen")
 		seed     = flag.Int64("seed", 42, "seed")
@@ -164,9 +209,13 @@ func main() {
 	)
 	flag.Parse()
 	cacheBytes := int64(*cacheMB) << 20
+	openMode := gph.OpenHeap
+	if *useMmap {
+		openMode = gph.OpenMMap
+	}
 
 	start := time.Now()
-	s := &server{maxBatch: *maxBatch, snapPath: *snapPath, metrics: newMetrics(handlerNames...)}
+	s := &server{maxBatch: *maxBatch, snapPath: *snapPath, openMode: openMode, metrics: newMetrics(handlerNames...)}
 	if *shards > 0 {
 		var sharded *gph.ShardedIndex
 		snapExists := false
@@ -178,12 +227,8 @@ func main() {
 			}
 		}
 		if snapExists {
-			f, err := os.Open(*snapPath)
-			if err != nil {
-				log.Fatalf("gph-server: snapshot: %v", err)
-			}
-			sharded, err = gph.LoadSharded(f)
-			f.Close()
+			var err error
+			sharded, err = gph.OpenShardedFile(*snapPath, openMode)
 			if err != nil {
 				log.Fatalf("gph-server: loading snapshot: %v", err)
 			}
@@ -229,19 +274,30 @@ func main() {
 		if *snapPath != "" {
 			log.Fatalf("gph-server: -snapshot requires -shards (a single index is immutable)")
 		}
-		ds, err := loadOrGenerate(*dataPath, *gen, *n, *seed)
-		if err != nil {
-			log.Fatalf("gph-server: %v", err)
-		}
-		eng, err := gph.BuildEngine(*engName, ds.Vectors, gph.EngineOptions{
-			NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar,
-		})
-		if err != nil {
-			log.Fatalf("gph-server: building index: %v", err)
+		var eng gph.Engine
+		if *idxPath != "" {
+			o, err := gph.OpenEngine(*idxPath, openMode)
+			if err != nil {
+				log.Fatalf("gph-server: opening index: %v", err)
+			}
+			s.opened = o
+			eng = o
+			log.Printf("opened index %s (%s, mode %s); -data/-gen ignored", *idxPath, o.Name(), s.openModeLabel())
+		} else {
+			ds, err := loadOrGenerate(*dataPath, *gen, *n, *seed)
+			if err != nil {
+				log.Fatalf("gph-server: %v", err)
+			}
+			eng, err = gph.BuildEngine(*engName, ds.Vectors, gph.EngineOptions{
+				NumPartitions: *m, MaxTau: *maxTau, Seed: *seed, BuildParallelism: *buildPar,
+			})
+			if err != nil {
+				log.Fatalf("gph-server: building index: %v", err)
+			}
 		}
 		// Decorate with the planner and result cache once, at startup
 		// (calibration runs inside WrapPlan).
-		eng, err = gph.WrapPlan(eng, *planMode, cacheBytes)
+		eng, err := gph.WrapPlan(eng, *planMode, cacheBytes)
 		if err != nil {
 			log.Fatalf("gph-server: %v", err)
 		}
@@ -311,6 +367,11 @@ func main() {
 				log.Fatalf("gph-server: closing index: %v", err)
 			}
 		}
+		if s.opened != nil {
+			if err := s.opened.Close(); err != nil {
+				log.Fatalf("gph-server: closing index: %v", err)
+			}
+		}
 		log.Printf("shutdown complete")
 	}
 }
@@ -349,10 +410,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]interface{}{
-		"engine":     s.engineName(),
-		"vectors":    s.vectors(),
-		"dims":       s.dims(),
-		"size_bytes": s.sizeBytes(),
+		"engine":         s.engineName(),
+		"vectors":        s.vectors(),
+		"dims":           s.dims(),
+		"size_bytes":     s.sizeBytes(),
+		"open_mode":      s.openModeLabel(),
+		"mapped_bytes":   s.mappedBytes(),
+		"resident_bytes": mmapio.ProcessResidentBytes(),
 	}
 	if s.sharded != nil {
 		resp["num_shards"] = s.sharded.NumShards()

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"gph/internal/mmapio"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning
@@ -134,6 +136,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP gph_index_bytes Resident index size in bytes.\n")
 	fmt.Fprintf(w, "# TYPE gph_index_bytes gauge\n")
 	fmt.Fprintf(w, "gph_index_bytes %d\n", s.sizeBytes())
+	fmt.Fprintf(w, "# HELP gph_open_mode How the index was brought into memory (1 for the active mode).\n")
+	fmt.Fprintf(w, "# TYPE gph_open_mode gauge\n")
+	fmt.Fprintf(w, "gph_open_mode{mode=%q} 1\n", s.openModeLabel())
+	fmt.Fprintf(w, "# HELP gph_mapped_bytes Size of the index's backing file mapping (0 when heap-resident).\n")
+	fmt.Fprintf(w, "# TYPE gph_mapped_bytes gauge\n")
+	fmt.Fprintf(w, "gph_mapped_bytes %d\n", s.mappedBytes())
+	fmt.Fprintf(w, "# HELP gph_resident_bytes Process resident set size (0 where unavailable).\n")
+	fmt.Fprintf(w, "# TYPE gph_resident_bytes gauge\n")
+	fmt.Fprintf(w, "gph_resident_bytes %d\n", mmapio.ProcessResidentBytes())
 
 	// Planner routing decisions and result-cache counters, read from
 	// the backend at scrape time like the other index gauges. Absent

@@ -50,3 +50,23 @@ func ByName(name string, n int, seed int64) (*Dataset, error) {
 
 // Load reads a dataset previously written with Dataset.Save.
 func Load(r io.Reader) (*Dataset, error) { return dataset.Load(r) }
+
+// Stream produces a generator's vectors one at a time so corpora far
+// larger than memory can be written with O(1) resident vectors.
+// Draining a stream yields exactly the vectors the materializing
+// generator returns for the same (n, seed).
+type Stream = dataset.Stream
+
+// StreamByName is the streaming form of ByName.
+func StreamByName(name string, n int, seed int64) (*Stream, error) {
+	return dataset.StreamByName(name, n, seed)
+}
+
+// SyntheticStream is the streaming form of Synthetic.
+func SyntheticStream(n, dims int, gamma float64, seed int64) *Stream {
+	return dataset.SyntheticStream(n, dims, gamma, seed)
+}
+
+// SaveStream writes a stream in the dataset container format, one
+// vector at a time — byte-identical to materializing and saving.
+func SaveStream(w io.Writer, s *Stream) error { return dataset.SaveStream(w, s) }

@@ -286,6 +286,51 @@ func BuildEngine(name string, data []Vector, opts EngineOptions) (Engine, error)
 // bytes.
 func LoadAny(r io.Reader) (Engine, error) { return engine.LoadAny(r) }
 
+// OpenMode selects how OpenEngine and OpenShardedFile bring an index
+// file into memory: OpenHeap reads and copies it (the classic Load
+// path), OpenMMap maps it read-only so open time is O(1) in index
+// size and the kernel pages data in on demand — see DESIGN.md §14.
+type OpenMode = engine.OpenMode
+
+// Open modes.
+const (
+	OpenHeap = engine.OpenHeap
+	OpenMMap = engine.OpenMMap
+)
+
+// OpenedEngine is an Engine opened from a file by OpenEngine, carrying
+// the backing storage's lifetime: Close releases the file mapping (if
+// any) once in-flight searches drain, and searches after Close fail
+// with ErrIndexClosed.
+type OpenedEngine = engine.OpenedEngine
+
+// ErrIndexClosed reports an operation against a mapped index whose
+// Close already ran; match with errors.Is.
+var ErrIndexClosed = engine.ErrIndexClosed
+
+// OpenEngine opens the engine index file at path in the given mode,
+// dispatching on the file's magic like LoadAny. In OpenMMap mode the
+// index's bulk arenas are served directly from the page cache instead
+// of being copied onto the heap: opening a multi-gigabyte index takes
+// milliseconds, resident memory stays proportional to the pages
+// queries actually touch, and N processes opening the same file share
+// one physical copy. Query results are identical in both modes; all
+// format validation runs before OpenEngine returns.
+func OpenEngine(path string, mode OpenMode) (OpenedEngine, error) {
+	return engine.Open(path, mode)
+}
+
+// OpenShardedFile opens a sharded container file in the given mode —
+// the ShardedIndex counterpart of OpenEngine. In OpenMMap mode every
+// shard's built engine serves from the shared file mapping; updates,
+// compaction and checkpointing all work (compacted shards move to the
+// heap, and the mapping is released by Close, after which searches
+// fail with ErrIndexClosed). Attach a WAL afterwards with OpenWAL if
+// durability is needed.
+func OpenShardedFile(path string, mode OpenMode) (*ShardedIndex, error) {
+	return shard.OpenFile(path, mode)
+}
+
 // Streamer is optionally implemented by engines whose search yields
 // results incrementally as verification blocks complete (Index,
 // linscan, MIH, HmSearch natively; ShardedIndex streams through its

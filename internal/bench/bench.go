@@ -36,8 +36,8 @@ type Config struct {
 	// Verbose adds per-query progress.
 	Verbose bool
 	// JSONPath, when set, is where experiments with machine-readable
-	// output ("fig6", "fig7", "mixed", "verify", "planner" — e.g.
-	// "verify" → BENCH_verify.json, "planner" → BENCH_planner.json)
+	// output ("fig6", "fig7", "mixed", "verify", "planner", "open" —
+	// e.g. "verify" → BENCH_verify.json, "open" → BENCH_open.json)
 	// write their report; empty disables the artifact.
 	JSONPath string
 }
@@ -94,6 +94,7 @@ func Experiments() []Experiment {
 		{"mixed", "Mixed update-heavy workload: search p50/p99 during background compaction", (*Runner).Mixed},
 		{"verify", "Verification kernels: batch vs scalar throughput, first-result latency, allocs/op", (*Runner).Verify},
 		{"planner", "Adaptive planner + result cache vs every fixed engine on a mixed-tau workload", (*Runner).Planner},
+		{"open", "Index open: heap load vs mmap — cold-open time, RSS under load, cold/warm p99", (*Runner).Open},
 	}
 }
 

@@ -3,6 +3,17 @@
 // and readers are error-sticky: after the first failure every
 // subsequent call is a no-op and Err returns the original error, so
 // encode/decode sequences read linearly without per-call checks.
+//
+// A Reader has two backends behind one API. Wrapping an ordinary
+// io.Reader gives the streaming mode: bytes are copied out of a
+// buffered stream into owned slices. Wrapping a *Source — an in-memory
+// byte region, typically a read-only file mapping from mmapio — gives
+// the borrow mode: ByteSlice and the bulk word reads return subslices
+// of (or aliases into) the source instead of copies, so opening an
+// index over a mapping decodes headers but never materializes the
+// arenas. Borrowed slices are read-only (writing to a mapped page
+// faults) and share the source's lifetime; Borrowed reports which mode
+// a Reader is in so loaders can copy when they need ownership.
 package binio
 
 import (
@@ -10,7 +21,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"slices"
+	"unsafe"
 )
 
 // MaxSliceLen bounds decoded slice lengths; a corrupt length field
@@ -25,9 +38,19 @@ const MaxSliceLen = 1 << 31
 // gigabytes up front.
 const allocChunk = 1 << 20
 
+// hostLittleEndian reports whether this machine's native byte order
+// matches the on-disk (little-endian) encoding, the precondition for
+// aliasing mapped bytes as word slices instead of decoding them.
+var hostLittleEndian = func() bool {
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], 0x0102)
+	return binary.NativeEndian.Uint16(buf[:]) == 0x0102
+}()
+
 // Writer serializes fixed-width little-endian values.
 type Writer struct {
 	w   *bufio.Writer
+	n   int64 // bytes written, for Align8
 	err error
 }
 
@@ -55,6 +78,7 @@ func (w *Writer) Bytes(b []byte) {
 		return
 	}
 	_, w.err = w.w.Write(b)
+	w.n += int64(len(b))
 }
 
 // Uint64 writes a fixed 8-byte value.
@@ -65,6 +89,7 @@ func (w *Writer) Uint64(v uint64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	_, w.err = w.w.Write(buf[:])
+	w.n += 8
 }
 
 // Int writes an int as 8 bytes.
@@ -81,6 +106,22 @@ func (w *Writer) Uint32(v uint32) {
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], v)
 	_, w.err = w.w.Write(buf[:])
+	w.n += 4
+}
+
+// zeroPad backs Align8's padding writes.
+var zeroPad [7]byte
+
+// Align8 pads the stream with zero bytes so the next write starts on
+// an 8-byte boundary, counted from the writer's first byte. Formats
+// place it before bulk word sections: when the file start itself is
+// 8-aligned in memory (a page-aligned mapping, or a nested blob whose
+// container aligned it), a borrow-mode reader can then alias those
+// sections in place instead of copy-decoding them — see Reader.Align8.
+func (w *Writer) Align8() {
+	if pad := int(-w.n & 7); pad > 0 {
+		w.Bytes(zeroPad[:pad])
+	}
 }
 
 // String writes a length-prefixed string.
@@ -131,14 +172,88 @@ func (w *Writer) Ints(vs []int) {
 	}
 }
 
-// Reader deserializes values written by Writer.
+// Uint32sRaw writes a []uint32 payload with no length prefix — for
+// sections whose element count the caller's header already records.
+// Headerless framing is what keeps a borrow-mode open from touching a
+// section's pages at all: the reader derives the count, aliases the
+// span in place, and never reads an interleaved prefix that would
+// fault in the page it sits on.
+func (w *Writer) Uint32sRaw(vs []uint32) {
+	for _, v := range vs {
+		w.Uint32(v)
+	}
+}
+
+// Int32sRaw writes a []int32 payload with no length prefix; see
+// Uint32sRaw.
+func (w *Writer) Int32sRaw(vs []int32) {
+	for _, v := range vs {
+		w.Uint32(uint32(v))
+	}
+}
+
+// Source is an in-memory byte region a Reader can borrow from: pass it
+// to NewReader and slice-valued reads return views into the region
+// instead of copies. The region is typically a read-only file mapping
+// (mmapio.Mapping.Data), so borrowed slices must never be written and
+// must not outlive the mapping's last Release. Source also implements
+// io.Reader, so codecs that don't know about borrow mode degrade to
+// copying instead of failing.
+type Source struct {
+	data []byte
+	off  int
+}
+
+// NewSource wraps data, which the returned Source borrows, not copies.
+func NewSource(data []byte) *Source { return &Source{data: data} }
+
+// Peek returns the next n bytes without consuming them; short regions
+// return what remains plus io.ErrUnexpectedEOF.
+func (s *Source) Peek(n int) ([]byte, error) {
+	if len(s.data)-s.off < n {
+		return s.data[s.off:], io.ErrUnexpectedEOF
+	}
+	return s.data[s.off : s.off+n], nil
+}
+
+// Read implements io.Reader over the unconsumed region.
+func (s *Source) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}
+
+// Offset returns how many bytes have been consumed.
+func (s *Source) Offset() int { return s.off }
+
+// Remaining returns how many bytes are left to consume.
+func (s *Source) Remaining() int { return len(s.data) - s.off }
+
+// Reader deserializes values written by Writer, either from a buffered
+// stream (copying) or from a Source (borrowing); see the package
+// comment for the contract difference.
 type Reader struct {
-	r   *bufio.Reader
+	r   *bufio.Reader // streaming mode; nil when src is set
+	src *Source       // borrow mode; nil when r is set
+	n   int64         // streaming-mode bytes consumed, for Align8
 	err error
 }
 
-// NewReader wraps r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: bufio.NewReader(r)} }
+// NewReader wraps r. If r is a *Source the Reader operates in borrow
+// mode: slice-valued reads return views into the source.
+func NewReader(r io.Reader) *Reader {
+	if src, ok := r.(*Source); ok {
+		return &Reader{src: src}
+	}
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Borrowed reports whether slice-valued reads borrow from a Source
+// (true) or return owned copies (false).
+func (r *Reader) Borrowed() bool { return r.src != nil }
 
 // Err returns the first error encountered.
 func (r *Reader) Err() error { return r.err }
@@ -149,15 +264,38 @@ func (r *Reader) fail(err error) {
 	}
 }
 
+// take consumes exactly n bytes from the borrow source and returns
+// them as a capacity-capped subslice, so an append by the caller can
+// never scribble past the borrowed region into the mapping.
+//
+//gph:borrow
+func (r *Reader) take(n int, what string) []byte {
+	if rem := r.src.Remaining(); rem < n {
+		r.fail(fmt.Errorf("binio: reading %s: need %d bytes, have %d: %w", what, n, rem, io.ErrUnexpectedEOF))
+		return nil
+	}
+	b := r.src.data[r.src.off : r.src.off+n : r.src.off+n]
+	r.src.off += n
+	return b
+}
+
 // Magic consumes and verifies a format tag.
 func (r *Reader) Magic(tag string) {
 	if r.err != nil {
 		return
 	}
-	buf := make([]byte, len(tag))
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		r.fail(fmt.Errorf("binio: reading magic: %w", err))
-		return
+	var buf []byte
+	if r.src != nil {
+		if buf = r.take(len(tag), "magic"); r.err != nil {
+			return
+		}
+	} else {
+		buf = make([]byte, len(tag))
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			r.fail(fmt.Errorf("binio: reading magic: %w", err))
+			return
+		}
+		r.n += int64(len(buf))
 	}
 	if string(buf) != tag {
 		r.fail(fmt.Errorf("binio: bad magic %q, want %q", buf, tag))
@@ -171,10 +309,18 @@ func (r *Reader) MagicAny(tags ...string) string {
 	if r.err != nil {
 		return ""
 	}
-	buf := make([]byte, len(tags[0]))
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		r.fail(fmt.Errorf("binio: reading magic: %w", err))
-		return ""
+	var buf []byte
+	if r.src != nil {
+		if buf = r.take(len(tags[0]), "magic"); r.err != nil {
+			return ""
+		}
+	} else {
+		buf = make([]byte, len(tags[0]))
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			r.fail(fmt.Errorf("binio: reading magic: %w", err))
+			return ""
+		}
+		r.n += int64(len(buf))
 	}
 	for _, tag := range tags {
 		if string(buf) == tag {
@@ -190,11 +336,19 @@ func (r *Reader) Uint64() uint64 {
 	if r.err != nil {
 		return 0
 	}
+	if r.src != nil {
+		b := r.take(8, "uint64")
+		if r.err != nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(b)
+	}
 	var buf [8]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
 		r.fail(fmt.Errorf("binio: reading uint64: %w", err))
 		return 0
 	}
+	r.n += 8
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
@@ -209,11 +363,19 @@ func (r *Reader) Uint32() uint32 {
 	if r.err != nil {
 		return 0
 	}
+	if r.src != nil {
+		b := r.take(4, "uint32")
+		if r.err != nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(b)
+	}
 	var buf [4]byte
 	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
 		r.fail(fmt.Errorf("binio: reading uint32: %w", err))
 		return 0
 	}
+	r.n += 4
 	return binary.LittleEndian.Uint32(buf[:])
 }
 
@@ -230,9 +392,15 @@ func (r *Reader) sliceLen(what string) int {
 	return n
 }
 
-// readBytes reads exactly n bytes, growing the buffer as data arrives
+// readBytes reads exactly n bytes. Borrow mode returns a view into the
+// source; streaming mode copies, growing the buffer as data arrives
 // (see allocChunk).
+//
+//gph:borrow
 func (r *Reader) readBytes(n int, what string) []byte {
+	if r.src != nil {
+		return r.take(n, what)
+	}
 	buf := make([]byte, 0, min(n, allocChunk))
 	for len(buf) < n {
 		m := min(n-len(buf), allocChunk)
@@ -241,11 +409,50 @@ func (r *Reader) readBytes(n int, what string) []byte {
 			r.fail(fmt.Errorf("binio: reading %s body: %w", what, err))
 			return nil
 		}
+		r.n += int64(m)
 	}
 	return buf
 }
 
-// String reads a length-prefixed string.
+// Align8 consumes the zero padding Writer.Align8 wrote: the bytes
+// that bring the stream offset, counted from the reader's first byte,
+// to an 8-byte boundary. A borrow-mode reader over an 8-aligned
+// source (a page-aligned mapping, or a blob its container aligned)
+// therefore finds the following bulk section element-aligned and can
+// alias it in place. Non-zero padding is corruption.
+func (r *Reader) Align8() {
+	if r.err != nil {
+		return
+	}
+	off := r.n
+	if r.src != nil {
+		off = int64(r.src.off)
+	}
+	pad := int(-off & 7)
+	if pad == 0 {
+		return
+	}
+	if r.src != nil {
+		// Borrow mode skips the padding without reading it: checking
+		// the bytes would fault in the page at every section boundary,
+		// and padding is dead bytes — every payload length is explicit,
+		// so no accessor can be steered by its content. Verifying zeros
+		// is a streaming-mode courtesy, where the bytes are in hand
+		// anyway. take still bounds-checks, so truncation fails here.
+		r.take(pad, "alignment padding")
+		return
+	}
+	for _, c := range r.readBytes(pad, "alignment padding") {
+		if c != 0 {
+			r.fail(fmt.Errorf("binio: non-zero alignment padding"))
+			return
+		}
+	}
+}
+
+// String reads a length-prefixed string. Strings are always owned —
+// the string conversion copies — so they are safe past the source's
+// lifetime in either mode.
 func (r *Reader) String() string {
 	n := r.sliceLen("string")
 	if r.err != nil || n == 0 {
@@ -255,7 +462,7 @@ func (r *Reader) String() string {
 }
 
 // ByteSlice reads a length-prefixed byte slice written by
-// Writer.ByteSlice.
+// Writer.ByteSlice. Borrow mode returns a view into the source.
 func (r *Reader) ByteSlice() []byte {
 	n := r.sliceLen("byte slice")
 	if r.err != nil {
@@ -264,11 +471,41 @@ func (r *Reader) ByteSlice() []byte {
 	return r.readBytes(n, "byte slice")
 }
 
-// Uint32s reads a length-prefixed []uint32.
+// aliasableAs reports whether b can be reinterpreted in place as a
+// word slice with the given element alignment: the host must be
+// little-endian (matching the wire format) and the first byte must sit
+// on an element boundary. Mapped regions start page-aligned, but a
+// preceding odd-length arena can leave any later section misaligned,
+// so every alias site needs this check with a copy-decode fallback.
+func aliasableAs(b []byte, align uintptr) bool {
+	return hostLittleEndian && (len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%align == 0)
+}
+
+// Uint32s reads a length-prefixed []uint32. Borrow mode aliases the
+// source bytes in place when host endianness and alignment allow,
+// falling back to an owned copy.
 func (r *Reader) Uint32s() []uint32 {
 	n := r.sliceLen("uint32 slice")
 	if r.err != nil {
 		return nil
+	}
+	if r.src != nil {
+		b := r.take(4*n, "uint32 slice")
+		if r.err != nil {
+			return nil
+		}
+		if n == 0 {
+			return nil
+		}
+		if aliasableAs(b, 4) {
+			return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+		}
+		//gphlint:ignore borrowalias unaligned or big-endian source cannot alias; copy-decode is the documented fallback
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+		return out
 	}
 	out := make([]uint32, 0, min(n, allocChunk/4))
 	for i := 0; i < n; i++ {
@@ -280,11 +517,15 @@ func (r *Reader) Uint32s() []uint32 {
 	return out
 }
 
-// Uint64s reads a length-prefixed []uint64.
+// Uint64s reads a length-prefixed []uint64; the borrow-mode aliasing
+// contract matches Uint32s.
 func (r *Reader) Uint64s() []uint64 {
 	n := r.sliceLen("uint64 slice")
 	if r.err != nil {
 		return nil
+	}
+	if r.src != nil {
+		return r.uint64Body(n, "uint64 slice")
 	}
 	out := make([]uint64, 0, min(n, allocChunk/8))
 	for i := 0; i < n; i++ {
@@ -296,11 +537,30 @@ func (r *Reader) Uint64s() []uint64 {
 	return out
 }
 
-// Int32s reads a length-prefixed []int32.
+// Int32s reads a length-prefixed []int32; the borrow-mode aliasing
+// contract matches Uint32s.
 func (r *Reader) Int32s() []int32 {
 	n := r.sliceLen("int32 slice")
 	if r.err != nil {
 		return nil
+	}
+	if r.src != nil {
+		b := r.take(4*n, "int32 slice")
+		if r.err != nil {
+			return nil
+		}
+		if n == 0 {
+			return nil
+		}
+		if aliasableAs(b, 4) {
+			return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+		}
+		//gphlint:ignore borrowalias unaligned or big-endian source cannot alias; copy-decode is the documented fallback
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		return out
 	}
 	out := make([]int32, 0, min(n, allocChunk/4))
 	for i := 0; i < n; i++ {
@@ -312,7 +572,10 @@ func (r *Reader) Int32s() []int32 {
 	return out
 }
 
-// Ints reads a length-prefixed []int.
+// Ints reads a length-prefixed []int. Always an owned copy: []int is
+// the codec's small-metadata type (partition layouts, option fields),
+// never a bulk arena, so aliasing buys nothing and would tie trivial
+// slices to the mapping's lifetime.
 func (r *Reader) Ints() []int {
 	n := r.sliceLen("int slice")
 	if r.err != nil {
@@ -324,6 +587,172 @@ func (r *Reader) Ints() []int {
 		if r.err != nil {
 			return nil
 		}
+	}
+	return out
+}
+
+// Uint64Raw reads n raw (unprefixed) uint64 words — the layout the
+// vector and estimator arenas use, where the count is part of the
+// header rather than the section. Unlike the prefixed reads it is not
+// capped at MaxSliceLen: the caller has already validated n against
+// its own header bounds, and a 100M-vector arena legitimately exceeds
+// 2 GiB. Borrow mode aliases when possible; streaming mode bulk-reads
+// in chunks and decodes, which replaces the per-word loop that used to
+// dominate heap open time.
+func (r *Reader) Uint64Raw(n int, what string) []uint64 {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > math.MaxInt/8 {
+		r.fail(fmt.Errorf("binio: invalid %s word count %d", what, n))
+		return nil
+	}
+	if r.src != nil {
+		return r.uint64Body(n, what)
+	}
+	out := make([]uint64, 0, min(n, allocChunk/8))
+	chunk := make([]byte, min(8*n, allocChunk))
+	for len(out) < n {
+		m := min(n-len(out), allocChunk/8)
+		buf := chunk[:8*m]
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			r.fail(fmt.Errorf("binio: reading %s body: %w", what, err))
+			return nil
+		}
+		r.n += int64(len(buf))
+		out = slices.Grow(out, m)
+		for i := 0; i < m; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	return out
+}
+
+// BytesRaw reads n raw (unprefixed) bytes — sections whose byte length
+// the caller's header records. Like Uint64Raw it is not capped at
+// MaxSliceLen; the caller has already bounded n. Borrow mode returns a
+// view without reading it, so none of the span's pages fault in.
+//
+//gph:borrow
+func (r *Reader) BytesRaw(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 {
+		r.fail(fmt.Errorf("binio: invalid %s byte count %d", what, n))
+		return nil
+	}
+	return r.readBytes(n, what)
+}
+
+// Uint32sRaw reads n raw (unprefixed) uint32 values written by
+// Writer.Uint32sRaw. Borrow mode aliases when possible; streaming mode
+// bulk-reads in chunks and decodes.
+//
+//gph:borrow
+func (r *Reader) Uint32sRaw(n int, what string) []uint32 {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > math.MaxInt/4 {
+		r.fail(fmt.Errorf("binio: invalid %s element count %d", what, n))
+		return nil
+	}
+	if r.src != nil {
+		b := r.take(4*n, what)
+		if r.err != nil || n == 0 {
+			return nil
+		}
+		if aliasableAs(b, 4) {
+			return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+		}
+		//gphlint:ignore borrowalias unaligned or big-endian source cannot alias; copy-decode is the documented fallback
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(b[4*i:])
+		}
+		return out
+	}
+	out := make([]uint32, 0, min(n, allocChunk/4))
+	chunk := make([]byte, min(4*n, allocChunk))
+	for len(out) < n {
+		m := min(n-len(out), allocChunk/4)
+		buf := chunk[:4*m]
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			r.fail(fmt.Errorf("binio: reading %s body: %w", what, err))
+			return nil
+		}
+		r.n += int64(len(buf))
+		out = slices.Grow(out, m)
+		for i := 0; i < m; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return out
+}
+
+// Int32sRaw reads n raw (unprefixed) int32 values written by
+// Writer.Int32sRaw; the borrow-mode aliasing contract matches
+// Uint32sRaw.
+//
+//gph:borrow
+func (r *Reader) Int32sRaw(n int, what string) []int32 {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > math.MaxInt/4 {
+		r.fail(fmt.Errorf("binio: invalid %s element count %d", what, n))
+		return nil
+	}
+	if r.src != nil {
+		b := r.take(4*n, what)
+		if r.err != nil || n == 0 {
+			return nil
+		}
+		if aliasableAs(b, 4) {
+			return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+		}
+		//gphlint:ignore borrowalias unaligned or big-endian source cannot alias; copy-decode is the documented fallback
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		return out
+	}
+	out := make([]int32, 0, min(n, allocChunk/4))
+	chunk := make([]byte, min(4*n, allocChunk))
+	for len(out) < n {
+		m := min(n-len(out), allocChunk/4)
+		buf := chunk[:4*m]
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			r.fail(fmt.Errorf("binio: reading %s body: %w", what, err))
+			return nil
+		}
+		r.n += int64(len(buf))
+		out = slices.Grow(out, m)
+		for i := 0; i < m; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out
+}
+
+// uint64Body consumes 8*n source bytes and returns them as []uint64,
+// aliased in place when alignment and endianness allow.
+//
+//gph:borrow
+func (r *Reader) uint64Body(n int, what string) []uint64 {
+	b := r.take(8*n, what)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if aliasableAs(b, 8) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	//gphlint:ignore borrowalias unaligned or big-endian source cannot alias; copy-decode is the documented fallback
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
 	}
 	return out
 }

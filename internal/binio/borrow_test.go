@@ -1,0 +1,217 @@
+package binio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// encodeAll writes one value of every shape the persistence formats
+// use, returning the wire bytes.
+func encodeAll(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic("TEST01\n\n")
+	w.Uint64(0xdeadbeefcafe)
+	w.Int(-42)
+	w.Uint32(77)
+	w.String("hello")
+	w.ByteSlice([]byte{9, 8, 7})
+	w.Uint32s([]uint32{10, 20, 30})
+	w.Uint64s([]uint64{1, 2, 3})
+	w.Int32s([]int32{-1, 0, 7})
+	w.Ints([]int{-5, 5})
+	for _, v := range []uint64{111, 222, 333} { // raw section, count in header
+		w.Uint64(v)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeAll drains a reader over encodeAll's output and checks every
+// value, so streaming and borrow modes are verified byte-identical.
+func decodeAll(t *testing.T, r *Reader) {
+	t.Helper()
+	r.Magic("TEST01\n\n")
+	if got := r.Uint64(); got != 0xdeadbeefcafe {
+		t.Fatalf("Uint64 = %x", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.Uint32(); got != 77 {
+		t.Fatalf("Uint32 = %d", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.ByteSlice(); !bytes.Equal(got, []byte{9, 8, 7}) {
+		t.Fatalf("ByteSlice = %v", got)
+	}
+	if got := r.Uint32s(); len(got) != 3 || got[1] != 20 {
+		t.Fatalf("Uint32s = %v", got)
+	}
+	if got := r.Uint64s(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Uint64s = %v", got)
+	}
+	if got := r.Int32s(); len(got) != 3 || got[0] != -1 {
+		t.Fatalf("Int32s = %v", got)
+	}
+	if got := r.Ints(); len(got) != 2 || got[0] != -5 {
+		t.Fatalf("Ints = %v", got)
+	}
+	if got := r.Uint64Raw(3, "raw"); len(got) != 3 || got[0] != 111 || got[2] != 333 {
+		t.Fatalf("Uint64Raw = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBorrowedDecodesIdentically(t *testing.T) {
+	wire := encodeAll(t)
+
+	stream := NewReader(bytes.NewReader(wire))
+	if stream.Borrowed() {
+		t.Fatal("stream reader claims borrow mode")
+	}
+	decodeAll(t, stream)
+
+	borrow := NewReader(NewSource(wire))
+	if !borrow.Borrowed() {
+		t.Fatal("source reader not in borrow mode")
+	}
+	decodeAll(t, borrow)
+}
+
+func TestBorrowAliasesSource(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.ByteSlice([]byte{1, 2, 3, 4})
+	w.Uint64s([]uint64{5, 6})
+	w.Flush()
+	wire := buf.Bytes()
+
+	r := NewReader(NewSource(wire))
+	bs := r.ByteSlice()
+	u64s := r.Uint64s()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	// The byte slice must view the wire bytes, not copy them.
+	if &bs[0] != &wire[8] {
+		t.Fatal("ByteSlice copied in borrow mode")
+	}
+	if cap(bs) != len(bs) {
+		t.Fatalf("borrowed slice capacity %d exceeds length %d", cap(bs), len(bs))
+	}
+	// ByteSlice consumed 8+4 bytes, so the []uint64 body starts at
+	// offset 20 — misaligned for 8-byte words — and must have been
+	// copy-decoded rather than aliased.
+	if u64s[0] != 5 || u64s[1] != 6 {
+		t.Fatalf("Uint64s = %v", u64s)
+	}
+
+	// An aligned []uint64 body aliases the wire bytes on a
+	// little-endian host.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.Uint64s([]uint64{7, 8})
+	w.Flush()
+	wire = buf.Bytes()
+	r = NewReader(NewSource(wire))
+	u64s = r.Uint64s()
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if hostLittleEndian && aliasableAs(wire[8:], 8) {
+		wire[8] = 0xff // mutate the wire; an alias must observe it
+		if u64s[0]&0xff != 0xff {
+			t.Fatal("aligned Uint64s did not alias the source")
+		}
+	}
+}
+
+func TestBorrowTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Uint64s([]uint64{1, 2, 3})
+	w.Flush()
+	wire := buf.Bytes()
+
+	for cut := 0; cut < len(wire); cut++ {
+		r := NewReader(NewSource(wire[:cut]))
+		r.Uint64s()
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	r := NewReader(NewSource(wire[:12]))
+	r.Uint64Raw(5, "raw")
+	if r.Err() == nil {
+		t.Fatal("short raw section accepted")
+	}
+}
+
+func TestUint64RawStreamChunks(t *testing.T) {
+	// Cross the allocChunk boundary to exercise the chunked bulk read.
+	n := allocChunk/8 + 100
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < n; i++ {
+		w.Uint64(uint64(i) * 3)
+	}
+	w.Flush()
+
+	for _, mode := range []string{"stream", "borrow"} {
+		var r *Reader
+		if mode == "stream" {
+			r = NewReader(bytes.NewReader(buf.Bytes()))
+		} else {
+			r = NewReader(NewSource(buf.Bytes()))
+		}
+		got := r.Uint64Raw(n, "raw")
+		if r.Err() != nil {
+			t.Fatalf("%s: %v", mode, r.Err())
+		}
+		if len(got) != n || got[0] != 0 || got[n-1] != uint64(n-1)*3 {
+			t.Fatalf("%s: bad raw decode (len %d)", mode, len(got))
+		}
+	}
+}
+
+func TestUint64RawRejectsBadCounts(t *testing.T) {
+	r := NewReader(NewSource(nil))
+	r.Uint64Raw(-1, "raw")
+	if r.Err() == nil {
+		t.Fatal("negative raw count accepted")
+	}
+	r = NewReader(NewSource(nil))
+	r.Uint64Raw(1<<61, "raw")
+	if r.Err() == nil {
+		t.Fatal("overflowing raw count accepted")
+	}
+}
+
+func TestSourcePeekRead(t *testing.T) {
+	s := NewSource([]byte{1, 2, 3, 4})
+	if b, err := s.Peek(2); err != nil || b[0] != 1 {
+		t.Fatalf("Peek = %v, %v", b, err)
+	}
+	if s.Offset() != 0 {
+		t.Fatal("Peek consumed bytes")
+	}
+	var dst [3]byte
+	if n, err := s.Read(dst[:]); err != nil || n != 3 {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	if s.Remaining() != 1 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+	if _, err := s.Peek(2); err == nil {
+		t.Fatal("short Peek succeeded")
+	}
+}

@@ -1,0 +1,39 @@
+package bitvec
+
+import "testing"
+
+func TestFromWordsShared(t *testing.T) {
+	words := []uint64{0xffff, 0x3} // 66 set bits for n=70: valid
+	v, err := FromWordsShared(70, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Dims() != 70 || v.PopCount() != 18 {
+		t.Fatalf("dims %d, popcount %d", v.Dims(), v.PopCount())
+	}
+	// Adopts, never copies: the view must alias the caller's words.
+	if &v.Words()[0] != &words[0] {
+		t.Fatal("FromWordsShared copied the words")
+	}
+
+	if _, err := FromWordsShared(70, []uint64{1}); err == nil {
+		t.Fatal("wrong word count accepted")
+	}
+	if _, err := FromWordsShared(-1, nil); err == nil {
+		t.Fatal("negative dims accepted")
+	}
+	// Tail bits beyond n are corruption, not something to mask in
+	// place — masking would write to (possibly mapped read-only)
+	// storage.
+	if _, err := FromWordsShared(70, []uint64{0, 1 << 10}); err == nil {
+		t.Fatal("tail bits beyond n accepted")
+	}
+	// Exact multiple of 64 dims: no tail word to validate.
+	if _, err := FromWordsShared(128, []uint64{^uint64(0), ^uint64(0)}); err != nil {
+		t.Fatal(err)
+	}
+	before := words[1]
+	if _, err := FromWordsShared(70, words); err != nil || words[1] != before {
+		t.Fatal("FromWordsShared mutated its input")
+	}
+}

@@ -10,6 +10,7 @@ package candest
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"gph/internal/bitvec"
 )
@@ -41,6 +42,20 @@ type Exact struct {
 	distinct []bitvec.Vector
 	counts   []int32
 	total    int64
+
+	// Deferred construction (ExactFromRawState): the distinct
+	// projections stay a raw word arena until materialize carves the
+	// views, and state validation waits for Validate — so loading an
+	// estimator off a file mapping touches no arena page at open.
+	// Callers on the query hot path (CNAllIntoScratch) read distinct
+	// without synchronization; the loader guarantees Validate happens
+	// before the first estimate (core's deferred-validation pass).
+	arena    []uint64
+	pendingN int
+	deferred bool
+	matOnce  sync.Once
+	valOnce  sync.Once
+	valErr   error
 }
 
 // NewExact builds the estimator from the data collection. The
@@ -97,11 +112,85 @@ func ExactFromState(dims []int, distinct []bitvec.Vector, counts []int32, total 
 	return &Exact{dims: dims, distinct: distinct, counts: counts, total: total}, nil
 }
 
+// ExactFromRawState is ExactFromState for borrow-mode loads: the
+// distinct projections arrive as one raw word arena (one fixed-width
+// stripe per projection) rather than as carved views. Construction
+// does O(1) work — only slice-length arithmetic, no arena reads — so
+// opening an index over a file mapping faults none of the estimator's
+// pages. View carving and the content checks ExactFromState applies
+// eagerly run later, via Validate.
+func ExactFromRawState(dims []int, arena []uint64, numDistinct int, counts []int32, total int64) (*Exact, error) {
+	projWords := (len(dims) + 63) / 64
+	if numDistinct < 0 || len(arena) != numDistinct*projWords {
+		return nil, fmt.Errorf("candest: arena has %d words for %d projections of %d words", len(arena), numDistinct, projWords)
+	}
+	if len(counts) != numDistinct {
+		return nil, fmt.Errorf("candest: %d distinct projections with %d counts", numDistinct, len(counts))
+	}
+	return &Exact{dims: dims, counts: counts, total: total, arena: arena, pendingN: numDistinct, deferred: true}, nil
+}
+
+// materialize carves the distinct-projection views out of the raw
+// arena (deferred constructions only; a no-op otherwise). Idempotent.
+// Callers that can run concurrently with queries are ordered through
+// Validate plus the loader's published validation result — see the
+// field comments on Exact.
+func (e *Exact) materialize() {
+	if !e.deferred {
+		return
+	}
+	e.matOnce.Do(func() {
+		w := len(e.dims)
+		projWords := (w + 63) / 64
+		d := make([]bitvec.Vector, e.pendingN)
+		for i := range d {
+			d[i] = bitvec.FromWordsSharedUnchecked(w, e.arena[i*projWords:(i+1)*projWords])
+		}
+		e.distinct = d
+	})
+}
+
+// Validate materializes a deferred estimator's views and runs the
+// content checks ExactFromState applies at construction: positive
+// counts summing to total, and no projection bits set beyond the
+// partition width. The result is sticky. Eagerly built estimators
+// were validated at construction and return nil immediately.
+func (e *Exact) Validate() error {
+	if !e.deferred {
+		return nil
+	}
+	e.materialize()
+	e.valOnce.Do(func() {
+		e.valErr = e.validateState()
+	})
+	return e.valErr
+}
+
+func (e *Exact) validateState() error {
+	var sum int64
+	for i, c := range e.counts {
+		if c <= 0 {
+			return fmt.Errorf("candest: non-positive count %d at %d", c, i)
+		}
+		sum += int64(c)
+	}
+	if sum != e.total {
+		return fmt.Errorf("candest: counts sum to %d, total says %d", sum, e.total)
+	}
+	for i, dv := range e.distinct {
+		if err := dv.CheckTail(); err != nil {
+			return fmt.Errorf("candest: projection %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // State exposes the estimator's persistable form: the distinct
 // projections (in the deterministic sorted order NewExact produces)
 // and their multiplicities. Both slices are owned by the estimator
 // and must not be modified.
 func (e *Exact) State() (distinct []bitvec.Vector, counts []int32) {
+	e.materialize()
 	return e.distinct, e.counts
 }
 
@@ -125,7 +214,18 @@ func (e *Exact) Dims() []int { return e.dims }
 
 // DistinctCount returns the number of distinct projections; the
 // partitioning refinement uses it to reason about selectivity.
-func (e *Exact) DistinctCount() int { return len(e.distinct) }
+func (e *Exact) DistinctCount() int { return e.numDistinct() }
+
+// numDistinct is DistinctCount computed without materializing: for a
+// deferred estimator the count is known from the header, so size and
+// count accounting stay identical across open modes without touching
+// the arena.
+func (e *Exact) numDistinct() int {
+	if e.deferred {
+		return e.pendingN
+	}
+	return len(e.distinct)
+}
 
 // Total returns the number of data vectors the estimator was built on.
 func (e *Exact) Total() int64 { return e.total }
@@ -182,6 +282,7 @@ func (e *Exact) CNAllIntoScratch(q bitvec.Vector, out []int64, s *Scratch) {
 // projections relative to q (index = distance). Sub-partitioning and
 // tests build on it.
 func (e *Exact) Histogram(q bitvec.Vector) []int64 {
+	e.materialize()
 	w := len(e.dims)
 	proj := bitvec.New(w)
 	q.ProjectInto(e.dims, proj)
@@ -195,5 +296,5 @@ func (e *Exact) Histogram(q bitvec.Vector) []int64 {
 // SizeBytes implements Estimator.
 func (e *Exact) SizeBytes() int64 {
 	words := int64((len(e.dims) + 63) / 64)
-	return int64(len(e.distinct))*(words*8+4) + int64(len(e.dims))*8
+	return int64(e.numDistinct())*(words*8+4) + int64(len(e.dims))*8
 }

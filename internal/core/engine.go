@@ -33,7 +33,7 @@ func init() {
 		Name:         EngineName,
 		Exact:        true,
 		Magic:        indexMagic,
-		LegacyMagics: []string{legacyIndexMagic},
+		LegacyMagics: []string{prevIndexMagic, legacyIndexMagic},
 		Build: func(data []bitvec.Vector, opts engine.BuildOptions) (engine.Engine, error) {
 			return Build(data, Options{
 				NumPartitions:    opts.NumPartitions,

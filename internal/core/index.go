@@ -19,7 +19,15 @@ import (
 // once with Build; concurrent searches are safe afterwards.
 type Index struct {
 	dims  int
+	count int
 	data  []bitvec.Vector
+	// arena is the contiguous row-major word storage the data views
+	// alias when the index was deserialized (nil for built indexes).
+	// Borrow-mode loads defer carving the per-vector views — O(count)
+	// header allocation that dominated open profiles — until the first
+	// query's validation pass; data stays nil until then and count
+	// carries the collection size.
+	arena []uint64
 	codes *verify.Codes // packed row-major copy of data for batch verification
 	parts *partition.Partitioning
 	inv   []*invindex.Frozen
@@ -31,6 +39,17 @@ type Index struct {
 	// buffer, candidate and CN-table slices) so steady-state searches
 	// allocate almost nothing; see search.go.
 	scratch sync.Pool
+
+	// Deferred content validation for borrow-mode loads (an index
+	// opened over a file mapping): Load runs only structural checks and
+	// sets deepPending; the first query runs the arena-reading content
+	// checks via ensureValidated. deepDone's release-store publishes
+	// deepErr to the acquire-load on the query path; deepMu serializes
+	// the single validation run. See validate.go.
+	deepPending bool
+	deepDone    atomic.Bool
+	deepMu      sync.Mutex
+	deepErr     error
 }
 
 // BuildStats records where index construction time went; Table IV
@@ -59,7 +78,7 @@ func Build(data []bitvec.Vector, opts Options) (*Index, error) {
 	}
 	opts = opts.withDefaults(dims)
 
-	ix := &Index{dims: dims, data: data, codes: verify.Pack(data), opts: opts}
+	ix := &Index{dims: dims, count: len(data), data: data, codes: verify.Pack(data), opts: opts}
 
 	// Offline phase 1: dimension partitioning (§V).
 	start := time.Now()
@@ -253,11 +272,19 @@ func buildEstimator(data []bitvec.Vector, dims []int, opts Options, salt int64) 
 func (ix *Index) Dims() int { return ix.dims }
 
 // Len returns the number of indexed vectors.
-func (ix *Index) Len() int { return len(ix.data) }
+func (ix *Index) Len() int { return ix.count }
 
 // Vector returns the indexed vector with the given id. The returned
 // vector shares storage with the index and must not be modified.
-func (ix *Index) Vector(id int32) bitvec.Vector { return ix.data[id] }
+func (ix *Index) Vector(id int32) bitvec.Vector {
+	// A borrow-mode load defers both content validation and the data
+	// view carve to the first access; handing out a view before then
+	// could expose an unvalidated vector. The error (if any) still
+	// surfaces on every query path; here the accessor just guarantees
+	// the views exist.
+	_ = ix.ensureValidated()
+	return ix.data[id]
+}
 
 // Partitioning exposes the (refined) partitioning for inspection.
 func (ix *Index) Partitioning() *partition.Partitioning { return ix.parts }
@@ -273,6 +300,12 @@ func (ix *Index) Options() Options { return ix.opts }
 // consumes. It exists for the allocation experiments (Fig. 3), which
 // compare allocation policies under the same cost model.
 func (ix *Index) EstimateTable(q bitvec.Vector, tau int) alloc.Table {
+	// Experiments call this on freshly opened indexes: run any deferred
+	// content validation first so estimator views are materialized. A
+	// validation error still materializes the views (estimates over the
+	// corrupt state are deterministic and safe); it surfaces properly on
+	// the query path.
+	_ = ix.ensureValidated()
 	table := make(alloc.Table, len(ix.ests))
 	for i, est := range ix.ests {
 		table[i] = est.CNAll(q, tau)

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"gph/internal/binio"
 	"gph/internal/engine"
 )
 
@@ -168,5 +169,78 @@ func TestSaveLegacyRoundTrip(t *testing.T) {
 		if fromArena.SizeBytes() != ix.SizeBytes() {
 			t.Fatalf("estimator %v: round-trip SizeBytes %d != %d", est, fromArena.SizeBytes(), ix.SizeBytes())
 		}
+	}
+}
+
+// loadPrevFixture reads the checked-in GPHIX03 file: the same
+// 120×48 / NumPartitions 4 / MaxTau 16 / Seed 7 build as the GPHIX02
+// fixture, written by the interleaved-section arena writer that
+// GPHIX04's head-then-payload layout superseded.
+func loadPrevFixture(t *testing.T) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "index-gphix03.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:8]) != prevIndexMagic {
+		t.Fatalf("fixture leads with %q, want %q", raw[:8], prevIndexMagic)
+	}
+	return raw
+}
+
+// TestPrevFixtureLoads pins the GPHIX03 half of the compatibility
+// promise: the interleaved-layout file must load (eagerly and in
+// borrow mode), answer like a brute-force oracle, and migrate through
+// the GPHIX04 writer without changing an answer.
+func TestPrevFixtureLoads(t *testing.T) {
+	raw := loadPrevFixture(t)
+	ix, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("GPHIX03 fixture rejected: %v", err)
+	}
+	if ix.Dims() != 48 || ix.Len() != 120 {
+		t.Fatalf("fixture decoded as %d dims × %d vectors", ix.Dims(), ix.Len())
+	}
+	borrowed, err := Load(binio.NewSource(raw))
+	if err != nil {
+		t.Fatalf("GPHIX03 fixture rejected in borrow mode: %v", err)
+	}
+	for _, tau := range []int{0, 3, 8} {
+		q := ix.Vector(5)
+		got, err := ix.Search(q, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int32
+		for id := int32(0); id < int32(ix.Len()); id++ {
+			if q.HammingWithin(ix.Vector(id), tau) {
+				want = append(want, id)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tau=%d: fixture answers %d results, oracle %d", tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("tau=%d: result %d is %d, oracle %d", tau, i, got[i], want[i])
+			}
+		}
+	}
+	if !equalResults(searchAll(t, ix), searchAll(t, borrowed)) {
+		t.Fatal("borrow-mode load answers differently")
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(buf.Bytes()[:8]); got != indexMagic {
+		t.Fatalf("re-save leads with %q, want %q", got, indexMagic)
+	}
+	ix4, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalResults(searchAll(t, ix), searchAll(t, ix4)) {
+		t.Fatal("migrated index answers differently")
 	}
 }

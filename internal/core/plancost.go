@@ -33,6 +33,15 @@ func (ix *Index) EstimateSearchCost(q bitvec.Vector, tau int) (int64, bool) {
 	if q.Dims() != ix.dims || tau < 0 || tau >= ix.dims || ix.opts.Allocator != AllocDP {
 		return 0, false
 	}
+	if ix.deepPending && !ix.deepDone.Load() {
+		// Deferred content validation (borrow-mode load) has not run yet,
+		// so the estimators' projection views may not be materialized —
+		// and could be mid-materialization on another goroutine. This is
+		// a cost probe with no error return and no license to do O(index)
+		// work, so report "no prediction"; the first search publishes the
+		// validated state and estimates work from then on.
+		return 0, false
+	}
 	s := ix.getScratch()
 	res := ix.allocate(q, tau, s)
 	ix.putScratch(s)
@@ -56,18 +65,21 @@ func (ix *Index) EstimateSearchCost(q bitvec.Vector, tau int) (int64, bool) {
 // the full distance profile, exactly like linscan.
 func (ix *Index) SearchGrow(q bitvec.Vector, k int) ([]engine.Neighbor, engine.GrowStats, error) {
 	var gs engine.GrowStats
+	if err := ix.ensureValidated(); err != nil {
+		return nil, gs, err
+	}
 	if err := engine.CheckKNN(q, ix.dims, k); err != nil {
 		return nil, gs, fmt.Errorf("core: %w", err)
 	}
-	if k > len(ix.data) {
-		k = len(ix.data)
+	if k > ix.count {
+		k = ix.count
 	}
 	if k == 0 {
 		return []engine.Neighbor{}, gs, nil
 	}
 	maxTau := ix.dims - 1
 	if maxTau < 1 {
-		gs = engine.GrowStats{Candidates: len(ix.data), Scanned: true}
+		gs = engine.GrowStats{Candidates: ix.count, Scanned: true}
 		return ix.knnByScan(q, k), gs, nil
 	}
 
@@ -86,7 +98,7 @@ func (ix *Index) SearchGrow(q bitvec.Vector, k int) ([]engine.Neighbor, engine.G
 		}
 		if scanned {
 			ix.putScratch(s)
-			gs.Candidates = len(ix.data)
+			gs.Candidates = ix.count
 			gs.Scanned = true
 			return ix.knnByScan(q, k), gs, nil
 		}
@@ -114,7 +126,7 @@ func (ix *Index) SearchGrow(q bitvec.Vector, k int) ([]engine.Neighbor, engine.G
 			// Grown to the radius cap and still short of k: only a
 			// verified scan can complete the answer.
 			ix.putScratch(s)
-			gs.Candidates = len(ix.data)
+			gs.Candidates = ix.count
 			gs.Scanned = true
 			return ix.knnByScan(q, k), gs, nil
 		}
@@ -144,7 +156,7 @@ func (ix *Index) SearchGrow(q bitvec.Vector, k int) ([]engine.Neighbor, engine.G
 // profile of the packed arena — the scan route's kNN, shared by
 // SearchGrow's fallback paths.
 func (ix *Index) knnByScan(q bitvec.Vector, k int) []engine.Neighbor {
-	n := len(ix.data)
+	n := ix.count
 	dst := make([]int32, n)
 	if n > 0 {
 		ix.codes.DistancesSeqInto(q, 0, dst)

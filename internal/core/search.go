@@ -74,7 +74,7 @@ func (ix *Index) getScratch() *searchScratch {
 		//gphlint:ignore hotpath one-time binding on pool miss; rebinding per query would allocate
 		s.probeFn = s.probe
 	}
-	words := (len(ix.data) + 63) / 64
+	words := (ix.count + 63) / 64
 	if cap(s.seen) < words {
 		s.seen = make([]uint64, words)
 	} else {
@@ -103,12 +103,18 @@ type cnAllIntoScratch interface {
 // Search returns the ids of all indexed vectors within Hamming
 // distance tau of q, in ascending id order.
 func (ix *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	if err := ix.ensureValidated(); err != nil {
+		return nil, err
+	}
 	ids, _, err := ix.search(q, tau, false)
 	return ids, err
 }
 
 // SearchStats is Search with per-phase instrumentation.
 func (ix *Index) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
+	if err := ix.ensureValidated(); err != nil {
+		return nil, nil, err
+	}
 	return ix.search(q, tau, true)
 }
 
@@ -132,7 +138,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 	stats := &Stats{}
 	if tau >= ix.dims {
 		// The ball covers the whole space; every vector matches.
-		out := make([]int32, len(ix.data))
+		out := make([]int32, ix.count)
 		for i := range out {
 			out[i] = int32(i)
 		}
@@ -154,7 +160,7 @@ func (ix *Index) search(q bitvec.Vector, tau int, wantStats bool) ([]int32, *Sta
 		start := time.Now()
 		out := ix.codes.AppendWithin(q, tau, make([]int32, 0, 64))
 		stats.VerifyNanos = time.Since(start).Nanoseconds()
-		stats.Candidates = len(ix.data)
+		stats.Candidates = ix.count
 		stats.Results = len(out)
 		stats.Scanned = true
 		ix.putScratch(s)
@@ -233,7 +239,7 @@ func (ix *Index) gather(q bitvec.Vector, tau int, s *searchScratch, stats *Stats
 	// the whole collection (tiny collections or τ near the index's
 	// useful range), the honest plan is a scan. The cost units match
 	// Eq. 1 with verification ≈ 4 posting accesses.
-	scanCost := int64(len(ix.data)) * 4
+	scanCost := int64(ix.count) * 4
 	if res.Fallback || (res.Thresholds != nil && ix.opts.Allocator == AllocDP && res.Objective > scanCost) {
 		return true, nil
 	}
@@ -272,6 +278,10 @@ func (ix *Index) gather(q bitvec.Vector, tau int, s *searchScratch, stats *Stats
 // Search returns; see engine.Streamer for the sequence contract.
 func (ix *Index) SearchIter(q bitvec.Vector, tau int) iter.Seq2[engine.Neighbor, error] {
 	return func(yield func(engine.Neighbor, error) bool) {
+		if err := ix.ensureValidated(); err != nil {
+			yield(engine.Neighbor{}, err)
+			return
+		}
 		if err := engine.CheckQuery(q, ix.dims, tau); err != nil {
 			yield(engine.Neighbor{}, fmt.Errorf("core: %w", err))
 			return

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"gph/internal/bitvec"
+	"gph/internal/candest"
+)
+
+// ensureValidated runs the deferred content tier of load validation —
+// posting-list varint framing and id ranges, key order, vector and
+// estimator-projection tail bits — exactly once, before the first
+// query of an index whose Load deferred it (borrow-mode loads over a
+// file mapping; see Load). The pass reads every arena byte, so over a
+// mapping it doubles as page warm-up: the first query pays the major
+// faults a heap load would have paid at open. Corruption surfaces
+// here as a sticky error every subsequent query repeats — a clean
+// failure, never a fault, because Load's structural checks already
+// proved every access in-bounds.
+//
+// Every public query entry point calls this. EstimateSearchCost is
+// the one deliberate exception (it is a hot-path cost probe with no
+// error return): before the first search it reports "no prediction"
+// rather than trigger or race the validation pass.
+func (ix *Index) ensureValidated() error {
+	if !ix.deepPending {
+		return nil
+	}
+	if !ix.deepDone.Load() {
+		ix.runDeepValidation()
+	}
+	return ix.deepErr
+}
+
+// runDeepValidation performs the single validation run; concurrent
+// first queries serialize on deepMu and all but one find it done.
+func (ix *Index) runDeepValidation() {
+	ix.deepMu.Lock()
+	defer ix.deepMu.Unlock()
+	if !ix.deepDone.Load() {
+		ix.deepErr = ix.deepValidate()
+		ix.deepDone.Store(true)
+	}
+}
+
+// deepValidate checks everything Load's structural tier could not
+// without touching the data arenas. Partitions are independent, so
+// the pass fans out over the build-side worker pool — on a cold
+// mapping this parallelizes the page-in as well as the checking.
+func (ix *Index) deepValidate() error {
+	return ForEach(0, len(ix.inv)+1, func(i int) error {
+		if i == 0 {
+			// Carve the per-vector views a borrow-mode Load deferred (no
+			// other worker reads ix.data, and queries serialize on deepMu
+			// until deepDone's release-store publishes the views).
+			ix.materializeData()
+			for id, v := range ix.data {
+				if err := v.CheckTail(); err != nil {
+					return fmt.Errorf("core: vector %d corrupt: %w", id, err)
+				}
+			}
+			return nil
+		}
+		p := i - 1
+		if err := ix.inv[p].Validate(); err != nil {
+			return fmt.Errorf("core: partition %d postings: %w", p, err)
+		}
+		if exact, ok := ix.ests[p].(*candest.Exact); ok {
+			// Materializes the deferred estimator's projection views and
+			// checks counts and tail bits; the deepDone release-store
+			// below publishes the views to the query path's unsynchronized
+			// reads.
+			if err := exact.Validate(); err != nil {
+				return fmt.Errorf("core: partition %d estimator: %w", p, err)
+			}
+		}
+		return nil
+	})
+}
+
+// materializeData carves the per-vector views out of the word arena a
+// deserializing Load retained. Built indexes and eager (streaming)
+// loads arrive with data already populated; only borrow-mode loads
+// defer the carve, because the view headers alone are O(count) heap —
+// they dominated cold-open profiles.
+func (ix *Index) materializeData() {
+	if ix.data != nil {
+		return
+	}
+	words := (ix.dims + 63) / 64
+	data := make([]bitvec.Vector, ix.count)
+	for i := range data {
+		data[i] = bitvec.FromWordsSharedUnchecked(ix.dims, ix.arena[i*words:(i+1)*words])
+	}
+	ix.data = data
+}

@@ -125,13 +125,53 @@ type block struct {
 	strength float64 // correlation strength in [0,1]
 }
 
-func generate(pr profile, n int, seed int64) *Dataset {
+// Stream produces a generator's vectors one at a time, in the exact
+// order the materializing API returns them: draining a stream yields
+// the same vectors — and SaveStream the same bytes — as building the
+// Dataset in memory, because both run the identical RNG sequence.
+// Streams exist so corpora far larger than memory (100M+ vectors) can
+// be written with O(1) resident vectors; a Stream is single-use.
+type Stream struct {
+	Name string
+	Dims int
+	n    int
+	pos  int
+	next func() bitvec.Vector
+}
+
+// Len returns the total number of vectors the stream will produce.
+func (s *Stream) Len() int { return s.n }
+
+// Next returns the next vector, or false once Len vectors have been
+// produced.
+func (s *Stream) Next() (bitvec.Vector, bool) {
+	if s.pos >= s.n {
+		return bitvec.Vector{}, false
+	}
+	s.pos++
+	return s.next(), true
+}
+
+// Materialize drains the stream into a Dataset. The materializing
+// generators are defined as Materialize over their streams, which is
+// what pins stream and in-memory output to be identical.
+func (s *Stream) Materialize() *Dataset {
+	ds := &Dataset{Name: s.Name, Dims: s.Dims, Vectors: make([]bitvec.Vector, 0, s.n)}
+	for {
+		v, ok := s.Next()
+		if !ok {
+			return ds
+		}
+		ds.Vectors = append(ds.Vectors, v)
+	}
+}
+
+func newProfileStream(pr profile, n int, seed int64) *Stream {
 	rng := rand.New(rand.NewSource(seed))
-	ds := &Dataset{Name: pr.name, Dims: pr.dims, Vectors: make([]bitvec.Vector, n)}
-	for k := 0; k < n; k++ {
+	latent := make([]bool, len(pr.blocks))
+	return &Stream{Name: pr.name, Dims: pr.dims, n: n, next: func() bitvec.Vector {
 		v := bitvec.New(pr.dims)
 		// Latent draws for this vector.
-		latent := make([]bool, len(pr.blocks))
 		for bi, b := range pr.blocks {
 			latent[bi] = rng.Float64() < b.latentP
 		}
@@ -146,15 +186,17 @@ func generate(pr profile, n int, seed int64) *Dataset {
 				v.Set(i)
 			}
 		}
-		ds.Vectors[k] = v
-	}
-	return ds
+		return v
+	}}
 }
 
 // SIFTLike emulates the binarized SIFT corpus: 128 dimensions with
 // near-zero skewness (paper Fig. 1 shows SIFT as the least skewed
 // dataset) and only weak local correlation.
-func SIFTLike(n int, seed int64) *Dataset {
+func SIFTLike(n int, seed int64) *Dataset { return SIFTStream(n, seed).Materialize() }
+
+// SIFTStream is the streaming form of SIFTLike.
+func SIFTStream(n int, seed int64) *Stream {
 	rng := rand.New(rand.NewSource(seed ^ 0x51f7))
 	const dims = 128
 	p := make([]float64, dims)
@@ -165,13 +207,16 @@ func SIFTLike(n int, seed int64) *Dataset {
 	for lo := 0; lo+4 <= dims; lo += 16 {
 		blocks = append(blocks, block{lo: lo, hi: lo + 4, latentP: 0.5, strength: 0.25})
 	}
-	return generate(profile{name: "SIFT", dims: dims, p: p, blocks: blocks}, n, seed)
+	return newProfileStream(profile{name: "SIFT", dims: dims, p: p, blocks: blocks}, n, seed)
 }
 
 // GISTLike emulates binary GIST descriptors: 256 dimensions whose
 // skewness ramps from ~0 to ~0.5 with medium-strength 8-dimension
 // correlation blocks, giving partitions of heterogeneous selectivity.
-func GISTLike(n int, seed int64) *Dataset {
+func GISTLike(n int, seed int64) *Dataset { return GISTStream(n, seed).Materialize() }
+
+// GISTStream is the streaming form of GISTLike.
+func GISTStream(n int, seed int64) *Stream {
 	const dims = 256
 	p := make([]float64, dims)
 	for i := range p {
@@ -182,7 +227,7 @@ func GISTLike(n int, seed int64) *Dataset {
 	for lo := 0; lo+8 <= dims; lo += 8 {
 		blocks = append(blocks, block{lo: lo, hi: lo + 8, latentP: p[lo], strength: 0.55})
 	}
-	return generate(profile{name: "GIST", dims: dims, p: p, blocks: blocks}, n, seed)
+	return newProfileStream(profile{name: "GIST", dims: dims, p: p, blocks: blocks}, n, seed)
 }
 
 // PubChemLike emulates PubChem substructure fingerprints: 881
@@ -190,7 +235,10 @@ func GISTLike(n int, seed int64) *Dataset {
 // substructure bits, a long tail of rare ones) and strong 16-bit
 // substructure blocks. This reproduces the paper's highly skewed case
 // where ≥10% of the data can share one partition projection.
-func PubChemLike(n int, seed int64) *Dataset {
+func PubChemLike(n int, seed int64) *Dataset { return PubChemStream(n, seed).Materialize() }
+
+// PubChemStream is the streaming form of PubChemLike.
+func PubChemStream(n int, seed int64) *Stream {
 	const dims = 881
 	p := make([]float64, dims)
 	for i := range p {
@@ -200,12 +248,15 @@ func PubChemLike(n int, seed int64) *Dataset {
 	for lo := 0; lo+16 <= dims; lo += 16 {
 		blocks = append(blocks, block{lo: lo, hi: lo + 16, latentP: p[lo+8], strength: 0.75})
 	}
-	return generate(profile{name: "PubChem", dims: dims, p: p, blocks: blocks}, n, seed)
+	return newProfileStream(profile{name: "PubChem", dims: dims, p: p, blocks: blocks}, n, seed)
 }
 
 // FastTextLike emulates spectral-hashed word vectors: 128 dimensions,
 // high skewness (0.3–0.9) with strongly correlated sign blocks.
-func FastTextLike(n int, seed int64) *Dataset {
+func FastTextLike(n int, seed int64) *Dataset { return FastTextStream(n, seed).Materialize() }
+
+// FastTextStream is the streaming form of FastTextLike.
+func FastTextStream(n int, seed int64) *Stream {
 	rng := rand.New(rand.NewSource(seed ^ 0xfa57))
 	const dims = 128
 	p := make([]float64, dims)
@@ -221,14 +272,20 @@ func FastTextLike(n int, seed int64) *Dataset {
 	for lo := 0; lo+8 <= dims; lo += 8 {
 		blocks = append(blocks, block{lo: lo, hi: lo + 8, latentP: p[lo], strength: 0.65})
 	}
-	return generate(profile{name: "FastText", dims: dims, p: p, blocks: blocks}, n, seed)
+	return newProfileStream(profile{name: "FastText", dims: dims, p: p, blocks: blocks}, n, seed)
 }
 
 // UQVideoLike emulates multiple-feature-hashed video keyframes: 256
 // dimensions organized as clusters of near-duplicate frames (each
 // video contributes a burst of frames within small Hamming distance of
 // a centroid) over a medium-skew background.
-func UQVideoLike(n int, seed int64) *Dataset {
+func UQVideoLike(n int, seed int64) *Dataset { return UQVideoStream(n, seed).Materialize() }
+
+// UQVideoStream is the streaming form of UQVideoLike. The centroids
+// are drawn up front — one per 40 output vectors, the only generator
+// state that grows with n — and each Next derives one frame from a
+// random centroid.
+func UQVideoStream(n int, seed int64) *Stream {
 	rng := rand.New(rand.NewSource(seed ^ 0x09de0))
 	const dims = 256
 	const flipP = 0.04 // per-bit deviation from the video centroid
@@ -247,17 +304,15 @@ func UQVideoLike(n int, seed int64) *Dataset {
 		}
 		centroids[c] = v
 	}
-	ds := &Dataset{Name: "UQVideo", Dims: dims, Vectors: make([]bitvec.Vector, n)}
-	for k := 0; k < n; k++ {
+	return &Stream{Name: "UQVideo", Dims: dims, n: n, next: func() bitvec.Vector {
 		v := centroids[rng.Intn(numVideos)].Clone()
 		for i := 0; i < dims; i++ {
 			if rng.Float64() < flipP {
 				v.Flip(i)
 			}
 		}
-		ds.Vectors[k] = v
-	}
-	return ds
+		return v
+	}}
 }
 
 // Synthetic reproduces the paper's §VII-G generator: dims dimensions
@@ -265,6 +320,11 @@ func UQVideoLike(n int, seed int64) *Dataset {
 // mean skewness is γ. Polarity alternates so skew is not confounded
 // with density.
 func Synthetic(n, dims int, gamma float64, seed int64) *Dataset {
+	return SyntheticStream(n, dims, gamma, seed).Materialize()
+}
+
+// SyntheticStream is the streaming form of Synthetic.
+func SyntheticStream(n, dims int, gamma float64, seed int64) *Stream {
 	if gamma < 0 || gamma > 0.5 {
 		panic(fmt.Sprintf("dataset: Synthetic gamma %v out of range [0, 0.5]", gamma))
 	}
@@ -281,7 +341,7 @@ func Synthetic(n, dims int, gamma float64, seed int64) *Dataset {
 	for lo := 0; lo+8 <= dims; lo += 32 {
 		blocks = append(blocks, block{lo: lo, hi: lo + 8, latentP: 0.5, strength: 0.4})
 	}
-	return generate(profile{
+	return newProfileStream(profile{
 		name: fmt.Sprintf("Synthetic-%.2f", gamma), dims: dims, p: p, blocks: blocks,
 	}, n, seed)
 }
@@ -300,6 +360,24 @@ func ByName(name string, n int, seed int64) (*Dataset, error) {
 		return FastTextLike(n, seed), nil
 	case "uqvideo":
 		return UQVideoLike(n, seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown generator %q (want sift|gist|pubchem|fasttext|uqvideo)", name)
+	}
+}
+
+// StreamByName is the streaming form of ByName.
+func StreamByName(name string, n int, seed int64) (*Stream, error) {
+	switch name {
+	case "sift":
+		return SIFTStream(n, seed), nil
+	case "gist":
+		return GISTStream(n, seed), nil
+	case "pubchem":
+		return PubChemStream(n, seed), nil
+	case "fasttext":
+		return FastTextStream(n, seed), nil
+	case "uqvideo":
+		return UQVideoStream(n, seed), nil
 	default:
 		return nil, fmt.Errorf("dataset: unknown generator %q (want sift|gist|pubchem|fasttext|uqvideo)", name)
 	}

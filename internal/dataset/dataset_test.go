@@ -199,3 +199,54 @@ func TestSkewnessEmpty(t *testing.T) {
 		t.Fatal("empty dataset mean skew")
 	}
 }
+
+// TestStreamMatchesMaterialized pins the streaming contract: for every
+// generator, draining the stream through SaveStream produces the exact
+// bytes Dataset.Save produces for the same (n, seed) — so corpora
+// written out-of-core are interchangeable with materialized ones.
+func TestStreamMatchesMaterialized(t *testing.T) {
+	const n, seed = 300, 11
+	cases := map[string]struct {
+		stream func() *Stream
+		ds     func() *Dataset
+	}{
+		"sift":      {func() *Stream { return SIFTStream(n, seed) }, func() *Dataset { return SIFTLike(n, seed) }},
+		"gist":      {func() *Stream { return GISTStream(n, seed) }, func() *Dataset { return GISTLike(n, seed) }},
+		"pubchem":   {func() *Stream { return PubChemStream(n, seed) }, func() *Dataset { return PubChemLike(n, seed) }},
+		"fasttext":  {func() *Stream { return FastTextStream(n, seed) }, func() *Dataset { return FastTextLike(n, seed) }},
+		"uqvideo":   {func() *Stream { return UQVideoStream(n, seed) }, func() *Dataset { return UQVideoLike(n, seed) }},
+		"synthetic": {func() *Stream { return SyntheticStream(n, 96, 0.25, seed) }, func() *Dataset { return Synthetic(n, 96, 0.25, seed) }},
+	}
+	for name, tc := range cases {
+		var streamed, materialized bytes.Buffer
+		if err := SaveStream(&streamed, tc.stream()); err != nil {
+			t.Fatalf("%s: SaveStream: %v", name, err)
+		}
+		if err := tc.ds().Save(&materialized); err != nil {
+			t.Fatalf("%s: Save: %v", name, err)
+		}
+		if !bytes.Equal(streamed.Bytes(), materialized.Bytes()) {
+			t.Errorf("%s: streamed output differs from materialized (%d vs %d bytes)",
+				name, streamed.Len(), materialized.Len())
+		}
+		if _, err := Load(bytes.NewReader(streamed.Bytes())); err != nil {
+			t.Errorf("%s: streamed output does not load: %v", name, err)
+		}
+	}
+}
+
+// TestStreamExhaustion checks the single-use contract.
+func TestStreamExhaustion(t *testing.T) {
+	s := SIFTStream(3, 1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("Next %d returned false", i)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next after exhaustion returned a vector")
+	}
+}

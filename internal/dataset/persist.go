@@ -62,3 +62,29 @@ func Load(r io.Reader) (*Dataset, error) {
 	}
 	return ds, nil
 }
+
+// SaveStream writes a generator stream in the same container format as
+// Save, one vector at a time — the path for corpora too large to
+// materialize. Byte-for-byte identical to materializing the stream and
+// calling Save, because both drain the same RNG sequence in the same
+// order.
+func SaveStream(w io.Writer, s *Stream) error {
+	bw := binio.NewWriter(w)
+	bw.Magic(magic)
+	bw.String(s.Name)
+	bw.Int(s.Dims)
+	bw.Int(s.Len())
+	for {
+		v, ok := s.Next()
+		if !ok {
+			break
+		}
+		if v.Dims() != s.Dims {
+			return fmt.Errorf("dataset: vector has %d dims, stream declares %d", v.Dims(), s.Dims)
+		}
+		for _, word := range v.Words() {
+			bw.Uint64(word)
+		}
+	}
+	return bw.Flush()
+}

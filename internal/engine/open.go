@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+
+	"gph/internal/binio"
+	"gph/internal/bitvec"
+	"gph/internal/mmapio"
+	"gph/internal/verify"
+)
+
+// ErrIndexClosed reports a search against an opened engine whose
+// backing file mapping has been closed; match with errors.Is. It is a
+// clean failure by construction: Close prevents new searches from
+// acquiring the mapping instead of letting them fault on unmapped
+// pages.
+var ErrIndexClosed = errors.New("engine: index closed")
+
+// OpenMode selects how Open brings an index file into memory.
+type OpenMode int
+
+const (
+	// OpenHeap reads and copies the file into owned heap buffers — the
+	// Load path that existed before mmap support; open time and RSS
+	// scale with index size.
+	OpenHeap OpenMode = iota
+	// OpenMMap maps the file read-only and serves the index's arenas
+	// as borrowed slices over the mapping: open is O(1) in index size,
+	// the kernel pages data in on demand and evicts under pressure, and
+	// N processes opening one file share a single physical copy. On
+	// platforms without mmap this degrades to a heap read with the same
+	// lifetime contract (Close fails subsequent searches cleanly).
+	OpenMMap
+)
+
+// String returns the mode's flag spelling ("heap" / "mmap").
+func (m OpenMode) String() string {
+	if m == OpenMMap {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// OpenedEngine is an Engine opened from a file, carrying the backing
+// storage's lifetime. Close releases the mapping once in-flight
+// searches drain; searches after Close fail with ErrIndexClosed.
+// Mapped and MappedBytes feed the server's open-mode reporting.
+type OpenedEngine interface {
+	Engine
+	io.Closer
+	// Mapped reports whether the engine serves from a live file
+	// mapping (false for heap opens and the no-mmap fallback).
+	Mapped() bool
+	// MappedBytes returns the size of the backing file mapping in
+	// bytes, 0 when none.
+	MappedBytes() int64
+}
+
+// Open loads the engine index at path in the given mode, dispatching
+// on the file's magic like LoadAny. In OpenMMap mode the decoder runs
+// in borrow mode over the mapping, so the index's bulk arenas alias
+// the file's pages and open time stays flat in index size: structural
+// validation (magics, headers, offset monotonicity and arena spans —
+// everything needed to make later accesses in-bounds) runs before
+// Open returns, while the arena-reading content checks run on the
+// first query, where they double as page warm-up. Truncated or
+// structurally corrupt files fail here; content corruption fails the
+// first search with a sticky validation error. Neither ever faults.
+// Heap opens stream every byte anyway and validate fully before Open
+// returns, exactly as Load always has.
+//
+// The mapped guard does not advertise Scannable: the packed arena it
+// would expose is read by callers outside any Acquire/Release bracket
+// (the planner's scan route), which would race Close. Routing layers
+// treat non-Scannable engines by calling Search, which the guard
+// brackets, so results are unchanged — only the external scan
+// shortcut is withheld.
+func Open(path string, mode OpenMode) (OpenedEngine, error) {
+	if mode == OpenMMap {
+		m, err := mmapio.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		// The decoder touches scattered header pages (section scalars
+		// and array length prefixes) and skips the arenas between them;
+		// under the default readahead policy each of those faults drags
+		// in a window of arena pages the open never reads. Advise a
+		// random access pattern for the parse, then restore normal so
+		// the first queries' sequential arena walks get readahead back.
+		// Both calls are best-effort: a platform that cannot advise
+		// still opens correctly, just colder.
+		_ = m.Advise(mmapio.AdviseRandom)
+		e, err := LoadAny(binio.NewSource(m.Data()))
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		_ = m.Advise(mmapio.AdviseNormal)
+		return wrapOpened(e, m), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e, err := LoadAny(f)
+	if err != nil {
+		return nil, err
+	}
+	return wrapOpened(e, nil), nil
+}
+
+// wrapOpened picks the guard variant matching e's capabilities. Only
+// capability sets that exist in the registry get variants; an engine
+// with an unanticipated combination degrades to a smaller set, which
+// every routing layer handles (capabilities are discovered by type
+// assertion with fallbacks).
+func wrapOpened(e Engine, m *mmapio.Mapping) OpenedEngine {
+	base := opened{e: e, m: m}
+	_, scan := e.(Scannable)
+	_, stream := e.(Streamer)
+	_, grow := e.(GrowSearcher)
+	_, cost := e.(CostEstimator)
+	full := stream && grow && cost
+	scan = scan && m == nil // see Open: no Scannable over a mapping
+	switch {
+	case full && scan:
+		return &openedScanStreamFull{openedStreamFull{openedStream{base}}}
+	case full:
+		return &openedStreamFull{openedStream{base}}
+	case stream && scan:
+		return &openedScanStream{openedStream{base}}
+	case stream:
+		return &openedStream{base}
+	default:
+		return &opened{e: e, m: m}
+	}
+}
+
+// opened is the base guard: it forwards the Engine contract, holding
+// the mapping acquired for the duration of every call that reads index
+// storage. With m == nil (heap open) the guard is pure forwarding and
+// Close is a no-op, matching Load's previous behaviour.
+type opened struct {
+	e Engine
+	m *mmapio.Mapping
+}
+
+func (o *opened) acquire() error {
+	if o.m != nil && !o.m.Acquire() {
+		return ErrIndexClosed
+	}
+	return nil
+}
+
+func (o *opened) release() {
+	if o.m != nil {
+		o.m.Release()
+	}
+}
+
+// Close releases the backing mapping once in-flight searches drain.
+// Heap-opened engines have nothing to release and remain usable.
+func (o *opened) Close() error {
+	if o.m == nil {
+		return nil
+	}
+	return o.m.Close()
+}
+
+// Mapped implements OpenedEngine.
+func (o *opened) Mapped() bool { return o.m != nil && o.m.Mapped() }
+
+// MappedBytes implements OpenedEngine.
+func (o *opened) MappedBytes() int64 {
+	if o.m == nil {
+		return 0
+	}
+	return int64(o.m.Len())
+}
+
+// The metadata accessors read owned header fields, never mapped
+// arenas, so they stay valid (and unbracketed) after Close.
+
+func (o *opened) Name() string     { return o.e.Name() }
+func (o *opened) Exact() bool      { return o.e.Exact() }
+func (o *opened) MaxTau() int      { return o.e.MaxTau() }
+func (o *opened) Dims() int        { return o.e.Dims() }
+func (o *opened) Len() int         { return o.e.Len() }
+func (o *opened) SizeBytes() int64 { return o.e.SizeBytes() }
+
+// Vector returns the indexed vector with id ∈ [0, Len()). Over a
+// mapping it returns an owned clone — the only Engine method whose
+// result outlives its call, so handing out a view would let the caller
+// read unmapped pages after Close. Panics with ErrIndexClosed after
+// Close (the contract has no error return; a loud panic beats a
+// SIGSEGV with no cause attached).
+func (o *opened) Vector(id int32) bitvec.Vector {
+	if o.m == nil {
+		return o.e.Vector(id)
+	}
+	if !o.m.Acquire() {
+		panic(fmt.Errorf("engine: Vector(%d): %w", id, ErrIndexClosed))
+	}
+	defer o.m.Release()
+	return o.e.Vector(id).Clone()
+}
+
+func (o *opened) Search(q bitvec.Vector, tau int) ([]int32, error) {
+	if err := o.acquire(); err != nil {
+		return nil, err
+	}
+	defer o.release()
+	return o.e.Search(q, tau)
+}
+
+func (o *opened) SearchStats(q bitvec.Vector, tau int) ([]int32, *Stats, error) {
+	if err := o.acquire(); err != nil {
+		return nil, nil, err
+	}
+	defer o.release()
+	return o.e.SearchStats(q, tau)
+}
+
+func (o *opened) SearchKNN(q bitvec.Vector, k int) ([]Neighbor, error) {
+	if err := o.acquire(); err != nil {
+		return nil, err
+	}
+	defer o.release()
+	return o.e.SearchKNN(q, k)
+}
+
+func (o *opened) SearchBatch(queries []bitvec.Vector, tau int, parallelism int) ([][]int32, error) {
+	if err := o.acquire(); err != nil {
+		return nil, err
+	}
+	defer o.release()
+	return o.e.SearchBatch(queries, tau, parallelism)
+}
+
+func (o *opened) Save(w io.Writer) error {
+	if err := o.acquire(); err != nil {
+		return err
+	}
+	defer o.release()
+	return o.e.Save(w)
+}
+
+// openedStream adds bracketed streaming: the mapping is held for the
+// whole iteration, released when the stream ends or the consumer stops.
+type openedStream struct{ opened }
+
+func (o *openedStream) SearchIter(q bitvec.Vector, tau int) iter.Seq2[Neighbor, error] {
+	return func(yield func(Neighbor, error) bool) {
+		if err := o.acquire(); err != nil {
+			yield(Neighbor{}, err)
+			return
+		}
+		defer o.release()
+		o.e.(Streamer).SearchIter(q, tau)(yield)
+	}
+}
+
+// openedStreamFull adds the planner-facing capabilities (cost
+// estimation reads the mapped estimator arenas; incremental kNN reads
+// everything), both bracketed.
+type openedStreamFull struct{ openedStream }
+
+func (o *openedStreamFull) EstimateSearchCost(q bitvec.Vector, tau int) (int64, bool) {
+	if o.acquire() != nil {
+		return 0, false
+	}
+	defer o.release()
+	return o.e.(CostEstimator).EstimateSearchCost(q, tau)
+}
+
+func (o *openedStreamFull) SearchGrow(q bitvec.Vector, k int) ([]Neighbor, GrowStats, error) {
+	if err := o.acquire(); err != nil {
+		return nil, GrowStats{}, err
+	}
+	defer o.release()
+	return o.e.(GrowSearcher).SearchGrow(q, k)
+}
+
+// The Scannable variants exist only for heap opens (m == nil), where
+// exposing the arena is safe: there is no mapping to race.
+
+type openedScanStream struct{ openedStream }
+
+func (o *openedScanStream) Codes() *verify.Codes { return o.e.(Scannable).Codes() }
+
+type openedScanStreamFull struct{ openedStreamFull }
+
+func (o *openedScanStreamFull) Codes() *verify.Codes { return o.e.(Scannable).Codes() }

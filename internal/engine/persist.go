@@ -6,6 +6,7 @@ import (
 	"gph/internal/binio"
 	"gph/internal/bitvec"
 	"gph/internal/partition"
+	"gph/internal/verify"
 )
 
 // The persistence helpers below are the shared halves of every
@@ -32,30 +33,49 @@ func WriteVectors(bw *binio.Writer, dims int, data []bitvec.Vector) {
 // ReadVectors reads a collection written by WriteVectors, validating
 // the header bounds before allocating.
 func ReadVectors(br *binio.Reader) (int, []bitvec.Vector, error) {
+	dims, data, _, err := ReadVectorsArena(br)
+	return dims, data, err
+}
+
+// ReadVectorsArena reads a collection written by WriteVectors as one
+// contiguous row-major arena: the returned vectors are views into it,
+// and the returned Codes wraps the same words, so engines that keep
+// both a []bitvec.Vector and a packed arena share a single copy — or
+// zero copies when br borrows from a file mapping. The arena is
+// read-only in borrow mode; every consumer of these vectors must treat
+// the words as immutable (they already must — Words is documented
+// read-only). Tail bits beyond dims are a validation error, not
+// something to mask: masking would write to mapped pages.
+func ReadVectorsArena(br *binio.Reader) (int, []bitvec.Vector, *verify.Codes, error) {
 	dims := br.Int()
 	count := br.Int()
 	if err := br.Err(); err != nil {
-		return 0, nil, fmt.Errorf("reading vector header: %w", err)
+		return 0, nil, nil, fmt.Errorf("reading vector header: %w", err)
 	}
 	if dims <= 0 || dims > 1<<20 {
-		return 0, nil, fmt.Errorf("implausible dimension count %d", dims)
+		return 0, nil, nil, fmt.Errorf("implausible dimension count %d", dims)
 	}
 	if count <= 0 || count > binio.MaxSliceLen {
-		return 0, nil, fmt.Errorf("implausible vector count %d", count)
+		return 0, nil, nil, fmt.Errorf("implausible vector count %d", count)
 	}
 	words := (dims + 63) / 64
+	arena := br.Uint64Raw(count*words, "vector arena")
+	if err := br.Err(); err != nil {
+		return 0, nil, nil, fmt.Errorf("reading vector arena: %w", err)
+	}
 	data := make([]bitvec.Vector, count)
 	for i := range data {
-		ws := make([]uint64, words)
-		for j := range ws {
-			ws[j] = br.Uint64()
+		v, err := bitvec.FromWordsShared(dims, arena[i*words:(i+1)*words])
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("vector %d corrupt: %w", i, err)
 		}
-		if err := br.Err(); err != nil {
-			return 0, nil, fmt.Errorf("reading vector %d: %w", i, err)
-		}
-		data[i] = bitvec.FromWords(dims, ws)
+		data[i] = v
 	}
-	return dims, data, nil
+	codes, err := verify.Wrap(count, dims, arena)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return dims, data, codes, nil
 }
 
 // WritePartitioning writes a dimension arrangement.

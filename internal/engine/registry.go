@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"gph/internal/binio"
 	"gph/internal/bitvec"
 )
 
@@ -133,10 +134,25 @@ func Build(name string, data []bitvec.Vector, opts BuildOptions) (Engine, error)
 
 // LoadAny restores an engine from r by peeking the leading magic bytes
 // and dispatching to the matching registered loader. It accepts any
-// format a registered engine's Save produces.
+// format a registered engine's Save produces. When r is a
+// *binio.Source (the zero-copy open path hands one over a file
+// mapping), the source itself is passed through to the loader, so
+// binio.NewReader inside the engine codec stays in borrow mode and the
+// loaded structures alias the mapping instead of copying it.
 func LoadAny(r io.Reader) (Engine, error) {
-	br := bufio.NewReader(r)
-	magic, err := br.Peek(MagicLen)
+	var (
+		dispatch io.Reader
+		magic    []byte
+		err      error
+	)
+	if src, ok := r.(*binio.Source); ok {
+		magic, err = src.Peek(MagicLen)
+		dispatch = src
+	} else {
+		br := bufio.NewReader(r)
+		magic, err = br.Peek(MagicLen)
+		dispatch = br
+	}
 	if err != nil {
 		return nil, fmt.Errorf("engine: reading magic: %w", err)
 	}
@@ -146,7 +162,7 @@ func LoadAny(r io.Reader) (Engine, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown index format %q", magic)
 	}
-	e, err := reg.Load(br)
+	e, err := reg.Load(dispatch)
 	if err != nil {
 		return nil, fmt.Errorf("engine: loading %s index: %w", reg.Name, err)
 	}

@@ -310,7 +310,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hmsearch: %w", err)
 	}
-	dims, data, err := engine.ReadVectors(br)
+	dims, data, codes, err := engine.ReadVectorsArena(br)
 	if err != nil {
 		return nil, fmt.Errorf("hmsearch: %w", err)
 	}
@@ -323,7 +323,7 @@ func Load(r io.Reader) (*Index, error) {
 	if parts.NumParts() != NumPartitions(dims, tau) {
 		return nil, fmt.Errorf("hmsearch: arrangement has %d parts, τ=%d needs %d", parts.NumParts(), tau, NumPartitions(dims, tau))
 	}
-	ix := &Index{dims: dims, tau: tau, data: data, codes: verify.Pack(data), parts: parts}
+	ix := &Index{dims: dims, tau: tau, data: data, codes: codes, parts: parts}
 	ix.inv = buildInverted(data, parts)
 	return ix, nil
 }

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gph/internal/binio"
 	"gph/internal/bitvec"
@@ -26,10 +29,12 @@ import (
 // Lookups are allocation-free (byte keys hash and compare against the
 // arena directly), SizeBytes is exact arithmetic over the backing
 // slices rather than an estimate, and the arenas serialize as-is, so
-// loading a persisted frozen index is O(bytes) slicing plus one
-// hashing pass instead of millions of map inserts.
+// loading a persisted frozen index is O(bytes) slicing; the hash
+// table is derived state, rebuilt lazily on the first probe.
 //
-// A Frozen is immutable and safe for concurrent use.
+// A Frozen is immutable after Freeze/ReadFrozen and safe for
+// concurrent use (the lazy slot build and deferred validation are
+// internally synchronized).
 type Frozen struct {
 	keyArena []byte // distinct keys, concatenated in sorted order
 	// keyLen > 0 marks the uniform-width fast path: every key is
@@ -42,8 +47,25 @@ type Frozen struct {
 	postArena []byte   // delta-varint posting lists, in key order
 	postOffs  []uint32 // len = keys+1; list e = postArena[postOffs[e]:postOffs[e+1]]
 	counts    []uint32 // postings per key, so PostingLen needs no decode
-	slots     []int32  // open-addressed table of entry indexes; −1 empty
 	postings  int64    // total postings across all keys
+
+	// The slot table is derived state (one deterministic hashing pass
+	// over the key arena) and is built lazily on the first probe: an
+	// index opened over a file mapping must not fault every key page
+	// in at open time just to prepare for lookups it may never see.
+	// slotsReady's release-store publishes slots to the acquire-load in
+	// ensureSlots; slotsMu serializes the single build.
+	slots      []int32 // open-addressed table of entry indexes; −1 empty
+	slotsReady atomic.Bool
+	slotsMu    sync.Mutex
+
+	// Deferred content validation (see ReadFrozenDeferred): maxID is
+	// the id bound Validate checks postings against, and deepOnce/
+	// deepErr make Validate idempotent and safe under concurrent first
+	// queries.
+	maxID    int32
+	deepOnce sync.Once
+	deepErr  error
 }
 
 // arenaLimit bounds each arena to what persistence can read back
@@ -64,6 +86,7 @@ func (ix *Index) Freeze() *Frozen {
 		postOffs: make([]uint32, 1, len(keys)+1),
 		counts:   make([]uint32, 0, len(keys)),
 		postings: ix.postings,
+		maxID:    math.MaxInt32, // ids are valid by construction
 	}
 	// Uniform-width detection: one fixed key width means key offsets
 	// are pure arithmetic and the per-key offset array is dropped.
@@ -105,7 +128,7 @@ func (ix *Index) Freeze() *Frozen {
 		f.postOffs = append(f.postOffs, uint32(len(f.postArena)))
 		f.counts = append(f.counts, uint32(len(ids)))
 	}
-	f.buildSlots()
+	f.buildSlotsOnce()
 	return f
 }
 
@@ -134,15 +157,44 @@ func hashString(key string) uint64 {
 	return h
 }
 
-// buildSlots sizes the open-addressed table to the next power of two
-// holding the keys at ≤ 50% load and inserts every entry by linear
-// probing.
-func (f *Frozen) buildSlots() {
-	n := f.NumKeys()
+// slotCount returns the slot-table size for n keys: the next power of
+// two holding them at ≤ 50% load. It is a pure function of the key
+// count so SizeBytes can account for the table before it is built.
+func slotCount(n int) int {
 	size := 2
 	for size < 2*n {
 		size *= 2
 	}
+	return size
+}
+
+// ensureSlots makes the probe table available, building it on the
+// first probe. The fast path is one acquire-load.
+//
+//gph:hotpath
+func (f *Frozen) ensureSlots() {
+	if !f.slotsReady.Load() {
+		f.buildSlotsOnce()
+	}
+}
+
+// buildSlotsOnce builds the slot table exactly once; concurrent first
+// probes serialize on slotsMu and all but one find the table ready.
+func (f *Frozen) buildSlotsOnce() {
+	f.slotsMu.Lock()
+	//gphlint:ignore hotpath one-time cold path behind the slotsReady fast path
+	defer f.slotsMu.Unlock()
+	if !f.slotsReady.Load() {
+		f.buildSlots()
+		f.slotsReady.Store(true)
+	}
+}
+
+// buildSlots sizes the open-addressed table with slotCount and inserts
+// every entry by linear probing. Callers go through buildSlotsOnce.
+func (f *Frozen) buildSlots() {
+	n := f.NumKeys()
+	size := slotCount(n)
 	f.slots = make([]int32, size)
 	for i := range f.slots {
 		f.slots[i] = -1
@@ -166,6 +218,7 @@ func (f *Frozen) key(e int) []byte {
 
 // lookupBytes returns the entry index for key, or −1.
 func (f *Frozen) lookupBytes(key []byte) int {
+	f.ensureSlots()
 	mask := uint64(len(f.slots) - 1)
 	for h := hashBytes(key) & mask; ; h = (h + 1) & mask {
 		e := f.slots[h]
@@ -181,6 +234,7 @@ func (f *Frozen) lookupBytes(key []byte) int {
 // lookupString is lookupBytes for string keys, kept separate so
 // neither form converts (and therefore allocates).
 func (f *Frozen) lookupString(key string) int {
+	f.ensureSlots()
 	mask := uint64(len(f.slots) - 1)
 	for h := hashString(key) & mask; ; h = (h + 1) & mask {
 		e := f.slots[h]
@@ -330,7 +384,14 @@ func (f *Frozen) ForEachPosting(key string, fn func(id int32)) {
 // Range calls fn for every (key, postings) pair in lexicographic key
 // order until fn returns false. Both arguments are backed by reused
 // buffers owned by the iteration — callers must copy what they keep.
+// On an index whose deferred validation (see ReadFrozenDeferred)
+// fails, Range panics with that error rather than iterate corrupt
+// arenas: iterating nothing would let a caller silently serialize an
+// empty index.
 func (f *Frozen) Range(fn func(key []byte, ids []int32) bool) {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
 	var ids []int32
 	for e := 0; e < f.NumKeys(); e++ {
 		ids = f.appendList(e, ids[:0])
@@ -384,10 +445,13 @@ const frozenStructBytes = 6*24 + 16
 // two arenas, the offset/count/slot arrays, and the struct header.
 // Unlike the retired map-form estimate (48 bytes of assumed runtime
 // overhead per key), every term is the length of a real backing array,
-// so Fig. 6 reports a property of the index rather than a guess.
+// so Fig. 6 reports a property of the index rather than a guess. The
+// slot table is charged at its committed size (slotCount, a pure
+// function of the key count) whether or not the lazy build has run
+// yet, so heap- and mmap-opened copies of one index always agree.
 func (f *Frozen) SizeBytes() int64 {
 	return int64(len(f.keyArena)) + int64(len(f.postArena)) +
-		4*int64(len(f.keyOffs)+len(f.postOffs)+len(f.counts)+len(f.slots)) +
+		4*int64(len(f.keyOffs)+len(f.postOffs)+len(f.counts)+slotCount(f.NumKeys())) +
 		frozenStructBytes
 }
 
@@ -406,41 +470,100 @@ func (f *Frozen) EstimatedMapBytes() int64 {
 // pass) rather than stored, and uniform-width indexes persist the
 // single key length instead of an offset array. Output is
 // deterministic for a given logical index.
+//
+// The section is written in compact framing, split in two halves a
+// container may separate: a scalar header carrying every length a
+// reader needs (offset and count lengths derived from the key count,
+// arena byte lengths recorded), and a raw payload with alignment
+// padding before the word-sized arrays. A borrow-mode reader aliases
+// the whole payload from the header's lengths without reading a byte
+// of it, so a container that groups all its sections' headers
+// together (as the GPHIX04 index does) opens a cold mapping by
+// faulting the header pages alone. Readers of containers written with
+// the older interleaved self-describing framing pass compact=false to
+// ReadFrozen.
 func (f *Frozen) WriteTo(bw *binio.Writer) {
+	f.WriteHeaderTo(bw)
+	f.WritePayloadTo(bw)
+}
+
+// WriteHeaderTo writes the section's scalar header: key count,
+// posting total, key width, and both arena byte lengths — everything
+// ReadFrozenHeader needs to alias the payload without reading it.
+func (f *Frozen) WriteHeaderTo(bw *binio.Writer) {
 	bw.Int(f.NumKeys())
 	bw.Int64(f.postings)
 	bw.Int(f.keyLen)
-	bw.ByteSlice(f.keyArena)
+	bw.Int(len(f.keyArena))
+	bw.Int(len(f.postArena))
+}
+
+// WritePayloadTo writes the arenas and offset arrays raw, in the
+// order FrozenHeader.ReadPayload consumes them.
+func (f *Frozen) WritePayloadTo(bw *binio.Writer) {
+	bw.Bytes(f.keyArena)
 	if f.keyLen == 0 {
-		bw.Uint32s(f.keyOffs)
+		bw.Align8()
+		bw.Uint32sRaw(f.keyOffs)
 	}
-	bw.ByteSlice(f.postArena)
-	bw.Uint32s(f.postOffs)
-	bw.Uint32s(f.counts)
+	bw.Bytes(f.postArena)
+	bw.Align8()
+	bw.Uint32sRaw(f.postOffs)
+	bw.Align8()
+	bw.Uint32sRaw(f.counts)
 }
 
 // ReadFrozen reads an index written by WriteTo, validating structural
-// invariants (offset monotonicity, count totals, varint framing) and
-// that every decoded id lies in [0, maxID). The arenas are adopted
-// directly from the decoded buffers — loading is O(bytes) — and only
-// the slot table is rebuilt.
-func ReadFrozen(br *binio.Reader, maxID int32) (*Frozen, error) {
+// invariants (offset monotonicity, count totals) and the arena
+// contents (varint framing, that every decoded id lies in [0, maxID),
+// strict key order) before returning. The arenas are adopted directly
+// from the decoded buffers — loading is O(bytes) — and the slot table
+// is rebuilt lazily on the first probe. compact says whether the
+// section uses WriteTo's compact framing (lengths in the header,
+// aligned raw payloads); pre-compact containers wrote self-describing
+// prefixed arrays and pass false.
+func ReadFrozen(br *binio.Reader, maxID int32, compact bool) (*Frozen, error) {
+	f, err := ReadFrozenDeferred(br, maxID, compact)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFrozenDeferred reads an index written by WriteTo, running only
+// the O(1) half of validation: header sanity, arena/offset/count
+// length agreement, and that the offset arrays span their arenas.
+// Nothing here touches an arena or offset page — in compact framing
+// the section's only read is its scalar header, every payload being
+// aliased from derived lengths — so an index borrowed off a file
+// mapping opens with one page fault per partition; a truncated file
+// still fails here, at open, because the binio reads above are
+// bounds-checked. Everything page-touching — offset monotonicity,
+// count totals, varint framing, id ranges, key order — is deferred to
+// Validate, which callers MUST run before any entry accessor
+// (lookups, Range, posting decodes): until Validate passes, a
+// corrupted middle offset could make an entry slice panic.
+func ReadFrozenDeferred(br *binio.Reader, maxID int32, compact bool) (*Frozen, error) {
+	if compact {
+		h, err := ReadFrozenHeader(br, maxID)
+		if err != nil {
+			return nil, err
+		}
+		return h.ReadPayload(br)
+	}
 	numKeys := br.Int()
 	postings := br.Int64()
 	keyLen := br.Int()
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("invindex: reading frozen header: %w", err)
 	}
-	if numKeys < 0 || numKeys > binio.MaxSliceLen {
-		return nil, fmt.Errorf("invindex: implausible key count %d", numKeys)
+	if err := checkFrozenScalars(numKeys, postings, keyLen); err != nil {
+		return nil, err
 	}
-	if postings < 0 {
-		return nil, fmt.Errorf("invindex: negative posting count %d", postings)
-	}
-	if keyLen < 0 || (numKeys > 0 && int64(keyLen)*int64(numKeys) >= arenaLimit) {
-		return nil, fmt.Errorf("invindex: implausible key length %d", keyLen)
-	}
-	f := &Frozen{keyLen: keyLen, postings: postings}
+	f := &Frozen{keyLen: keyLen, postings: postings, maxID: maxID}
 	f.keyArena = br.ByteSlice()
 	if keyLen == 0 {
 		f.keyOffs = br.Uint32s()
@@ -459,50 +582,152 @@ func ReadFrozen(br *binio.Reader, maxID int32) (*Frozen, error) {
 			return nil, fmt.Errorf("invindex: key arena holds %d bytes, %d keys × %d need %d",
 				len(f.keyArena), numKeys, keyLen, keyLen*numKeys)
 		}
-	} else {
-		if len(f.keyOffs) != numKeys+1 {
-			return nil, fmt.Errorf("invindex: frozen key offsets disagree with key count %d", numKeys)
-		}
-		if f.keyOffs[0] != 0 || f.keyOffs[numKeys] != uint32(len(f.keyArena)) {
-			return nil, fmt.Errorf("invindex: frozen key offsets do not span the arena")
-		}
+	} else if len(f.keyOffs) != numKeys+1 {
+		return nil, fmt.Errorf("invindex: frozen key offsets disagree with key count %d", numKeys)
 	}
-	if f.postOffs[0] != 0 || f.postOffs[numKeys] != uint32(len(f.postArena)) {
-		return nil, fmt.Errorf("invindex: frozen offsets do not span the arenas")
+	return f, nil
+}
+
+// checkFrozenScalars sanity-checks the header scalars both framings
+// share.
+func checkFrozenScalars(numKeys int, postings int64, keyLen int) error {
+	if numKeys < 0 || numKeys > binio.MaxSliceLen {
+		return fmt.Errorf("invindex: implausible key count %d", numKeys)
 	}
-	// The offset arrays must be fully monotone before any entry is
-	// sliced — a corrupted middle offset would otherwise index past
-	// the arena while earlier entries still look consistent.
-	for e := 0; e < numKeys; e++ {
-		if keyLen == 0 && f.keyOffs[e] > f.keyOffs[e+1] {
-			return nil, fmt.Errorf("invindex: frozen key offsets not monotone at entry %d", e)
-		}
-		if f.postOffs[e] > f.postOffs[e+1] {
-			return nil, fmt.Errorf("invindex: frozen offsets not monotone at entry %d", e)
-		}
+	if postings < 0 {
+		return fmt.Errorf("invindex: negative posting count %d", postings)
+	}
+	if keyLen < 0 || (numKeys > 0 && int64(keyLen)*int64(numKeys) >= arenaLimit) {
+		return fmt.Errorf("invindex: implausible key length %d", keyLen)
+	}
+	return nil
+}
+
+// FrozenHeader is the parsed scalar header of one compact-framing
+// section: everything ReadPayload needs to alias the payload arrays
+// without reading them.
+type FrozenHeader struct {
+	numKeys, keyLen           int
+	postings                  int64
+	keyArenaLen, postArenaLen int
+	maxID                     int32
+}
+
+// ReadFrozenHeader parses and sanity-checks one section's scalar
+// header as written by WriteHeaderTo. A container may place the
+// matching payload much later in the stream (the GPHIX04 index groups
+// every section's header before any payload, so a cold mapped open
+// faults only the contiguous header pages); attach it with
+// ReadPayload when the stream reaches it.
+func ReadFrozenHeader(br *binio.Reader, maxID int32) (FrozenHeader, error) {
+	h := FrozenHeader{maxID: maxID}
+	h.numKeys = br.Int()
+	h.postings = br.Int64()
+	h.keyLen = br.Int()
+	h.keyArenaLen = br.Int()
+	h.postArenaLen = br.Int()
+	if err := br.Err(); err != nil {
+		return h, fmt.Errorf("invindex: reading frozen header: %w", err)
+	}
+	if err := checkFrozenScalars(h.numKeys, h.postings, h.keyLen); err != nil {
+		return h, err
+	}
+	if h.keyArenaLen < 0 || int64(h.keyArenaLen) >= arenaLimit {
+		return h, fmt.Errorf("invindex: implausible key arena length %d", h.keyArenaLen)
+	}
+	if h.postArenaLen < 0 || int64(h.postArenaLen) >= arenaLimit {
+		return h, fmt.Errorf("invindex: implausible posting arena length %d", h.postArenaLen)
+	}
+	if h.keyLen > 0 && h.keyArenaLen != h.keyLen*h.numKeys {
+		return h, fmt.Errorf("invindex: key arena holds %d bytes, %d keys × %d need %d",
+			h.keyArenaLen, h.numKeys, h.keyLen, h.keyLen*h.numKeys)
+	}
+	return h, nil
+}
+
+// ReadPayload consumes the section's payload written by
+// WritePayloadTo and returns the frozen index, still subject to the
+// deferred-validation contract of ReadFrozenDeferred. Every array is
+// sized from the header, so in borrow mode nothing here reads a
+// payload page — arrays are aliased, alignment padding is skipped by
+// offset — and the returned index has touched only header bytes.
+//
+//gph:borrow
+func (h FrozenHeader) ReadPayload(br *binio.Reader) (*Frozen, error) {
+	f := &Frozen{keyLen: h.keyLen, postings: h.postings, maxID: h.maxID}
+	f.keyArena = br.BytesRaw(h.keyArenaLen, "frozen key arena")
+	if h.keyLen == 0 {
+		br.Align8()
+		f.keyOffs = br.Uint32sRaw(h.numKeys+1, "frozen key offsets")
+	}
+	f.postArena = br.BytesRaw(h.postArenaLen, "frozen posting arena")
+	br.Align8()
+	f.postOffs = br.Uint32sRaw(h.numKeys+1, "frozen posting offsets")
+	br.Align8()
+	f.counts = br.Uint32sRaw(h.numKeys, "frozen posting counts")
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("invindex: reading frozen arenas: %w", err)
+	}
+	return f, nil
+}
+
+// Validate runs the deferred content half of loading: every posting
+// list decodes cleanly (varint framing, ids in [0, maxID), decoded
+// count matching the counts array) and keys are strictly sorted. It
+// reads both arenas end to end — over a mapping this is the pass that
+// faults the pages in, which is why ReadFrozenDeferred leaves it to
+// the caller's first query rather than open. Idempotent and safe for
+// concurrent use; every call returns the first run's verdict.
+func (f *Frozen) Validate() error {
+	f.deepOnce.Do(func() { f.deepErr = f.validateContent() })
+	return f.deepErr
+}
+
+func (f *Frozen) validateContent() error {
+	numKeys := f.NumKeys()
+	// Offset spans, monotonicity and the count total come first: until
+	// they hold, no entry may be sliced out of the arenas (a corrupted
+	// offset would index past an arena while earlier entries still
+	// look consistent — a panic, not a fault, but still not an error).
+	// These checks touch the offset pages, which is exactly what
+	// ReadFrozenDeferred exists to avoid at open, so they live here
+	// with the other page-touching checks; the length checks at read
+	// time keep this walk itself in-bounds.
+	if f.keyLen == 0 && len(f.keyOffs) > 0 && (f.keyOffs[0] != 0 || f.keyOffs[numKeys] != uint32(len(f.keyArena))) {
+		return fmt.Errorf("invindex: frozen key offsets do not span the arena")
+	}
+	if len(f.postOffs) > 0 && (f.postOffs[0] != 0 || f.postOffs[numKeys] != uint32(len(f.postArena))) {
+		return fmt.Errorf("invindex: frozen offsets do not span the arenas")
 	}
 	var total int64
+	for e := 0; e < numKeys; e++ {
+		if f.keyLen == 0 && f.keyOffs[e] > f.keyOffs[e+1] {
+			return fmt.Errorf("invindex: frozen key offsets not monotone at entry %d", e)
+		}
+		if f.postOffs[e] > f.postOffs[e+1] {
+			return fmt.Errorf("invindex: frozen offsets not monotone at entry %d", e)
+		}
+		total += int64(f.counts[e])
+	}
+	if total != f.postings {
+		return fmt.Errorf("invindex: frozen counts sum to %d postings, header says %d", total, f.postings)
+	}
 	prevKey := []byte(nil)
 	for e := 0; e < numKeys; e++ {
 		k := f.key(e)
 		if prevKey != nil && bytes.Compare(prevKey, k) >= 0 {
-			return nil, fmt.Errorf("invindex: frozen keys not strictly sorted at entry %d", e)
+			return fmt.Errorf("invindex: frozen keys not strictly sorted at entry %d", e)
 		}
 		prevKey = k
-		n, err := validateList(f.postArena[f.postOffs[e]:f.postOffs[e+1]], maxID)
+		n, err := validateList(f.postArena[f.postOffs[e]:f.postOffs[e+1]], f.maxID)
 		if err != nil {
-			return nil, fmt.Errorf("invindex: frozen entry %d: %w", e, err)
+			return fmt.Errorf("invindex: frozen entry %d: %w", e, err)
 		}
 		if n != int(f.counts[e]) {
-			return nil, fmt.Errorf("invindex: frozen entry %d decodes %d postings, count says %d", e, n, f.counts[e])
+			return fmt.Errorf("invindex: frozen entry %d decodes %d postings, count says %d", e, n, f.counts[e])
 		}
-		total += int64(n)
 	}
-	if total != postings {
-		return nil, fmt.Errorf("invindex: frozen lists hold %d postings, header says %d", total, postings)
-	}
-	f.buildSlots()
-	return f, nil
+	return nil
 }
 
 // validateList walks one delta-varint list, checking framing and that
@@ -542,5 +767,5 @@ func validateList(b []byte, maxID int32) (int, error) {
 // size experiments use it to attribute the footprint.
 func (f *Frozen) ArenaBreakdown() (keyBytes, postBytes, offsetBytes, slotBytes int64) {
 	return int64(len(f.keyArena)), int64(len(f.postArena)),
-		4 * int64(len(f.keyOffs)+len(f.postOffs)+len(f.counts)), 4 * int64(len(f.slots))
+		4 * int64(len(f.keyOffs)+len(f.postOffs)+len(f.counts)), 4 * int64(slotCount(f.NumKeys()))
 }

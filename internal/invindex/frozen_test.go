@@ -136,7 +136,7 @@ func TestFrozenRoundTrip(t *testing.T) {
 	}
 	first := append([]byte(nil), buf.Bytes()...)
 
-	g, err := ReadFrozen(binio.NewReader(&buf), 90)
+	g, err := ReadFrozen(binio.NewReader(&buf), 90, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,12 +170,12 @@ func TestReadFrozenRejectsCorruption(t *testing.T) {
 	if err := bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadFrozen(binio.NewReader(bytes.NewReader(buf.Bytes())), 10); err == nil {
+	if _, err := ReadFrozen(binio.NewReader(bytes.NewReader(buf.Bytes())), 10, true); err == nil {
 		t.Fatal("ReadFrozen accepted ids beyond maxID")
 	}
 	raw := buf.Bytes()
 	trunc := raw[:len(raw)-3]
-	if _, err := ReadFrozen(binio.NewReader(bytes.NewReader(trunc)), 50); err == nil {
+	if _, err := ReadFrozen(binio.NewReader(bytes.NewReader(trunc)), 50, true); err == nil {
 		t.Fatal("ReadFrozen accepted a truncated stream")
 	}
 }
@@ -260,7 +260,7 @@ func TestFrozenEmpty(t *testing.T) {
 	if err := bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadFrozen(binio.NewReader(&buf), 1); err != nil {
+	if _, err := ReadFrozen(binio.NewReader(&buf), 1, true); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -58,7 +58,7 @@ func FuzzReadFrozen(f *testing.F) {
 	f.Add(flipped, int32(20))
 
 	f.Fuzz(func(t *testing.T, data []byte, maxID int32) {
-		fr, err := ReadFrozen(binio.NewReader(bytes.NewReader(data)), maxID)
+		fr, err := ReadFrozen(binio.NewReader(bytes.NewReader(data)), maxID, true)
 		if err != nil {
 			return
 		}
@@ -96,7 +96,7 @@ func FuzzReadFrozen(f *testing.F) {
 		if err := bw.Flush(); err != nil {
 			t.Fatal(err)
 		}
-		re, err := ReadFrozen(binio.NewReader(bytes.NewReader(first.Bytes())), maxID)
+		re, err := ReadFrozen(binio.NewReader(bytes.NewReader(first.Bytes())), maxID, true)
 		if err != nil {
 			t.Fatalf("re-serialized accepted index rejected: %v", err)
 		}

@@ -163,11 +163,11 @@ func Load(r io.Reader) (*Scanner, error) {
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("linscan: %w", err)
 	}
-	_, data, err := engine.ReadVectors(br)
+	dims, data, codes, err := engine.ReadVectorsArena(br)
 	if err != nil {
 		return nil, fmt.Errorf("linscan: %w", err)
 	}
-	return New(data)
+	return &Scanner{dims: dims, data: data, codes: codes}, nil
 }
 
 func init() {

@@ -353,7 +353,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mih: %w", err)
 	}
-	dims, data, err := engine.ReadVectors(br)
+	dims, data, codes, err := engine.ReadVectorsArena(br)
 	if err != nil {
 		return nil, fmt.Errorf("mih: %w", err)
 	}
@@ -363,7 +363,7 @@ func Load(r io.Reader) (*Index, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("mih: implausible enumeration budget %d", budget)
 	}
-	ix := &Index{dims: dims, data: data, codes: verify.Pack(data), parts: parts, budget: budget}
+	ix := &Index{dims: dims, data: data, codes: codes, parts: parts, budget: budget}
 	ix.inv = buildInverted(data, parts)
 	return ix, nil
 }

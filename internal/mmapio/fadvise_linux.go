@@ -1,0 +1,29 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// DropFileCache asks the kernel to evict path's pages from the page
+// cache (POSIX_FADV_DONTNEED), so the next read is a genuine cold
+// read. The file's dirty pages are flushed first — the advice only
+// applies to clean pages. Best-effort by contract: the kernel may
+// keep pages that are mapped or otherwise pinned.
+func DropFileCache(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	const fadvDontNeed = 4 // POSIX_FADV_DONTNEED
+	if _, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, fadvDontNeed, 0, 0); errno != 0 {
+		return errno
+	}
+	return nil
+}

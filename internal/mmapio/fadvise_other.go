@@ -1,0 +1,11 @@
+//go:build !linux
+
+package mmapio
+
+import "errors"
+
+// DropFileCache is unavailable off Linux; callers treat the error as
+// "cold-cache measurements degrade to warm-cache ones".
+func DropFileCache(path string) error {
+	return errors.New("mmapio: page-cache eviction not supported on this platform")
+}

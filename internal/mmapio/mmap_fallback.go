@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap forces Open onto the heap fallback on platforms we have
+// not wired mmap syscalls for; callers observe Mapped() == false.
+var errNoMmap = errors.New("mmapio: memory mapping not supported on this platform")
+
+func mmapFile(_ *os.File, _ int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes(_ []byte) {}
+
+func madviseBytes(_ []byte, _ Advice) error { return nil }

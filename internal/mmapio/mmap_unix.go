@@ -1,0 +1,38 @@
+//go:build linux || darwin
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: N processes
+// serving the same index file share one physical copy in the page
+// cache, and PROT_READ makes any accidental write through a borrowed
+// arena fault immediately instead of corrupting the file.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(data []byte) {
+	// The region is read-only and about to disappear; an unmap error
+	// here (bad address from a double-close we already guard against)
+	// has no recovery path, so we deliberately drop it.
+	_ = syscall.Munmap(data)
+}
+
+func madviseBytes(data []byte, a Advice) error {
+	var flag int
+	switch a {
+	case AdviseRandom:
+		flag = syscall.MADV_RANDOM
+	case AdviseSequential:
+		flag = syscall.MADV_SEQUENTIAL
+	case AdviseWillNeed:
+		flag = syscall.MADV_WILLNEED
+	default:
+		flag = syscall.MADV_NORMAL
+	}
+	return syscall.Madvise(data, flag)
+}

@@ -1,0 +1,151 @@
+package mmapio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenReadsBytes(t *testing.T) {
+	want := []byte("gph mapping roundtrip payload")
+	for _, open := range []struct {
+		name string
+		fn   func(string) (*Mapping, error)
+	}{{"mmap", Open}, {"heap", OpenHeap}} {
+		t.Run(open.name, func(t *testing.T) {
+			m, err := open.fn(writeTemp(t, want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			if !bytes.Equal(m.Data(), want) {
+				t.Fatalf("Data = %q, want %q", m.Data(), want)
+			}
+			if m.Len() != len(want) {
+				t.Fatalf("Len = %d, want %d", m.Len(), len(want))
+			}
+			if open.name == "heap" && m.Mapped() {
+				t.Fatal("OpenHeap reported Mapped")
+			}
+			if err := m.Advise(AdviseRandom); err != nil {
+				t.Fatalf("Advise: %v", err)
+			}
+		})
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	m, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+	if !m.Acquire() {
+		t.Fatal("Acquire failed on open mapping")
+	}
+	m.Release()
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open of missing file succeeded")
+	}
+}
+
+func TestAcquireAfterCloseFails(t *testing.T) {
+	m, err := Open(writeTemp(t, []byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Acquire() {
+		t.Fatal("Acquire failed on fresh mapping")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Acquire() {
+		t.Fatal("Acquire succeeded after Close")
+	}
+	// The in-flight reference keeps the bytes alive until released.
+	if got := m.Data(); len(got) != 1 || got[0] != 'x' {
+		t.Fatalf("Data changed under live reference: %q", got)
+	}
+	m.Release()
+	if m.Data() != nil {
+		t.Fatal("Data not released after last Release post-Close")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+}
+
+func TestCloseWithNoReaders(t *testing.T) {
+	m, err := Open(writeTemp(t, []byte("abc")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data survived Close with zero refs")
+	}
+}
+
+// TestConcurrentAcquireRace drives many readers against a concurrent
+// Close under -race: every reader that wins Acquire must see stable
+// bytes for its whole critical section, and losers must get a clean
+// false, never a fault.
+func TestConcurrentAcquireRace(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xa5}, 1<<16)
+	m, err := Open(writeTemp(t, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				if !m.Acquire() {
+					return
+				}
+				d := m.Data()
+				if d[0] != 0xa5 || d[len(d)-1] != 0xa5 {
+					t.Error("corrupt read under live reference")
+					m.Release()
+					return
+				}
+				m.Release()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		m.Close()
+	}()
+	close(start)
+	wg.Wait()
+	if m.Acquire() {
+		t.Fatal("Acquire succeeded after concurrent Close settled")
+	}
+}

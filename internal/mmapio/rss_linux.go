@@ -1,0 +1,30 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ProcessResidentBytes reports this process's resident set size from
+// /proc/self/statm. It is the number the out-of-core benchmark and the
+// server's /stats endpoint surface: mapped arenas count only for pages
+// the kernel currently keeps resident, so a cold mmap-opened index
+// shows near-zero here where a heap load shows the full index size.
+func ProcessResidentBytes() int64 {
+	b, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

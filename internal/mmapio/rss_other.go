@@ -1,0 +1,7 @@
+//go:build !linux
+
+package mmapio
+
+// ProcessResidentBytes reports 0 on platforms without /proc/self/statm;
+// callers treat 0 as "unavailable".
+func ProcessResidentBytes() int64 { return 0 }

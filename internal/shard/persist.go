@@ -13,20 +13,29 @@ import (
 	"gph/internal/candest"
 	"gph/internal/core"
 	"gph/internal/engine"
+	"gph/internal/mmapio"
 )
 
-// shardMagic identifies the sharded container format. GPHSH02 wraps
-// one length-prefixed engine blob per built shard (each carrying its
-// own engine magic), together with the engine name, the id mappings
-// and the update buffers the blobs do not know about. GPHSH02
-// superseded GPHSH01 when the shard layer was generalized from GPH-
-// only to any registered engine: the container now records which
-// engine its shards are, so Load can dispatch and Compact can rebuild.
-// The nested blobs follow whatever format their engine currently
-// writes (GPH shards saved today carry GPHIX03 arenas; containers
-// holding older GPHIX02 blobs still load, because the per-blob
-// dispatch goes through the registry's legacy-magic table).
-const shardMagic = "GPHSH02\n"
+// shardMagic identifies the sharded container format. GPHSH03 added
+// 8-byte alignment padding before each shard's id arrays and nested
+// engine blob, so a mapped container hands every nested loader an
+// 8-aligned source and the engines' own aligned sections alias the
+// mapping instead of being copy-decoded. GPHSH02 wraps one
+// length-prefixed engine blob per built shard (each carrying its own
+// engine magic), together with the engine name, the id mappings and
+// the update buffers the blobs do not know about. GPHSH02 superseded
+// GPHSH01 when the shard layer was generalized from GPH-only to any
+// registered engine: the container now records which engine its
+// shards are, so Load can dispatch and Compact can rebuild. The
+// nested blobs follow whatever format their engine currently writes
+// (GPH shards saved today carry GPHIX04 arenas; containers holding
+// older blobs still load, because the per-blob dispatch goes through
+// the registry's legacy-magic table).
+const shardMagic = "GPHSH03\n"
+
+// legacyShardMagic is the superseded pre-padding GPHSH02 tag; Load
+// accepts both.
+const legacyShardMagic = "GPHSH02\n"
 
 // Save serializes the sharded index: the container header (dims,
 // shard count, id counter, engine name, raw build options), then per
@@ -49,6 +58,12 @@ const shardMagic = "GPHSH02\n"
 // lifecycle fields WALPath and AutoCompactDelta (reattach and
 // reconfigure on open).
 func (s *Index) Save(w io.Writer) error {
+	// Serializing the built engines reads their (possibly mapped)
+	// arenas.
+	if err := s.acquireMapping(); err != nil {
+		return err
+	}
+	defer s.releaseMapping()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.saveLocked(w)
@@ -65,14 +80,21 @@ func (s *Index) saveLocked(w io.Writer) error {
 	writeOptions(bw, s.opts)
 	for i := range s.shards {
 		sh := s.shards[i].Load()
+		// Alignment padding before the id arrays and the nested blob:
+		// the blob payload must start 8-aligned so the nested engine's
+		// own aligned sections land on element boundaries within the
+		// mapped container (see binio.Writer.Align8).
+		bw.Align8()
 		bw.Int32s(sh.builtIDs)
 		if sh.built != nil {
 			var blob bytes.Buffer
 			if err := sh.built.Save(&blob); err != nil {
 				return fmt.Errorf("shard: saving shard %d: %w", i, err)
 			}
+			bw.Align8()
 			bw.ByteSlice(blob.Bytes())
 		}
+		bw.Align8()
 		bw.Int32s(sortedIDs(sh.dead))
 		bw.Int(len(sh.delta))
 		for _, e := range sh.delta {
@@ -100,6 +122,10 @@ func (s *Index) saveLocked(w io.Writer) error {
 // against the snapshot. Updates wait while the checkpoint runs;
 // searches do not.
 func (s *Index) SaveFile(path string) error {
+	if err := s.acquireMapping(); err != nil {
+		return err
+	}
+	defer s.releaseMapping()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
@@ -224,7 +250,7 @@ func sortedIDs(set map[int32]bool) []int32 {
 //gph:snapshotwriter
 func Load(r io.Reader) (*Index, error) {
 	br := binio.NewReader(r)
-	br.Magic(shardMagic)
+	aligned := br.MagicAny(shardMagic, legacyShardMagic) == shardMagic
 	dims := br.Int()
 	numShards := br.Int()
 	nextID := br.Int()
@@ -273,6 +299,9 @@ func Load(r io.Reader) (*Index, error) {
 	words := (dims + 63) / 64
 	for i := int32(0); i < int32(numShards); i++ {
 		sh := &state{builtPos: map[int32]int32{}, dead: map[int32]bool{}}
+		if aligned {
+			br.Align8()
+		}
 		sh.builtIDs = br.Int32s()
 		if err := br.Err(); err != nil {
 			return nil, fmt.Errorf("shard: reading shard %d ids: %w", i, err)
@@ -288,11 +317,19 @@ func Load(r io.Reader) (*Index, error) {
 			s.owner[gid] = i
 		}
 		if len(sh.builtIDs) > 0 {
+			if aligned {
+				br.Align8()
+			}
 			blob := br.ByteSlice()
 			if err := br.Err(); err != nil {
 				return nil, fmt.Errorf("shard: reading shard %d index blob: %w", i, err)
 			}
-			built, err := engine.LoadAny(bytes.NewReader(blob))
+			// The blob is handed to the nested loader as a Source, so the
+			// engine codec runs in borrow mode: over a mapped container
+			// the shard engines' arenas alias the mapping, and over a
+			// stream load they alias the already-owned blob copy — either
+			// way the nested load adds no second copy.
+			built, err := engine.LoadAny(binio.NewSource(blob))
 			if err != nil {
 				return nil, fmt.Errorf("shard: loading shard %d index: %w", i, err)
 			}
@@ -306,6 +343,9 @@ func Load(r io.Reader) (*Index, error) {
 				return nil, fmt.Errorf("shard: shard %d blob has %d dims, container has %d", i, built.Dims(), dims)
 			}
 			sh.built = built
+		}
+		if aligned {
+			br.Align8()
 		}
 		for _, gid := range br.Int32s() {
 			if _, ok := sh.builtPos[gid]; !ok {
@@ -349,4 +389,37 @@ func Load(r io.Reader) (*Index, error) {
 	// them before the index serves traffic.
 	s.calibratePlanner()
 	return s, nil
+}
+
+// OpenFile opens the sharded container at path in the given mode. With
+// engine.OpenHeap it is LoadFile as it always was: the container is
+// read and copied into owned memory. With engine.OpenMMap the file is
+// mapped read-only and the nested shard engines' arenas become
+// borrowed slices over the mapping — open time is O(1) in container
+// size and the kernel pages vectors in on demand. All of Load's
+// validation runs either way; a corrupt file fails here, never as a
+// fault at query time. A mapped index's Close releases the mapping
+// (searches after Close fail with engine.ErrIndexClosed), and the
+// mapping outlives compaction: rebuilt engines keep vector views into
+// it, so only Close unmaps.
+func OpenFile(path string, mode engine.OpenMode) (*Index, error) {
+	if mode == engine.OpenMMap {
+		m, err := mmapio.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Load(binio.NewSource(m.Data()))
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		s.mapping = m
+		return s, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }

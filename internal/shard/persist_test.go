@@ -2,9 +2,15 @@ package shard
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
 	"testing"
 
 	"gph/internal/dataset"
+	"gph/internal/engine"
 )
 
 // dirtyIndex builds a sharded index carrying every kind of state the
@@ -185,5 +191,140 @@ func TestLoadCorrupt(t *testing.T) {
 				t.Fatalf("header flip at %d accepted", pos)
 			}
 		}
+	}
+}
+
+// mappedIndex saves a dirty container to disk and reopens it over a
+// file mapping.
+func mappedIndex(t *testing.T) *Index {
+	t.Helper()
+	s := dirtyIndex(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "container.idx")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenFile(path, engine.OpenMMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMappedContainerDifferential: a container opened over a mapping
+// answers exactly like the same file loaded onto the heap, through
+// updates and compaction (the mapping outlives compaction — rebuilt
+// engines keep borrowed vector views into it).
+func TestMappedContainerDifferential(t *testing.T) {
+	s := dirtyIndex(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "container.idx")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	heap, err := OpenFile(path, engine.OpenHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenFile(path, engine.OpenMMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	queries := dataset.PerturbQueries(dataset.UQVideoLike(500, 17), 6, 4, 3)
+	check := func(stage string) {
+		t.Helper()
+		for qi, q := range queries {
+			for _, tau := range []int{0, 8, 20} {
+				want, err := heap.Search(q, tau)
+				if err != nil {
+					t.Fatalf("%s: heap search: %v", stage, err)
+				}
+				got, err := mapped.Search(q, tau)
+				if err != nil {
+					t.Fatalf("%s: mapped search: %v", stage, err)
+				}
+				if !slices.Equal(got, want) {
+					t.Fatalf("%s: q%d tau=%d: mapped %v != heap %v", stage, qi, tau, got, want)
+				}
+			}
+		}
+	}
+	check("fresh")
+	if err := mapped.Compact(); err != nil {
+		t.Fatalf("compacting mapped container: %v", err)
+	}
+	if err := heap.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check("compacted")
+}
+
+// TestMappedSearchRacesCloseAndCompact drives searches on several
+// goroutines while a compaction rebuilds every shard and Close then
+// releases the mapping mid-flight. Every search must either succeed or
+// fail with engine.ErrIndexClosed — with the race detector on, any
+// read of released mapping pages is also caught.
+func TestMappedSearchRacesCloseAndCompact(t *testing.T) {
+	m := mappedIndex(t)
+	queries := dataset.PerturbQueries(dataset.UQVideoLike(500, 17), 6, 4, 3)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 100; i++ {
+				q := queries[(g+i)%len(queries)]
+				if _, err := m.Search(q, 10); err != nil && !errors.Is(err, engine.ErrIndexClosed) {
+					t.Errorf("goroutine %d: unexpected error: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	if err := m.Compact(); err != nil && !errors.Is(err, engine.ErrIndexClosed) {
+		t.Errorf("compact: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	wg.Wait()
+	if _, err := m.Search(queries[0], 5); !errors.Is(err, engine.ErrIndexClosed) {
+		t.Fatalf("search after close: got %v, want ErrIndexClosed", err)
+	}
+}
+
+// TestMappedTruncatedContainer: cutting the container file at assorted
+// lengths must fail at open (or first search) with a clean error.
+func TestMappedTruncatedContainer(t *testing.T) {
+	s := dirtyIndex(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	queries := dataset.PerturbQueries(dataset.UQVideoLike(500, 17), 2, 4, 3)
+	for _, keep := range []int{0, 8, len(full) / 3, len(full) / 2, len(full) - 2} {
+		path := filepath.Join(t.TempDir(), "cut.idx")
+		if err := os.WriteFile(path, full[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := OpenFile(path, engine.OpenMMap)
+		if err != nil {
+			continue
+		}
+		if _, err := m.Search(queries[0], 5); err == nil {
+			t.Errorf("truncated to %d/%d bytes: open and search both succeeded", keep, len(full))
+		}
+		m.Close()
 	}
 }

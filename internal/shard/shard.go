@@ -33,6 +33,7 @@ import (
 	"gph/internal/bitvec"
 	"gph/internal/core"
 	"gph/internal/engine"
+	"gph/internal/mmapio"
 	"gph/internal/plan"
 	"gph/internal/wal"
 )
@@ -229,6 +230,47 @@ type Index struct {
 	closed     chan struct{}
 	closeOnce  sync.Once
 	bg         sync.WaitGroup // background auto/async compactions
+
+	// mapping backs a container opened with OpenFile in mmap mode: the
+	// nested shard engines' arenas are borrowed slices over it, as are
+	// the vector views any rebuilt (compacted) engine carries — so the
+	// mapping lives until Close, not until the first compaction.
+	// Operations that read index storage bracket themselves with
+	// acquireMapping/releaseMapping; Close fails new operations cleanly
+	// and unmaps once in-flight ones drain. nil for built or
+	// heap-loaded indexes, where every bracket is a no-op.
+	mapping *mmapio.Mapping
+}
+
+// acquireMapping registers an in-flight reader of mapped storage;
+// engine.ErrIndexClosed (via errors.Is) means Close already ran. Every
+// nil error must be paired with releaseMapping.
+//
+//gph:hotpath
+func (s *Index) acquireMapping() error {
+	if s.mapping != nil && !s.mapping.Acquire() {
+		return fmt.Errorf("shard: %w", engine.ErrIndexClosed)
+	}
+	return nil
+}
+
+//gph:hotpath
+func (s *Index) releaseMapping() {
+	if s.mapping != nil {
+		s.mapping.Release()
+	}
+}
+
+// Mapped reports whether the index serves from a live file mapping.
+func (s *Index) Mapped() bool { return s.mapping != nil && s.mapping.Mapped() }
+
+// MappedBytes returns the size of the backing file mapping in bytes
+// (0 when none).
+func (s *Index) MappedBytes() int64 {
+	if s.mapping == nil {
+		return 0
+	}
+	return int64(s.mapping.Len())
 }
 
 // New returns an empty sharded GPH index with numShards shards; the
@@ -432,7 +474,9 @@ func (s *Index) Options() core.Options { return s.opts }
 
 // Vector returns the live vector with the given global id. The
 // returned vector shares storage with the index and must not be
-// modified.
+// modified — except over a file mapping, where it is an owned clone
+// (a view would read unmapped pages after Close). After Close, a
+// mapped index reports every id as absent.
 func (s *Index) Vector(id int32) (bitvec.Vector, bool) {
 	s.mu.Lock()
 	si, ok := s.owner[id]
@@ -440,9 +484,17 @@ func (s *Index) Vector(id int32) (bitvec.Vector, bool) {
 	if !ok {
 		return bitvec.Vector{}, false
 	}
+	if s.acquireMapping() != nil {
+		return bitvec.Vector{}, false
+	}
+	defer s.releaseMapping()
 	sh := s.shards[si].Load()
 	if pos, ok := sh.builtPos[id]; ok && !sh.dead[id] {
-		return sh.built.Vector(pos), true
+		v := sh.built.Vector(pos)
+		if s.mapping != nil {
+			v = v.Clone()
+		}
+		return v, true
 	}
 	for _, e := range sh.delta {
 		if e.id == id {
@@ -524,6 +576,12 @@ func (s *Index) Insert(v bitvec.Vector) (int32, error) {
 // take effect directly. With a WAL attached, Delete returns only
 // after the record is durable. Returns ErrNotFound if id is not live.
 func (s *Index) Delete(id int32) error {
+	// Deleting a built vector captures it for WAL-failure rollback,
+	// which reads the built engine's (possibly mapped) storage.
+	if err := s.acquireMapping(); err != nil {
+		return fmt.Errorf("delete %d: %w", id, err)
+	}
+	defer s.releaseMapping()
 	s.mu.Lock()
 	si, ok := s.owner[id]
 	if !ok {
@@ -676,6 +734,15 @@ func (s *Index) startBackgroundCompact() bool {
 //
 //gph:snapshotwriter
 func (s *Index) compactLocked() error {
+	// The rebuild reads every dirty shard's built vectors, and the
+	// rebuilt engines keep views into them — over a mapping those views
+	// alias mapped pages, so the whole run brackets the mapping (which
+	// stays attached afterwards: it lives until Index.Close, not until
+	// the first compaction).
+	if err := s.acquireMapping(); err != nil {
+		return fmt.Errorf("compact: %w", err)
+	}
+	defer s.releaseMapping()
 	type captured struct {
 		i  int
 		st *state
@@ -853,10 +920,25 @@ func (s *Index) Search(q bitvec.Vector, tau int) ([]int32, error) {
 	return out, err
 }
 
-// searchUncached is the fan-out search pipeline behind the cache.
+// searchUncached brackets the fan-out pipeline with the mapping
+// reference: release is explicit — one success path, one failure path
+// — so the per-query pipeline stays defer-free.
 //
 //gph:hotpath
 func (s *Index) searchUncached(q bitvec.Vector, tau int) ([]int32, error) {
+	if err := s.acquireMapping(); err != nil {
+		return nil, err
+	}
+	out, err := s.searchFanOut(q, tau)
+	s.releaseMapping()
+	return out, err
+}
+
+// searchFanOut is the fan-out search pipeline behind the cache; the
+// caller holds the mapping reference.
+//
+//gph:hotpath
+func (s *Index) searchFanOut(q bitvec.Vector, tau int) ([]int32, error) {
 	// Snapshots load before validation: an insert publishes its shard
 	// state after storing the adopted dimensionality, so any state
 	// these snapshots contain is covered by the dims value validate
@@ -971,6 +1053,10 @@ func (s *Index) SearchKNN(q bitvec.Vector, k int) ([]core.Neighbor, error) {
 
 // searchKNNUncached is the fan-out kNN pipeline behind the cache.
 func (s *Index) searchKNNUncached(q bitvec.Vector, k int) ([]core.Neighbor, error) {
+	if err := s.acquireMapping(); err != nil {
+		return nil, err
+	}
+	defer s.releaseMapping()
 	// Load before validate — see Search for the first-insert race.
 	states := s.loadStates()
 	if err := s.validateQuery(q, 0); err != nil {
@@ -1104,6 +1190,13 @@ func (s *Index) OpenWAL(path string) (replayed int, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("shard: %w", err)
 	}
+	// Replay verifies pre-snapshot inserts against the built engines'
+	// (possibly mapped) vectors.
+	if err := s.acquireMapping(); err != nil {
+		l.Close()
+		return 0, err
+	}
+	defer s.releaseMapping()
 	for i, r := range recs {
 		applied, err := s.applyRecord(r)
 		if err != nil {
@@ -1222,12 +1315,16 @@ func (s *Index) vectorInShard(si, id int32) (bitvec.Vector, bool) {
 }
 
 // Close releases the fan-out workers, waits for any background
-// compaction to finish, and syncs and closes the attached WAL. The
-// index remains readable (searches keep working); updates requiring
-// durability fail once the WAL is closed — the log stays attached so
-// a post-Close Insert/Delete errors and rolls back instead of
-// silently succeeding without durability. Close must not race with
-// in-flight writers; it is idempotent.
+// compaction to finish, and syncs and closes the attached WAL. A
+// heap-backed index remains readable (searches keep working); updates
+// requiring durability fail once the WAL is closed — the log stays
+// attached so a post-Close Insert/Delete errors and rolls back
+// instead of silently succeeding without durability. An index opened
+// from a file mapping (OpenFile with engine.OpenMMap) additionally
+// releases the mapping: searches, deletes and compactions after Close
+// fail with engine.ErrIndexClosed, and the pages unmap once in-flight
+// ones drain — Close never blocks on them and never lets them fault.
+// Idempotent and safe to race with searches.
 func (s *Index) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
@@ -1238,6 +1335,11 @@ func (s *Index) Close() error {
 		s.mu.Unlock()
 		if w != nil {
 			err = w.Close()
+		}
+		if s.mapping != nil {
+			if merr := s.mapping.Close(); err == nil {
+				err = merr
+			}
 		}
 	})
 	return err

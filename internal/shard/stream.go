@@ -26,6 +26,14 @@ import (
 // streams.
 func (s *Index) SearchIter(q bitvec.Vector, tau int) iter.Seq2[core.Neighbor, error] {
 	return func(yield func(core.Neighbor, error) bool) {
+		// The mapping is held for the whole iteration: per-shard streams
+		// read mapped arenas lazily, so releasing before the consumer
+		// finishes would let Close unmap pages mid-pull.
+		if err := s.acquireMapping(); err != nil {
+			yield(core.Neighbor{}, err)
+			return
+		}
+		defer s.releaseMapping()
 		// Load before validate — see Search for the first-insert race.
 		states := s.loadStates()
 		if err := s.validateQuery(q, tau); err != nil {

@@ -60,6 +60,27 @@ func Pack(data []bitvec.Vector) *Codes {
 	return c
 }
 
+// Wrap builds Codes over an existing row-major arena without copying:
+// words must hold exactly n rows of wordsFor(dims) words each, laid
+// out as Pack would write them. The zero-copy open path uses it to
+// share one (possibly mapped, read-only) arena between the index's
+// vector views and its verification kernels — every kernel only reads,
+// so a borrowed arena is safe. The arena is adopted as-is; callers
+// must not mutate it afterwards.
+func Wrap(n, dims int, words []uint64) (*Codes, error) {
+	if n == 0 && len(words) == 0 {
+		return &Codes{}, nil
+	}
+	if n < 0 || dims <= 0 {
+		return nil, fmt.Errorf("verify: cannot wrap %d vectors of %d dims", n, dims)
+	}
+	w := (dims + bitvec.WordBits - 1) / bitvec.WordBits
+	if len(words) != n*w {
+		return nil, fmt.Errorf("verify: arena holds %d words, want %d (%d vectors × %d words)", len(words), n*w, n, w)
+	}
+	return &Codes{n: n, dims: dims, w: w, words: words}, nil
+}
+
 // Len returns the number of packed vectors.
 func (c *Codes) Len() int { return c.n }
 

@@ -1,0 +1,57 @@
+package verify
+
+import (
+	"testing"
+
+	"gph/internal/bitvec"
+)
+
+func TestWrapMatchesPack(t *testing.T) {
+	data := []bitvec.Vector{
+		bitvec.MustFromString("10110011101100111011001110110011101100111011001110110011101100111011"),
+		bitvec.MustFromString("01001100010011000100110001001100010011000100110001001100010011000100"),
+		bitvec.MustFromString("11111111000000001111111100000000111111110000000011111111000000001111"),
+	}
+	packed := Pack(data)
+	q := data[1]
+
+	// Rebuild the arena Wrap-style and check the kernels agree row by
+	// row with the packed copy.
+	w := (data[0].Dims() + bitvec.WordBits - 1) / bitvec.WordBits
+	arena := make([]uint64, 0, len(data)*w)
+	for _, v := range data {
+		arena = append(arena, v.Words()...)
+	}
+	wrapped, err := Wrap(len(data), data[0].Dims(), arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Len() != packed.Len() || wrapped.Dims() != packed.Dims() || wrapped.SizeBytes() != packed.SizeBytes() {
+		t.Fatalf("wrapped metadata diverges: len %d dims %d size %d", wrapped.Len(), wrapped.Dims(), wrapped.SizeBytes())
+	}
+	for id := int32(0); id < int32(len(data)); id++ {
+		if got, want := wrapped.Distance(q, id), packed.Distance(q, id); got != want {
+			t.Fatalf("row %d: wrapped distance %d, packed %d", id, got, want)
+		}
+	}
+	// Adopts, never copies.
+	if wrapped.Distance(q, 0) == 0 {
+		t.Fatal("sanity: expected nonzero distance")
+	}
+}
+
+func TestWrapRejectsBadShapes(t *testing.T) {
+	if _, err := Wrap(2, 64, make([]uint64, 3)); err == nil {
+		t.Fatal("short arena accepted")
+	}
+	if _, err := Wrap(-1, 64, nil); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := Wrap(1, 0, nil); err == nil {
+		t.Fatal("zero dims with a vector accepted")
+	}
+	c, err := Wrap(0, 0, nil)
+	if err != nil || c.Len() != 0 {
+		t.Fatalf("empty wrap: %v", err)
+	}
+}

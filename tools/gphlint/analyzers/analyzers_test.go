@@ -44,6 +44,18 @@ func TestPersistDetWholePackageScope(t *testing.T) {
 	testkit.Run(t, analyzers.PersistDet, "gph/persistdet/invindex")
 }
 
+func TestPersistDetMmapioScope(t *testing.T) {
+	testkit.Run(t, analyzers.PersistDet, "gph/persistdet/mmapio")
+}
+
+func TestBorrowAlias(t *testing.T) {
+	testkit.Run(t, analyzers.BorrowAlias, "gph/borrow/a")
+}
+
+func TestBorrowAliasClean(t *testing.T) {
+	testkit.Run(t, analyzers.BorrowAlias, "gph/borrow/clean")
+}
+
 func TestMagicReg(t *testing.T) {
 	testkit.Run(t, analyzers.MagicReg, "gph/magic/a")
 }

@@ -1,0 +1,180 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gph/tools/gphlint/internal/lint"
+)
+
+// BorrowAlias checks that functions annotated //gph:borrow — the
+// readers that hand out arena slices aliasing a file mapping on the
+// zero-copy open path (binio's borrow mode and the section loaders
+// built on it) — do not silently copy on the borrow path. O(1) open
+// depends on every bulk section being returned as a view of the
+// mapping; an innocent-looking make/append/copy or Clone turns that
+// back into an O(size) open without failing any correctness test.
+//
+// The borrow path is the branch guarded by a borrow test: an if whose
+// condition calls a method named Borrowed or compares a field named
+// src against nil (the binio convention). Inside an annotated
+// function, copying constructs — make of a slice or map, the append
+// and copy builtins, calls to anything named Clone, and
+// string<->[]byte conversions — are flagged when they appear on the
+// borrow branch; the streaming branch copies by design and is not
+// checked. An annotated function with no borrow test is checked
+// whole: it is declared all-borrow (e.g. a loader that delegates mode
+// selection to binio).
+//
+// Deliberate copies — the unaligned-source fallback that cannot alias
+// — carry a //gphlint:ignore borrowalias comment, which doubles as
+// the in-source record of why that copy is allowed.
+var BorrowAlias = &lint.Analyzer{
+	Name: "borrowalias",
+	Doc:  "//gph:borrow functions alias their source on the borrow path instead of copying",
+	Run:  runBorrowAlias,
+}
+
+func runBorrowAlias(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !lint.HasAnnotation(fn.Doc, "gph:borrow") {
+				continue
+			}
+			checkBorrowFn(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBorrowFn(pass *lint.Pass, fn *ast.FuncDecl) {
+	scopes := borrowScopes(fn.Body)
+	if scopes == nil {
+		// No borrow test: the whole function is declared borrow path.
+		scopes = []ast.Node{fn.Body}
+	}
+	for _, scope := range scopes {
+		ast.Inspect(scope, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			reportBorrowCopy(pass, call)
+			return true
+		})
+	}
+}
+
+// borrowScopes returns the statement blocks that run only in borrow
+// mode, or nil if body contains no recognizable borrow test.
+func borrowScopes(body *ast.BlockStmt) []ast.Node {
+	var scopes []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		switch borrowTestPolarity(ifStmt.Cond) {
+		case +1:
+			scopes = append(scopes, ifStmt.Body)
+			return false // the branch is fully claimed; no nested rescan
+		case -1:
+			if ifStmt.Else != nil {
+				scopes = append(scopes, ifStmt.Else)
+			}
+			return false
+		}
+		return true
+	})
+	return scopes
+}
+
+// borrowTestPolarity classifies cond: +1 when its truth means borrow
+// mode (x.Borrowed(), src != nil), -1 when its falsehood does
+// (!x.Borrowed(), src == nil), 0 when it is not a borrow test.
+func borrowTestPolarity(cond ast.Expr) int {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		if isBorrowedCall(c) {
+			return +1
+		}
+	case *ast.UnaryExpr:
+		if inner, ok := ast.Unparen(c.X).(*ast.CallExpr); ok && c.Op.String() == "!" && isBorrowedCall(inner) {
+			return -1
+		}
+	case *ast.BinaryExpr:
+		srcSel := isSrcSelector(c.X) || isSrcSelector(c.Y)
+		nilSide := isNilIdent(c.X) || isNilIdent(c.Y)
+		if srcSel && nilSide {
+			switch c.Op.String() {
+			case "!=":
+				return +1
+			case "==":
+				return -1
+			}
+		}
+	}
+	return 0
+}
+
+func isBorrowedCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Borrowed"
+}
+
+func isSrcSelector(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "src"
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// reportBorrowCopy flags call if it is a copying construct.
+func reportBorrowCopy(pass *lint.Pass, call *ast.CallExpr) {
+	// Conversions: string([]byte) / []byte(string) copy.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		src := pass.TypesInfo.TypeOf(call.Args[0])
+		dst := tv.Type
+		if src != nil && (isString(dst) && isByteSlice(src) || isByteSlice(dst) && isString(src)) {
+			pass.Reportf(call.Pos(), "borrow path copies: string<->[]byte conversion; return a view of the source instead")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if t := pass.TypesInfo.TypeOf(call); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						pass.Reportf(call.Pos(), "borrow path copies: make allocates a new %s; alias the source or justify with //gphlint:ignore", kindName(t))
+					}
+				}
+			case "append", "copy":
+				pass.Reportf(call.Pos(), "borrow path copies: %s writes into owned storage; alias the source or justify with //gphlint:ignore", id.Name)
+			}
+			return
+		}
+	}
+	if callee := staticCallee(pass.TypesInfo, call); callee != nil && callee.Name() == "Clone" {
+		pass.Reportf(call.Pos(), "borrow path copies: Clone duplicates the arena; alias the source or justify with //gphlint:ignore")
+	}
+}
+
+// kindName names t's underlying composite kind for diagnostics.
+func kindName(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}

@@ -1,6 +1,7 @@
-// Package analyzers holds gphlint's six analyzers, each encoding one
-// of the repository's load-bearing invariants: hotpath
-// (allocation-free annotated query paths), snapshotsafety (immutable
+// Package analyzers holds gphlint's seven analyzers, each encoding
+// one of the repository's load-bearing invariants: hotpath
+// (allocation-free annotated query paths), borrowalias (zero-copy
+// arena borrows on the mapped open path), snapshotsafety (immutable
 // published shard snapshots), errsentinel (sentinel-wrapped query
 // validation errors), persistdet (deterministic persistence),
 // magicreg (unique 8-byte persistence magics) and doccheck (the
@@ -21,6 +22,7 @@ import (
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		Hotpath,
+		BorrowAlias,
 		SnapshotSafety,
 		ErrSentinel,
 		PersistDet,

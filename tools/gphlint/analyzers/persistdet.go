@@ -13,8 +13,9 @@ import (
 // serialized form of an index must be byte-stable across processes
 // (save→load→save equality is pinned by tests, and the WAL/snapshot
 // protocols compare file hashes). Inside persistence scope — any
-// file named persist.go, plus the whole invindex package (the frozen
-// arena writer) — it flags:
+// file named persist.go, plus the whole invindex (frozen arena
+// writer), binio (serialization substrate) and mmapio (mapped open
+// path) packages — it flags:
 //
 //   - iteration over a map that is not followed by an explicit sort
 //     in the same function (map order would leak into the bytes);
@@ -31,7 +32,12 @@ func runPersistDet(pass *lint.Pass) error {
 	if !pass.InModule() {
 		return nil
 	}
-	wholePkg := pkgPathHasSuffix(pass.Pkg.Path(), "internal/invindex") || pkgPathHasSuffix(pass.Pkg.Path(), "invindex")
+	wholePkg := false
+	for _, pkg := range []string{"invindex", "binio", "mmapio"} {
+		if pkgPathHasSuffix(pass.Pkg.Path(), "internal/"+pkg) || pkgPathHasSuffix(pass.Pkg.Path(), pkg) {
+			wholePkg = true
+		}
+	}
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue

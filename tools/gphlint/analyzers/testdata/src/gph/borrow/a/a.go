@@ -1,0 +1,71 @@
+// Package a exercises the borrowalias analyzer: functions annotated
+// gph:borrow must not copy on the borrow path.
+package a
+
+// reader mimics binio's borrow-mode convention: src non-nil selects
+// the borrow path.
+type reader struct {
+	src  []byte
+	data []byte
+}
+
+func (r *reader) Borrowed() bool { return r.src != nil }
+
+// branchTest copies inside an if r.src != nil branch: every copying
+// construct on the borrow path is flagged; the streaming else-side is
+// free to copy.
+//
+//gph:borrow
+func (r *reader) branchTest(n int) []byte {
+	if r.src != nil {
+		out := make([]byte, n) // want "borrow path copies: make allocates a new slice"
+		copy(out, r.src)       // want "borrow path copies: copy writes"
+		out = append(out, 0)   // want "borrow path copies: append writes"
+		_ = string(r.src[:n])  // want "borrow path copies: string<->\\[\\]byte conversion"
+		return out
+	}
+	buf := make([]byte, n) // streaming side: copying is the point
+	return buf
+}
+
+// methodTest uses the Borrowed() spelling of the borrow test, negated,
+// so the else branch is borrow scope.
+//
+//gph:borrow
+func (r *reader) methodTest(n int) []byte {
+	if !r.Borrowed() {
+		return make([]byte, n)
+	} else {
+		return append([]byte(nil), r.src[:n]...) // want "borrow path copies: append writes"
+	}
+}
+
+// wholeBody has no borrow test, so the entire function is declared
+// borrow path.
+//
+//gph:borrow
+func (r *reader) wholeBody() []byte {
+	return r.Clone() // want "borrow path copies: Clone duplicates the arena"
+}
+
+// suppressed shows the sanctioned escape: a justified ignore comment.
+//
+//gph:borrow
+func (r *reader) suppressed(n int) []byte {
+	if r.src != nil {
+		//gphlint:ignore borrowalias unaligned fixture fallback
+		out := make([]byte, n)
+		return out
+	}
+	return nil
+}
+
+// unannotated copies freely: only gph:borrow functions are checked.
+func (r *reader) unannotated(n int) []byte {
+	out := make([]byte, n)
+	copy(out, r.data)
+	return out
+}
+
+// Clone stands in for the slices.Clone / Vector.Clone family.
+func (r *reader) Clone() []byte { return r.data }

@@ -1,0 +1,16 @@
+// Package clean is the compliant borrowalias fixture: borrow paths
+// alias, streaming paths copy, and the analyzer stays silent.
+package clean
+
+type reader struct{ src []byte }
+
+// view returns an alias on the borrow path and copies only on the
+// streaming side.
+//
+//gph:borrow
+func (r *reader) view(n int) []byte {
+	if r.src != nil {
+		return r.src[:n:n]
+	}
+	return make([]byte, n)
+}

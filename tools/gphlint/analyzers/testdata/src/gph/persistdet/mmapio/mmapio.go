@@ -1,0 +1,12 @@
+// Package mmapio is a persistdet fixture whose import path ends in
+// mmapio: the mapped open path is persistence scope package-wide, so
+// nondeterminism is flagged in any file.
+package mmapio
+
+import "time"
+
+// Stamp records wall-clock time in a file not named persist.go; the
+// package-wide scope still catches it.
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now in persistence code"
+}
