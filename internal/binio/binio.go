@@ -484,6 +484,8 @@ func aliasableAs(b []byte, align uintptr) bool {
 // Uint32s reads a length-prefixed []uint32. Borrow mode aliases the
 // source bytes in place when host endianness and alignment allow,
 // falling back to an owned copy.
+//
+//gph:borrow
 func (r *Reader) Uint32s() []uint32 {
 	n := r.sliceLen("uint32 slice")
 	if r.err != nil {
@@ -539,6 +541,8 @@ func (r *Reader) Uint64s() []uint64 {
 
 // Int32s reads a length-prefixed []int32; the borrow-mode aliasing
 // contract matches Uint32s.
+//
+//gph:borrow
 func (r *Reader) Int32s() []int32 {
 	n := r.sliceLen("int32 slice")
 	if r.err != nil {

@@ -38,6 +38,8 @@ type Index struct {
 	// scratch pools per-query working memory (seen bitmap, key
 	// buffer, candidate and CN-table slices) so steady-state searches
 	// allocate almost nothing; see search.go.
+	//
+	//gph:scratch
 	scratch sync.Pool
 
 	// Deferred content validation for borrow-mode loads (an index

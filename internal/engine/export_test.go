@@ -1,0 +1,17 @@
+package engine
+
+import "gph/internal/mmapio"
+
+// mapping exposes the guard's backing mapping; promoted to every
+// opened* variant.
+func (o *opened) mapping() *mmapio.Mapping { return o.m }
+
+// MappingOf returns the mapping backing a mapped open, nil for heap
+// opens. Test-only: the external leak test asserts its refcount
+// drains to zero after searches race Close.
+func MappingOf(e OpenedEngine) *mmapio.Mapping {
+	if c, ok := e.(interface{ mapping() *mmapio.Mapping }); ok {
+		return c.mapping()
+	}
+	return nil
+}

@@ -150,6 +150,10 @@ type opened struct {
 	m *mmapio.Mapping
 }
 
+// acquire opens a read section on the backing mapping; every nil
+// error must be paired with release.
+//
+//gph:acquire mapping
 func (o *opened) acquire() error {
 	if o.m != nil && !o.m.Acquire() {
 		return ErrIndexClosed
@@ -157,6 +161,9 @@ func (o *opened) acquire() error {
 	return nil
 }
 
+// release exits the read section acquire opened.
+//
+//gph:release mapping
 func (o *opened) release() {
 	if o.m != nil {
 		o.m.Release()

@@ -248,6 +248,80 @@ func TestColdCloseRace(t *testing.T) {
 	wg.Wait()
 }
 
+// TestMappingRefsDrain is the runtime counterpart of gphlint's
+// leakcheck analyzer: it races every bracketed entry point — Search,
+// SearchKNN, streaming iteration with early stop, Vector's panic path
+// — against Close, then asserts the mapping's acquire count returns
+// to zero once all readers join. A non-zero count is a Release missed
+// on some path (most likely an error or early-return path that the
+// static pairing analysis also guards).
+func TestMappingRefsDrain(t *testing.T) {
+	for _, info := range engine.Infos() {
+		t.Run(info.Name, func(t *testing.T) {
+			path := saveEngineFile(t, info.Name)
+			_, queries, _ := confData(t)
+			e, err := engine.Open(path, engine.OpenMMap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := engine.MappingOf(e)
+			if m == nil {
+				t.Fatal("mmap open has no backing mapping")
+			}
+			start := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 100; i++ {
+						q := queries[(g+i)%len(queries)]
+						switch g % 4 {
+						case 0:
+							if _, err := e.Search(q, 4); err != nil && !errors.Is(err, engine.ErrIndexClosed) {
+								t.Errorf("Search: %v", err)
+								return
+							}
+						case 1:
+							if _, err := e.SearchKNN(q, 3); err != nil && !errors.Is(err, engine.ErrIndexClosed) {
+								t.Errorf("SearchKNN: %v", err)
+								return
+							}
+						case 2:
+							s, ok := e.(engine.Streamer)
+							if !ok {
+								return
+							}
+							n := 0
+							for _, err := range s.SearchIter(q, 4) {
+								if err != nil && !errors.Is(err, engine.ErrIndexClosed) {
+									t.Errorf("SearchIter: %v", err)
+									return
+								}
+								if n++; n >= 2 {
+									break // early stop must still release
+								}
+							}
+						case 3:
+							func() {
+								defer func() { recover() }() // post-Close Vector panics; that path must not leak
+								_ = e.Vector(int32(i % e.Len()))
+							}()
+						}
+					}
+				}(g)
+			}
+			close(start)
+			e.Close()
+			wg.Wait()
+			if refs := m.Refs(); refs != 0 {
+				t.Fatalf("mapping holds %d refs after all searches joined: some path acquired without releasing", refs)
+			}
+		})
+	}
+}
+
 // TestOpenModeReporting pins the Mapped/MappedBytes surface the server
 // exposes in /stats and /metrics.
 func TestOpenModeReporting(t *testing.T) {

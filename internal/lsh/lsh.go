@@ -77,6 +77,8 @@ type Index struct {
 	// scratch pools per-query working memory (seen bitmap, candidate
 	// slice, signature buffer) so steady-state searches allocate only
 	// the returned result slice.
+	//
+	//gph:scratch
 	scratch sync.Pool
 }
 
@@ -213,6 +215,10 @@ type searchScratch struct {
 	post []int32
 }
 
+// getScratch hands a pooled scratch to the caller, who owes it
+// back to the pool on every path out.
+//
+//gph:transfer scratch
 func (ix *Index) getScratch() *searchScratch {
 	s, _ := ix.scratch.Get().(*searchScratch)
 	if s == nil {

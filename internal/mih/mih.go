@@ -59,6 +59,8 @@ type Index struct {
 	// scratch pools per-query working memory (seen bitmap, key buffer,
 	// candidate slice, projection, enumerator) so steady-state searches
 	// allocate only the returned result slice.
+	//
+	//gph:scratch
 	scratch sync.Pool
 }
 
@@ -191,6 +193,10 @@ func (s *searchScratch) probe(v bitvec.Vector) bool {
 	return true
 }
 
+// getScratch hands a pooled scratch to the caller, who owes it
+// back to the pool on every path out.
+//
+//gph:transfer scratch
 func (ix *Index) getScratch() *searchScratch {
 	s, _ := ix.scratch.Get().(*searchScratch)
 	if s == nil {
@@ -204,6 +210,9 @@ func (ix *Index) getScratch() *searchScratch {
 	return s
 }
 
+// putScratch returns a scratch to the pool.
+//
+//gph:release scratch
 func (ix *Index) putScratch(s *searchScratch) {
 	s.inv = nil
 	ix.scratch.Put(s)

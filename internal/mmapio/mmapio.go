@@ -99,6 +99,15 @@ func (m *Mapping) Path() string { return m.path }
 // (false: the heap fallback owns a copy).
 func (m *Mapping) Mapped() bool { return m.mapped }
 
+// Refs returns the number of in-flight Acquire brackets. It exists for
+// leak tests: after every reader joins, a non-zero count is a missed
+// Release on some path.
+func (m *Mapping) Refs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refs
+}
+
 // Acquire registers one in-flight reader and reports whether the
 // mapping is still open. A false return means Close has run: the
 // caller must not touch Data and should fail its operation cleanly.

@@ -183,6 +183,10 @@ type CompactionStatus struct {
 type Index struct {
 	// mu serializes writers (Insert, Delete, the compaction swap,
 	// Save) and guards owner and nextID. Searches do not take it.
+	// Blocking work — fsync, mapping read sections — stays outside
+	// the critical section (gphlint:lockorder enforces both rules).
+	//
+	//gph:writerlock
 	mu        sync.Mutex
 	dims      atomic.Int32 // 0 until the first vector arrives
 	numShards int
@@ -200,7 +204,10 @@ type Index struct {
 	// to every shards[i].Store. The result cache keys on it, so a swap
 	// invalidates every cached result with zero coordination — stale
 	// entries can never match a post-swap lookup and age out of the
-	// LRU. Monotonic, never reset (no ABA).
+	// LRU. Monotonic, never reset (no ABA). gphlint:epochpair checks
+	// that every Store is post-dominated by a bump.
+	//
+	//gph:epoch
 	epoch atomic.Uint64
 
 	// planner routes queries between the built index path and the
@@ -247,6 +254,7 @@ type Index struct {
 // nil error must be paired with releaseMapping.
 //
 //gph:hotpath
+//gph:acquire mapping
 func (s *Index) acquireMapping() error {
 	if s.mapping != nil && !s.mapping.Acquire() {
 		return fmt.Errorf("shard: %w", engine.ErrIndexClosed)
@@ -254,7 +262,10 @@ func (s *Index) acquireMapping() error {
 	return nil
 }
 
+// releaseMapping exits the read section acquireMapping opened.
+//
 //gph:hotpath
+//gph:release mapping
 func (s *Index) releaseMapping() {
 	if s.mapping != nil {
 		s.mapping.Release()
@@ -315,6 +326,7 @@ func NewEngine(engineName string, numShards int, opts core.Options) (*Index, err
 	}
 	empty := &state{builtPos: map[int32]int32{}, dead: map[int32]bool{}}
 	for i := range s.shards {
+		//gphlint:ignore epochpair constructor publishes the empty snapshot before any reader exists
 		s.shards[i].Store(empty)
 	}
 	return s, nil
@@ -392,6 +404,7 @@ func BuildEngine(engineName string, data []bitvec.Vector, numShards int, opts co
 		return nil, err
 	}
 	for i := range states {
+		//gphlint:ignore epochpair build publishes the first real snapshots before the index is returned
 		s.shards[i].Store(states[i])
 	}
 	s.calibratePlanner()

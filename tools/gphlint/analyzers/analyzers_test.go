@@ -75,3 +75,39 @@ func TestDocCheckMissingPackageComment(t *testing.T) {
 func TestDocCheckClean(t *testing.T) {
 	testkit.Run(t, analyzers.DocCheck, "gph/doccheck/clean")
 }
+
+func TestLeakCheck(t *testing.T) {
+	testkit.Run(t, analyzers.LeakCheck, "gph/leak/a")
+}
+
+func TestLeakCheckClean(t *testing.T) {
+	testkit.Run(t, analyzers.LeakCheck, "gph/leak/clean")
+}
+
+func TestLeakCheckPrimitivePackage(t *testing.T) {
+	testkit.Run(t, analyzers.LeakCheck, "gph/leak/internal/mmapio")
+}
+
+func TestLeakCheckAnnotatedWrappers(t *testing.T) {
+	testkit.Run(t, analyzers.LeakCheck, "gph/leak/dep")
+}
+
+func TestEpochPair(t *testing.T) {
+	testkit.Run(t, analyzers.EpochPair, "gph/epair/internal/shard")
+}
+
+func TestEpochPairOutOfScope(t *testing.T) {
+	testkit.Run(t, analyzers.EpochPair, "gph/epair/notshard")
+}
+
+func TestLockOrder(t *testing.T) {
+	testkit.Run(t, analyzers.LockOrder, "gph/locks/a")
+}
+
+func TestLockOrderClean(t *testing.T) {
+	testkit.Run(t, analyzers.LockOrder, "gph/locks/clean")
+}
+
+func TestLockOrderCrossPackageCycle(t *testing.T) {
+	testkit.Run(t, analyzers.LockOrder, "gph/locks/cycle")
+}

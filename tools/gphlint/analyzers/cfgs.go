@@ -1,0 +1,89 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"gph/tools/gphlint/internal/cfg"
+	"gph/tools/gphlint/internal/lint"
+)
+
+// funcGraphs lazily builds and memoizes control-flow graphs for the
+// unit's functions. One instance is shared across every CFG-based
+// analyzer of a pass through lint.Pass.Shared, so leakcheck,
+// epochpair and lockorder pay for graph construction once per
+// function, not once per analyzer.
+type funcGraphs struct {
+	pass  *lint.Pass
+	decls map[*ast.FuncDecl]*cfg.Graph
+	lits  map[*ast.FuncLit]*cfg.Graph
+}
+
+// sharedCFGs returns the unit's graph cache.
+func sharedCFGs(pass *lint.Pass) *funcGraphs {
+	return pass.Shared("cfg", func() any {
+		return &funcGraphs{
+			pass:  pass,
+			decls: map[*ast.FuncDecl]*cfg.Graph{},
+			lits:  map[*ast.FuncLit]*cfg.Graph{},
+		}
+	}).(*funcGraphs)
+}
+
+func (fg *funcGraphs) decl(fn *ast.FuncDecl) *cfg.Graph {
+	if g, ok := fg.decls[fn]; ok {
+		return g
+	}
+	g := cfg.New(fn, fg.pass.TypesInfo)
+	fg.decls[fn] = g
+	return g
+}
+
+func (fg *funcGraphs) lit(fn *ast.FuncLit) *cfg.Graph {
+	if g, ok := fg.lits[fn]; ok {
+		return g
+	}
+	g := cfg.New(fn, fg.pass.TypesInfo)
+	fg.lits[fn] = g
+	return g
+}
+
+// funcLits collects every function literal nested anywhere inside
+// root, in source order. The CFG builder treats literals as opaque,
+// so analyzers that care about closure bodies (a deferred cleanup, a
+// goroutine worker) analyze each literal as its own graph.
+func funcLits(root ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// shallowInspect visits root's nodes without descending into nested
+// function literals — the node-level view matching the CFG's opaque
+// treatment of closures.
+func shallowInspect(root ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// blockNodesAndCond runs visit over a block's nodes and then its
+// condition (the evaluation order the CFG defines).
+func blockNodesAndCond(b *cfg.Block, visit func(ast.Node)) {
+	for _, n := range b.Nodes {
+		visit(n)
+	}
+	if b.Cond != nil {
+		visit(b.Cond)
+	}
+}

@@ -1,0 +1,253 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gph/tools/gphlint/internal/cfg"
+	"gph/tools/gphlint/internal/dataflow"
+	"gph/tools/gphlint/internal/lint"
+)
+
+// EpochPair checks the shard layer's snapshot-invalidation pairing
+// (the PR 8 rule): result caches are keyed on (query, shard epoch),
+// so every publication of a new snapshot — a Store, Swap or
+// CompareAndSwap on an atomic.Pointer[S] cell where S is a
+// //gph:snapshot type — must be post-dominated by a bump of the
+// //gph:epoch-annotated counter before the function returns. A store
+// whose function can exit without bumping leaves the cache serving
+// results computed against the replaced snapshot.
+//
+// The check is a backward must-analysis over the function's CFG:
+// "every path from here reaches an epoch Add before the normal
+// exit". Panic paths are vacuous (the process is going down, not
+// serving stale results). A CompareAndSwap used as a branch
+// condition only requires the bump on its success edge.
+//
+// Initialization-time stores — constructors and load paths that
+// publish the first snapshot before any reader exists — are the
+// deliberate exceptions, suppressed in place with
+// //gphlint:ignore epochpair <reason>.
+var EpochPair = &lint.Analyzer{
+	Name: "epochpair",
+	Doc:  "snapshot Store/Swap/CompareAndSwap must be post-dominated by an epoch bump before function exit",
+	Run:  runEpochPair,
+}
+
+func runEpochPair(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	if !pkgPathHasSuffix(pass.Pkg.Path(), "internal/shard") {
+		return nil
+	}
+	snapTypes := collectSnapshotTypes(pass)
+	if len(snapTypes) == 0 {
+		return nil
+	}
+	epochFields := collectEpochFields(pass)
+	if len(epochFields) == 0 {
+		return nil
+	}
+	ep := &epochChecker{pass: pass, snapTypes: snapTypes, epochFields: epochFields}
+	graphs := sharedCFGs(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ep.check(graphs.decl(fn), fn.Name.Name)
+			for _, lit := range funcLits(fn.Body) {
+				ep.check(graphs.lit(lit), fn.Name.Name+" (func literal)")
+			}
+		}
+	}
+	return nil
+}
+
+// collectEpochFields resolves every struct field annotated
+// //gph:epoch to its object.
+func collectEpochFields(pass *lint.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				if !lint.HasAnnotation(fl.Doc, "gph:epoch") && !lint.HasAnnotation(fl.Comment, "gph:epoch") {
+					continue
+				}
+				for _, name := range fl.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type epochChecker struct {
+	pass        *lint.Pass
+	snapTypes   map[*types.Named]bool
+	epochFields map[types.Object]bool
+}
+
+// snapStoreIn returns the snapshot-publication calls nested in n
+// (shallow: closures are separate graphs).
+func (ep *epochChecker) snapStoreIn(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	shallowInspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Store", "Swap", "CompareAndSwap":
+		default:
+			return true
+		}
+		t := ep.pass.TypesInfo.TypeOf(sel.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if isAtomicSnapshotPtr(t, ep.snapTypes) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// hasBump reports whether n contains a call to Add on an annotated
+// epoch field.
+func (ep *epochChecker) hasBump(n ast.Node) bool {
+	found := false
+	shallowInspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		field, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj := ep.pass.TypesInfo.Uses[field.Sel]; obj != nil && ep.epochFields[obj] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+var mustLattice = dataflow.Lattice[bool]{
+	Join:  func(a, b bool) bool { return a && b },
+	Equal: func(a, b bool) bool { return a == b },
+}
+
+func (ep *epochChecker) check(g *cfg.Graph, fnName string) {
+	// Fast path: no publication in this function.
+	any := false
+	for _, b := range g.Blocks {
+		blockNodesAndCond(b, func(n ast.Node) {
+			if len(ep.snapStoreIn(n)) > 0 {
+				any = true
+			}
+		})
+		if any {
+			break
+		}
+	}
+	if !any {
+		return
+	}
+
+	res := dataflow.Backward(g,
+		func(b *cfg.Block) bool { return b == g.PanicExit }, // vacuous on panic paths
+		mustLattice,
+		func(b *cfg.Block, out bool) bool {
+			bumped := out
+			if b.Cond != nil && ep.hasBump(b.Cond) {
+				bumped = true
+			}
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				if ep.hasBump(b.Nodes[i]) {
+					bumped = true
+				}
+			}
+			return bumped
+		}, nil)
+
+	report := func(call *ast.CallExpr) {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		ep.pass.Reportf(call.Pos(),
+			"snapshot %s is not post-dominated by an epoch bump before %s returns; epoch-keyed result caches would keep serving the replaced snapshot (pair it with an Add on the //gph:epoch counter)",
+			sel.Sel.Name, fnName)
+	}
+
+	for _, b := range g.Blocks {
+		out, solved := res.Out[b]
+		if !solved {
+			continue // unreachable
+		}
+		// Walk backward through the block computing, for each node,
+		// whether a bump still lies ahead on every path.
+		if b.Cond != nil {
+			for _, call := range ep.snapStoreIn(b.Cond) {
+				sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if sel.Sel.Name == "CompareAndSwap" {
+					// Publication happened only if the branch
+					// succeeded: the bump is required on the True
+					// edge alone.
+					ok := false
+					for _, e := range b.Succs {
+						if e.Kind == cfg.True {
+							if in, solved := res.In[e.To]; solved && in {
+								ok = true
+							}
+						}
+					}
+					if !ok {
+						report(call)
+					}
+				} else if !out {
+					report(call)
+				}
+			}
+		}
+		state := out
+		if b.Cond != nil && ep.hasBump(b.Cond) {
+			state = true
+		}
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			n := b.Nodes[i]
+			if !state && !ep.hasBump(n) {
+				for _, call := range ep.snapStoreIn(n) {
+					report(call)
+				}
+			}
+			if ep.hasBump(n) {
+				state = true
+			}
+		}
+	}
+}

@@ -1,12 +1,17 @@
-// Package analyzers holds gphlint's seven analyzers, each encoding
-// one of the repository's load-bearing invariants: hotpath
+// Package analyzers holds gphlint's ten analyzers, each encoding one
+// of the repository's load-bearing invariants: hotpath
 // (allocation-free annotated query paths), borrowalias (zero-copy
 // arena borrows on the mapped open path), snapshotsafety (immutable
 // published shard snapshots), errsentinel (sentinel-wrapped query
 // validation errors), persistdet (deterministic persistence),
-// magicreg (unique 8-byte persistence magics) and doccheck (the
-// documentation gate). See DESIGN.md §11 for the rules each one
-// enforces and how to suppress a finding.
+// magicreg (unique 8-byte persistence magics), doccheck (the
+// documentation gate), and — built on the internal/cfg +
+// internal/dataflow engine (DESIGN.md §15) — the three path-sensitive
+// pairing analyzers: leakcheck (resources released on every path),
+// epochpair (snapshot stores post-dominated by an epoch bump) and
+// lockorder (module-wide lock ordering and the
+// no-fsync-under-writer-lock rule). See DESIGN.md §11 for how to
+// suppress a finding.
 package analyzers
 
 import (
@@ -28,6 +33,9 @@ func All() []*lint.Analyzer {
 		PersistDet,
 		MagicReg,
 		DocCheck,
+		LeakCheck,
+		EpochPair,
+		LockOrder,
 	}
 }
 

@@ -87,6 +87,11 @@ type localFn struct {
 type localViol struct {
 	pos  token.Pos
 	what string
+	// suppressed viols are still reported locally — the driver flags
+	// them so -json and the staleness check see the masked finding —
+	// but are dropped from the exported facts so they cannot resurface
+	// at call sites in downstream packages.
+	suppressed bool
 }
 
 type localCallee struct {
@@ -147,6 +152,9 @@ func runHotpath(pass *lint.Pass) error {
 			return
 		}
 		for _, v := range lf.viols {
+			if v.suppressed {
+				continue // reported once for every function below
+			}
 			pass.Reportf(v.pos, "hot path: %s", v.what)
 		}
 		for _, c := range lf.callees {
@@ -165,6 +173,21 @@ func runHotpath(pass *lint.Pass) error {
 		}
 	}
 
+	// Suppressed viols are reported (masked) for every function, not
+	// just those reachable from an in-package hot root: packages like
+	// alloc hold no roots of their own but are called from hot paths
+	// elsewhere, and their suppressions earn their keep by keeping the
+	// viol out of the exported facts below. Reporting here gives -json
+	// consumers and the staleness check a finding to match the
+	// //gphlint:ignore comment against.
+	for _, lf := range locals {
+		for _, v := range lf.viols {
+			if v.suppressed {
+				pass.Reportf(v.pos, "hot path: %s", v.what)
+			}
+		}
+	}
+
 	// Export this package's summaries for downstream packages. Clean
 	// leaf functions (no violations, no module callees) carry no
 	// information and are omitted.
@@ -175,8 +198,14 @@ func runHotpath(pass *lint.Pass) error {
 		}
 		s := FnSummary{}
 		for _, v := range lf.viols {
+			if v.suppressed {
+				continue
+			}
 			p := pass.Fset.Position(v.pos)
 			s.Viols = append(s.Viols, Viol{What: v.what, Pos: shortPos(p.Filename, p.Line)})
+		}
+		if len(s.Viols) == 0 && len(lf.callees) == 0 {
+			continue
 		}
 		for _, c := range lf.callees {
 			p := pass.Fset.Position(c.pos)
@@ -231,14 +260,13 @@ func newRemoteResolver(remote map[string]FnSummary) func(qname string) string {
 
 // summarizeFn walks one function body collecting banned constructs
 // and module-local static callees. Suppressed sites (a
-// //gphlint:ignore hotpath comment) are dropped here, before fact
-// export, so they cannot resurface in a downstream package.
+// //gphlint:ignore hotpath comment) are kept, flagged, so the local
+// report still surfaces them for -json consumers; fact export drops
+// them so they cannot resurface in a downstream package.
 func summarizeFn(pass *lint.Pass, fn *ast.FuncDecl) *localFn {
 	lf := &localFn{}
 	addViol := func(pos token.Pos, what string) {
-		if !pass.Suppressed(pos) {
-			lf.viols = append(lf.viols, localViol{pos, what})
-		}
+		lf.viols = append(lf.viols, localViol{pos, what, pass.Suppressed(pos)})
 	}
 	modPrefix := pass.ModulePath + "/"
 

@@ -1,0 +1,1006 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gph/tools/gphlint/internal/cfg"
+	"gph/tools/gphlint/internal/dataflow"
+	"gph/tools/gphlint/internal/lint"
+)
+
+// LeakCheck verifies the repository's bracketed resource lifetimes on
+// *every* path out of a function — early returns, error branches,
+// loop exits — not just the happy path:
+//
+//   - mmapio.Mapping.Acquire (and wrappers annotated //gph:acquire
+//     mapping, like the shard's acquireMapping or the engine guard's
+//     acquire) must reach Release / a //gph:release mapping wrapper;
+//   - sync.Pool.Get on a //gph:scratch-annotated pool (and
+//     //gph:transfer scratch wrappers like getScratch) must reach Put
+//     / a //gph:release scratch wrapper;
+//   - the stop function of iter.Pull / iter.Pull2 must be called.
+//
+// The check is a forward may-analysis over the function's CFG with
+// edge refinement: a block conditioned on the acquire call itself
+// ("if !m.Acquire()"), on a boolean bound from it, or on an
+// "err != nil" test of its error result, propagates "held" only
+// along the success edge. A deferred release releases every path
+// downstream of the defer. Ownership legitimately leaves a function
+// through a //gph:transfer-annotated return (the caller then owns
+// it, checked at the call site via the exported fact), or by
+// escaping into storage the analysis cannot track (appends, struct
+// fields, captures by non-deferred closures) — escapes end tracking
+// silently rather than risk false positives. Paths into panic are
+// vacuous.
+//
+// Annotated wrappers compose across packages: each package exports
+// its //gph:acquire, //gph:release and //gph:transfer functions as a
+// fact, so a caller in another package brackets correctly without
+// the analyzer knowing the callee's body.
+var LeakCheck = &lint.Analyzer{
+	Name:      "leakcheck",
+	Doc:       "acquired resources (mapping refcounts, pooled scratch, iter.Pull stops) must be released on every path out of the function",
+	FactTypes: []lint.Fact{(*LeakFacts)(nil)},
+	Run:       runLeakCheck,
+}
+
+// LeakFacts is the per-package fact listing annotated resource
+// wrappers, so acquire/release brackets compose across packages.
+type LeakFacts struct {
+	Fns []LeakFnEntry
+}
+
+// AFact marks LeakFacts as a fact type.
+func (*LeakFacts) AFact() {}
+
+// LeakFnEntry describes one annotated wrapper.
+type LeakFnEntry struct {
+	// QName is the funcQName key, e.g.
+	// "gph/internal/shard.(*Index).acquireMapping".
+	QName string
+	// Kind is "acquire" (caller holds one instance keyed by the
+	// receiver on success), "release" (caller's instance is
+	// released), or "transfer" (the result value is an owned
+	// resource).
+	Kind string
+	// Class is the resource class: "mapping", "scratch", ...
+	Class string
+	// Cond tells callers how acquisition success is signaled:
+	// "always", "bool" (true = acquired) or "err" (nil = acquired).
+	Cond string
+}
+
+// Resource-status lattice (per acquire site).
+const (
+	stHeld    = uint8(1) // held on every path seen so far
+	stMaybe   = uint8(2) // held on some path
+	stEscaped = uint8(3) // ownership left the function; stop tracking
+)
+
+// leakState maps site id → status; an absent site is not held.
+type leakState map[int]uint8
+
+func (s leakState) clone() leakState {
+	out := make(leakState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+var leakLattice = dataflow.Lattice[leakState]{
+	Join: func(a, b leakState) leakState {
+		out := leakState{}
+		for k, va := range a {
+			if vb, ok := b[k]; ok {
+				switch {
+				case va == stEscaped || vb == stEscaped:
+					out[k] = stEscaped
+				case va == vb:
+					out[k] = va
+				default:
+					out[k] = stMaybe
+				}
+			} else {
+				if va == stEscaped {
+					out[k] = stEscaped
+				} else {
+					out[k] = stMaybe // held on one path, absent on the other
+				}
+			}
+		}
+		for k, vb := range b {
+			if _, ok := a[k]; !ok {
+				if vb == stEscaped {
+					out[k] = stEscaped
+				} else {
+					out[k] = stMaybe
+				}
+			}
+		}
+		return out
+	},
+	Equal: func(a, b leakState) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+// A leakSite is one acquisition in the function under analysis.
+type leakSite struct {
+	id    int
+	call  *ast.CallExpr
+	class string
+	cond  string       // "always", "bool", "err"
+	key   string       // receiver path for receiver-keyed resources ("" when value-carried)
+	obj   types.Object // the local binding carrying a value resource (nil if none)
+	what  string       // for messages: "mmapio Acquire", "scratch Get", ...
+	rel   string       // suggested release call
+}
+
+func runLeakCheck(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	lc := &leakChecker{
+		pass:     pass,
+		wrappers: map[string]LeakFnEntry{},
+		pools:    collectScratchPools(pass),
+	}
+	lc.collectWrappers()
+	graphs := sharedCFGs(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lc.checkFn(graphs.decl(fn), fn.Doc, fn.Name.Name)
+			for _, lit := range funcLits(fn.Body) {
+				// Literals inherit the declaring function's
+				// annotations: a //gph:transfer factory may hand the
+				// resource out through the closure it returns.
+				lc.checkFn(graphs.lit(lit), fn.Doc, fn.Name.Name+" (func literal)")
+			}
+		}
+	}
+	return nil
+}
+
+type leakChecker struct {
+	pass     *lint.Pass
+	wrappers map[string]LeakFnEntry
+	pools    map[types.Object]bool
+}
+
+// collectScratchPools resolves //gph:scratch-annotated pool fields
+// and package-level pool variables.
+func collectScratchPools(pass *lint.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addNames := func(names []*ast.Ident) {
+		for _, name := range names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fl := range n.Fields.List {
+					if lint.HasAnnotation(fl.Doc, "gph:scratch") || lint.HasAnnotation(fl.Comment, "gph:scratch") {
+						addNames(fl.Names)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if lint.HasAnnotation(n.Doc, "gph:scratch") || lint.HasAnnotation(vs.Doc, "gph:scratch") || lint.HasAnnotation(vs.Comment, "gph:scratch") {
+						addNames(vs.Names)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectWrappers gathers annotated wrappers: the current package's
+// (exported as a fact) and every imported package's.
+func (lc *leakChecker) collectWrappers() {
+	var local []LeakFnEntry
+	for _, f := range lc.pass.Files {
+		if lc.pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, kind := range []string{"acquire", "release", "transfer"} {
+				class, ok := lint.AnnotationArg(fn.Doc, "gph:"+kind)
+				if !ok || class == "" {
+					continue
+				}
+				qname := declQName(lc.pass.TypesInfo, fn)
+				if qname == "" {
+					continue
+				}
+				local = append(local, LeakFnEntry{
+					QName: qname,
+					Kind:  kind,
+					Class: class,
+					Cond:  condOf(lc.pass.TypesInfo, fn),
+				})
+			}
+		}
+	}
+	sort.Slice(local, func(i, j int) bool { return local[i].QName < local[j].QName })
+	if len(local) > 0 {
+		lc.pass.ExportPackageFact(&LeakFacts{Fns: local})
+	}
+	for _, pf := range lc.pass.AllPackageFacts() {
+		if facts, ok := pf.Fact.(*LeakFacts); ok {
+			for _, e := range facts.Fns {
+				lc.wrappers[e.QName] = e
+			}
+		}
+	}
+	for _, e := range local {
+		lc.wrappers[e.QName] = e
+	}
+}
+
+// condOf derives how a wrapper signals success from its signature:
+// an error result means nil-is-acquired, a single bool result means
+// true-is-acquired, anything else is unconditional.
+func condOf(info *types.Info, fn *ast.FuncDecl) string {
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return "always"
+	}
+	sig := obj.Type().(*types.Signature)
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return "err"
+		}
+	}
+	if res.Len() == 1 {
+		if b, ok := res.At(0).Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+			return "bool"
+		}
+	}
+	return "always"
+}
+
+// mappingMethod reports whether call invokes the named method on
+// *mmapio.Mapping, returning the receiver expression.
+func mappingMethod(info *types.Info, call *ast.CallExpr, name string) (recv ast.Expr, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel || sel.Sel.Name != name {
+		return nil, false
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || !pkgPathHasSuffix(fn.Pkg().Path(), "internal/mmapio") {
+		return nil, false
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return nil, false
+	}
+	t := sig.Recv().Type()
+	if p, okP := t.(*types.Pointer); okP {
+		t = p.Elem()
+	}
+	named, okN := t.(*types.Named)
+	if !okN || named.Obj().Name() != "Mapping" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// poolCall reports whether call is pool.Get/pool.Put on an annotated
+// scratch pool.
+func (lc *leakChecker) poolCall(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	var obj types.Object
+	switch pe := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		obj = lc.pass.TypesInfo.Uses[pe.Sel]
+	case *ast.Ident:
+		obj = lc.pass.TypesInfo.Uses[pe]
+	}
+	return obj != nil && lc.pools[obj]
+}
+
+// wrapperEntry resolves a call to an annotated wrapper entry.
+func (lc *leakChecker) wrapperEntry(call *ast.CallExpr) (LeakFnEntry, bool) {
+	fn := staticCallee(lc.pass.TypesInfo, call)
+	if fn == nil {
+		return LeakFnEntry{}, false
+	}
+	e, ok := lc.wrappers[funcQName(fn)]
+	return e, ok
+}
+
+// checkFn runs the leak analysis over one function graph.
+func (lc *leakChecker) checkFn(g *cfg.Graph, doc *ast.CommentGroup, fnName string) {
+	a := &leakAnalysis{lc: lc, g: g, byCall: map[*ast.CallExpr]*leakSite{}, byObj: map[types.Object]*leakSite{}}
+	a.collectSites()
+	if len(a.sites) == 0 {
+		return
+	}
+	a.collectRefinements()
+
+	res := dataflow.Forward(g, leakState{}, leakLattice,
+		func(b *cfg.Block, in leakState) leakState {
+			st := in.clone()
+			blockNodesAndCond(b, func(n ast.Node) { a.transferNode(n, st) })
+			return st
+		},
+		func(e cfg.Edge, out leakState) leakState {
+			refs := a.refinements[e.From]
+			if len(refs) == 0 {
+				return out
+			}
+			st := out.clone()
+			for _, r := range refs {
+				if e.Kind != cfg.True && e.Kind != cfg.False {
+					continue
+				}
+				cur, held := st[r.site.id]
+				if !held || cur == stEscaped {
+					continue
+				}
+				if r.trueMeansAcquired == (e.Kind == cfg.True) {
+					st[r.site.id] = stHeld
+				} else {
+					delete(st, r.site.id)
+				}
+			}
+			return st
+		})
+
+	// Exemptions: a //gph:acquire or //gph:transfer function is
+	// *supposed* to exit holding (or handing off) its class.
+	exempt := map[string]bool{}
+	for _, kind := range []string{"acquire", "transfer"} {
+		if class, ok := lint.AnnotationArg(doc, "gph:"+kind); ok && class != "" {
+			exempt[class] = true
+		}
+	}
+
+	exitState, reached := res.In[g.Exit]
+	if !reached {
+		return // no normal exit (infinite loop / always panics)
+	}
+	ids := make([]int, 0, len(exitState))
+	for id := range exitState {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		status := exitState[id]
+		if status != stHeld && status != stMaybe {
+			continue
+		}
+		site := a.sites[id]
+		if exempt[site.class] {
+			continue
+		}
+		qualifier := "is not"
+		if status == stMaybe {
+			qualifier = "may not be"
+		}
+		lc.pass.Reportf(site.call.Pos(),
+			"%s %s released on every path out of %s: pair it with %s on each return (or annotate the wrapper //gph:transfer %s if the caller takes ownership)",
+			site.what, qualifier, fnName, site.rel, site.class)
+	}
+}
+
+// a refinement narrows a site's status along a branch.
+type leakRefinement struct {
+	site              *leakSite
+	trueMeansAcquired bool
+}
+
+type leakAnalysis struct {
+	lc          *leakChecker
+	g           *cfg.Graph
+	sites       []*leakSite
+	byCall      map[*ast.CallExpr]*leakSite
+	byObj       map[types.Object]*leakSite
+	refinements map[*cfg.Block][]leakRefinement
+}
+
+// collectSites finds every acquisition in the graph and its value
+// binding.
+func (a *leakAnalysis) collectSites() {
+	for _, b := range a.g.Blocks {
+		blockNodesAndCond(b, func(n ast.Node) {
+			shallowInspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				a.siteForCall(call)
+				return true
+			})
+			a.bindSites(n)
+		})
+	}
+}
+
+// siteForCall classifies call as an acquisition and registers a site.
+func (a *leakAnalysis) siteForCall(call *ast.CallExpr) {
+	if _, ok := a.byCall[call]; ok {
+		return
+	}
+	lc := a.lc
+	var site *leakSite
+	if recv, ok := mappingMethod(lc.pass.TypesInfo, call, "Acquire"); ok {
+		site = &leakSite{class: "mapping", cond: "bool", key: types.ExprString(recv),
+			what: "mapping Acquire", rel: "Release"}
+	} else if lc.poolCall(call, "Get") {
+		site = &leakSite{class: "scratch", cond: "always",
+			what: "pooled scratch from Get", rel: "Put"}
+	} else if name := callFullName(lc.pass.TypesInfo, call); name == "iter.Pull" || name == "iter.Pull2" {
+		site = &leakSite{class: "pull", cond: "always",
+			what: name + " stop func", rel: "a stop() call"}
+	} else if e, ok := lc.wrapperEntry(call); ok && (e.Kind == "acquire" || e.Kind == "transfer") {
+		what := shortQName(e.QName)
+		rel := "the matching //gph:release " + e.Class + " call"
+		site = &leakSite{class: e.Class, cond: e.Cond, what: what, rel: rel}
+		if e.Kind == "acquire" {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				site.key = types.ExprString(sel.X)
+			}
+		}
+	}
+	if site == nil {
+		return
+	}
+	site.id = len(a.sites)
+	site.call = call
+	a.sites = append(a.sites, site)
+	a.byCall[call] = site
+}
+
+// bindSites associates value-carried sites with the variables their
+// results land in (s := ix.getScratch(); next, stop := iter.Pull2(...)).
+func (a *leakAnalysis) bindSites(n ast.Node) {
+	var lhs []ast.Expr
+	var rhs []ast.Expr
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		lhs, rhs = n.Lhs, n.Rhs
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+				for _, name := range vs.Names {
+					lhs = append(lhs, name)
+				}
+				rhs = vs.Values
+			}
+		}
+	default:
+		return
+	}
+	if len(rhs) == 0 {
+		return
+	}
+	bind := func(site *leakSite, idx int) {
+		if site == nil || idx >= len(lhs) {
+			return
+		}
+		id, ok := ast.Unparen(lhs[idx]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := a.lc.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = a.lc.pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && site.obj == nil {
+			site.obj = obj
+			a.byObj[obj] = site
+		}
+	}
+	if len(rhs) == 1 {
+		call := callIn(rhs[0])
+		site := a.byCall[call]
+		if site == nil {
+			return
+		}
+		switch site.class {
+		case "pull":
+			bind(site, 1) // next, stop := iter.Pull2(...)
+		default:
+			if site.key == "" { // value-carried
+				bind(site, 0)
+			}
+		}
+		return
+	}
+	for i, r := range rhs {
+		if site := a.byCall[callIn(r)]; site != nil && site.key == "" && site.class != "pull" {
+			bind(site, i)
+		}
+	}
+}
+
+// callIn unwraps parens and type assertions around a call expression
+// (pool.Get().(*T) binds the Get).
+func callIn(e ast.Expr) *ast.CallExpr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return x
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectRefinements finds blocks whose condition reveals whether an
+// acquisition succeeded.
+func (a *leakAnalysis) collectRefinements() {
+	a.refinements = map[*cfg.Block][]leakRefinement{}
+	info := a.lc.pass.TypesInfo
+	for _, b := range a.g.Blocks {
+		if b.Cond == nil {
+			continue
+		}
+		cond := ast.Unparen(b.Cond)
+		switch x := cond.(type) {
+		case *ast.CallExpr:
+			// if m.Acquire() { ... }  (negation is normalized away)
+			if site := a.byCall[x]; site != nil && site.cond == "bool" {
+				a.refinements[b] = append(a.refinements[b], leakRefinement{site, true})
+			}
+		case *ast.Ident:
+			// ok := m.Acquire(); if ok { ... }
+			obj := info.Uses[x]
+			if obj == nil {
+				break
+			}
+			if site := a.lastDefFrom(b, obj, "bool"); site != nil {
+				a.refinements[b] = append(a.refinements[b], leakRefinement{site, true})
+			}
+		case *ast.BinaryExpr:
+			// if err := s.acquireMapping(); err != nil { ... }
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				break
+			}
+			var errExpr ast.Expr
+			if isNilIdent(x.Y) {
+				errExpr = x.X
+			} else if isNilIdent(x.X) {
+				errExpr = x.Y
+			}
+			if errExpr == nil {
+				break
+			}
+			// if o.acquire() != nil { ... } — the acquire call compared
+			// against nil directly, no error binding.
+			if site := a.byCall[callIn(errExpr)]; site != nil && site.cond == "err" {
+				a.refinements[b] = append(a.refinements[b], leakRefinement{site, x.Op == token.EQL})
+				break
+			}
+			id, ok := ast.Unparen(errExpr).(*ast.Ident)
+			if !ok {
+				break
+			}
+			obj := info.Uses[id]
+			if obj == nil || !isErrorType(obj.Type()) {
+				break
+			}
+			site := a.lastDefFrom(b, obj, "err")
+			if site == nil {
+				break
+			}
+			// err == nil: True edge means acquired;
+			// err != nil: True edge means failed.
+			a.refinements[b] = append(a.refinements[b], leakRefinement{site, x.Op == token.EQL})
+		}
+	}
+}
+
+// lastDefFrom scans b's nodes backward for the last assignment of obj
+// and returns the site whose call (with matching success condition)
+// produced it.
+func (a *leakAnalysis) lastDefFrom(b *cfg.Block, obj types.Object, cond string) *leakSite {
+	info := a.lc.pass.TypesInfo
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		as, ok := b.Nodes[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		assigns := false
+		for _, l := range as.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				o := info.Defs[id]
+				if o == nil {
+					o = info.Uses[id]
+				}
+				if o == obj {
+					assigns = true
+				}
+			}
+		}
+		if !assigns {
+			continue
+		}
+		for _, r := range as.Rhs {
+			if site := a.byCall[callIn(r)]; site != nil && site.cond == cond {
+				return site
+			}
+		}
+		return nil // assigned from something else: no refinement
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// transferNode applies one node's effects to st, in evaluation-ish
+// order: releases, then acquisitions, then escapes.
+func (a *leakAnalysis) transferNode(n ast.Node, st leakState) {
+	consumed := map[*ast.Ident]bool{}
+	a.applyReleases(n, st, consumed)
+	a.applyAcquires(n, st)
+	a.applyEscapes(n, st, consumed)
+}
+
+// applyReleases clears sites released by n (including releases inside
+// a deferred closure — all returns run registered defers, so an
+// immediate release is sound for the pairing property).
+func (a *leakAnalysis) applyReleases(n ast.Node, st leakState, consumed map[*ast.Ident]bool) {
+	lc := a.lc
+	info := lc.pass.TypesInfo
+	handleCall := func(call *ast.CallExpr) {
+		if recv, ok := mappingMethod(info, call, "Release"); ok {
+			a.releaseKeyed(st, "mapping", types.ExprString(recv))
+			return
+		}
+		if lc.poolCall(call, "Put") {
+			if len(call.Args) == 1 {
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if site := a.byObj[info.Uses[id]]; site != nil {
+						consumed[id] = true
+						delete(st, site.id)
+						return
+					}
+				}
+			}
+			a.releaseClass(st, "scratch")
+			return
+		}
+		// stop() of a tracked iter.Pull binding.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if site := a.byObj[info.Uses[id]]; site != nil && site.class == "pull" {
+				consumed[id] = true
+				delete(st, site.id)
+				return
+			}
+		}
+		if e, ok := lc.wrapperEntry(call); ok && e.Kind == "release" {
+			// Prefer a tracked value argument, then the receiver key,
+			// then the class fallback.
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if site := a.byObj[info.Uses[id]]; site != nil && site.class == e.Class {
+						consumed[id] = true
+						delete(st, site.id)
+						return
+					}
+				}
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if a.releaseKeyed(st, e.Class, types.ExprString(sel.X)) {
+					return
+				}
+			}
+			a.releaseClass(st, e.Class)
+		}
+	}
+	shallowInspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			handleCall(call)
+		}
+		return true
+	})
+	// Releases inside deferred closures: defer func() { ... }().
+	deferredLits(n, func(lit *ast.FuncLit) {
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				handleCall(call)
+				// Mark the closure's tracked idents consumed so the
+				// capture is not treated as an escape.
+				for _, arg := range call.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && a.byObj[info.Uses[id]] != nil {
+						consumed[id] = true
+					}
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && a.byObj[info.Uses[id]] != nil {
+					consumed[id] = true
+				}
+			}
+			return true
+		})
+	})
+}
+
+// releaseKeyed releases held sites of class with a matching receiver
+// path, reporting whether any matched.
+func (a *leakAnalysis) releaseKeyed(st leakState, class, key string) bool {
+	matched := false
+	for id, status := range st {
+		site := a.sites[id]
+		if site.class == class && site.key == key && status != stEscaped {
+			delete(st, id)
+			matched = true
+		}
+	}
+	if !matched {
+		return a.releaseClass(st, class)
+	}
+	return true
+}
+
+// releaseClass releases the single held site of class, if exactly one
+// is held (the conservative fallback when keys don't line up).
+func (a *leakAnalysis) releaseClass(st leakState, class string) bool {
+	var found []int
+	for id, status := range st {
+		if a.sites[id].class == class && status != stEscaped {
+			found = append(found, id)
+		}
+	}
+	if len(found) == 1 {
+		delete(st, found[0])
+		return true
+	}
+	return false
+}
+
+// applyAcquires marks sites acquired by n as held.
+func (a *leakAnalysis) applyAcquires(n ast.Node, st leakState) {
+	shallowInspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if site := a.byCall[call]; site != nil {
+				if st[site.id] != stEscaped {
+					st[site.id] = stHeld
+				}
+			}
+		}
+		return true
+	})
+}
+
+// applyEscapes ends tracking for value resources whose ownership
+// leaves the analysis' sight: stored, appended, captured or passed
+// outside the module.
+func (a *leakAnalysis) applyEscapes(n ast.Node, st leakState, consumed map[*ast.Ident]bool) {
+	info := a.lc.pass.TypesInfo
+	// Captures by non-deferred closures escape wholesale.
+	deferred := map[*ast.FuncLit]bool{}
+	deferredLits(n, func(lit *ast.FuncLit) { deferred[lit] = true })
+	mark := func(site *leakSite) {
+		if st[site.id] == stHeld || st[site.id] == stMaybe {
+			st[site.id] = stEscaped
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok && !deferred[lit] {
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok && !consumed[id] {
+					if site := a.byObj[info.Uses[id]]; site != nil {
+						mark(site)
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	a.walkEscapes(n, st, consumed, mark)
+}
+
+// walkEscapes classifies direct (non-closure) uses of tracked idents.
+func (a *leakAnalysis) walkEscapes(n ast.Node, st leakState, consumed map[*ast.Ident]bool, mark func(*leakSite)) {
+	info := a.lc.pass.TypesInfo
+	module := a.lc.pass.ModulePath
+	var walk func(node ast.Node, escCtx bool) // escCtx: idents seen here escape
+	classifyCall := func(call *ast.CallExpr) bool {
+		// Reports whether plain ident arguments of this call escape.
+		if fn := staticCallee(info, call); fn != nil {
+			path := calleePkgPath(fn)
+			if path == module || pkgPathIn(path, module) {
+				return false // module-local callee: assumed not to retain
+			}
+			return true // non-module callee may retain the argument
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "append":
+					return true
+				default:
+					return false // len, cap, ...
+				}
+			}
+			// A call through a local function value (including a
+			// tracked stop()): not an escape of its arguments.
+			return false
+		}
+		return true
+	}
+	walk = func(node ast.Node, escCtx bool) {
+		switch x := node.(type) {
+		case nil:
+			return
+		case *ast.Ident:
+			if consumed[x] {
+				return
+			}
+			if site := a.byObj[info.Uses[x]]; site != nil && escCtx {
+				mark(site)
+			}
+		case *ast.FuncLit:
+			return // handled by the capture scan
+		case *ast.SelectorExpr:
+			walk(x.X, false) // field/method access is benign
+		case *ast.CallExpr:
+			walk(x.Fun, false)
+			esc := classifyCall(x)
+			for _, arg := range x.Args {
+				walk(arg, esc)
+			}
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				walk(l, false)
+			}
+			for _, r := range x.Rhs {
+				// Aliasing into another variable or storage escapes
+				// unless the RHS is the site's own defining call.
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					walk(id, true)
+					continue
+				}
+				walk(r, false)
+			}
+		case *ast.UnaryExpr:
+			walk(x.X, escCtx || x.Op == token.AND)
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				walk(el, true)
+			}
+		case *ast.KeyValueExpr:
+			walk(x.Key, true)
+			walk(x.Value, true)
+		case *ast.SendStmt:
+			walk(x.Chan, false)
+			walk(x.Value, true)
+		case *ast.ReturnStmt:
+			// Returning is handled by the exit check plus the
+			// //gph:transfer exemption; not an escape here.
+			for _, r := range x.Results {
+				walk(r, false)
+			}
+		default:
+			for _, child := range childNodes(node) {
+				walk(child, escCtx)
+			}
+		}
+	}
+	walk(n, false)
+}
+
+// childNodes lists a node's immediate children (generic fallback for
+// walkEscapes).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if first {
+			first = false
+			return true
+		}
+		out = append(out, m)
+		return false
+	})
+	return out
+}
+
+// deferredLits calls f for every closure that is the function of a
+// defer statement within n.
+func deferredLits(n ast.Node, f func(*ast.FuncLit)) {
+	shallowInspect(n, func(m ast.Node) bool {
+		if d, ok := m.(*ast.DeferStmt); ok {
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				f(lit)
+			}
+		}
+		return true
+	})
+}
+
+// pkgPathIn reports whether path is module itself or a package inside
+// it.
+func pkgPathIn(path, module string) bool {
+	return path == module || (len(path) > len(module) && path[:len(module)] == module && path[len(module)] == '/')
+}
+
+// shortQName trims the package path off a qualified name for
+// messages: "gph/internal/shard.(*Index).acquireMapping" →
+// "(*Index).acquireMapping".
+func shortQName(q string) string {
+	if i := lastSlash(q); i >= 0 {
+		q = q[i+1:]
+	}
+	if i := indexByte(q, '.'); i >= 0 {
+		return q[i+1:]
+	}
+	return q
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

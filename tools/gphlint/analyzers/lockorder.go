@@ -1,0 +1,875 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gph/tools/gphlint/internal/cfg"
+	"gph/tools/gphlint/internal/dataflow"
+	"gph/tools/gphlint/internal/lint"
+)
+
+// LockOrder tracks sync.Mutex / sync.RWMutex usage through each
+// function's CFG and composes per-function summaries into module-wide
+// rules:
+//
+//   - lock/unlock imbalance: a path that returns holding a lock it
+//     took (and did not defer-unlock), an unlock of a lock the
+//     function released earlier (double unlock), and double Lock of
+//     the same non-reentrant mutex;
+//   - acquisition-order consistency: every "lock B while holding A"
+//     pair observed anywhere in the module becomes an order edge
+//     A → B, exported as a package fact; a cycle in the combined
+//     edge set is a potential ABBA deadlock, reported at the local
+//     edges participating in the cycle;
+//   - the PR 4 group-commit rule: no fsync (or other
+//     //gph:blocking call, transitively) while holding a
+//     //gph:writerlock-annotated mutex — syncs belong after Unlock
+//     so a slow disk cannot stall every writer;
+//   - no mapping read-section Acquire (direct or transitive) while
+//     holding a //gph:writerlock mutex — the mapping's refcount
+//     gate may block on a closing mapping, and readers draining the
+//     refcount may be waiting on that same writer lock;
+//   - calling a function that (transitively) locks a mutex class
+//     the caller already holds: a self-deadlock.
+//
+// A function that unlocks a mutex it never locked is assumed to be
+// operating on its caller's lock (the wal syncTo pattern: unlock,
+// fsync, relock); such borrowed locks are exempt from the exit
+// balance check. States merged from branches where only one side
+// holds the lock are "maybe held" and never reported — the analysis
+// prefers silence to false positives.
+var LockOrder = &lint.Analyzer{
+	Name:      "lockorder",
+	Doc:       "module-wide lock-acquisition order, lock/unlock balance, and the no-fsync/no-mapping-acquire-under-writer-lock rules",
+	FactTypes: []lint.Fact{(*LockFacts)(nil)},
+	Run:       runLockOrder,
+}
+
+// LockFacts is the per-package summary fact.
+type LockFacts struct {
+	Fns           []LockFnFact
+	Orders        []LockOrderEdge
+	WriterClasses []string
+}
+
+// AFact marks LockFacts as a fact type.
+func (*LockFacts) AFact() {}
+
+// LockFnFact summarizes one function's direct locking behavior; the
+// transitive closure is computed on demand from the Callees lists.
+type LockFnFact struct {
+	QName           string
+	Locks           []string // mutex classes locked anywhere in the body
+	Blocks          bool     // calls fsync/a //gph:blocking function directly
+	AcquiresMapping bool     // calls (*mmapio.Mapping).Acquire directly
+	Callees         []string // module-internal static callees (qnames)
+}
+
+// LockOrderEdge records "To was locked while From was held" at Pos.
+type LockOrderEdge struct {
+	From, To string
+	Pos      string // file:line, for cycle reports from other packages
+}
+
+// A heldLock is one mutex the function currently holds.
+type heldLock struct {
+	class    string // "pkgpath.Type.field" or "pkgpath.var"; "" if untrackable
+	write    bool   // Lock rather than RLock
+	maybe    bool   // held on only some joined paths
+	borrowed bool   // re-acquired caller-held lock (unlock seen first)
+	pos      token.Pos
+}
+
+// lockState is the per-block dataflow state, keyed by the lock's
+// receiver path within the function (e.g. "s.mu").
+type lockState struct {
+	held     map[string]heldLock
+	deferred map[string]bool // keys with a pending deferred unlock (must)
+	released map[string]bool // keys locked then unlocked locally (may)
+	borrowed map[string]bool // caller-held keys currently unlocked (may)
+}
+
+func newLockState() lockState {
+	return lockState{
+		held:     map[string]heldLock{},
+		deferred: map[string]bool{},
+		released: map[string]bool{},
+		borrowed: map[string]bool{},
+	}
+}
+
+func (s lockState) clone() lockState {
+	out := newLockState()
+	for k, v := range s.held {
+		out.held[k] = v
+	}
+	for k := range s.deferred {
+		out.deferred[k] = true
+	}
+	for k := range s.released {
+		out.released[k] = true
+	}
+	for k := range s.borrowed {
+		out.borrowed[k] = true
+	}
+	return out
+}
+
+var lockLattice = dataflow.Lattice[lockState]{
+	Join: func(a, b lockState) lockState {
+		out := newLockState()
+		for k, va := range a.held {
+			if vb, ok := b.held[k]; ok {
+				m := va
+				m.maybe = va.maybe || vb.maybe || va.write != vb.write
+				m.borrowed = va.borrowed || vb.borrowed
+				out.held[k] = m
+			} else {
+				va.maybe = true
+				out.held[k] = va
+			}
+		}
+		for k, vb := range b.held {
+			if _, ok := a.held[k]; !ok {
+				vb.maybe = true
+				out.held[k] = vb
+			}
+		}
+		for k := range a.deferred { // deferred unlocks must hold on every path
+			if b.deferred[k] {
+				out.deferred[k] = true
+			}
+		}
+		for k := range a.released {
+			out.released[k] = true
+		}
+		for k := range b.released {
+			out.released[k] = true
+		}
+		for k := range a.borrowed {
+			out.borrowed[k] = true
+		}
+		for k := range b.borrowed {
+			out.borrowed[k] = true
+		}
+		return out
+	},
+	Equal: func(a, b lockState) bool {
+		if len(a.held) != len(b.held) || len(a.deferred) != len(b.deferred) ||
+			len(a.released) != len(b.released) || len(a.borrowed) != len(b.borrowed) {
+			return false
+		}
+		for k, v := range a.held {
+			if b.held[k] != v {
+				return false
+			}
+		}
+		for k := range a.deferred {
+			if !b.deferred[k] {
+				return false
+			}
+		}
+		for k := range a.released {
+			if !b.released[k] {
+				return false
+			}
+		}
+		for k := range a.borrowed {
+			if !b.borrowed[k] {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+func runLockOrder(pass *lint.Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	lo := &lockChecker{
+		pass:          pass,
+		facts:         map[string]*LockFnFact{},
+		writerClasses: map[string]bool{},
+		orderEdges:    map[[2]string]string{},
+		effectsMemo:   map[string]*lockEffects{},
+	}
+	lo.collectWriterClasses()
+	lo.importFacts()
+	lo.collectLocalFacts()
+
+	graphs := sharedCFGs(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lo.checkFn(graphs.decl(fn), fn.Name.Name)
+			for _, lit := range funcLits(fn.Body) {
+				lo.checkFn(graphs.lit(lit), fn.Name.Name+" (func literal)")
+			}
+		}
+	}
+
+	lo.reportOrderCycles()
+	lo.exportFacts()
+	return nil
+}
+
+type lockChecker struct {
+	pass          *lint.Pass
+	facts         map[string]*LockFnFact // qname → summary (imported + local)
+	writerClasses map[string]bool        // //gph:writerlock classes, module-wide
+	orderEdges    map[[2]string]string   // (from,to) → position string
+	localEdges    map[[2]string]token.Pos
+	importedEdges map[[2]string]string
+	effectsMemo   map[string]*lockEffects
+	localFns      []*LockFnFact
+}
+
+// collectWriterClasses resolves //gph:writerlock-annotated mutex
+// fields and variables in the current package.
+func (lo *lockChecker) collectWriterClasses() {
+	for _, f := range lo.pass.Files {
+		if lo.pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fl := range st.Fields.List {
+				if !lint.HasAnnotation(fl.Doc, "gph:writerlock") && !lint.HasAnnotation(fl.Comment, "gph:writerlock") {
+					continue
+				}
+				for _, name := range fl.Names {
+					if obj := lo.pass.TypesInfo.Defs[name]; obj != nil {
+						if cls := lo.fieldClass(obj); cls != "" {
+							lo.writerClasses[cls] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldClass derives the module-wide class of a mutex field object:
+// "pkgpath.OwnerType.field" when the owner can be identified,
+// "pkgpath.field" otherwise.
+func (lo *lockChecker) fieldClass(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return ""
+	}
+	// Find the named type owning the field by scanning package scope.
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == obj {
+				return obj.Pkg().Path() + "." + tn.Name() + "." + obj.Name()
+			}
+		}
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func (lo *lockChecker) importFacts() {
+	lo.importedEdges = map[[2]string]string{}
+	for _, pf := range lo.pass.AllPackageFacts() {
+		facts, ok := pf.Fact.(*LockFacts)
+		if !ok {
+			continue
+		}
+		for i := range facts.Fns {
+			fn := facts.Fns[i]
+			lo.facts[fn.QName] = &fn
+		}
+		for _, e := range facts.Orders {
+			key := [2]string{e.From, e.To}
+			if _, ok := lo.importedEdges[key]; !ok {
+				lo.importedEdges[key] = e.Pos
+			}
+		}
+		for _, c := range facts.WriterClasses {
+			lo.writerClasses[c] = true
+		}
+	}
+}
+
+// collectLocalFacts builds the direct-effect summary of every
+// function declared in this package, before any CFG analysis runs, so
+// intra-package calls resolve.
+func (lo *lockChecker) collectLocalFacts() {
+	lo.localEdges = map[[2]string]token.Pos{}
+	info := lo.pass.TypesInfo
+	for _, f := range lo.pass.Files {
+		if lo.pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			qname := declQName(info, fn)
+			if qname == "" {
+				continue
+			}
+			fact := &LockFnFact{QName: qname}
+			if lint.HasAnnotation(fn.Doc, "gph:blocking") {
+				fact.Blocks = true
+			}
+			lockSet := map[string]bool{}
+			calleeSet := map[string]bool{}
+			shallowInspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if ev, ok := lo.lockEvent(call); ok {
+					if (ev.kind == "Lock" || ev.kind == "RLock") && ev.class != "" {
+						lockSet[ev.class] = true
+					}
+					return true
+				}
+				if lo.isBlockingCall(call) {
+					fact.Blocks = true
+					return true
+				}
+				if _, ok := mappingMethod(info, call, "Acquire"); ok {
+					fact.AcquiresMapping = true
+					return true
+				}
+				if callee := staticCallee(info, call); callee != nil {
+					if path := calleePkgPath(callee); pkgPathIn(path, lo.pass.ModulePath) {
+						calleeSet[funcQName(callee)] = true
+					}
+				}
+				return true
+			})
+			fact.Locks = sortedKeys(lockSet)
+			fact.Callees = sortedKeys(calleeSet)
+			lo.facts[qname] = fact
+			lo.localFns = append(lo.localFns, fact)
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A lockEvent is one Lock/RLock/Unlock/RUnlock call on a sync mutex.
+type lockEventInfo struct {
+	kind  string // "Lock", "RLock", "Unlock", "RUnlock"
+	key   string // receiver path within the function, e.g. "s.mu"
+	class string // module-wide class, "" if untrackable (local mutex)
+	rw    bool   // RWMutex rather than Mutex
+}
+
+// lockEvent classifies call as a mutex operation.
+func (lo *lockChecker) lockEvent(call *ast.CallExpr) (lockEventInfo, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockEventInfo{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockEventInfo{}, false
+	}
+	fn := staticCallee(lo.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockEventInfo{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockEventInfo{}, false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return lockEventInfo{}, false
+	}
+	var rw bool
+	switch named.Obj().Name() {
+	case "Mutex":
+	case "RWMutex":
+		rw = true
+	default:
+		return lockEventInfo{}, false
+	}
+	ev := lockEventInfo{
+		kind:  sel.Sel.Name,
+		key:   types.ExprString(sel.X),
+		class: lo.lockClass(sel.X),
+		rw:    rw,
+	}
+	return ev, true
+}
+
+// lockClass maps the mutex expression to a module-wide class name.
+func (lo *lockChecker) lockClass(x ast.Expr) string {
+	info := lo.pass.TypesInfo
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// s.mu → owner type + field name.
+		if obj := info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil {
+			t := info.TypeOf(x.X)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return obj.Pkg().Path() + "." + named.Obj().Name() + "." + obj.Name()
+			}
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		// Package-level mutex variable; local mutexes have no
+		// module-wide identity.
+		if obj := info.Uses[x]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// isBlockingCall reports whether call performs a blocking disk sync:
+// (*os.File).Sync or a syscall fsync variant.
+func (lo *lockChecker) isBlockingCall(call *ast.CallExpr) bool {
+	fn := staticCallee(lo.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Sync"
+	case "syscall", "golang.org/x/sys/unix":
+		switch fn.Name() {
+		case "Fsync", "Fdatasync", "Sync":
+			return true
+		}
+	}
+	return false
+}
+
+// lockEffects is a function's transitive locking summary.
+type lockEffects struct {
+	locks           map[string]bool
+	blocks          bool
+	acquiresMapping bool
+}
+
+// transitiveEffects resolves a callee's effects through the fact
+// table, memoized, with a visited guard for call-graph cycles.
+func (lo *lockChecker) transitiveEffects(qname string, visiting map[string]bool) *lockEffects {
+	if eff, ok := lo.effectsMemo[qname]; ok {
+		return eff
+	}
+	if visiting[qname] {
+		return &lockEffects{locks: map[string]bool{}}
+	}
+	fact, ok := lo.facts[qname]
+	if !ok {
+		return &lockEffects{locks: map[string]bool{}}
+	}
+	visiting[qname] = true
+	eff := &lockEffects{
+		locks:           map[string]bool{},
+		blocks:          fact.Blocks,
+		acquiresMapping: fact.AcquiresMapping,
+	}
+	for _, c := range fact.Locks {
+		eff.locks[c] = true
+	}
+	for _, callee := range fact.Callees {
+		sub := lo.transitiveEffects(callee, visiting)
+		eff.blocks = eff.blocks || sub.blocks
+		eff.acquiresMapping = eff.acquiresMapping || sub.acquiresMapping
+		for c := range sub.locks {
+			eff.locks[c] = true
+		}
+	}
+	delete(visiting, qname)
+	lo.effectsMemo[qname] = eff
+	return eff
+}
+
+// callEffects combines a call's direct primitive effects with the
+// transitive summary of its (module-internal) static callee.
+func (lo *lockChecker) callEffects(call *ast.CallExpr) *lockEffects {
+	info := lo.pass.TypesInfo
+	eff := &lockEffects{locks: map[string]bool{}}
+	if lo.isBlockingCall(call) {
+		eff.blocks = true
+		return eff
+	}
+	if _, ok := mappingMethod(info, call, "Acquire"); ok {
+		eff.acquiresMapping = true
+		return eff
+	}
+	callee := staticCallee(info, call)
+	if callee == nil {
+		return eff
+	}
+	qname := funcQName(callee)
+	if _, ok := lo.facts[qname]; !ok {
+		// Un-summarized (non-module or unknown) callee; the only
+		// module-relevant effect is an annotation on a wrapper we
+		// imported, which the fact table would carry.
+		return eff
+	}
+	return lo.transitiveEffects(qname, map[string]bool{})
+}
+
+// checkFn runs the lock analysis over one function graph.
+func (lo *lockChecker) checkFn(g *cfg.Graph, fnName string) {
+	// Fast path: no mutex operation and no module-internal call worth
+	// summarizing.
+	hasLockOp := false
+	for _, b := range g.Blocks {
+		blockNodesAndCond(b, func(n ast.Node) {
+			shallowInspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if _, ok := lo.lockEvent(call); ok {
+						hasLockOp = true
+					}
+				}
+				return true
+			})
+		})
+		if hasLockOp {
+			break
+		}
+	}
+	if !hasLockOp {
+		return
+	}
+
+	res := dataflow.Forward(g, newLockState(), lockLattice,
+		func(b *cfg.Block, in lockState) lockState {
+			st := in.clone()
+			blockNodesAndCond(b, func(n ast.Node) { lo.transferNode(n, st, nil) })
+			return st
+		}, nil)
+
+	// Reporting pass: replay each solved block from its fixpoint
+	// in-state so diagnostics (and order edges) see accurate states
+	// exactly once.
+	rep := &lockReporter{lo: lo, fnName: fnName, seen: map[token.Pos]bool{}}
+	for _, b := range g.Blocks {
+		in, solved := res.In[b]
+		if !solved {
+			continue
+		}
+		st := in.clone()
+		blockNodesAndCond(b, func(n ast.Node) { lo.transferNode(n, st, rep) })
+	}
+
+	// Balance check at the normal exit.
+	if exit, ok := res.In[g.Exit]; ok {
+		keys := sortedHeldKeys(exit.held)
+		for _, key := range keys {
+			h := exit.held[key]
+			if h.maybe || h.borrowed || exit.deferred[key] {
+				continue
+			}
+			lo.pass.Reportf(h.pos,
+				"%s returns holding %s (locked here) on some path without a deferred unlock", fnName, key)
+		}
+	}
+}
+
+func sortedHeldKeys(m map[string]heldLock) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockReporter dedups diagnostics across the replay pass.
+type lockReporter struct {
+	lo     *lockChecker
+	fnName string
+	seen   map[token.Pos]bool
+}
+
+func (r *lockReporter) reportf(pos token.Pos, format string, args ...any) {
+	if r.seen[pos] {
+		return
+	}
+	r.seen[pos] = true
+	r.lo.pass.Reportf(pos, format, args...)
+}
+
+// transferNode applies one node's lock effects to st. rep is nil
+// during fixpoint solving and non-nil during the reporting replay.
+func (lo *lockChecker) transferNode(n ast.Node, st lockState, rep *lockReporter) {
+	// Deferred unlocks (defer mu.Unlock(), or a deferred closure that
+	// unlocks) register for the exit balance check.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if ev, ok := lo.lockEvent(d.Call); ok && (ev.kind == "Unlock" || ev.kind == "RUnlock") {
+			st.deferred[ev.key] = true
+			return
+		}
+	}
+	deferredLits(n, func(lit *ast.FuncLit) {
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if ev, ok := lo.lockEvent(call); ok && (ev.kind == "Unlock" || ev.kind == "RUnlock") {
+					st.deferred[ev.key] = true
+				}
+			}
+			return true
+		})
+	})
+
+	shallowInspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			return true // handled above
+		}
+		if ev, ok := lo.lockEvent(call); ok {
+			lo.applyLockEvent(ev, call, st, rep)
+			return true
+		}
+		lo.applyCallEffects(call, st, rep)
+		return true
+	})
+}
+
+func (lo *lockChecker) applyLockEvent(ev lockEventInfo, call *ast.CallExpr, st lockState, rep *lockReporter) {
+	switch ev.kind {
+	case "Lock", "RLock":
+		if h, ok := st.held[ev.key]; ok && !h.maybe && rep != nil {
+			if h.write || ev.kind == "Lock" {
+				rep.reportf(call.Pos(),
+					"%s of %s while already holding it (locked at %s): sync mutexes are not reentrant",
+					ev.kind, ev.key, lo.pass.Fset.Position(h.pos))
+			} else {
+				rep.reportf(call.Pos(),
+					"recursive RLock of %s (read-locked at %s) can deadlock with a writer queued in between",
+					ev.key, lo.pass.Fset.Position(h.pos))
+			}
+		}
+		if rep != nil && ev.class != "" {
+			for _, other := range sortedHeldKeys(st.held) {
+				h := st.held[other]
+				if other == ev.key || h.class == "" || h.class == ev.class {
+					continue
+				}
+				lo.addOrderEdge(h.class, ev.class, call.Pos())
+			}
+		}
+		st.held[ev.key] = heldLock{
+			class:    ev.class,
+			write:    ev.kind == "Lock",
+			borrowed: st.borrowed[ev.key],
+			pos:      call.Pos(),
+		}
+		delete(st.borrowed, ev.key)
+	case "Unlock", "RUnlock":
+		h, ok := st.held[ev.key]
+		if ok {
+			if rep != nil && !h.maybe && h.write != (ev.kind == "Unlock") {
+				rep.reportf(call.Pos(),
+					"%s of %s which is %s-locked (at %s)",
+					ev.kind, ev.key, lockMode(h.write), lo.pass.Fset.Position(h.pos))
+			}
+			delete(st.held, ev.key)
+			st.released[ev.key] = true
+			if h.borrowed {
+				st.borrowed[ev.key] = true
+				delete(st.released, ev.key)
+			}
+			return
+		}
+		if st.released[ev.key] || st.borrowed[ev.key] {
+			if rep != nil {
+				rep.reportf(call.Pos(), "%s of %s which is no longer held (double unlock)", ev.kind, ev.key)
+			}
+			return
+		}
+		// Never seen: assume the caller holds it (the unlock-sync-relock
+		// pattern); re-locking later restores the caller's invariant.
+		st.borrowed[ev.key] = true
+	}
+}
+
+func lockMode(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+func (lo *lockChecker) applyCallEffects(call *ast.CallExpr, st lockState, rep *lockReporter) {
+	if rep == nil || len(st.held) == 0 {
+		return // effects only matter for reports and order edges
+	}
+	eff := lo.callEffects(call)
+	if !eff.blocks && !eff.acquiresMapping && len(eff.locks) == 0 {
+		return
+	}
+	for _, key := range sortedHeldKeys(st.held) {
+		h := st.held[key]
+		if h.class == "" {
+			continue
+		}
+		if lo.writerClasses[h.class] && !h.maybe {
+			if eff.blocks {
+				rep.reportf(call.Pos(),
+					"blocking fsync while holding writer lock %s (locked at %s): group commit requires releasing the writer lock before syncing",
+					key, lo.pass.Fset.Position(h.pos))
+			}
+			if eff.acquiresMapping {
+				rep.reportf(call.Pos(),
+					"mapping read-section acquired while holding writer lock %s (locked at %s): a closing mapping can block here while readers wait on the same lock",
+					key, lo.pass.Fset.Position(h.pos))
+			}
+		}
+		if eff.locks[h.class] && !h.maybe {
+			rep.reportf(call.Pos(),
+				"call locks %s which is already held (at %s): possible self-deadlock",
+				h.class, lo.pass.Fset.Position(h.pos))
+		}
+		for cls := range eff.locks {
+			if cls != h.class {
+				lo.addOrderEdge(h.class, cls, call.Pos())
+			}
+		}
+	}
+}
+
+func (lo *lockChecker) addOrderEdge(from, to string, pos token.Pos) {
+	key := [2]string{from, to}
+	if _, ok := lo.localEdges[key]; !ok {
+		lo.localEdges[key] = pos
+	}
+	if _, ok := lo.orderEdges[key]; !ok {
+		lo.orderEdges[key] = lo.pass.Fset.Position(pos).String()
+	}
+}
+
+// reportOrderCycles combines imported and local order edges and
+// reports every local edge that participates in a cycle (a potential
+// ABBA deadlock).
+func (lo *lockChecker) reportOrderCycles() {
+	succ := map[string]map[string]bool{}
+	add := func(from, to string) {
+		if succ[from] == nil {
+			succ[from] = map[string]bool{}
+		}
+		succ[from][to] = true
+	}
+	for key := range lo.importedEdges {
+		add(key[0], key[1])
+	}
+	for key := range lo.localEdges {
+		add(key[0], key[1])
+	}
+
+	// reaches reports whether "to" is reachable from "from".
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			for next := range succ[n] {
+				stack = append(stack, next)
+			}
+		}
+		return false
+	}
+
+	keys := make([][2]string, 0, len(lo.localEdges))
+	for key := range lo.localEdges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		if reaches(key[1], key[0]) {
+			lo.pass.Reportf(lo.localEdges[key],
+				"lock order cycle: %s is locked while holding %s, but elsewhere in the module %s is locked while (transitively) holding %s — a potential ABBA deadlock",
+				key[1], key[0], key[0], key[1])
+		}
+	}
+}
+
+// exportFacts publishes this package's summaries, order edges and
+// writer classes for downstream packages.
+func (lo *lockChecker) exportFacts() {
+	if len(lo.localFns) == 0 && len(lo.orderEdges) == 0 {
+		return
+	}
+	facts := &LockFacts{}
+	for _, fn := range lo.localFns {
+		facts.Fns = append(facts.Fns, *fn)
+	}
+	sort.Slice(facts.Fns, func(i, j int) bool { return facts.Fns[i].QName < facts.Fns[j].QName })
+	// Re-export imported edges so ordering facts accumulate
+	// transitively across the import graph.
+	for key, pos := range lo.orderEdges {
+		facts.Orders = append(facts.Orders, LockOrderEdge{From: key[0], To: key[1], Pos: pos})
+	}
+	for key, pos := range lo.importedEdges {
+		if _, ok := lo.orderEdges[key]; !ok {
+			facts.Orders = append(facts.Orders, LockOrderEdge{From: key[0], To: key[1], Pos: pos})
+		}
+	}
+	sort.Slice(facts.Orders, func(i, j int) bool {
+		if facts.Orders[i].From != facts.Orders[j].From {
+			return facts.Orders[i].From < facts.Orders[j].From
+		}
+		return facts.Orders[i].To < facts.Orders[j].To
+	})
+	facts.WriterClasses = sortedKeys(lo.writerClasses)
+	lo.pass.ExportPackageFact(facts)
+}

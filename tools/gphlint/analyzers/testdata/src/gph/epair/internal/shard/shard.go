@@ -1,0 +1,105 @@
+// Package shard is an epochpair fixture: its import path ends in
+// internal/shard, so the analyzer treats it as the real shard
+// package.
+package shard
+
+import "sync/atomic"
+
+// state is the published snapshot.
+//
+//gph:snapshot
+type state struct {
+	ids []int32
+}
+
+// Index owns the snapshot cell and the cache-invalidation epoch.
+type Index struct {
+	cur atomic.Pointer[state]
+	//gph:epoch
+	epoch atomic.Uint64
+}
+
+func work() {}
+
+// goodPair stores and bumps: the canonical publication sequence.
+func goodPair(ix *Index, s *state) {
+	ix.cur.Store(s)
+	ix.epoch.Add(1)
+}
+
+// badStore never bumps, so epoch-keyed caches keep serving the
+// replaced snapshot.
+func badStore(ix *Index, s *state) {
+	ix.cur.Store(s) // want "snapshot Store is not post-dominated by an epoch bump"
+}
+
+// oneBranch bumps on only one path out.
+func oneBranch(ix *Index, s *state, ok bool) {
+	ix.cur.Store(s) // want "snapshot Store is not post-dominated by an epoch bump"
+	if ok {
+		ix.epoch.Add(1)
+	}
+}
+
+// panicPath is clean: the non-bumping path panics, which is vacuous.
+func panicPath(ix *Index, s *state, ok bool) {
+	ix.cur.Store(s)
+	if !ok {
+		panic("invariant")
+	}
+	ix.epoch.Add(1)
+}
+
+// loopBump is clean: every path through the loop still reaches the
+// bump.
+func loopBump(ix *Index, s *state, n int) {
+	ix.cur.Store(s)
+	for i := 0; i < n; i++ {
+		work()
+	}
+	ix.epoch.Add(1)
+}
+
+// returnInLoop leaks a path: the early return inside the loop exits
+// without bumping.
+func returnInLoop(ix *Index, s *state, n int) {
+	ix.cur.Store(s) // want "snapshot Store is not post-dominated by an epoch bump"
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			return
+		}
+	}
+	ix.epoch.Add(1)
+}
+
+// swapBad publishes via Swap with no bump.
+func swapBad(ix *Index, s *state) *state {
+	return ix.cur.Swap(s) // want "snapshot Swap is not post-dominated by an epoch bump"
+}
+
+// casCond is clean: publication happens only on the success branch,
+// and that branch bumps.
+func casCond(ix *Index, old, s *state) bool {
+	if ix.cur.CompareAndSwap(old, s) {
+		ix.epoch.Add(1)
+		return true
+	}
+	return false
+}
+
+// casBad succeeds into a branch that returns without bumping.
+func casBad(ix *Index, old, s *state) {
+	if ix.cur.CompareAndSwap(old, s) { // want "snapshot CompareAndSwap is not post-dominated by an epoch bump"
+		return
+	}
+	ix.epoch.Add(1) // only the failure path bumps: backwards
+}
+
+// initStore is the deliberate constructor exception: the snapshot is
+// published before the index is reachable by any reader.
+func initStore(s *state) *Index {
+	ix := &Index{}
+	//gphlint:ignore epochpair first publication before any reader can observe the index
+	ix.cur.Store(s)
+	return ix
+}

@@ -1,0 +1,25 @@
+// Package notshard stores snapshots without bumping, but its import
+// path is not internal/shard, so epochpair stays silent: the
+// invariant is scoped to the shard layer.
+package notshard
+
+import "sync/atomic"
+
+// state would be a snapshot in the shard layer.
+//
+//gph:snapshot
+type state struct {
+	ids []int32
+}
+
+// Index owns the cell.
+type Index struct {
+	cur atomic.Pointer[state]
+	//gph:epoch
+	epoch atomic.Uint64
+}
+
+// storeNoBump is out of scope: no diagnostic.
+func storeNoBump(ix *Index, s *state) {
+	ix.cur.Store(s)
+}

@@ -1,0 +1,111 @@
+// Package a seeds leakcheck violations: acquisitions that miss their
+// release on at least one path out of the function.
+package a
+
+import (
+	"errors"
+	"iter"
+	"sync"
+
+	"gph/leak/dep"
+	"gph/leak/internal/mmapio"
+)
+
+var errClosed = errors.New("a: closed")
+
+// buf is the pooled scratch type.
+type buf struct {
+	ids []int32
+}
+
+// index owns a mapping and a scratch pool.
+type index struct {
+	m *mmapio.Mapping
+	//gph:scratch
+	scratch sync.Pool
+}
+
+func bad() bool { return false }
+
+func use(*buf) {}
+
+func touch(*index) {}
+
+// neverReleased leaks on every path.
+func neverReleased(ix *index) {
+	ix.m.Acquire() // want "mapping Acquire is not released on every path"
+	touch(ix)
+}
+
+// missingReleaseOnError releases on the happy path but leaks when
+// bad() sends it out the error return.
+func missingReleaseOnError(ix *index) error {
+	if !ix.m.Acquire() { // want "mapping Acquire may not be released on every path"
+		return errClosed
+	}
+	if bad() {
+		return errClosed // leaks the acquired mapping
+	}
+	ix.m.Release()
+	return nil
+}
+
+// poolLeak takes scratch from the pool and returns it to the caller
+// without a //gph:transfer annotation: nothing ever Puts it back.
+func poolLeak(ix *index) *buf {
+	s := ix.scratch.Get().(*buf) // want "pooled scratch from Get is not released on every path"
+	return s
+}
+
+// getScratch is the annotated factory: handing the value out is its
+// job, so it reports nothing.
+//
+//gph:transfer scratch
+func getScratch(ix *index) *buf {
+	return ix.scratch.Get().(*buf)
+}
+
+// wrapperLeak takes scratch through the annotated factory and forgets
+// the Put on the early return.
+func wrapperLeak(ix *index) error {
+	s := getScratch(ix) // want "getScratch may not be released on every path"
+	if bad() {
+		return errClosed
+	}
+	use(s)
+	ix.scratch.Put(s)
+	return nil
+}
+
+// pullLeak never calls the Pull2 stop function on the no-iteration
+// path.
+func pullLeak(seq iter.Seq2[int, int]) int {
+	next, stop := iter.Pull2(seq) // want "iter.Pull2 stop func may not be released on every path"
+	k, _, ok := next()
+	if !ok {
+		return -1 // leaks: stop never runs
+	}
+	stop()
+	return k
+}
+
+// crossPackageLeak brackets dep.Guard incorrectly: the annotated
+// acquire is known only through the package fact.
+func crossPackageLeak(g *dep.Guard) error {
+	if err := g.Acquire(); err != nil { // want "Acquire may not be released on every path"
+		return err
+	}
+	if bad() {
+		return errClosed // leaks the guard
+	}
+	g.Release()
+	return nil
+}
+
+// suppressed is the deliberate exception: held for the process
+// lifetime, masked in place.
+func suppressed(ix *index) {
+	//gphlint:ignore leakcheck pinned for the process lifetime by design
+	ix.m.Acquire()
+	touch(ix)
+}

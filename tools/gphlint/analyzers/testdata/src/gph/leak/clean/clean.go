@@ -1,0 +1,126 @@
+// Package clean brackets every acquisition correctly: leakcheck must
+// stay silent on all of it.
+package clean
+
+import (
+	"errors"
+	"iter"
+	"sync"
+
+	"gph/leak/dep"
+	"gph/leak/internal/mmapio"
+)
+
+var errClosed = errors.New("clean: closed")
+
+// buf is the pooled scratch type.
+type buf struct {
+	ids []int32
+}
+
+// index owns a mapping and a scratch pool.
+type index struct {
+	m *mmapio.Mapping
+	//gph:scratch
+	scratch sync.Pool
+}
+
+func bad() bool { return false }
+
+func use(*buf) {}
+
+func work(*index) {}
+
+// getScratch hands ownership to the caller.
+//
+//gph:transfer scratch
+func getScratch(ix *index) *buf {
+	return ix.scratch.Get().(*buf)
+}
+
+// putScratch returns scratch to the pool.
+//
+//gph:release scratch
+func putScratch(ix *index, s *buf) {
+	ix.scratch.Put(s)
+}
+
+// deferRelease releases through defer, covering every path at once.
+func deferRelease(ix *index) error {
+	if !ix.m.Acquire() {
+		return errClosed
+	}
+	defer ix.m.Release()
+	if bad() {
+		return errClosed
+	}
+	work(ix)
+	return nil
+}
+
+// explicitEveryPath releases by hand on each return.
+func explicitEveryPath(ix *index) error {
+	s := getScratch(ix)
+	if bad() {
+		putScratch(ix, s)
+		return errClosed
+	}
+	use(s)
+	putScratch(ix, s)
+	return nil
+}
+
+// deferredClosure releases inside a deferred closure; the capture is
+// cleanup, not an escape.
+func deferredClosure(ix *index) {
+	s := getScratch(ix)
+	defer func() {
+		ix.scratch.Put(s)
+	}()
+	use(s)
+}
+
+// holder keeps scratch beyond the function: once stored, ownership
+// has escaped the analysis and the function owes no release.
+type holder struct {
+	s *buf
+}
+
+// escapes moves ownership into a holder.
+func escapes(ix *index) *holder {
+	s := getScratch(ix)
+	return &holder{s: s}
+}
+
+// pullStop runs the stop function on every path.
+func pullStop(seq iter.Seq2[int, int]) int {
+	next, stop := iter.Pull2(seq)
+	defer stop()
+	k, _, ok := next()
+	if !ok {
+		return -1
+	}
+	return k
+}
+
+// unboundErrCheck tests the acquire's error result directly against
+// nil, with no binding: the failure edge must still be recognized.
+func unboundErrCheck(g *dep.Guard) int {
+	if g.Acquire() != nil {
+		return -1
+	}
+	defer g.Release()
+	return 0
+}
+
+// crossPackage brackets the dep.Guard wrapper pair correctly.
+func crossPackage(g *dep.Guard) error {
+	if err := g.Acquire(); err != nil {
+		return err
+	}
+	defer g.Release()
+	if bad() {
+		return errClosed
+	}
+	return nil
+}

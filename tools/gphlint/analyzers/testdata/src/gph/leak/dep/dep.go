@@ -1,0 +1,36 @@
+// Package dep exports annotated resource wrappers, so leakcheck's
+// cross-package fact flow can be exercised: callers in other fixture
+// packages must bracket Acquire/Release without this package's bodies
+// being visible to their analysis.
+package dep
+
+import (
+	"errors"
+
+	"gph/leak/internal/mmapio"
+)
+
+// ErrClosed reports acquisition against a closed mapping.
+var ErrClosed = errors.New("dep: closed")
+
+// Guard wraps a mapping with an error-reporting acquire.
+type Guard struct {
+	m *mmapio.Mapping
+}
+
+// Acquire pins the mapping for reading.
+//
+//gph:acquire mapping
+func (g *Guard) Acquire() error {
+	if !g.m.Acquire() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Release unpins the mapping.
+//
+//gph:release mapping
+func (g *Guard) Release() {
+	g.m.Release()
+}

@@ -1,0 +1,120 @@
+// Package a seeds lockorder violations: imbalance, double locks, and
+// the writer-lock rules.
+package a
+
+import (
+	"os"
+	"sync"
+
+	"gph/leak/internal/mmapio"
+)
+
+// counter is guarded by plain mutexes.
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// store owns the writer lock the group-commit rule protects.
+type store struct {
+	//gph:writerlock
+	mu sync.Mutex
+	f  *os.File
+}
+
+// mstore pairs the writer lock with a mapping.
+type mstore struct {
+	//gph:writerlock
+	mu sync.Mutex
+	m  *mmapio.Mapping
+}
+
+// doubleLock deadlocks immediately: sync.Mutex is not reentrant.
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want "Lock of c.mu while already holding it"
+	c.mu.Unlock()
+}
+
+// heldAtExit returns without unlocking.
+func heldAtExit(c *counter) {
+	c.mu.Lock() // want "heldAtExit returns holding c.mu"
+	c.n++
+}
+
+// doubleUnlock releases a lock it already gave up.
+func doubleUnlock(c *counter) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.Unlock() // want "Unlock of c.mu which is no longer held"
+}
+
+// modeMismatch write-unlocks a read lock.
+func modeMismatch(c *counter) {
+	c.rw.RLock()
+	c.rw.Unlock() // want "Unlock of c.rw which is read-locked"
+}
+
+// recursiveRLock can deadlock against a writer queued between the two
+// RLocks.
+func recursiveRLock(c *counter) {
+	c.rw.RLock()
+	c.rw.RLock() // want "recursive RLock of c.rw"
+	c.rw.RUnlock()
+}
+
+// helperLocks takes c.mu on its own.
+func helperLocks(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// selfDeadlock calls a function that locks the mutex class the caller
+// already holds.
+func selfDeadlock(c *counter) {
+	c.mu.Lock()
+	helperLocks(c) // want "call locks gph/locks/a.counter.mu which is already held"
+	c.mu.Unlock()
+}
+
+// syncUnderLock fsyncs while holding the writer lock, stalling every
+// writer behind a slow disk (the group-commit rule).
+func syncUnderLock(s *store) {
+	s.mu.Lock()
+	s.f.Sync() // want "blocking fsync while holding writer lock s.mu"
+	s.mu.Unlock()
+}
+
+// flush fsyncs; callers must not hold the writer lock.
+func flush(s *store) {
+	s.f.Sync()
+}
+
+// syncTransitive reaches the fsync through a callee: the per-function
+// summary facts carry the effect.
+func syncTransitive(s *store) {
+	s.mu.Lock()
+	flush(s) // want "blocking fsync while holding writer lock s.mu"
+	s.mu.Unlock()
+}
+
+// acquireUnderLock opens a mapping read section while holding the
+// writer lock: a closing mapping can block here while its readers
+// wait on that same lock.
+func acquireUnderLock(s *mstore) {
+	s.mu.Lock()
+	if s.m.Acquire() { // want "mapping read-section acquired while holding writer lock s.mu"
+		s.m.Release()
+	}
+	s.mu.Unlock()
+}
+
+// suppressedSync is the deliberate exception, masked in place.
+func suppressedSync(s *store) {
+	s.mu.Lock()
+	//gphlint:ignore lockorder checkpoint atomicity requires the sync inside the critical section
+	s.f.Sync()
+	s.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+// Package clean uses its locks correctly: lockorder must stay silent
+// on all of it.
+package clean
+
+import (
+	"os"
+	"sync"
+)
+
+// counter is guarded by a mutex pair with a consistent order.
+type counter struct {
+	mu    sync.Mutex
+	rowMu sync.Mutex
+	n     int
+}
+
+// store owns the writer lock.
+type store struct {
+	//gph:writerlock
+	mu sync.Mutex
+	f  *os.File
+}
+
+func maybe() bool { return false }
+
+// deferUnlock is the canonical bracket.
+func deferUnlock(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// balanced locks and unlocks by hand on each path.
+func balanced(c *counter) int {
+	c.mu.Lock()
+	if maybe() {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// nested takes the two mutexes in the module's one order.
+func nested(c *counter) {
+	c.mu.Lock()
+	c.rowMu.Lock()
+	c.n++
+	c.rowMu.Unlock()
+	c.mu.Unlock()
+}
+
+// syncOutside is the group-commit shape: release the writer lock, let
+// the disk catch up, retake it — the wal syncTo pattern. The unlock
+// of a caller-held lock and the relock are both legal.
+func syncOutside(s *store) {
+	s.mu.Unlock()
+	s.f.Sync()
+	s.mu.Lock()
+}
+
+// deferredUnlockClosure registers the unlock inside a deferred
+// closure.
+func deferredUnlockClosure(c *counter) {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	c.n++
+}

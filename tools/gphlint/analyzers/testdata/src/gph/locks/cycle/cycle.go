@@ -1,0 +1,19 @@
+// Package cycle inverts dep's lock order: dep locks B while holding
+// A, this package locks A while holding B — the classic ABBA
+// deadlock, visible only by combining both packages' order facts.
+package cycle
+
+import (
+	"gph/locks/dep"
+)
+
+func work() {}
+
+// BThenA inverts the order dep established.
+func BThenA() {
+	dep.B.Lock()
+	dep.A.Lock() // want "lock order cycle"
+	work()
+	dep.A.Unlock()
+	dep.B.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package dep establishes one half of a lock-order cycle: it locks B
+// while holding A, and exports that edge as a package fact.
+package dep
+
+import "sync"
+
+// A and B are the module-wide mutexes the order is defined over.
+var (
+	A sync.Mutex
+	B sync.Mutex
+)
+
+func work() {}
+
+// AThenB locks in this package's order.
+func AThenB() {
+	A.Lock()
+	B.Lock()
+	work()
+	B.Unlock()
+	A.Unlock()
+}

@@ -1,0 +1,547 @@
+// Package cfg builds intra-procedural control-flow graphs from go/ast
+// function bodies. It is the substrate of gphlint's path-sensitive
+// analyzers (leakcheck, epochpair, lockorder): where the first
+// generation of the suite pattern-matched single AST nodes, these
+// checks need to reason about *every* path out of a function —
+// early returns, error branches, loop back edges, panic edges — so
+// they solve dataflow equations over this graph instead.
+//
+// Design notes (see DESIGN.md §15):
+//
+//   - Blocks carry their statements in execution order in Nodes.
+//     A block that ends in a two-way branch carries the branching
+//     expression in Cond and exactly two successor edges, True and
+//     False. Cond is evaluated after Nodes.
+//   - Short-circuit conditions are decomposed: "a && b" becomes a
+//     block conditioned on "a" whose True edge leads to a block
+//     conditioned on "b". Analyzers therefore always see atomic
+//     conditions and can refine state along True/False edges (the
+//     mechanism leakcheck uses for "if !m.Acquire() { return }").
+//   - Negations are normalized away: building "!x" as a condition
+//     swaps the True and False targets of "x", so analyzers never
+//     need to look through unary NOT.
+//   - panic(...), os.Exit, runtime.Goexit and log.Fatal* terminate
+//     their block with an edge to a distinguished PanicExit block.
+//     Analyzers treat paths into PanicExit as vacuous: a leaked
+//     refcount on a panicking process is not a reportable leak.
+//   - defer statements are ordinary block nodes. Analyzers apply
+//     their effects in place (a deferred Release makes every
+//     downstream exit release), which is sound for the pairing
+//     properties checked here because all returns run all registered
+//     defers.
+//   - Function literals are opaque: the builder does not descend
+//     into FuncLit bodies. Analyzers build separate graphs for
+//     literals they care about.
+//
+// The builder is syntax-driven; *types.Info is optional and only
+// sharpens the detection of no-return calls (the builtin panic).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An EdgeKind classifies a control-flow edge.
+type EdgeKind uint8
+
+const (
+	// Next is unconditional fallthrough (also: the edge into each
+	// case/select arm, whose guards are not two-way branches).
+	Next EdgeKind = iota
+	// True is taken when the source block's Cond evaluates true. For
+	// a range-loop head (Cond == nil) it is the "iteration available"
+	// edge into the body.
+	True
+	// False is the complement of True; for a range head it is the
+	// "exhausted" edge.
+	False
+	// Panic leads to Graph.PanicExit from a no-return call.
+	Panic
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Next:
+		return "next"
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Panic:
+		return "panic"
+	}
+	return "?"
+}
+
+// An Edge is one directed control-flow edge.
+type Edge struct {
+	From, To *Block
+	Kind     EdgeKind
+}
+
+// A Block is a straight-line run of statements with branching only at
+// the end.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (stable, build
+	// order).
+	Index int
+	// Nodes are the block's statements and decomposed sub-expressions
+	// (switch tags, case guards) in execution order.
+	Nodes []ast.Node
+	// Cond, when non-nil, is the atomic boolean expression the block
+	// branches on after executing Nodes; Succs then holds exactly one
+	// True and one False edge. A nil Cond with True/False successors
+	// is a range-loop head.
+	Cond ast.Expr
+	// Succs and Preds are the outgoing and incoming edges.
+	Succs []Edge
+	Preds []Edge
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, Entry first. Blocks unreachable from
+	// Entry (code after return) are present but never visited by the
+	// solver.
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the single normal-return block (empty; every return
+	// statement and the implicit fall-off-the-end edge lead here).
+	Exit *Block
+	// PanicExit collects abnormal terminations (panic, os.Exit, ...).
+	PanicExit *Block
+}
+
+// New builds the graph of a function body. fn must be an
+// *ast.FuncDecl or *ast.FuncLit with a non-nil body; info may be nil.
+func New(fn ast.Node, info *types.Info) *Graph {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		panic(fmt.Sprintf("cfg.New: not a function: %T", fn))
+	}
+	b := &builder{
+		g:      &Graph{},
+		info:   info,
+		labels: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.g.PanicExit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+// String renders the graph for tests and debugging: one line per
+// block listing its contents and successors.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d", blk.Index)
+		switch blk {
+		case g.Entry:
+			sb.WriteString(" (entry)")
+		case g.Exit:
+			sb.WriteString(" (exit)")
+		case g.PanicExit:
+			sb.WriteString(" (panic-exit)")
+		}
+		fmt.Fprintf(&sb, ": nodes=%d", len(blk.Nodes))
+		if blk.Cond != nil {
+			sb.WriteString(" cond")
+		}
+		sb.WriteString(" ->")
+		for _, e := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d(%s)", e.To.Index, e.Kind)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// loopTarget records where break and continue jump for one enclosing
+// breakable statement.
+type loopTarget struct {
+	label string
+	brk   *Block // nil for statements break cannot target
+	cont  *Block // nil for switch/select
+}
+
+type builder struct {
+	g    *Graph
+	info *types.Info
+	cur  *Block // nil after a terminator; lazily replaced by an unreachable block
+
+	targets []loopTarget
+	labels  map[string]*Block // goto/labeled-statement targets, by name
+	fall    *Block            // fallthrough target inside a switch clause
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// current returns the block under construction, creating a fresh
+// unreachable one if the previous block was terminated (statements
+// after return/panic/goto).
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) edge(from, to *Block, k EdgeKind) {
+	e := Edge{From: from, To: to, Kind: k}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// jump ends the current block with an unconditional edge to target
+// (no-op on an already-terminated path).
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to, Next)
+		b.cur = nil
+	}
+}
+
+func (b *builder) addNode(n ast.Node) { b.current().Nodes = append(b.current().Nodes, n) }
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// labelBlock returns (creating on demand) the block a label names, so
+// forward and backward gotos both resolve.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// findTarget resolves break/continue to its jump block.
+func (b *builder) findTarget(label string, cont bool) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label != "" && t.label != label {
+			continue
+		}
+		if cont {
+			if t.cont != nil {
+				return t.cont
+			}
+			if label != "" {
+				return nil // continue to a non-loop label: invalid code
+			}
+			continue // innermost breakable is a switch; keep looking for a loop
+		}
+		return t.brk
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.jump(lb)
+		b.cur = lb
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.addNode(s.Init)
+		}
+		then := b.newBlock()
+		var after, els *Block
+		after = b.newBlock()
+		els = after
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		b.cond(s.Cond, then, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.jump(after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.addNode(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, after)
+		} else {
+			b.jump(body)
+		}
+		b.targets = append(b.targets, loopTarget{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.jump(post)
+		if s.Post != nil {
+			b.cur = post
+			b.addNode(s.Post)
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		// Only the ranged expression is recorded (once, before the
+		// head); recording the whole RangeStmt would duplicate the
+		// body statements that get their own blocks below.
+		b.addNode(s.X)
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		b.edge(head, body, True)   // an iteration is available
+		b.edge(head, after, False) // exhausted
+		b.targets = append(b.targets, loopTarget{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.addNode(s.Init)
+		}
+		if s.Tag != nil {
+			b.addNode(s.Tag)
+		}
+		b.caseDispatch(s.Body.List, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.addNode(s.Init)
+		}
+		b.addNode(s.Assign)
+		b.caseDispatch(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		entry := b.current()
+		b.cur = nil
+		after := b.newBlock()
+		b.targets = append(b.targets, loopTarget{label: label, brk: after})
+		hasDefault := false
+		for _, c := range s.Body.List {
+			clause := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(entry, blk, Next)
+			if clause.Comm == nil {
+				hasDefault = true
+			}
+			b.cur = blk
+			if clause.Comm != nil {
+				b.addNode(clause.Comm)
+			}
+			b.stmtList(clause.Body)
+			b.jump(after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		if len(s.Body.List) == 0 || hasDefault {
+			// An empty select blocks forever; a default select always
+			// proceeds. Either way "after" is only reachable through
+			// the arms already wired (or not at all).
+			_ = hasDefault
+		}
+		b.cur = after
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(labelName(s.Label), false); t != nil {
+				b.jump(t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.findTarget(labelName(s.Label), true); t != nil {
+				b.jump(t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.jump(b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				b.jump(b.fall)
+			}
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.addNode(s)
+		b.jump(b.g.Exit)
+
+	case *ast.ExprStmt:
+		b.addNode(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && b.noReturn(call) {
+			b.edge(b.current(), b.g.PanicExit, Panic)
+			b.cur = nil
+		}
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt,
+		// DeferStmt, EmptyStmt: straight-line.
+		if _, ok := s.(*ast.EmptyStmt); !ok {
+			b.addNode(s)
+		}
+	}
+}
+
+// caseDispatch wires a (type) switch: the entry block fans out to one
+// block per clause; without a default clause it also flows directly to
+// the join block. allowFall enables fallthrough chaining.
+func (b *builder) caseDispatch(clauses []ast.Stmt, label string, allowFall bool) {
+	entry := b.current()
+	b.cur = nil
+	after := b.newBlock()
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(entry, blocks[i], Next)
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(entry, after, Next)
+	}
+	b.targets = append(b.targets, loopTarget{label: label, brk: after})
+	savedFall := b.fall
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		b.cur = blocks[i]
+		for _, guard := range cc.List {
+			b.addNode(guard)
+		}
+		b.fall = nil
+		if allowFall && i+1 < len(clauses) {
+			b.fall = blocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	b.fall = savedFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// cond wires e as a branching condition with the given true/false
+// targets, decomposing short-circuit operators and normalizing
+// negation. It terminates the current block.
+func (b *builder) cond(e ast.Expr, t, f *Block) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	}
+	blk := b.current()
+	blk.Cond = e
+	b.edge(blk, t, True)
+	b.edge(blk, f, False)
+	b.cur = nil
+}
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}
+
+// noReturn reports whether the call never returns to its caller:
+// the panic builtin, os.Exit, runtime.Goexit, and log.Fatal*.
+func (b *builder) noReturn(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+		return true
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		// Resolve the package identity through types when available;
+		// fall back to the syntactic package name otherwise.
+		path := pkg.Name
+		if b.info != nil {
+			obj, ok := b.info.Uses[pkg].(*types.PkgName)
+			if !ok {
+				return false // a value, not a package qualifier
+			}
+			path = obj.Imported().Path()
+		}
+		switch path {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		case "log":
+			return strings.HasPrefix(fun.Sel.Name, "Fatal")
+		}
+	}
+	return false
+}

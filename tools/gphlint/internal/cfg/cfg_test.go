@@ -1,0 +1,318 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of one function and returns its graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			return New(fn, nil)
+		}
+	}
+	t.Fatal("no function found")
+	return nil
+}
+
+// callsIn reports whether any node of b (or its Cond) contains a call
+// to an identifier named name.
+func callsIn(b *Block, name string) bool {
+	found := false
+	check := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	for _, n := range b.Nodes {
+		check(n)
+	}
+	if b.Cond != nil {
+		check(b.Cond)
+	}
+	return found
+}
+
+// findCall returns the first block containing a call to name.
+func findCall(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if callsIn(b, name) {
+			return b
+		}
+	}
+	t.Fatalf("no block calls %s in:\n%s", name, g)
+	return nil
+}
+
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			if walk(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func succ(t *testing.T, b *Block, k EdgeKind) *Block {
+	t.Helper()
+	for _, e := range b.Succs {
+		if e.Kind == k {
+			return e.To
+		}
+	}
+	t.Fatalf("block b%d has no %s successor", b.Index, k)
+	return nil
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := build(t, `if c() { a() } else { b() }; after()`)
+	ab, bb, after := findCall(t, g, "a"), findCall(t, g, "b"), findCall(t, g, "after")
+	for _, b := range []*Block{ab, bb} {
+		if !reaches(b, after) {
+			t.Errorf("branch b%d does not rejoin at after()", b.Index)
+		}
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestNotNormalization(t *testing.T) {
+	// "if !ok" must branch on the positive expression with swapped
+	// targets: True continues past the if, False enters the body.
+	g := build(t, `ok := c(); if !ok { a(); return }; b()`)
+	cond := findCall(t, g, "c") // the block that assigns ok also branches on it
+	if cond.Cond == nil {
+		// the branch may have landed in a dedicated block
+		for _, b := range g.Blocks {
+			if id, ok := b.Cond.(*ast.Ident); ok && id.Name == "ok" {
+				cond = b
+			}
+		}
+	}
+	id, ok := cond.Cond.(*ast.Ident)
+	if !ok || id.Name != "ok" {
+		t.Fatalf("cond is %T, want ident ok:\n%s", cond.Cond, g)
+	}
+	if tb := succ(t, cond, True); !callsIn(tb, "b") {
+		t.Errorf("true edge should skip the negated body:\n%s", g)
+	}
+	if fb := succ(t, cond, False); !callsIn(fb, "a") {
+		t.Errorf("false edge should enter the negated body:\n%s", g)
+	}
+}
+
+func TestShortCircuitDecomposition(t *testing.T) {
+	g := build(t, `if a() && b() { c() }; d()`)
+	ca, cb := findCall(t, g, "a"), findCall(t, g, "b")
+	if ca == cb {
+		t.Fatalf("&& operands share a block:\n%s", g)
+	}
+	if succ(t, ca, True) != cb && !reaches(succ(t, ca, True), cb) {
+		t.Errorf("a()'s true edge must evaluate b():\n%s", g)
+	}
+	// a() false skips b() entirely.
+	fa := succ(t, ca, False)
+	if callsIn(fa, "b") || !reaches(fa, findCall(t, g, "d")) {
+		t.Errorf("a()'s false edge must short-circuit past b():\n%s", g)
+	}
+	if !callsIn(succ(t, cb, True), "c") && !reaches(succ(t, cb, True), findCall(t, g, "c")) {
+		t.Errorf("b()'s true edge must enter the body:\n%s", g)
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g := build(t, `if c() { panic("x") }; a()`)
+	pb := findCall(t, g, "panic")
+	var toPanicExit bool
+	for _, e := range pb.Succs {
+		if e.To == g.PanicExit && e.Kind == Panic {
+			toPanicExit = true
+		}
+		if e.To == g.Exit {
+			t.Error("panic block must not flow to the normal exit")
+		}
+	}
+	if !toPanicExit {
+		t.Errorf("panic block lacks an edge to PanicExit:\n%s", g)
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("non-panicking path lost")
+	}
+}
+
+func TestForLoopBackEdgeBreakContinue(t *testing.T) {
+	g := build(t, `for i := 0; i < n; i++ { if a() { break }; if b() { continue }; c() }; after()`)
+	body := findCall(t, g, "c")
+	if !reaches(body, body) {
+		t.Errorf("loop body has no back edge to itself:\n%s", g)
+	}
+	after := findCall(t, g, "after")
+	brk := findCall(t, g, "a")
+	if !reaches(succ(t, brk, True), after) {
+		t.Errorf("break does not reach the loop exit:\n%s", g)
+	}
+	cont := findCall(t, g, "b")
+	if !reaches(succ(t, cont, True), body) {
+		t.Errorf("continue does not re-enter the loop:\n%s", g)
+	}
+}
+
+func TestRangeHead(t *testing.T) {
+	g := build(t, `for _, v := range xs { use(v) }; after()`)
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond == nil && len(b.Succs) == 2 {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no range head:\n%s", g)
+	}
+	if !reaches(succ(t, head, True), findCall(t, g, "use")) {
+		t.Errorf("range True edge misses the body:\n%s", g)
+	}
+	if !reaches(succ(t, head, False), findCall(t, g, "after")) {
+		t.Errorf("range False edge misses the join:\n%s", g)
+	}
+	if !reaches(findCall(t, g, "use"), head) {
+		t.Errorf("range body has no back edge:\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := build(t, `switch tag() {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`)
+	ab, bb := findCall(t, g, "a"), findCall(t, g, "b")
+	direct := false
+	for _, e := range ab.Succs {
+		if e.To == bb {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Errorf("fallthrough case 1 -> case 2 missing:\n%s", g)
+	}
+	// With a default clause the dispatch must not bypass all arms.
+	tagBlk := findCall(t, g, "tag")
+	for _, e := range tagBlk.Succs {
+		if callsIn(e.To, "after") {
+			t.Errorf("switch with default must not flow straight past the arms:\n%s", g)
+		}
+	}
+}
+
+func TestGotoLabel(t *testing.T) {
+	g := build(t, `if c() { goto done }; a()
+done:
+	b()`)
+	cb := findCall(t, g, "c")
+	if !reaches(succ(t, cb, True), findCall(t, g, "b")) {
+		t.Errorf("goto does not reach its label:\n%s", g)
+	}
+	if callsIn(succ(t, cb, True), "a") {
+		t.Errorf("goto edge must skip intervening code:\n%s", g)
+	}
+}
+
+func TestSelectArms(t *testing.T) {
+	g := build(t, `select {
+case <-ch:
+	a()
+case v := <-ch2:
+	use(v)
+}
+after()`)
+	for _, name := range []string{"a", "use"} {
+		if !reaches(findCall(t, g, name), findCall(t, g, "after")) {
+			t.Errorf("select arm %s does not rejoin:\n%s", name, g)
+		}
+	}
+}
+
+func TestReturnTerminatesBlock(t *testing.T) {
+	g := build(t, `a(); return
+b()`)
+	bb := findCall(t, g, "b")
+	if reaches(g.Entry, bb) {
+		t.Errorf("code after return is reachable:\n%s", g)
+	}
+	if len(bb.Preds) != 0 {
+		t.Errorf("dead block has predecessors:\n%s", g)
+	}
+}
+
+func TestDeferAndFuncLitOpaque(t *testing.T) {
+	g := build(t, `defer cleanup()
+go func() { inner() }()
+a()`)
+	var deferBlock *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferBlock = b
+			}
+		}
+	}
+	if deferBlock == nil {
+		t.Fatalf("defer statement not recorded as a node:\n%s", g)
+	}
+	// The FuncLit body is opaque: inner() appears textually but the
+	// builder creates no separate blocks or edges for it; the whole
+	// go statement is one straight-line node.
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("exit unreachable")
+	}
+	dump := g.String()
+	if strings.Contains(dump, "panic-exit") == false {
+		t.Error("String() should mention the panic exit")
+	}
+}
+
+func TestInfiniteLoop(t *testing.T) {
+	g := build(t, `for { a() }`)
+	if reaches(g.Entry, g.Exit) {
+		t.Errorf("for{} must not reach the normal exit:\n%s", g)
+	}
+	ab := findCall(t, g, "a")
+	if !reaches(ab, ab) {
+		t.Errorf("for{} lost its back edge:\n%s", g)
+	}
+}

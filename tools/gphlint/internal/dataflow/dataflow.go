@@ -1,0 +1,156 @@
+// Package dataflow is a generic worklist solver over lint/cfg graphs.
+// An analysis supplies a join-semilattice of states and a per-block
+// transfer function; the solver iterates to a fixed point in either
+// direction. The same machinery serves may-analyses (leakcheck's
+// "held on some path", lockorder's held-lock sets — join keeps the
+// pessimistic union) and must-analyses (epochpair's "every path
+// reaches an epoch bump" — join is logical AND): the distinction
+// lives entirely in the supplied Join.
+//
+// Unreached blocks (dead code after return) are simply absent from
+// the Result maps; analyzers skip them. The optional EdgeTransfer
+// hook refines state along individual edges, which is how analyzers
+// become path-sensitive: a block conditioned on "m.Acquire()"
+// propagates "held" along its True edge and "not held" along its
+// False edge.
+package dataflow
+
+import "gph/tools/gphlint/internal/cfg"
+
+// A Lattice describes the state domain of one analysis.
+type Lattice[T any] struct {
+	// Join combines the states of two merging paths. It must be
+	// commutative, associative and idempotent or the solver may not
+	// terminate.
+	Join func(T, T) T
+	// Equal reports whether two states are indistinguishable; the
+	// solver stops revisiting a block once its output stabilizes.
+	Equal func(T, T) bool
+}
+
+// A Transfer maps a block's input state to its output state. It must
+// not mutate its input: states are shared across edges.
+type Transfer[T any] func(b *cfg.Block, state T) T
+
+// An EdgeTransfer refines the state flowing along one edge (identity
+// when nil).
+type EdgeTransfer[T any] func(e cfg.Edge, state T) T
+
+// A Result holds the fixed-point states. For a forward analysis In
+// is the state on block entry and Out on block exit; a backward
+// analysis mirrors this (In is the state *before* the block runs,
+// i.e. the solved value, and Out the state after it, joined from
+// successors). Blocks unreachable from the analysis boundary have no
+// entry.
+type Result[T any] struct {
+	In  map[*cfg.Block]T
+	Out map[*cfg.Block]T
+}
+
+// Forward solves a forward problem from g.Entry with the given entry
+// state.
+func Forward[T any](g *cfg.Graph, entry T, lat Lattice[T], transfer Transfer[T], edge EdgeTransfer[T]) Result[T] {
+	res := Result[T]{In: map[*cfg.Block]T{}, Out: map[*cfg.Block]T{}}
+	inQueue := map[*cfg.Block]bool{g.Entry: true}
+	queue := []*cfg.Block{g.Entry}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+
+		in, seeded := entryState(b == g.Entry, entry)
+		for _, e := range b.Preds {
+			out, ok := res.Out[e.From]
+			if !ok {
+				continue // predecessor not yet reached: optimistic skip
+			}
+			if edge != nil {
+				out = edge(e, out)
+			}
+			in, seeded = joinInto(lat, in, seeded, out)
+		}
+		if !seeded {
+			continue // unreachable via processed edges
+		}
+		res.In[b] = in
+		out := transfer(b, in)
+		if old, ok := res.Out[b]; ok && lat.Equal(old, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, e := range b.Succs {
+			if !inQueue[e.To] {
+				inQueue[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return res
+}
+
+// Backward solves a backward problem. boundary supplies the state at
+// graph exits (blocks with no successors — Exit and PanicExit);
+// transfer maps a block's *output* state to its *input* state.
+func Backward[T any](g *cfg.Graph, boundary func(b *cfg.Block) T, lat Lattice[T], transfer Transfer[T], edge EdgeTransfer[T]) Result[T] {
+	res := Result[T]{In: map[*cfg.Block]T{}, Out: map[*cfg.Block]T{}}
+	inQueue := map[*cfg.Block]bool{}
+	var queue []*cfg.Block
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 0 {
+			inQueue[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+
+		var out T
+		seeded := false
+		if len(b.Succs) == 0 {
+			out, seeded = boundary(b), true
+		}
+		for _, e := range b.Succs {
+			in, ok := res.In[e.To]
+			if !ok {
+				continue
+			}
+			if edge != nil {
+				in = edge(e, in)
+			}
+			out, seeded = joinInto(lat, out, seeded, in)
+		}
+		if !seeded {
+			continue
+		}
+		res.Out[b] = out
+		in := transfer(b, out)
+		if old, ok := res.In[b]; ok && lat.Equal(old, in) {
+			continue
+		}
+		res.In[b] = in
+		for _, e := range b.Preds {
+			if !inQueue[e.From] {
+				inQueue[e.From] = true
+				queue = append(queue, e.From)
+			}
+		}
+	}
+	return res
+}
+
+func entryState[T any](isEntry bool, entry T) (T, bool) {
+	var zero T
+	if isEntry {
+		return entry, true
+	}
+	return zero, false
+}
+
+func joinInto[T any](lat Lattice[T], acc T, seeded bool, next T) (T, bool) {
+	if !seeded {
+		return next, true
+	}
+	return lat.Join(acc, next), true
+}

@@ -1,0 +1,199 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"gph/tools/gphlint/internal/cfg"
+)
+
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			return cfg.New(fn, nil)
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+// calls collects the called identifier names in a node.
+func calls(n ast.Node) []string {
+	var out []string
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				out = append(out, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func blockCalls(b *cfg.Block) []string {
+	var out []string
+	for _, n := range b.Nodes {
+		out = append(out, calls(n)...)
+	}
+	if b.Cond != nil {
+		out = append(out, calls(b.Cond)...)
+	}
+	return out
+}
+
+// set is the may-analysis state: the names seen on some path.
+type set map[string]bool
+
+func (s set) with(names ...string) set {
+	out := set{}
+	for k := range s {
+		out[k] = true
+	}
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+var setLattice = Lattice[set]{
+	Join: func(a, b set) set {
+		out := set{}
+		for k := range a {
+			out[k] = true
+		}
+		for k := range b {
+			out[k] = true
+		}
+		return out
+	},
+	Equal: func(a, b set) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	},
+}
+
+func TestForwardJoinsBranches(t *testing.T) {
+	g := build(t, `if c() { a() } else { b() }`)
+	res := Forward(g, set{}, setLattice, func(b *cfg.Block, in set) set {
+		return in.with(blockCalls(b)...)
+	}, nil)
+	exit, ok := res.In[g.Exit]
+	if !ok {
+		t.Fatal("exit not reached")
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !exit[want] {
+			t.Errorf("exit state missing %q: %v", want, exit)
+		}
+	}
+}
+
+func TestForwardEdgeRefinement(t *testing.T) {
+	g := build(t, `if ok() { a() } else { b() }`)
+	res := Forward(g, set{}, setLattice, func(b *cfg.Block, in set) set {
+		return in.with(blockCalls(b)...)
+	}, func(e cfg.Edge, out set) set {
+		switch e.Kind {
+		case cfg.True:
+			return out.with("TAKEN")
+		case cfg.False:
+			return out.with("NOTTAKEN")
+		}
+		return out
+	})
+	var aBlock, bBlock *cfg.Block
+	for _, blk := range g.Blocks {
+		for _, name := range blockCalls(blk) {
+			switch name {
+			case "a":
+				aBlock = blk
+			case "b":
+				bBlock = blk
+			}
+		}
+	}
+	if in := res.In[aBlock]; !in["TAKEN"] || in["NOTTAKEN"] {
+		t.Errorf("true-branch state wrong: %v", in)
+	}
+	if in := res.In[bBlock]; !in["NOTTAKEN"] || in["TAKEN"] {
+		t.Errorf("false-branch state wrong: %v", in)
+	}
+	// Past the join both labels are possible.
+	if exit := res.In[g.Exit]; !exit["TAKEN"] || !exit["NOTTAKEN"] {
+		t.Errorf("join state wrong: %v", exit)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := build(t, `for i := 0; i < n; i++ { if c() { a() } }; b()`)
+	res := Forward(g, set{}, setLattice, func(b *cfg.Block, in set) set {
+		return in.with(blockCalls(b)...)
+	}, nil)
+	exit := res.In[g.Exit]
+	if !exit["a"] || !exit["b"] {
+		t.Errorf("loop body effect lost at exit: %v", exit)
+	}
+}
+
+// boolLattice is the must-analysis lattice: true = property holds on
+// every path.
+var boolLattice = Lattice[bool]{
+	Join:  func(a, b bool) bool { return a && b },
+	Equal: func(a, b bool) bool { return a == b },
+}
+
+// mustReachBump solves "every path from here calls bump() before the
+// normal exit" and returns the state at function entry.
+func mustReachBump(t *testing.T, body string) bool {
+	g := build(t, body)
+	res := Backward(g, func(b *cfg.Block) bool {
+		return b == g.PanicExit // vacuous on panic paths, false at Exit
+	}, boolLattice, func(b *cfg.Block, out bool) bool {
+		for _, name := range blockCalls(b) {
+			if name == "bump" {
+				return true
+			}
+		}
+		return out
+	}, nil)
+	in, ok := res.In[g.Entry]
+	if !ok {
+		t.Fatal("entry not solved")
+	}
+	return in
+}
+
+func TestBackwardMustAllPaths(t *testing.T) {
+	if !mustReachBump(t, `if c() { bump(); return }; bump()`) {
+		t.Error("bump on every path should solve true")
+	}
+	if mustReachBump(t, `if c() { return }; bump()`) {
+		t.Error("early return skipping bump should solve false")
+	}
+	if !mustReachBump(t, `if c() { panic("x") }; bump()`) {
+		t.Error("panic paths are vacuous; remaining path bumps")
+	}
+	if !mustReachBump(t, `for i := 0; i < n; i++ { work() }; bump()`) {
+		t.Error("loop then bump should solve true across the back edge")
+	}
+	if mustReachBump(t, `for i := 0; i < n; i++ { if c() { return } }; bump()`) {
+		t.Error("return from inside the loop skips bump")
+	}
+}

@@ -88,10 +88,13 @@ type Unit struct {
 }
 
 // RunAnalyzers executes each analyzer on the unit, importing facts
-// from and exporting facts to store. It returns the surviving
-// diagnostics (suppressions applied) sorted by position.
+// from and exporting facts to store. It returns every diagnostic
+// sorted by position; findings masked by a //gphlint:ignore comment
+// are kept with Suppressed set (callers gate on it) so report modes
+// can still see them.
 func RunAnalyzers(unit *Unit, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	sup := collectSuppressions(unit.Fset, unit.Files)
+	shared := map[string]any{}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		a := a
@@ -118,14 +121,22 @@ func RunAnalyzers(unit *Unit, analyzers []*Analyzer, store *FactStore) ([]Diagno
 			Suppressed: func(pos token.Pos) bool {
 				return sup.suppressed(a.Name, unit.Fset.Position(pos))
 			},
+			Shared: func(key string, build func() any) any {
+				if v, ok := shared[key]; ok {
+					return v
+				}
+				v := build()
+				shared[key] = v
+				return v
+			},
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 		for _, d := range diags {
-			if !sup.suppressed(a.Name, unit.Fset.Position(d.Pos)) {
-				out = append(out, d)
-			}
+			d.Analyzer = a.Name
+			d.Suppressed = sup.suppressed(a.Name, unit.Fset.Position(d.Pos))
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })

@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A SuppressionSite is one //gphlint:ignore comment in the tree.
+type SuppressionSite struct {
+	File     string // absolute path
+	Line     int
+	Analyzer string
+	Reason   string
+	// Stale is true when the site masks no diagnostic: either no
+	// finding of its analyzer lands on the covered lines in any of
+	// the supplied findings files, or it names an unknown analyzer.
+	Stale bool
+}
+
+// SuppressionReport walks the Go tree under root, prints every
+// //gphlint:ignore site to out, and returns how many are stale.
+// Staleness is judged against findingsFiles — the stdout of one or
+// more "go vet -json -vettool=gphlint" runs (which include suppressed
+// findings, flagged) — so a suppression is stale only if it masks
+// nothing under *every* supplied configuration (e.g. both build
+// tags). With no findings files the inventory is listed without a
+// staleness verdict, except that suppressions naming an unknown
+// analyzer are always stale. Fixture trees (testdata directories) and
+// _test.go files are outside the gate and are skipped.
+func SuppressionReport(out io.Writer, root string, findingsFiles []string, knownAnalyzers map[string]bool) (stale int, err error) {
+	sites, err := collectSuppressionSites(root)
+	if err != nil {
+		return 0, err
+	}
+	masked, err := readFindings(findingsFiles)
+	if err != nil {
+		return 0, err
+	}
+
+	for _, s := range sites {
+		switch {
+		case !knownAnalyzers[s.Analyzer]:
+			s.Stale = true
+		case len(findingsFiles) > 0:
+			s.Stale = !masked[findingKey{s.File, s.Line, s.Analyzer}] &&
+				!masked[findingKey{s.File, s.Line + 1, s.Analyzer}]
+		}
+		if s.Stale {
+			stale++
+		}
+	}
+
+	rel := func(path string) string {
+		if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return path
+	}
+	fmt.Fprintf(out, "suppression inventory (%d sites):\n", len(sites))
+	for _, s := range sites {
+		mark := ""
+		if s.Stale {
+			mark = "  [STALE: masks no diagnostic]"
+		}
+		fmt.Fprintf(out, "  %s:%d: %s — %s%s\n", rel(s.File), s.Line, s.Analyzer, s.Reason, mark)
+	}
+	switch {
+	case len(findingsFiles) == 0:
+		fmt.Fprintf(out, "staleness not checked (no -findings files given)\n")
+	case stale > 0:
+		fmt.Fprintf(out, "%d stale suppression(s): delete them or fix the rot they hide\n", stale)
+	default:
+		fmt.Fprintf(out, "no stale suppressions\n")
+	}
+	return stale, nil
+}
+
+// collectSuppressionSites parses every non-test Go file under root
+// (skipping testdata fixtures and VCS/vendor directories) and returns
+// its //gphlint:ignore comments sorted by position.
+func collectSuppressionSites(root string) ([]*SuppressionSite, error) {
+	var sites []*SuppressionSite
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "gphlint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				sites = append(sites, &SuppressionSite{
+					File:     abs,
+					Line:     fset.Position(c.Pos()).Line,
+					Analyzer: fields[0],
+					Reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].File != sites[j].File {
+			return sites[i].File < sites[j].File
+		}
+		return sites[i].Line < sites[j].Line
+	})
+	return sites, nil
+}
+
+type findingKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// readFindings decodes the concatenated per-unit JSON objects of
+// "go vet -json -vettool=gphlint" runs into the set of
+// (file, line, analyzer) triples at which *some* diagnostic —
+// suppressed or not — was produced. go vet interleaves the JSON with
+// "# pkgpath" header lines on the same stream, so those are stripped
+// first: CI can redirect the vet run's combined output straight into
+// the findings file.
+func readFindings(files []string) (map[findingKey]bool, error) {
+	masked := map[findingKey]bool{}
+	for _, name := range files {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var kept []string
+		for _, line := range strings.Split(string(raw), "\n") {
+			if !strings.HasPrefix(line, "#") {
+				kept = append(kept, line)
+			}
+		}
+		dec := json.NewDecoder(strings.NewReader(strings.Join(kept, "\n")))
+		for {
+			var unit map[string]map[string][]jsonDiagnostic
+			if err := dec.Decode(&unit); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("decoding findings %s: %w", name, err)
+			}
+			for _, byAnalyzer := range unit {
+				for analyzer, diags := range byAnalyzer {
+					for _, d := range diags {
+						file, line, ok := splitPosn(d.Posn)
+						if !ok {
+							continue
+						}
+						masked[findingKey{file, line, analyzer}] = true
+					}
+				}
+			}
+		}
+	}
+	return masked, nil
+}
+
+// splitPosn parses "file:line:col" (or "file:line").
+func splitPosn(posn string) (file string, line int, ok bool) {
+	// Trim the column, then the line, from the right; the filename
+	// may not contain further structure worth parsing.
+	s := posn
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return "", 0, false
+	}
+	if n, err := strconv.Atoi(s[i+1:]); err == nil {
+		// Could be a line (file:line) or a column (file:line:col);
+		// try to strip one more numeric field.
+		j := strings.LastIndexByte(s[:i], ':')
+		if j >= 0 {
+			if l, err := strconv.Atoi(s[j+1 : i]); err == nil {
+				return s[:j], l, true
+			}
+		}
+		return s[:i], n, true
+	}
+	return "", 0, false
+}

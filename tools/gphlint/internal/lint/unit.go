@@ -52,8 +52,17 @@ type vetxEntry struct {
 
 // RunUnit executes the analyzers on the compilation unit described
 // by the vet.cfg file at cfgPath, printing diagnostics to stderr in
-// file:line:col format. It returns the number of diagnostics.
-func RunUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+// file:line:col format. It returns the number of unsuppressed
+// diagnostics.
+//
+// When jsonOut is non-nil the diagnostics are instead written there
+// as one JSON object per unit, keyed by import path then analyzer —
+// the same shape x/tools' unitchecker emits under "go vet -json" —
+// with each entry carrying posn, message and a suppressed flag.
+// Suppressed findings are included (flagged) so downstream tooling
+// (the -suppressions staleness check) can distinguish a suppression
+// that masks a live finding from a stale one.
+func RunUnit(cfgPath string, analyzers []*Analyzer, jsonOut io.Writer) (int, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return 0, err
@@ -123,10 +132,45 @@ func RunUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 	if cfg.VetxOnly {
 		return 0, nil
 	}
+	n := 0
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		if !d.Suppressed {
+			n++
+		}
 	}
-	return len(diags), nil
+	if jsonOut != nil {
+		return n, writeJSONDiags(jsonOut, cfg.ImportPath, fset, diags)
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+	}
+	return n, nil
+}
+
+// jsonDiagnostic is one finding in the -json output.
+type jsonDiagnostic struct {
+	Posn       string `json:"posn"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+}
+
+// writeJSONDiags emits {importPath: {analyzer: [diag...]}} for one
+// unit. Analyzers without findings are omitted, matching the
+// unitchecker shape "go vet -json" consumers expect.
+func writeJSONDiags(w io.Writer, importPath string, fset *token.FileSet, diags []Diagnostic) error {
+	byAnalyzer := map[string][]jsonDiagnostic{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+			Posn:       fset.Position(d.Pos).String(),
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(map[string]map[string][]jsonDiagnostic{importPath: byAnalyzer})
 }
 
 // unitImporter resolves imports through the export data the build

@@ -2,24 +2,40 @@
 // a go vet -vettool multichecker whose analyzers machine-check the
 // invariants the codebase is built on — allocation-free hot paths,
 // immutable published snapshots, sentinel-wrapped validation errors,
-// deterministic persistence, unique 8-byte persistence magics, and
-// the documentation rules the old tools/doccheck enforced.
+// deterministic persistence, unique 8-byte persistence magics, the
+// documentation rules the old tools/doccheck enforced, and (since the
+// CFG/dataflow engine, DESIGN.md §15) the path-sensitive pairing
+// invariants: resource Acquire/Release on every path (leakcheck),
+// snapshot Store post-dominated by an epoch bump (epochpair), and
+// module-wide lock-acquisition ordering with the group-commit fsync
+// rule (lockorder).
 //
-// Usage (CI runs exactly this):
+// Usage (CI runs exactly this, under both build tags):
 //
 //	go build -o /tmp/gphlint ./tools/gphlint
 //	go vet -vettool=/tmp/gphlint ./...
+//	go vet -tags gph_simd -vettool=/tmp/gphlint ./...
 //
 // The tool implements the -vettool command-line protocol: it answers
 // -V=full (build-cache identity), -flags (supported flags as JSON)
 // and then analyzes one compilation unit per vet.cfg file that "go
-// vet" hands it. Findings are suppressed line-by-line with
+// vet" hands it. "go vet -json -vettool=gphlint" forwards -json and
+// the tool emits machine-readable findings (suppressed ones flagged)
+// instead of stderr text. Findings are suppressed line-by-line with
 //
 //	//gphlint:ignore <analyzer> <reason>
 //
 // placed on, or directly above, the offending line (see DESIGN.md
-// §11). The framework is self-contained on the standard library; the
-// repo deliberately takes no dependency on golang.org/x/tools.
+// §11). The exception inventory is kept honest by the report mode
+//
+//	gphlint -suppressions [-findings vet.json]... [dir]
+//
+// which lists every //gphlint:ignore site under dir and — when given
+// the -json output of one or more full vet runs — fails on *stale*
+// suppressions that no longer mask any diagnostic, so the inventory
+// can only shrink. The framework is self-contained on the standard
+// library; the repo deliberately takes no dependency on
+// golang.org/x/tools.
 package main
 
 import (
@@ -41,10 +57,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix(progname + ": ")
 
+	var findings multiFlag
 	flag.Var(versionFlag{}, "V", "print version and exit (the go vet build-cache protocol)")
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (the go vet protocol)")
+	jsonOut := flag.Bool("json", false, "emit JSON diagnostics (including suppressed ones) to stdout")
+	suppressions := flag.Bool("suppressions", false, "report every //gphlint:ignore site under the given directory")
+	flag.Var(&findings, "findings", "with -suppressions: a -json findings file to check suppressions against (repeatable; any stale suppression fails the run)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...\n\nAnalyzers:\n", progname)
+		fmt.Fprintf(os.Stderr, "usage: go vet -vettool=%s ./...\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s -suppressions [-findings vet.json]... [dir]\n\nAnalyzers:\n", progname)
 		for _, a := range analyzers.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
@@ -53,9 +74,27 @@ func main() {
 	flag.Parse()
 
 	if *printFlags {
-		// go vet matches its own command line against this list; an
-		// empty list means gphlint takes no pass-through flags.
-		fmt.Println("[]")
+		// go vet matches its own command line against this list and
+		// forwards any flag named here; -json is the only pass-through
+		// gphlint accepts.
+		fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit JSON diagnostics to stdout"}]`)
+		return
+	}
+
+	if *suppressions {
+		root := "."
+		if args := flag.Args(); len(args) == 1 {
+			root = args[0]
+		} else if len(args) > 1 {
+			flag.Usage()
+		}
+		stale, err := lint.SuppressionReport(os.Stdout, root, findings, analyzerNames())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stale > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -63,13 +102,37 @@ func main() {
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		flag.Usage()
 	}
-	n, err := lint.RunUnit(args[0], analyzers.All())
+	var jw io.Writer
+	if *jsonOut {
+		jw = os.Stdout
+	}
+	n, err := lint.RunUnit(args[0], analyzers.All(), jw)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if n > 0 {
+	// In -json mode findings are data, not failures (matching
+	// unitchecker): the plain gate run is what fails CI.
+	if n > 0 && !*jsonOut {
 		os.Exit(1)
 	}
+}
+
+func analyzerNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range analyzers.All() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
 }
 
 func firstLine(s string) string {
